@@ -1,0 +1,16 @@
+// Figure 10 (appendix B): Karousos performance for MOTD under the read-heavy
+// (90% reads) workload — (a) server overhead, (b) verification time, (c)
+// advice size.
+#include "bench/figure_common.h"
+
+int main() {
+  using namespace karousos;
+  PrintHeader("Figure 10: MOTD, 90% reads");
+  FigureOptions options;
+  FigureSpec spec{"motd", WorkloadKind::kReadHeavy};
+  PrintServerOverhead(spec, options);
+  options.reps = 3;
+  PrintVerification(spec, options);
+  PrintAdviceSize(spec, options);
+  return 0;
+}

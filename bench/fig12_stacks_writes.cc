@@ -1,0 +1,16 @@
+// Figure 12 (appendix B): Karousos performance for the stack-dump logging
+// application under the write-heavy (90% writes) workload — (a) server
+// overhead, (b) verification time, (c) advice size.
+#include "bench/figure_common.h"
+
+int main() {
+  using namespace karousos;
+  PrintHeader("Figure 12: stacks, 90% writes");
+  FigureOptions options;
+  FigureSpec spec{"stacks", WorkloadKind::kWriteHeavy};
+  PrintServerOverhead(spec, options);
+  options.reps = 3;
+  PrintVerification(spec, options);
+  PrintAdviceSize(spec, options);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 6: Karousos server vs unmodified server, processing time for 480
+// post-warmup requests, for the workloads with the largest overheads —
+// MOTD write-heavy, stacks read-heavy, and the wiki mixed workload.
+#include "bench/figure_common.h"
+
+int main() {
+  using namespace karousos;
+  PrintHeader("Figure 6: advice-collection overhead at the server");
+  FigureOptions options;
+  PrintServerOverhead({"motd", WorkloadKind::kWriteHeavy}, options);
+  PrintServerOverhead({"stacks", WorkloadKind::kReadHeavy}, options);
+  PrintServerOverhead({"wiki", WorkloadKind::kWikiMix}, options);
+  return 0;
+}

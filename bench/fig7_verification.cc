@@ -1,0 +1,14 @@
+// Figure 7: Karousos verification time vs the sequential re-executor and the
+// Orochi-JS baselines, on the 600-request workloads.
+#include "bench/figure_common.h"
+
+int main() {
+  using namespace karousos;
+  PrintHeader("Figure 7: verification time vs baselines");
+  FigureOptions options;
+  options.reps = 3;
+  PrintVerification({"motd", WorkloadKind::kWriteHeavy}, options);
+  PrintVerification({"stacks", WorkloadKind::kReadHeavy}, options);
+  PrintVerification({"wiki", WorkloadKind::kWikiMix}, options);
+  return 0;
+}

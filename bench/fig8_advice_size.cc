@@ -1,0 +1,18 @@
+// Figure 8: size of the advice a Karousos server ships to the verifier, vs
+// Orochi-JS, on the 600-request workloads. As in the paper, the stacks
+// application is reported at a fixed concurrency: more concurrent stacks
+// requests do not execute more concurrent handlers (retry errors shed load),
+// so a concurrency sweep is not meaningful for it.
+#include "bench/figure_common.h"
+
+int main() {
+  using namespace karousos;
+  PrintHeader("Figure 8: advice size");
+  FigureOptions options;
+  PrintAdviceSize({"motd", WorkloadKind::kWriteHeavy}, options);
+  PrintAdviceSize({"wiki", WorkloadKind::kWikiMix}, options);
+  FigureOptions stacks_options;
+  stacks_options.concurrencies = {15};
+  PrintAdviceSize({"stacks", WorkloadKind::kReadHeavy}, stacks_options);
+  return 0;
+}

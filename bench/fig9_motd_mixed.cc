@@ -1,0 +1,16 @@
+// Figure 9 (appendix B): Karousos performance for MOTD under the mixed
+// (50/50) workload — (a) server overhead, (b) verification time, (c) advice
+// size.
+#include "bench/figure_common.h"
+
+int main() {
+  using namespace karousos;
+  PrintHeader("Figure 9: MOTD, mixed workload");
+  FigureOptions options;
+  FigureSpec spec{"motd", WorkloadKind::kMixed};
+  PrintServerOverhead(spec, options);
+  options.reps = 3;
+  PrintVerification(spec, options);
+  PrintAdviceSize(spec, options);
+  return 0;
+}

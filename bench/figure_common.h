@@ -1,0 +1,51 @@
+// Shared driver for the per-figure benchmark binaries. Each figure binary
+// picks an (application, workload) list and which of the three measurements
+// to print:
+//   * server overhead   (Figure 6 and the (a) panels of Figures 9-12),
+//   * verification time (Figure 7 and the (b) panels),
+//   * advice size       (Figure 8 and the (c) panels).
+//
+// Methodology mirrors §6: 600 requests per run, the first 120 as warm-up for
+// server-overhead timing, concurrency swept over {1, 4, 15, 30, 60}, medians
+// over repeated runs. Absolute times are machine-specific; the claims under
+// reproduction are the ratios and trends.
+#ifndef BENCH_FIGURE_COMMON_H_
+#define BENCH_FIGURE_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace karousos {
+
+struct FigureSpec {
+  std::string app;  // "motd" | "stacks" | "wiki".
+  WorkloadKind kind = WorkloadKind::kMixed;
+};
+
+struct FigureOptions {
+  size_t requests = 600;
+  size_t warmup = 120;
+  int reps = 5;
+  std::vector<int> concurrencies = {1, 4, 15, 30, 60};
+  uint64_t seed = 7;
+};
+
+// Figure 6 / panels (a): processing time for the post-warmup requests,
+// unmodified vs Karousos server, plus the overhead ratio.
+void PrintServerOverhead(const FigureSpec& spec, const FigureOptions& options);
+
+// Figure 7 / panels (b): total time to verify a 600-request trace — Karousos
+// verifier, Orochi-JS verifier, and the sequential re-executor.
+void PrintVerification(const FigureSpec& spec, const FigureOptions& options);
+
+// Figure 8 / panels (c): advice bytes shipped to the verifier, Karousos vs
+// Orochi-JS, with the variable-log share.
+void PrintAdviceSize(const FigureSpec& spec, const FigureOptions& options);
+
+void PrintHeader(const std::string& title);
+
+}  // namespace karousos
+
+#endif  // BENCH_FIGURE_COMMON_H_

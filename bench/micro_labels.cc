@@ -1,0 +1,82 @@
+// Ablation A3 (§5 design choice): handler labels make the A-order test a
+// label-prefix check. The alternative — walking activator links through a
+// parent map — is what an implementation without labels would do. This
+// microbenchmark compares both on handler chains of varying depth.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "src/kem/label.h"
+#include "src/kem/program.h"
+
+namespace karousos {
+namespace {
+
+struct Tree {
+  std::vector<HandlerId> chain;  // chain[0] is the root.
+  std::unordered_map<HandlerId, HandlerId> parents;
+  std::vector<HandlerLabel> labels;
+};
+
+Tree BuildChain(int depth) {
+  Tree tree;
+  HandlerId parent = kNoHandler;
+  HandlerLabel label;
+  for (int i = 0; i < depth; ++i) {
+    HandlerId hid = ComputeHandlerId(DigestOf("f"), parent, static_cast<OpNum>(i + 1));
+    tree.parents[hid] = parent;
+    label.push_back(0);
+    tree.chain.push_back(hid);
+    tree.labels.push_back(label);
+    parent = hid;
+  }
+  return tree;
+}
+
+void BM_AncestorViaLabelPrefix(benchmark::State& state) {
+  Tree tree = BuildChain(static_cast<int>(state.range(0)));
+  const HandlerLabel& root = tree.labels.front();
+  const HandlerLabel& leaf = tree.labels.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsLabelPrefix(root, leaf));
+  }
+}
+BENCHMARK(BM_AncestorViaLabelPrefix)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AncestorViaParentWalk(benchmark::State& state) {
+  Tree tree = BuildChain(static_cast<int>(state.range(0)));
+  HandlerId root = tree.chain.front();
+  HandlerId leaf = tree.chain.back();
+  for (auto _ : state) {
+    // Walk activator links from the leaf until the root (or the top).
+    HandlerId h = leaf;
+    bool found = false;
+    while (h != kNoHandler) {
+      auto it = tree.parents.find(h);
+      if (it == tree.parents.end()) {
+        break;
+      }
+      h = it->second;
+      if (h == root) {
+        found = true;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_AncestorViaParentWalk)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RorderTestSiblings(benchmark::State& state) {
+  HandlerLabel a{0, 1, 0};
+  HandlerLabel b{0, 1, 1};
+  OpRef opa{1, 10, 3};
+  OpRef opb{1, 11, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RConcurrent(opa, a, opb, b));
+  }
+}
+BENCHMARK(BM_RorderTestSiblings);
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,109 @@
+// Attack gallery: a misbehaving server tries six classes of deception
+// against the wiki application; the verifier must reject all of them while
+// still accepting the honest run. This is the executable version of §4.3's
+// threat analysis.
+//
+//   ./build/examples/attack_gallery
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/audit/audit.h"
+#include "src/workload/workload.h"
+
+using namespace karousos;
+
+int main() {
+  AppSpec app = MakeWikiApp();
+  WorkloadConfig wl;
+  wl.app = "wiki";
+  wl.kind = WorkloadKind::kWikiMix;
+  wl.requests = 120;
+  wl.connections = 8;
+  ServerConfig config;
+  config.concurrency = 8;
+  Server server(*app.program, config);
+  ServerRunResult honest = server.Run(GenerateWorkload(wl));
+
+  {
+    AuditResult audit = AuditOnly(app, honest.trace, honest.advice, config.isolation);
+    std::printf("%-44s %s\n", "honest server:",
+                audit.accepted ? "ACCEPTED (as it must be)" : "REJECTED (BUG!)");
+    if (!audit.accepted) {
+      std::printf("  !! %s\n", audit.reason.c_str());
+      return 1;
+    }
+  }
+
+  struct Attack {
+    const char* name;
+    std::function<void(Trace&, Advice&)> apply;
+  };
+  std::vector<Attack> attacks = {
+      {"forge a response body", [](Trace& trace, Advice&) {
+         for (TraceEvent& ev : trace.events) {
+           if (ev.kind == TraceEvent::Kind::kResponse) {
+             ev.payload = MakeMap({{"html", "<h1>hacked</h1>"}});
+             break;
+           }
+         }
+       }},
+      {"poison a logged variable value", [](Trace&, Advice& advice) {
+         for (auto& [vid, log] : advice.var_logs) {
+           for (auto& [op, entry] : log) {
+             if (entry.kind == VarLogEntry::Kind::kWrite) {
+               entry.value = Value("poison");
+               return;
+             }
+           }
+         }
+       }},
+      {"smuggle a ghost write into a variable log", [](Trace&, Advice& advice) {
+         VarLogEntry ghost;
+         ghost.kind = VarLogEntry::Kind::kWrite;
+         ghost.value = Value("ghost");
+         advice.var_logs.begin()->second.emplace(OpRef{1, 0xdead, 99}, ghost);
+       }},
+      {"drop a handler-log entry", [](Trace&, Advice& advice) {
+         for (auto& [rid, log] : advice.handler_logs) {
+           if (!log.empty()) {
+             log.pop_back();
+             return;
+           }
+         }
+       }},
+      {"reverse the external write order", [](Trace&, Advice& advice) {
+         if (advice.write_order.size() >= 2) {
+           std::swap(advice.write_order.front(), advice.write_order.back());
+         }
+       }},
+      {"claim a different re-execution group", [](Trace&, Advice& advice) {
+         auto first = advice.tags.begin();
+         auto last = std::prev(advice.tags.end());
+         if (first->second != last->second) {
+           first->second = last->second;
+         } else {
+           first->second ^= 1;
+         }
+       }},
+  };
+
+  int failures = 0;
+  for (const Attack& attack : attacks) {
+    Trace trace = honest.trace;
+    Advice advice = honest.advice;
+    attack.apply(trace, advice);
+    AuditResult audit = AuditOnly(app, trace, advice, config.isolation);
+    bool ok = !audit.accepted;
+    std::printf("%-44s %s\n", attack.name, ok ? "REJECTED (good)" : "ACCEPTED (BUG!)");
+    if (ok) {
+      std::string reason = audit.reason.substr(0, 90);
+      std::printf("    verifier: %s%s\n", reason.c_str(),
+                  audit.reason.size() > 90 ? "..." : "");
+    } else {
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

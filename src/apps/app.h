@@ -1,0 +1,57 @@
+// The evaluation applications (§6): two model applications designed to
+// exercise Karousos's algorithms (message-of-the-day and stack-dump logging)
+// and a wiki application standing in for Wiki.js. Each returns a KEM Program
+// whose handlers the server executes online and the verifier re-executes.
+#ifndef SRC_APPS_APP_H_
+#define SRC_APPS_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kem/program.h"
+
+namespace karousos {
+
+struct AppSpec {
+  std::string name;
+  std::shared_ptr<Program> program;
+};
+
+// MOTD: users get or set a "message of the day", per-day or for every day.
+// All state lives in one shared hashmap variable; every request is handled by
+// a single request handler, so all accesses are R-concurrent (children of I)
+// and Karousos logs exactly what Orochi-JS does — the paper's pathological
+// case (§6.2).
+//
+// Requests: {"op":"set","day":<d>,"msg":<m>} -> {"ok":true}
+//           {"op":"get","day":<d>}           -> {"msg":<m>}
+AppSpec MakeMotdApp();
+
+// Stacks: stack-dump logging over the transactional store, with an in-flight
+// guard variable that returns retry errors for concurrent same-dump submits,
+// a shared digest index variable, and fan-out child handlers for listing —
+// the app that exercises handler trees, R-concurrent sibling accesses, and
+// the KV interface (§6 "Stack dump logging").
+//
+// Requests: {"op":"submit","dump":<s>} -> {"ok":true,"new":<b>} | {"retry":true}
+//           {"op":"count","dump":<s>}  -> {"count":<n>} | {"retry":true}
+//           {"op":"list"}              -> {"dumps":[{digest,count}...]}
+AppSpec MakeStacksApp();
+
+// Wiki: pages and comments in the transactional store; a page-index variable,
+// a render cache, and a connection-pool statistics object whose logged size
+// grows with concurrency (§6.3).
+//
+// Requests: {"op":"create_page","id","title","content","conn"} -> {"ok":true}
+//           {"op":"create_comment","page","text","conn"}       -> {"ok":..}
+//           {"op":"render","page","conn"}                      -> {"html":..}
+AppSpec MakeWikiApp();
+
+// Pingpong: a minimal two-handler app used by unit tests (not part of the
+// paper's evaluation): the request handler emits an event whose child handler
+// responds with a transformed payload.
+AppSpec MakePingpongApp();
+
+}  // namespace karousos
+
+#endif  // SRC_APPS_APP_H_

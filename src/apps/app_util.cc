@@ -1,0 +1,132 @@
+#include "src/apps/app_util.h"
+
+#include <sstream>
+
+#include "src/common/digest.h"
+
+namespace karousos {
+
+MultiValue MvField(const MultiValue& mv, std::string_view key) {
+  std::string k(key);
+  return MultiValue::Map(mv, [k](const Value& v) { return v.Field(k); });
+}
+
+MultiValue MvMapGet(const MultiValue& map, const MultiValue& key) {
+  return MultiValue::Zip(map, key, [](const Value& m, const Value& k) {
+    return m.Field(k.StringOr(k.ToString()));
+  });
+}
+
+MultiValue MvMapSet(const MultiValue& map, const MultiValue& key, const MultiValue& value) {
+  return MvZip3(map, key, value, [](const Value& m, const Value& k, const Value& v) {
+    ValueMap out = m.is_map() ? m.AsMap() : ValueMap{};
+    out[k.StringOr(k.ToString())] = v;
+    return Value(std::move(out));
+  });
+}
+
+MultiValue MvMapErase(const MultiValue& map, const MultiValue& key) {
+  return MultiValue::Zip(map, key, [](const Value& m, const Value& k) {
+    ValueMap out = m.is_map() ? m.AsMap() : ValueMap{};
+    out.erase(k.StringOr(k.ToString()));
+    return Value(std::move(out));
+  });
+}
+
+MultiValue MvMapHas(const MultiValue& map, const MultiValue& key) {
+  return MultiValue::Zip(map, key, [](const Value& m, const Value& k) {
+    return Value(m.HasField(k.StringOr(k.ToString())));
+  });
+}
+
+MultiValue MvMapSize(const MultiValue& map) {
+  return MultiValue::Map(map, [](const Value& m) {
+    return Value(static_cast<int64_t>(m.is_map() ? m.AsMap().size() : 0));
+  });
+}
+
+MultiValue MvListAppend(const MultiValue& list, const MultiValue& item) {
+  return MultiValue::Zip(list, item, [](const Value& l, const Value& x) {
+    ValueList out = l.is_list() ? l.AsList() : ValueList{};
+    out.push_back(x);
+    return Value(std::move(out));
+  });
+}
+
+MultiValue MvListLen(const MultiValue& list) {
+  return MultiValue::Map(list, [](const Value& l) {
+    return Value(static_cast<int64_t>(l.is_list() ? l.AsList().size() : 0));
+  });
+}
+
+MultiValue MvListGet(const MultiValue& list, int64_t index) {
+  return MultiValue::Map(list, [index](const Value& l) {
+    if (!l.is_list() || index < 0 || static_cast<size_t>(index) >= l.AsList().size()) {
+      return Value();
+    }
+    return l.AsList()[static_cast<size_t>(index)];
+  });
+}
+
+MultiValue MvNot(const MultiValue& mv) {
+  return MultiValue::Map(mv, [](const Value& v) { return Value(!v.Truthy()); });
+}
+
+MultiValue MvAnd(const MultiValue& a, const MultiValue& b) {
+  return MultiValue::Zip(
+      a, b, [](const Value& x, const Value& y) { return Value(x.Truthy() && y.Truthy()); });
+}
+
+MultiValue MvLtScalar(int64_t scalar, const MultiValue& mv) {
+  return MultiValue::Map(mv, [scalar](const Value& v) { return Value(scalar < v.IntOr(0)); });
+}
+
+MultiValue MvContentDigest(const MultiValue& mv) {
+  return MultiValue::Map(mv, [](const Value& v) {
+    std::ostringstream out;
+    out << "d" << std::hex << DigestOf(v.ToString());
+    return Value(out.str());
+  });
+}
+
+MultiValue MvExpensive(const MultiValue& mv, uint32_t units) {
+  return MultiValue::Map(mv, [units](const Value& v) {
+    uint64_t h = v.DigestValue();
+    for (uint32_t i = 0; i < units; ++i) {
+      h = Avalanche(h + i);
+    }
+    std::ostringstream out;
+    out << std::hex << h;
+    return Value(out.str());
+  });
+}
+
+MultiValue MvZip3(const MultiValue& a, const MultiValue& b, const MultiValue& c,
+                  const std::function<Value(const Value&, const Value&, const Value&)>& f) {
+  MultiValue ab = MultiValue::Zip(a, b, [](const Value& x, const Value& y) {
+    return Value(ValueList{x, y});
+  });
+  return MultiValue::Zip(ab, c, [&f](const Value& xy, const Value& z) {
+    return f(xy.AsList()[0], xy.AsList()[1], z);
+  });
+}
+
+MultiValue MvMakeMap(std::initializer_list<std::pair<std::string, MultiValue>> fields) {
+  MultiValue acc{Value(ValueMap{})};
+  for (const auto& [key, mv] : fields) {
+    std::string k = key;
+    acc = MultiValue::Zip(acc, mv, [k](const Value& m, const Value& v) {
+      ValueMap out = m.AsMap();
+      out[k] = v;
+      return Value(std::move(out));
+    });
+  }
+  return acc;
+}
+
+MultiValue MvPrefix(std::string_view prefix, const MultiValue& mv) {
+  std::string p(prefix);
+  return MultiValue::Map(mv, [p](const Value& v) { return Value(p + v.StringOr(v.ToString())); });
+}
+
+}  // namespace karousos

@@ -1,0 +1,60 @@
+// Lane-wise helpers that application handlers use to compute on multivalues.
+// Each helper is a pure element-wise function, so it behaves identically at
+// the width-1 server and in grouped re-execution.
+#ifndef SRC_APPS_APP_UTIL_H_
+#define SRC_APPS_APP_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/value.h"
+#include "src/multivalue/multivalue.h"
+
+namespace karousos {
+
+// Field access on map-valued lanes: mv.field(key), null when absent.
+MultiValue MvField(const MultiValue& mv, std::string_view key);
+
+// map[key] (null when absent) / map-with-key-set / key-presence test.
+MultiValue MvMapGet(const MultiValue& map, const MultiValue& key);
+MultiValue MvMapSet(const MultiValue& map, const MultiValue& key, const MultiValue& value);
+MultiValue MvMapErase(const MultiValue& map, const MultiValue& key);
+MultiValue MvMapHas(const MultiValue& map, const MultiValue& key);
+MultiValue MvMapSize(const MultiValue& map);
+
+// List operations.
+MultiValue MvListAppend(const MultiValue& list, const MultiValue& item);
+MultiValue MvListLen(const MultiValue& list);
+MultiValue MvListGet(const MultiValue& list, int64_t index);
+
+// Logic.
+MultiValue MvNot(const MultiValue& mv);
+MultiValue MvAnd(const MultiValue& a, const MultiValue& b);
+MultiValue MvLtScalar(int64_t scalar, const MultiValue& mv);  // scalar < lane
+
+// String digest of each lane's canonical rendering ("d<hex>"), used by the
+// stacks application to derive stable row keys from dump contents.
+MultiValue MvContentDigest(const MultiValue& mv);
+
+// Simulated application computation: `units` rounds of digest mixing over
+// each lane's value, standing in for the real work (template rendering,
+// markdown parsing, ...) that the paper's applications perform per request.
+// Because it runs through MultiValue::Map, a re-execution group whose
+// operand lanes collapse pays for it ONCE — this is exactly the computation
+// that SIMD-on-demand deduplicates (§2.3). Returns a digest-string of the
+// result so the work cannot be optimized away and can flow into responses.
+MultiValue MvExpensive(const MultiValue& mv, uint32_t units);
+
+// Three-way zip (map/set-style updates need it).
+MultiValue MvZip3(const MultiValue& a, const MultiValue& b, const MultiValue& c,
+                  const std::function<Value(const Value&, const Value&, const Value&)>& f);
+
+// Builds a map multivalue lane-wise from (constant key, multivalue) pairs.
+MultiValue MvMakeMap(std::initializer_list<std::pair<std::string, MultiValue>> fields);
+
+// String concatenation of a constant prefix with each lane.
+MultiValue MvPrefix(std::string_view prefix, const MultiValue& mv);
+
+}  // namespace karousos
+
+#endif  // SRC_APPS_APP_UTIL_H_

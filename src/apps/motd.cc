@@ -1,0 +1,61 @@
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+#include "src/kem/ctx.h"
+#include "src/multivalue/multivalue.h"
+
+namespace karousos {
+
+namespace {
+
+constexpr std::string_view kMotdVar = "motd";
+
+// Simulated per-request computation (~1.6k LoC of app + library code in the
+// paper's MOTD): formatting the message for display. SIMD-on-demand pays for
+// it once per group when the operands collapse.
+constexpr uint32_t kMotdWork = 8000;
+
+void HandleMotd(Ctx& ctx) {
+  MultiValue in = ctx.Input();
+  MultiValue op = MvField(in, "op");
+  if (ctx.Branch(MvEq(op, MultiValue("set")))) {
+    MultiValue day = MvField(in, "day");
+    MultiValue msg = MvField(in, "msg");
+    MultiValue etag = ctx.AppWork(msg, kMotdWork);  // Validate/escape the message.
+    MultiValue map = ctx.ReadVar(kMotdVar, VarScope::kGlobal);
+    map = MvMapSet(map, day, msg);
+    ctx.WriteVar(kMotdVar, VarScope::kGlobal, map);
+    ctx.Respond(MvMakeMap({{"ok", MultiValue(true)}, {"etag", etag}}));
+  } else {
+    MultiValue day = MvField(in, "day");
+    MultiValue map = ctx.ReadVar(kMotdVar, VarScope::kGlobal);
+    MultiValue msg = MvMapGet(map, day);
+    // Fall back to the every-day message, then to a default.
+    MultiValue every = MvMapGet(map, MultiValue("every"));
+    msg = MultiValue::Zip(msg, every, [](const Value& specific, const Value& fallback) {
+      if (specific.Truthy()) {
+        return specific;
+      }
+      if (fallback.Truthy()) {
+        return fallback;
+      }
+      return Value("no message");
+    });
+    MultiValue etag = ctx.AppWork(msg, kMotdWork);  // Render the banner.
+    ctx.Respond(MvMakeMap({{"msg", msg}, {"etag", etag}}));
+  }
+}
+
+}  // namespace
+
+AppSpec MakeMotdApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("motd_handle", HandleMotd);
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar(kMotdVar, VarScope::kGlobal);
+    ctx.WriteVar(kMotdVar, VarScope::kGlobal, MultiValue(Value(ValueMap{})));
+    ctx.RegisterHandler(kRequestEventName, "motd_handle");
+  });
+  return AppSpec{"motd", std::move(program)};
+}
+
+}  // namespace karousos

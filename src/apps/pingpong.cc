@@ -1,0 +1,33 @@
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+#include "src/kem/ctx.h"
+#include "src/multivalue/multivalue.h"
+
+namespace karousos {
+
+namespace {
+
+void HandlePing(Ctx& ctx) {
+  MultiValue n = MvField(ctx.Input(), "n");
+  ctx.Emit("pong", MvMakeMap({{"n", MvAdd(n, MultiValue(1))}}));
+}
+
+void HandlePong(Ctx& ctx) {
+  MultiValue n = MvField(ctx.Input(), "n");
+  ctx.Respond(MvMakeMap({{"n", MvAdd(n, MultiValue(1))}}));
+}
+
+}  // namespace
+
+AppSpec MakePingpongApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("ping", HandlePing);
+  program->DefineFunction("pong_handler", HandlePong);
+  program->SetInit([](Ctx& ctx) {
+    ctx.RegisterHandler(kRequestEventName, "ping");
+    ctx.RegisterHandler("pong", "pong_handler");
+  });
+  return AppSpec{"pingpong", std::move(program)};
+}
+
+}  // namespace karousos

@@ -1,0 +1,194 @@
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+#include "src/kem/ctx.h"
+#include "src/multivalue/multivalue.h"
+
+namespace karousos {
+
+namespace {
+
+constexpr std::string_view kAllDigestsVar = "all_digests";
+constexpr std::string_view kInflightVar = "inflight";
+constexpr std::string_view kAccVar = "list_acc";
+constexpr std::string_view kRemainingVar = "list_remaining";
+// Parent-written, child-read context variables (§4.2's "common pattern":
+// writes in a handler h, reads in the handlers h activates are R-ordered, so
+// they need no logging under Karousos).
+constexpr std::string_view kSubmitCtxVar = "submit_ctx";
+constexpr std::string_view kListCtxVar = "list_ctx";
+
+// Simulated per-request computation (~9k LoC in the paper's stacks app):
+// parsing and symbolizing the submitted dump, formatting counts.
+constexpr uint32_t kParseWork = 25000;
+constexpr uint32_t kFormatWork = 10000;
+
+MultiValue RowKey(const MultiValue& digest) { return MvPrefix("dump:", digest); }
+
+void RespondRetry(Ctx& ctx) { ctx.Respond(MvMakeMap({{"retry", MultiValue(true)}})); }
+
+// Request handler: dispatches submit / count / list.
+void HandleStacks(Ctx& ctx) {
+  MultiValue in = ctx.Input();
+  MultiValue op = MvField(in, "op");
+  if (ctx.Branch(MvEq(op, MultiValue("submit")))) {
+    // Parse/symbolize the dump; collapses across a group submitting the same
+    // dump (90% of submits repeat a known dump).
+    MultiValue parsed = ctx.AppWork(MvField(in, "dump"), kParseWork);
+    (void)parsed;
+    MultiValue digest = MvContentDigest(MvField(in, "dump"));
+    // The in-flight guard: if a concurrent request is reporting the same
+    // dump, return a retry error instead of risking a lock conflict (§6,
+    // "Stack dump logging").
+    MultiValue inflight = ctx.ReadVar(kInflightVar, VarScope::kGlobal);
+    if (ctx.Branch(MvMapHas(inflight, digest))) {
+      RespondRetry(ctx);
+      return;
+    }
+    ctx.WriteVar(kInflightVar, VarScope::kGlobal, MvMapSet(inflight, digest, MultiValue(true)));
+    TxHandle tx = ctx.TxStart();
+    TxGetResult got = ctx.TxGet(tx, RowKey(digest));
+    if (ctx.Branch(MultiValue(got.conflict))) {
+      ctx.TxAbort(tx);
+      MultiValue guard = ctx.ReadVar(kInflightVar, VarScope::kGlobal);
+      ctx.WriteVar(kInflightVar, VarScope::kGlobal, MvMapErase(guard, digest));
+      RespondRetry(ctx);
+      return;
+    }
+    // Finish in a second handler so the transaction stays open across an
+    // event boundary: this is what creates lock windows and handler trees.
+    // The submit context rides in a per-request variable: the child's read is
+    // R-ordered with this write (ancestor), so Karousos does not log it.
+    ctx.DeclareVar(kSubmitCtxVar, VarScope::kRequest);
+    ctx.WriteVar(kSubmitCtxVar, VarScope::kRequest,
+                 MvMakeMap({{"digest", digest},
+                            {"found", got.found},
+                            {"count", MvField(got.value, "count")}}));
+    ctx.Emit("stacks_submit_finish", MvMakeMap({{"tid", ctx.TxIdValue(tx)}}));
+  } else if (ctx.Branch(MvEq(op, MultiValue("count")))) {
+    MultiValue digest = MvContentDigest(MvField(in, "dump"));
+    TxHandle tx = ctx.TxStart();
+    TxGetResult got = ctx.TxGet(tx, RowKey(digest));
+    if (ctx.Branch(MultiValue(got.conflict))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+    MultiValue count = MultiValue::Zip(got.found, MvField(got.value, "count"),
+                                       [](const Value& found, const Value& n) {
+                                         return found.Truthy() ? n : Value(int64_t{0});
+                                       });
+    MultiValue etag = ctx.AppWork(count, kFormatWork);  // Render the report page.
+    ctx.Respond(MvMakeMap({{"count", count}, {"etag", etag}}));
+  } else {
+    // list: fan out one child handler per known digest; the children share a
+    // per-request accumulator and countdown variable — sibling activations
+    // whose accesses are R-concurrent (the logging-heavy pattern of §4.2).
+    MultiValue all = ctx.ReadVar(kAllDigestsVar, VarScope::kGlobal);
+    MultiValue len = MvListLen(all);
+    if (!ctx.Branch(len)) {
+      ctx.Respond(MvMakeMap({{"dumps", MultiValue(Value(ValueList{}))}}));
+      return;
+    }
+    ctx.DeclareVar(kAccVar, VarScope::kRequest);
+    ctx.WriteVar(kAccVar, VarScope::kRequest, MultiValue(Value(ValueList{})));
+    ctx.DeclareVar(kRemainingVar, VarScope::kRequest);
+    ctx.WriteVar(kRemainingVar, VarScope::kRequest, len);
+    // The digest list itself travels through a per-request variable: every
+    // child's read of it is R-ordered with this write.
+    ctx.DeclareVar(kListCtxVar, VarScope::kRequest);
+    ctx.WriteVar(kListCtxVar, VarScope::kRequest, all);
+    int64_t i = 0;
+    while (ctx.Branch(MvLtScalar(i, len))) {
+      ctx.Emit("stacks_fetch_one", MvMakeMap({{"idx", MultiValue(i)}}));
+      ++i;
+    }
+  }
+}
+
+// Continuation of submit: applies the PUT and commits.
+void HandleSubmitFinish(Ctx& ctx) {
+  MultiValue sctx = ctx.ReadVar(kSubmitCtxVar, VarScope::kRequest);
+  MultiValue digest = MvField(sctx, "digest");
+  TxHandle tx = ctx.TxResume(MvField(ctx.Input(), "tid"));
+  bool is_new = !ctx.Branch(MvField(sctx, "found"));
+  MultiValue next_count =
+      is_new ? MultiValue(1) : MvAdd(MvField(sctx, "count"), MultiValue(1));
+  bool put_ok = ctx.TxPut(tx, RowKey(digest), MvMakeMap({{"count", next_count}}));
+  if (!ctx.Branch(MultiValue(put_ok))) {
+    ctx.TxAbort(tx);
+    MultiValue guard = ctx.ReadVar(kInflightVar, VarScope::kGlobal);
+    ctx.WriteVar(kInflightVar, VarScope::kGlobal, MvMapErase(guard, digest));
+    RespondRetry(ctx);
+    return;
+  }
+  if (is_new) {
+    MultiValue all = ctx.ReadVar(kAllDigestsVar, VarScope::kGlobal);
+    ctx.WriteVar(kAllDigestsVar, VarScope::kGlobal, MvListAppend(all, digest));
+  }
+  ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+  MultiValue guard = ctx.ReadVar(kInflightVar, VarScope::kGlobal);
+  ctx.WriteVar(kInflightVar, VarScope::kGlobal, MvMapErase(guard, digest));
+  ctx.Respond(MvMakeMap({{"ok", MultiValue(true)}, {"new", MultiValue(is_new)}}));
+}
+
+// Child of list: reads one dump row and folds it into the accumulator; the
+// last sibling to finish delivers the response.
+void HandleFetchOne(Ctx& ctx) {
+  MultiValue in = ctx.Input();
+  // Reading the digest list from the parent-written context is R-ordered:
+  // every sibling performs this read, and none of them get logged.
+  MultiValue all = ctx.ReadVar(kListCtxVar, VarScope::kRequest);
+  MultiValue digest = MultiValue::Zip(all, MvField(in, "idx"),
+                                      [](const Value& list, const Value& idx) {
+                                        int64_t i = idx.IntOr(-1);
+                                        if (!list.is_list() || i < 0 ||
+                                            static_cast<size_t>(i) >= list.AsList().size()) {
+                                          return Value();
+                                        }
+                                        return list.AsList()[static_cast<size_t>(i)];
+                                      });
+  TxHandle tx = ctx.TxStart();
+  TxGetResult got = ctx.TxGet(tx, RowKey(digest));
+  MultiValue count;
+  if (ctx.Branch(MultiValue(got.conflict))) {
+    ctx.TxAbort(tx);
+    count = MultiValue(-1);  // Retry marker for this entry.
+  } else {
+    ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+    count = MultiValue::Zip(got.found, MvField(got.value, "count"),
+                            [](const Value& found, const Value& n) {
+                              return found.Truthy() ? n : Value(int64_t{0});
+                            });
+  }
+  MultiValue line = ctx.AppWork(count, kFormatWork);  // Format this list row.
+  MultiValue acc = ctx.ReadVar(kAccVar, VarScope::kRequest);
+  acc = MvListAppend(acc, MvMakeMap({{"digest", digest}, {"count", count}, {"line", line}}));
+  ctx.WriteVar(kAccVar, VarScope::kRequest, acc);
+  MultiValue remaining = MvAdd(ctx.ReadVar(kRemainingVar, VarScope::kRequest), MultiValue(-1));
+  ctx.WriteVar(kRemainingVar, VarScope::kRequest, remaining);
+  if (!ctx.Branch(remaining)) {
+    ctx.Respond(MvMakeMap({{"dumps", acc}}));
+  }
+}
+
+}  // namespace
+
+AppSpec MakeStacksApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("stacks_handle", HandleStacks);
+  program->DefineFunction("stacks_submit_finish", HandleSubmitFinish);
+  program->DefineFunction("stacks_fetch_one", HandleFetchOne);
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar(kAllDigestsVar, VarScope::kGlobal);
+    ctx.WriteVar(kAllDigestsVar, VarScope::kGlobal, MultiValue(Value(ValueList{})));
+    ctx.DeclareVar(kInflightVar, VarScope::kGlobal);
+    ctx.WriteVar(kInflightVar, VarScope::kGlobal, MultiValue(Value(ValueMap{})));
+    ctx.RegisterHandler(kRequestEventName, "stacks_handle");
+    ctx.RegisterHandler("stacks_submit_finish", "stacks_submit_finish");
+    ctx.RegisterHandler("stacks_fetch_one", "stacks_fetch_one");
+  });
+  return AppSpec{"stacks", std::move(program)};
+}
+
+}  // namespace karousos

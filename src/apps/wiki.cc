@@ -1,0 +1,275 @@
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+#include "src/kem/ctx.h"
+#include "src/multivalue/multivalue.h"
+
+namespace karousos {
+
+namespace {
+
+constexpr std::string_view kPageIndexVar = "page_index";
+constexpr std::string_view kRenderCacheVar = "render_cache";
+constexpr std::string_view kPoolStatsVar = "pool_stats";
+// Per-request context object: written by the request handler, read and
+// updated by the handlers it activates. Reads/writes along the activation
+// chain are R-ordered with their dictating/preceding write, so Karousos logs
+// none of them (§4.2's "common pattern"); sibling read-modify-writes on the
+// join counter are R-concurrent and do get logged.
+constexpr std::string_view kReqCtxVar = "wctx";
+
+// Rendered pages cached, LRU-ish bounded (drop the oldest key once full).
+constexpr size_t kRenderCacheCapacity = 8;
+
+// Simulated application computation (markdown rendering, sanitization...):
+// Wiki.js executes ~19k LoC per request; these stand in for that work and
+// are what SIMD-on-demand deduplicates across a group.
+constexpr uint32_t kRenderWork = 300000;
+constexpr uint32_t kWriteWork = 60000;
+
+MultiValue PageKey(const MultiValue& id) { return MvPrefix("page:", id); }
+MultiValue MetaKey(const MultiValue& id) { return MvPrefix("meta:", id); }
+MultiValue CommentsKey(const MultiValue& id) { return MvPrefix("comments:", id); }
+
+// Connection-pool bookkeeping: a shared statistics object whose key space
+// grows with the number of concurrent connections, so its logged size grows
+// with concurrency (the Figure 8 discussion for Wiki.js).
+void UpdateStats(Ctx& ctx, const MultiValue& conn) {
+  MultiValue stats = ctx.ReadVar(kPoolStatsVar, VarScope::kGlobal);
+  MultiValue key = MvPrefix("conn", conn);
+  MultiValue entry = MvMapGet(stats, key);
+  MultiValue count = MvAdd(MvField(entry, "ops"), MultiValue(1));
+  entry = MvMakeMap({{"ops", count}, {"open", MultiValue(true)}});
+  ctx.WriteVar(kPoolStatsVar, VarScope::kGlobal, MvMapSet(stats, key, entry));
+}
+
+void RespondRetry(Ctx& ctx) { ctx.Respond(MvMakeMap({{"retry", MultiValue(true)}})); }
+
+MultiValue CachePut(const MultiValue& cache, const MultiValue& key, const MultiValue& html) {
+  return MvZip3(cache, key, html, [](const Value& c, const Value& k, const Value& h) {
+    ValueMap out = c.is_map() ? c.AsMap() : ValueMap{};
+    out[k.StringOr(k.ToString())] = h;
+    while (out.size() > kRenderCacheCapacity) {
+      out.erase(out.begin());
+    }
+    return Value(std::move(out));
+  });
+}
+
+// One ReadVar per field access: this mirrors what the paper's transpiler
+// produces for JavaScript property reads on an annotated object — each
+// property access is its own OnRead annotation.
+MultiValue CtxField(Ctx& ctx, std::string_view field) {
+  return MvField(ctx.ReadVar(kReqCtxVar, VarScope::kRequest), field);
+}
+
+// Stage bookkeeping on the request context, as middleware chains do. Chain
+// writes are R-ordered with the preceding write, so only a log-all policy
+// pays for them.
+void MarkStage(Ctx& ctx, std::string_view stage) {
+  MultiValue wctx = ctx.ReadVar(kReqCtxVar, VarScope::kRequest);
+  ctx.WriteVar(kReqCtxVar, VarScope::kRequest,
+               MvMapSet(wctx, MultiValue("stage"), MultiValue(std::string(stage))));
+}
+
+void HandleWiki(Ctx& ctx) {
+  MultiValue in = ctx.Input();
+  MultiValue op = MvField(in, "op");
+  MultiValue conn = MvField(in, "conn");
+  if (ctx.Branch(MvEq(op, MultiValue("create_page")))) {
+    MultiValue id = MvField(in, "id");
+    MultiValue content = MvField(in, "content");
+    MultiValue preview = ctx.AppWork(content, kWriteWork);  // Sanitizer pass.
+    TxHandle tx = ctx.TxStart();
+    bool ok = ctx.TxPut(tx, PageKey(id),
+                        MvMakeMap({{"title", MvField(in, "title")}, {"content", content}}));
+    if (!ctx.Branch(MultiValue(ok))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    ok = ctx.TxPut(tx, MetaKey(id), MvMakeMap({{"preview", preview}, {"conn", conn}}));
+    if (!ctx.Branch(MultiValue(ok))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    ok = ctx.TxPut(tx, CommentsKey(id), MultiValue(Value(ValueList{})));
+    if (!ctx.Branch(MultiValue(ok))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    ctx.DeclareVar(kReqCtxVar, VarScope::kRequest);
+    ctx.WriteVar(kReqCtxVar, VarScope::kRequest,
+                 MvMakeMap({{"id", id}, {"conn", conn}, {"op", op}}));
+    ctx.Emit("wiki_create_finish", MvMakeMap({{"tid", ctx.TxIdValue(tx)}}));
+  } else if (ctx.Branch(MvEq(op, MultiValue("create_comment")))) {
+    MultiValue page = MvField(in, "page");
+    TxHandle tx = ctx.TxStart();
+    TxGetResult page_row = ctx.TxGet(tx, PageKey(page));
+    if (ctx.Branch(MultiValue(page_row.conflict))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    if (!ctx.Branch(page_row.found)) {
+      ctx.TxAbort(tx);
+      ctx.Respond(MvMakeMap({{"ok", MultiValue(false)}, {"error", MultiValue("no such page")}}));
+      return;
+    }
+    TxGetResult comments = ctx.TxGet(tx, CommentsKey(page));
+    if (ctx.Branch(MultiValue(comments.conflict))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    ctx.DeclareVar(kReqCtxVar, VarScope::kRequest);
+    ctx.WriteVar(kReqCtxVar, VarScope::kRequest,
+                 MvMakeMap({{"page", page},
+                            {"comments", comments.value},
+                            {"text", MvField(in, "text")},
+                            {"conn", conn}}));
+    ctx.Emit("wiki_comment_finish", MvMakeMap({{"tid", ctx.TxIdValue(tx)}}));
+  } else {
+    // render: the page row, page metadata, and comments are fetched by three
+    // parallel child handlers, as an event-driven app would issue three
+    // concurrent queries. Their completion order varies with concurrency —
+    // Karousos still groups such requests (same tree), whereas Orochi-JS
+    // needs identical completion sequences (§4.1).
+    MultiValue page = MvField(in, "page");
+    MultiValue cache = ctx.ReadVar(kRenderCacheVar, VarScope::kGlobal);
+    if (ctx.Branch(MvMapHas(cache, page))) {
+      UpdateStats(ctx, conn);
+      ctx.Respond(MvMakeMap({{"html", MvMapGet(cache, page)}, {"cached", MultiValue(true)}}));
+      return;
+    }
+    ctx.DeclareVar(kReqCtxVar, VarScope::kRequest);
+    ctx.WriteVar(kReqCtxVar, VarScope::kRequest,
+                 MvMakeMap({{"page", page}, {"conn", conn}, {"pending", MultiValue(3)}}));
+    ctx.Emit("wiki_fetch", MvMakeMap({{"what", MultiValue("row")}}));
+    ctx.Emit("wiki_fetch", MvMakeMap({{"what", MultiValue("meta")}}));
+    ctx.Emit("wiki_fetch", MvMakeMap({{"what", MultiValue("comments")}}));
+  }
+}
+
+// One of the three parallel fetches for a render; the last one to finish
+// hands off to the join handler.
+void HandleFetch(Ctx& ctx) {
+  MultiValue what = MvField(ctx.Input(), "what");
+  MultiValue page = CtxField(ctx, "page");
+  MultiValue key = ctx.Branch(MvEq(what, MultiValue("row")))      ? PageKey(page)
+                   : ctx.Branch(MvEq(what, MultiValue("meta"))) ? MetaKey(page)
+                                                                  : CommentsKey(page);
+  TxHandle tx = ctx.TxStart();
+  TxGetResult got = ctx.TxGet(tx, key);
+  MultiValue result;
+  if (ctx.Branch(MultiValue(got.conflict))) {
+    ctx.TxAbort(tx);
+    result = MultiValue("conflict");
+  } else {
+    ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+    ctx.Branch(got.found);
+    result = got.value;
+  }
+  // Sibling read-modify-writes on the shared context: R-concurrent, logged.
+  MultiValue wctx = ctx.ReadVar(kReqCtxVar, VarScope::kRequest);
+  wctx = MvMapSet(wctx, what, result);
+  MultiValue pending = MvAdd(MvField(wctx, "pending"), MultiValue(-1));
+  wctx = MvMapSet(wctx, MultiValue("pending"), pending);
+  ctx.WriteVar(kReqCtxVar, VarScope::kRequest, wctx);
+  if (!ctx.Branch(pending)) {
+    ctx.Emit("wiki_render_finish", MultiValue(Value(ValueMap{})));
+  }
+}
+
+void HandleCreateFinish(Ctx& ctx) {
+  MultiValue id = CtxField(ctx, "id");
+  TxHandle tx = ctx.TxResume(MvField(ctx.Input(), "tid"));
+  ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+  MarkStage(ctx, "committed");
+  MultiValue index = ctx.ReadVar(kPageIndexVar, VarScope::kGlobal);
+  ctx.WriteVar(kPageIndexVar, VarScope::kGlobal, MvListAppend(index, id));
+  UpdateStats(ctx, CtxField(ctx, "conn"));
+  ctx.Respond(MvMakeMap({{"ok", MultiValue(true)}}));
+}
+
+void HandleCommentFinish(Ctx& ctx) {
+  MultiValue page = CtxField(ctx, "page");
+  TxHandle tx = ctx.TxResume(MvField(ctx.Input(), "tid"));
+  MultiValue sanitized = ctx.AppWork(CtxField(ctx, "text"), kWriteWork);
+  MultiValue comment =
+      MvMakeMap({{"text", CtxField(ctx, "text")}, {"etag", sanitized}});
+  bool ok = ctx.TxPut(tx, CommentsKey(page), MvListAppend(CtxField(ctx, "comments"), comment));
+  if (!ctx.Branch(MultiValue(ok))) {
+    ctx.TxAbort(tx);
+    RespondRetry(ctx);
+    return;
+  }
+  ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+  MarkStage(ctx, "committed");
+  // Invalidate any cached rendering of the page.
+  MultiValue cache = ctx.ReadVar(kRenderCacheVar, VarScope::kGlobal);
+  ctx.WriteVar(kRenderCacheVar, VarScope::kGlobal, MvMapErase(cache, page));
+  UpdateStats(ctx, CtxField(ctx, "conn"));
+  ctx.Respond(MvMakeMap({{"ok", MultiValue(true)}}));
+}
+
+// Join of the three fetches: builds the page (the expensive part) and caches.
+void HandleRenderFinish(Ctx& ctx) {
+  MultiValue page = CtxField(ctx, "page");
+  MultiValue row = CtxField(ctx, "row");
+  MultiValue meta = CtxField(ctx, "meta");
+  MultiValue comments = CtxField(ctx, "comments");
+  MultiValue body = MvZip3(row, meta, comments, [](const Value& r, const Value& m,
+                                                   const Value& cs) {
+    std::string out = "<h1>" + r.Field("title").StringOr("") + "</h1><p>" +
+                      r.Field("content").StringOr("") + "</p><meta>" +
+                      m.Field("preview").StringOr("") + "</meta>";
+    if (cs.is_list()) {
+      for (const Value& c : cs.AsList()) {
+        out += "<li>" + c.Field("text").StringOr("") + "</li>";
+      }
+    }
+    return Value(out);
+  });
+  // Markdown/template rendering: collapses (and is paid once) for a group of
+  // renders of the same page version.
+  MultiValue etag = ctx.AppWork(body, kRenderWork);
+  MultiValue html = MvConcat(body, MvPrefix("<etag>", etag));
+  // Stash the render on the request context (a large R-ordered write).
+  MultiValue wctx = ctx.ReadVar(kReqCtxVar, VarScope::kRequest);
+  wctx = MvMapSet(wctx, MultiValue("stage"), MultiValue("rendered"));
+  wctx = MvMapSet(wctx, MultiValue("html"), html);
+  ctx.WriteVar(kReqCtxVar, VarScope::kRequest, wctx);
+  MultiValue cache = ctx.ReadVar(kRenderCacheVar, VarScope::kGlobal);
+  ctx.WriteVar(kRenderCacheVar, VarScope::kGlobal, CachePut(cache, page, html));
+  UpdateStats(ctx, CtxField(ctx, "conn"));
+  ctx.Respond(MvMakeMap({{"html", html}, {"cached", MultiValue(false)}}));
+}
+
+}  // namespace
+
+AppSpec MakeWikiApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("wiki_handle", HandleWiki);
+  program->DefineFunction("wiki_fetch", HandleFetch);
+  program->DefineFunction("wiki_create_finish", HandleCreateFinish);
+  program->DefineFunction("wiki_comment_finish", HandleCommentFinish);
+  program->DefineFunction("wiki_render_finish", HandleRenderFinish);
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar(kPageIndexVar, VarScope::kGlobal);
+    ctx.WriteVar(kPageIndexVar, VarScope::kGlobal, MultiValue(Value(ValueList{})));
+    ctx.DeclareVar(kRenderCacheVar, VarScope::kGlobal);
+    ctx.WriteVar(kRenderCacheVar, VarScope::kGlobal, MultiValue(Value(ValueMap{})));
+    ctx.DeclareVar(kPoolStatsVar, VarScope::kGlobal);
+    ctx.WriteVar(kPoolStatsVar, VarScope::kGlobal, MultiValue(Value(ValueMap{})));
+    ctx.RegisterHandler(kRequestEventName, "wiki_handle");
+    ctx.RegisterHandler("wiki_fetch", "wiki_fetch");
+    ctx.RegisterHandler("wiki_create_finish", "wiki_create_finish");
+    ctx.RegisterHandler("wiki_comment_finish", "wiki_comment_finish");
+    ctx.RegisterHandler("wiki_render_finish", "wiki_render_finish");
+  });
+  return AppSpec{"wiki", std::move(program)};
+}
+
+}  // namespace karousos

@@ -1,0 +1,20 @@
+#include "src/audit/audit.h"
+
+namespace karousos {
+
+AuditPipelineResult RunAndAudit(const AppSpec& app, const std::vector<Value>& inputs,
+                                const ServerConfig& config) {
+  AuditPipelineResult result;
+  Server server(*app.program, config);
+  result.server = server.Run(inputs);
+  result.audit = AuditOnly(app, result.server.trace, result.server.advice, config.isolation);
+  return result;
+}
+
+AuditResult AuditOnly(const AppSpec& app, const Trace& trace, const Advice& advice,
+                      IsolationLevel isolation) {
+  Verifier verifier(*app.program, isolation);
+  return verifier.Audit(trace, advice);
+}
+
+}  // namespace karousos

@@ -1,0 +1,34 @@
+// One-call audit pipeline: run an application at the (instrumented) server,
+// collect trace + advice, and verify. This is the API the examples, tests,
+// and benches drive; it mirrors the deployment story of §2.1 — collector in
+// front of the server, verifier at the principal.
+#ifndef SRC_AUDIT_AUDIT_H_
+#define SRC_AUDIT_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/server/server.h"
+#include "src/trace/trace.h"
+#include "src/verifier/verifier.h"
+
+namespace karousos {
+
+struct AuditPipelineResult {
+  ServerRunResult server;
+  AuditResult audit;
+};
+
+// Serves `inputs` with the given config, then audits the result with a fresh
+// verifier holding the same program.
+AuditPipelineResult RunAndAudit(const AppSpec& app, const std::vector<Value>& inputs,
+                                const ServerConfig& config);
+
+// Audit only (server output already in hand).
+AuditResult AuditOnly(const AppSpec& app, const Trace& trace, const Advice& advice,
+                      IsolationLevel isolation);
+
+}  // namespace karousos
+
+#endif  // SRC_AUDIT_AUDIT_H_

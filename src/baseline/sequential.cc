@@ -1,0 +1,32 @@
+#include "src/baseline/sequential.h"
+
+#include "src/server/server.h"
+
+namespace karousos {
+
+SequentialReplayResult SequentialReplay(const AppSpec& app, const Trace& trace) {
+  SequentialReplayResult result;
+  std::vector<Value> inputs;
+  std::vector<RequestId> rids = trace.RequestIds();
+  inputs.reserve(rids.size());
+  for (RequestId rid : rids) {
+    inputs.push_back(*trace.RequestInput(rid));
+  }
+  ServerConfig config;
+  config.mode = CollectMode::kOff;
+  config.concurrency = 1;
+  Server replayer(*app.program, config);
+  ServerRunResult run = replayer.Run(inputs);
+  result.requests = rids.size();
+  for (size_t i = 0; i < rids.size(); ++i) {
+    // The replayer assigned ids 1..N in order; map back to the trace's ids.
+    auto replayed = run.trace.Response(static_cast<RequestId>(i) + 1);
+    auto original = trace.Response(rids[i]);
+    if (!replayed.has_value() || !original.has_value() || !(*replayed == *original)) {
+      ++result.mismatches;
+    }
+  }
+  return result;
+}
+
+}  // namespace karousos

@@ -1,0 +1,31 @@
+// The sequential re-executor baseline (§6, "Baselines"): the application
+// server, modified to re-execute from the trusted trace, one request at a
+// time, with no batching and no advice. As the paper notes this is
+// pessimistic for Karousos — a real unbatched verifier would also need to
+// consult advice, and so would only be slower.
+//
+// Sequential replay of a trace produced under concurrency may legitimately
+// produce different responses (it re-executes one interleaving, the original
+// had another); the result records the mismatch count, and Figure 7 uses
+// only its running time.
+#ifndef SRC_BASELINE_SEQUENTIAL_H_
+#define SRC_BASELINE_SEQUENTIAL_H_
+
+#include <cstddef>
+
+#include "src/apps/app.h"
+#include "src/trace/trace.h"
+
+namespace karousos {
+
+struct SequentialReplayResult {
+  size_t requests = 0;
+  size_t mismatches = 0;  // Responses differing from the trace.
+  bool outputs_match() const { return mismatches == 0; }
+};
+
+SequentialReplayResult SequentialReplay(const AppSpec& app, const Trace& trace);
+
+}  // namespace karousos
+
+#endif  // SRC_BASELINE_SEQUENTIAL_H_

@@ -1,0 +1,79 @@
+// 64-bit digests used for function ids, handler ids, control-flow digests and
+// request tags (§5). FNV-1a with an avalanche finalizer: not cryptographic,
+// but collision-resistant enough for the id spaces involved, and — more
+// importantly — bit-for-bit reproducible between the server and the verifier.
+#ifndef SRC_COMMON_DIGEST_H_
+#define SRC_COMMON_DIGEST_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace karousos {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// SplitMix64 finalizer: spreads FNV output across all bits.
+constexpr uint64_t Avalanche(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Incrementally built digest. Order-sensitive: Update(a) then Update(b)
+// differs from Update(b) then Update(a).
+class Digest {
+ public:
+  constexpr Digest() = default;
+  explicit constexpr Digest(uint64_t seed) : state_(kFnvOffset ^ Avalanche(seed)) {}
+
+  constexpr void Update(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (v >> (i * 8)) & 0xff;
+      state_ *= kFnvPrime;
+    }
+  }
+
+  void Update(std::string_view s) {
+    for (unsigned char c : s) {
+      state_ ^= c;
+      state_ *= kFnvPrime;
+    }
+    // Length-delimit so that ("ab","c") != ("a","bc").
+    Update(static_cast<uint64_t>(s.size()));
+  }
+
+  constexpr uint64_t Finish() const { return Avalanche(state_); }
+
+ private:
+  uint64_t state_ = kFnvOffset;
+};
+
+// Digest of a single string (used for function ids and event names).
+inline uint64_t DigestOf(std::string_view s) {
+  Digest d;
+  d.Update(s);
+  return d.Finish();
+}
+
+// Digest of a tuple of integers.
+template <typename... Ts>
+constexpr uint64_t DigestOfInts(Ts... vs) {
+  Digest d;
+  (d.Update(static_cast<uint64_t>(vs)), ...);
+  return d.Finish();
+}
+
+// Order-insensitive combiner for set digests (request tags combine the
+// per-handler digests of a *tree*, whose traversal order must not matter;
+// §4.1). Commutative and associative.
+constexpr uint64_t CombineUnordered(uint64_t acc, uint64_t item) {
+  return acc + (Avalanche(item) | 1);
+}
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_DIGEST_H_

@@ -1,0 +1,113 @@
+#include "src/common/graph.h"
+
+#include <algorithm>
+
+namespace karousos {
+
+DirectedGraph::NodeId DirectedGraph::AddNode(const NodeKey& key) {
+  auto [it, inserted] = intern_.try_emplace(key, static_cast<NodeId>(keys_.size()));
+  if (inserted) {
+    keys_.push_back(key);
+    adjacency_.emplace_back();
+  }
+  return it->second;
+}
+
+std::optional<DirectedGraph::NodeId> DirectedGraph::FindNode(const NodeKey& key) const {
+  auto it = intern_.find(key);
+  if (it == intern_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void DirectedGraph::AddEdge(const NodeKey& from, const NodeKey& to) {
+  AddEdge(AddNode(from), AddNode(to));
+}
+
+void DirectedGraph::AddEdge(NodeId from, NodeId to) {
+  adjacency_[static_cast<size_t>(from)].push_back(to);
+  ++edge_count_;
+}
+
+namespace {
+
+enum class Color : uint8_t { kWhite, kGray, kBlack };
+
+}  // namespace
+
+bool DirectedGraph::HasCycle() const {
+  const size_t n = adjacency_.size();
+  std::vector<Color> color(n, Color::kWhite);
+  // Explicit stack of (node, next-neighbor-index) frames.
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (size_t root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) {
+      continue;
+    }
+    stack.emplace_back(static_cast<NodeId>(root), 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto& out = adjacency_[static_cast<size_t>(node)];
+      if (next < out.size()) {
+        NodeId child = out[next++];
+        if (color[static_cast<size_t>(child)] == Color::kGray) {
+          return true;
+        }
+        if (color[static_cast<size_t>(child)] == Color::kWhite) {
+          color[static_cast<size_t>(child)] = Color::kGray;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[static_cast<size_t>(node)] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<NodeKey> DirectedGraph::FindCycle() const {
+  const size_t n = adjacency_.size();
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (size_t root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) {
+      continue;
+    }
+    stack.emplace_back(static_cast<NodeId>(root), 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto& out = adjacency_[static_cast<size_t>(node)];
+      if (next < out.size()) {
+        NodeId child = out[next++];
+        if (color[static_cast<size_t>(child)] == Color::kGray) {
+          // Reconstruct the cycle from the DFS stack: child ... node child.
+          std::vector<NodeKey> cycle;
+          cycle.push_back(KeyOf(child));
+          auto it = std::find_if(stack.begin(), stack.end(),
+                                 [child](const auto& f) { return f.first == child; });
+          for (; it != stack.end(); ++it) {
+            cycle.push_back(KeyOf(it->first));
+          }
+          cycle.push_back(KeyOf(child));
+          // Drop the duplicated leading entry (stack walk re-adds child).
+          cycle.erase(cycle.begin());
+          return cycle;
+        }
+        if (color[static_cast<size_t>(child)] == Color::kWhite) {
+          color[static_cast<size_t>(child)] = Color::kGray;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[static_cast<size_t>(node)] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace karousos

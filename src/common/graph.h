@@ -1,0 +1,85 @@
+// Interned directed graph with iterative cycle detection.
+//
+// Used for the verifier's execution graph G (§4.3) and for the Adya
+// dependency graph DG/DSG (§4.4). Nodes are interned from 3-tuples of 64-bit
+// words, which covers both node spaces:
+//   - G:  (rid, hid, opnum), with (rid, 0, 0) = request arrival and
+//         (rid, 0, kOpNumInf) = response delivery;
+//   - DG: (rid, tid, 0) per committed transaction.
+#ifndef SRC_COMMON_GRAPH_H_
+#define SRC_COMMON_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace karousos {
+
+struct NodeKey {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+
+  friend bool operator==(const NodeKey&, const NodeKey&) = default;
+
+  static NodeKey ForOp(const OpRef& op) { return {op.rid, op.hid, op.opnum}; }
+  static NodeKey ForRequestArrival(RequestId rid) { return {rid, 0, 0}; }
+  static NodeKey ForResponseDelivery(RequestId rid) { return {rid, 0, kOpNumInf}; }
+  static NodeKey ForTxn(RequestId rid, TxId tid) { return {rid, tid, 0}; }
+};
+
+struct NodeKeyHash {
+  size_t operator()(const NodeKey& k) const {
+    uint64_t h = k.a * 0x9e3779b97f4a7c15ULL;
+    h = (h ^ k.b) * 0xff51afd7ed558ccdULL;
+    h = (h ^ k.c) * 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+class DirectedGraph {
+ public:
+  using NodeId = int32_t;
+
+  // Interns the key, creating the node if absent.
+  NodeId AddNode(const NodeKey& key);
+
+  // Returns the node id if the key has been interned, nullopt otherwise.
+  std::optional<NodeId> FindNode(const NodeKey& key) const;
+
+  bool HasNode(const NodeKey& key) const { return FindNode(key).has_value(); }
+
+  // Adds a directed edge, interning endpoints as needed. Self-loops are kept
+  // (they are cycles and must be detected). Parallel edges are deduplicated
+  // lazily during cycle detection, not on insert.
+  void AddEdge(const NodeKey& from, const NodeKey& to);
+  void AddEdge(NodeId from, NodeId to);
+
+  size_t node_count() const { return adjacency_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  const NodeKey& KeyOf(NodeId id) const { return keys_[static_cast<size_t>(id)]; }
+
+  // True iff the graph contains a directed cycle. Iterative three-color DFS;
+  // safe for graphs with millions of nodes (no recursion).
+  bool HasCycle() const;
+
+  // If a cycle exists, returns one cycle as a sequence of node keys
+  // (first == last); otherwise returns an empty vector. For diagnostics.
+  std::vector<NodeKey> FindCycle() const;
+
+ private:
+  std::unordered_map<NodeKey, NodeId, NodeKeyHash> intern_;
+  std::vector<NodeKey> keys_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_GRAPH_H_

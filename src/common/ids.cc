@@ -1,0 +1,25 @@
+#include "src/common/ids.h"
+
+#include <sstream>
+
+namespace karousos {
+
+std::string OpRef::ToString() const {
+  std::ostringstream out;
+  out << "(r" << rid << ",h" << std::hex << hid << std::dec << ",";
+  if (opnum == kOpNumInf) {
+    out << "inf";
+  } else {
+    out << opnum;
+  }
+  out << ")";
+  return out.str();
+}
+
+std::string TxOpRef::ToString() const {
+  std::ostringstream out;
+  out << "(r" << rid << ",t" << std::hex << tid << std::dec << ",#" << index << ")";
+  return out.str();
+}
+
+}  // namespace karousos

@@ -1,0 +1,101 @@
+// Core identifier types shared across the Karousos modules.
+//
+// All identifiers are 64-bit digests (see src/common/digest.h) so that the
+// server and the verifier compute exactly the same ids from the same
+// structural information, as required by §5 of the paper ("handlerIDs ...
+// correspond across requests").
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace karousos {
+
+// Globally unique id of a request, assigned by the collector in trace order.
+using RequestId = uint64_t;
+
+// Globally unique id of a handler *function* (piece of code), the digest of
+// its registered name.
+using FunctionId = uint64_t;
+
+// Handler id: digest of (functionID, parent handler id, opnum of the
+// activating operation). Unique within a request; equal across requests that
+// activate the same handler tree (§5, "Identifying batches").
+using HandlerId = uint64_t;
+
+// Globally unique id of a tracked program variable.
+using VarId = uint64_t;
+
+// Transaction id: digest of (request id, hid, opnum) of the tx_start.
+using TxId = uint64_t;
+
+// Index of an operation within a handler activation (1-based; 0 denotes the
+// handler-start pseudo-operation and kOpNumInf the handler-exit one).
+using OpNum = uint32_t;
+
+inline constexpr OpNum kOpNumInf = std::numeric_limits<OpNum>::max();
+
+// The request id reserved for the initialization pseudo-handler I (§3): the
+// initialization function's execution is treated as a handler activation that
+// is the activator of all request handlers.
+inline constexpr RequestId kInitRequestId = 0;
+inline constexpr HandlerId kInitHandlerId = 1;
+
+// Sentinel for "no handler" (e.g. the parent of a request handler).
+inline constexpr HandlerId kNoHandler = 0;
+
+// Coordinate of one operation during execution: the universal key used by the
+// advice logs, the OpMap, and the execution graph G.
+struct OpRef {
+  RequestId rid = 0;
+  HandlerId hid = 0;
+  OpNum opnum = 0;
+
+  friend bool operator==(const OpRef&, const OpRef&) = default;
+  friend auto operator<=>(const OpRef&, const OpRef&) = default;
+
+  bool IsNil() const { return rid == 0 && hid == 0 && opnum == 0; }
+  std::string ToString() const;
+};
+
+inline constexpr OpRef kNilOp{};
+
+struct OpRefHash {
+  size_t operator()(const OpRef& o) const {
+    uint64_t h = o.rid * 0x9e3779b97f4a7c15ULL;
+    h ^= o.hid + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= static_cast<uint64_t>(o.opnum) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+// Coordinate of one operation within a transaction log: (rid, tid, index).
+struct TxOpRef {
+  RequestId rid = 0;
+  TxId tid = 0;
+  uint32_t index = 0;  // 1-based position within the transaction log.
+
+  friend bool operator==(const TxOpRef&, const TxOpRef&) = default;
+  friend auto operator<=>(const TxOpRef&, const TxOpRef&) = default;
+
+  bool IsNil() const { return rid == 0 && tid == 0 && index == 0; }
+  std::string ToString() const;
+};
+
+inline constexpr TxOpRef kNilTxOp{};
+
+struct TxOpRefHash {
+  size_t operator()(const TxOpRef& o) const {
+    uint64_t h = o.rid * 0xff51afd7ed558ccdULL;
+    h ^= o.tid + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= static_cast<uint64_t>(o.index) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_IDS_H_

@@ -1,0 +1,31 @@
+// JSON parsing for Value: the inverse of Value::ToString(). Lets users feed
+// hand-written request streams to the CLI and makes traces/advice dumps
+// round-trippable for debugging.
+//
+// Accepts standard JSON: null, true/false, numbers (integers parse to kInt,
+// anything with '.', 'e' or 'E' to kDouble), strings with \" \\ \/ \b \f \n
+// \r \t and \uXXXX escapes (BMP only; surrogate pairs are combined), arrays,
+// and objects. Trailing garbage after the value is an error.
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/value.h"
+
+namespace karousos {
+
+struct JsonParseError {
+  size_t position = 0;
+  std::string message;
+};
+
+// Parses a complete JSON document. On failure returns nullopt and, if
+// `error` is non-null, fills it with the offending position and a message.
+std::optional<Value> ParseJson(std::string_view text, JsonParseError* error = nullptr);
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_JSON_H_

@@ -1,0 +1,195 @@
+#include "src/common/serde.h"
+
+namespace karousos {
+
+void ByteWriter::WriteVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::WriteFixed64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+  }
+}
+
+void ByteWriter::WriteString(std::string_view s) {
+  WriteVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::WriteValue(const Value& v) {
+  WriteByte(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kBool:
+      WriteBool(v.AsBool());
+      break;
+    case Value::Kind::kInt: {
+      // ZigZag so negative ints stay small.
+      int64_t i = v.AsInt();
+      WriteVarint((static_cast<uint64_t>(i) << 1) ^ static_cast<uint64_t>(i >> 63));
+      break;
+    }
+    case Value::Kind::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      WriteFixed64(bits);
+      break;
+    }
+    case Value::Kind::kString:
+      WriteString(v.AsString());
+      break;
+    case Value::Kind::kList:
+      WriteVarint(v.AsList().size());
+      for (const Value& item : v.AsList()) {
+        WriteValue(item);
+      }
+      break;
+    case Value::Kind::kMap:
+      WriteVarint(v.AsMap().size());
+      for (const auto& [key, item] : v.AsMap()) {
+        WriteString(key);
+        WriteValue(item);
+      }
+      break;
+  }
+}
+
+std::optional<uint64_t> ByteReader::ReadVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    uint8_t b = buf_[pos_++];
+    if (shift >= 64) {
+      return std::nullopt;
+    }
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> ByteReader::ReadFixed64() {
+  if (size_ - pos_ < 8) {
+    return std::nullopt;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(buf_[pos_++]) << (i * 8);
+  }
+  return v;
+}
+
+std::optional<uint8_t> ByteReader::ReadByte() {
+  if (pos_ >= size_) {
+    return std::nullopt;
+  }
+  return buf_[pos_++];
+}
+
+std::optional<std::string> ByteReader::ReadString() {
+  auto len = ReadVarint();
+  if (!len || *len > remaining()) {
+    return std::nullopt;
+  }
+  std::string s(reinterpret_cast<const char*>(buf_ + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+std::optional<bool> ByteReader::ReadBool() {
+  auto b = ReadByte();
+  if (!b || *b > 1) {
+    return std::nullopt;
+  }
+  return *b == 1;
+}
+
+std::optional<Value> ByteReader::ReadValue() {
+  auto kind_byte = ReadByte();
+  if (!kind_byte || *kind_byte > static_cast<uint8_t>(Value::Kind::kMap)) {
+    return std::nullopt;
+  }
+  switch (static_cast<Value::Kind>(*kind_byte)) {
+    case Value::Kind::kNull:
+      return Value();
+    case Value::Kind::kBool: {
+      auto b = ReadBool();
+      if (!b) {
+        return std::nullopt;
+      }
+      return Value(*b);
+    }
+    case Value::Kind::kInt: {
+      auto z = ReadVarint();
+      if (!z) {
+        return std::nullopt;
+      }
+      int64_t i = static_cast<int64_t>((*z >> 1) ^ (~(*z & 1) + 1));
+      return Value(i);
+    }
+    case Value::Kind::kDouble: {
+      auto bits = ReadFixed64();
+      if (!bits) {
+        return std::nullopt;
+      }
+      double d;
+      __builtin_memcpy(&d, &*bits, sizeof(d));
+      return Value(d);
+    }
+    case Value::Kind::kString: {
+      auto s = ReadString();
+      if (!s) {
+        return std::nullopt;
+      }
+      return Value(std::move(*s));
+    }
+    case Value::Kind::kList: {
+      auto n = ReadVarint();
+      if (!n || *n > remaining()) {
+        return std::nullopt;
+      }
+      ValueList items;
+      items.reserve(*n);
+      for (uint64_t i = 0; i < *n; ++i) {
+        auto item = ReadValue();
+        if (!item) {
+          return std::nullopt;
+        }
+        items.push_back(std::move(*item));
+      }
+      return Value(std::move(items));
+    }
+    case Value::Kind::kMap: {
+      auto n = ReadVarint();
+      if (!n || *n > remaining()) {
+        return std::nullopt;
+      }
+      ValueMap m;
+      for (uint64_t i = 0; i < *n; ++i) {
+        auto key = ReadString();
+        if (!key) {
+          return std::nullopt;
+        }
+        auto item = ReadValue();
+        if (!item) {
+          return std::nullopt;
+        }
+        m.emplace(std::move(*key), std::move(*item));
+      }
+      return Value(std::move(m));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace karousos

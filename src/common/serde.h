@@ -1,0 +1,64 @@
+// Compact binary encoding used as the advice wire format.
+//
+// The paper evaluates advice *size* (Figure 8), so the advice structures in
+// src/server/advice.h get a real byte encoding rather than an estimate: the
+// server serializes, the verifier deserializes, and the benches report the
+// encoded byte counts.
+#ifndef SRC_COMMON_SERDE_H_
+#define SRC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace karousos {
+
+class ByteWriter {
+ public:
+  // LEB128-style varint; small ids and opnums dominate the advice, so this
+  // is where the encoding wins its compactness.
+  void WriteVarint(uint64_t v);
+  void WriteFixed64(uint64_t v);
+  void WriteByte(uint8_t b) { buf_.push_back(b); }
+  void WriteString(std::string_view s);
+  void WriteValue(const Value& v);
+  void WriteBool(bool b) { WriteByte(b ? 1 : 0); }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf.data()), size_(buf.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : buf_(data), size_(size) {}
+
+  // Each reader returns nullopt on malformed input; the verifier treats a
+  // malformed advice stream as server misbehavior (REJECT), never a crash.
+  std::optional<uint64_t> ReadVarint();
+  std::optional<uint64_t> ReadFixed64();
+  std::optional<uint8_t> ReadByte();
+  std::optional<std::string> ReadString();
+  std::optional<Value> ReadValue();
+  std::optional<bool> ReadBool();
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* buf_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_SERDE_H_

@@ -1,0 +1,122 @@
+// The application-facing execution context: the KEM surface (§3) that
+// handler code is written against.
+//
+// Application handlers are C++ closures receiving a Ctx&. The same handler
+// code runs in three settings:
+//   * online at the (instrumented or plain) server, where the lane width is
+//     1 and every Ctx operation may additionally collect advice (§4, §5);
+//   * at the verifier during grouped re-execution, where the lane width is
+//     the size of the re-execution group and values are SIMD-on-demand
+//     multivalues (Figure 18);
+//   * at the sequential-replay baseline (width 1, fed from the trace).
+//
+// Every Ctx operation that the paper counts as a handler "operation"
+// consumes an opnum: Emit/RegisterHandler/UnregisterHandler (handler ops),
+// TxStart/TxGet/TxPut/TxCommit/TxAbort (external state ops), DeclareVar/
+// ReadVar/WriteVar on tracked variables (annotated ops), and Random (recorded
+// non-determinism). Branch and Respond do not consume opnums; Respond is the
+// boundary event recorded in responseEmittedBy.
+#ifndef SRC_KEM_CTX_H_
+#define SRC_KEM_CTX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/ids.h"
+#include "src/common/value.h"
+#include "src/multivalue/multivalue.h"
+
+namespace karousos {
+
+// Scope of a tracked variable (§5 "loggable" variables; annotations C.1.1).
+enum class VarScope : uint8_t {
+  kGlobal,     // One variable shared by all requests (e.g. the MOTD hashmap).
+  kRequest,    // One variable per request (ids derived from the request id);
+               // used for per-request accumulators shared across a request's
+               // concurrent child handlers.
+  kUntracked,  // NOT annotated: no logging, no version tracking. Sound only
+               // if every access is R-ordered (§5); the ablation tests
+               // exercise what happens when that assumption is violated.
+};
+
+// Handle onto an open transaction (per-lane transaction ids internally).
+struct TxHandle {
+  uint32_t slot = 0;
+  bool valid = false;
+};
+
+// Result of a transactional read.
+struct TxGetResult {
+  MultiValue value;   // Null lanes where not found.
+  MultiValue found;   // Boolean lanes.
+  bool conflict = false;  // No-wait lock conflict (uniform across lanes).
+};
+
+class Ctx {
+ public:
+  virtual ~Ctx() = default;
+
+  // ---- Request / event data -------------------------------------------
+  // Payload of the event that activated this handler (the request input for
+  // request handlers).
+  virtual const MultiValue& Input() const = 0;
+
+  // ---- Tracked program variables (§4.2, Figures 13/20/21) --------------
+  // Declares a variable (the OnInitialize annotation). Declaring an existing
+  // variable id aborts: ids must be unique per execution.
+  virtual void DeclareVar(std::string_view name, VarScope scope) = 0;
+  // Reads / writes route through the OnRead / OnWrite annotations.
+  virtual MultiValue ReadVar(std::string_view name, VarScope scope) = 0;
+  virtual void WriteVar(std::string_view name, VarScope scope, const MultiValue& value) = 0;
+
+  // ---- Control flow -----------------------------------------------------
+  // Evaluates the condition's truthiness. The condition must be uniform
+  // across the group (diverging control flow within a re-execution group is
+  // a REJECT; online it feeds the control-flow digest, §5).
+  virtual bool Branch(const MultiValue& condition) = 0;
+
+  // ---- Handler operations (§3, §4.1) ------------------------------------
+  virtual void Emit(std::string_view event, const MultiValue& payload) = 0;
+  virtual void RegisterHandler(std::string_view event, std::string_view function) = 0;
+  virtual void UnregisterHandler(std::string_view event, std::string_view function) = 0;
+
+  // ---- Transactional state (§4.4) ----------------------------------------
+  virtual TxHandle TxStart() = 0;
+  virtual TxGetResult TxGet(TxHandle tx, const MultiValue& key) = 0;
+  // Returns false on lock conflict (the application should TxAbort and take
+  // its retry path).
+  virtual bool TxPut(TxHandle tx, const MultiValue& key, const MultiValue& value) = 0;
+  // Returns true iff the transaction committed.
+  virtual bool TxCommit(TxHandle tx) = 0;
+  virtual void TxAbort(TxHandle tx) = 0;
+  // Transactions may be split across multiple (non-concurrent) handlers
+  // (§4.4): TxIdValue turns a handle into plain data an event payload can
+  // carry, and TxResume re-attaches to that transaction in a later handler.
+  virtual MultiValue TxIdValue(TxHandle tx) = 0;
+  virtual TxHandle TxResume(const MultiValue& tid_value) = 0;
+
+  // ---- Application computation ---------------------------------------------
+  // Deterministic app work (`units` simulated statements/calls over the seed
+  // value), standing in for the real template rendering / parsing the paper's
+  // applications do. Implementations differ in *cost*, never in result:
+  //   * the instrumented server pays a per-call tax for propagating the
+  //     activator id through the call graph (§5 "Maintaining the activation
+  //     partial order ... a significant source of runtime overheads");
+  //   * the unmodified server runs it plain;
+  //   * the verifier runs it once per distinct operand in the group
+  //     (SIMD-on-demand dedup).
+  virtual MultiValue AppWork(const MultiValue& seed, uint32_t units) = 0;
+
+  // ---- Non-determinism (§5) ----------------------------------------------
+  // A recorded non-deterministic value: fresh online, replayed at audit.
+  virtual MultiValue Random() = 0;
+
+  // ---- Response ----------------------------------------------------------
+  // Sends the response for this request. At most one response per request.
+  virtual void Respond(const MultiValue& body) = 0;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_KEM_CTX_H_

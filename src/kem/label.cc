@@ -1,0 +1,19 @@
+#include "src/kem/label.h"
+
+#include <sstream>
+
+namespace karousos {
+
+std::string LabelToString(const HandlerLabel& label) {
+  std::ostringstream out;
+  out << "/";
+  for (size_t i = 0; i < label.size(); ++i) {
+    if (i > 0) {
+      out << "/";
+    }
+    out << label[i];
+  }
+  return out.str();
+}
+
+}  // namespace karousos

@@ -1,0 +1,64 @@
+// Handler labels (§5, "Testing A, computing the activator relation").
+//
+// A handler's label is parent_label/num, where num is the number of children
+// the parent had already activated. Two handlers of the same request are
+// ordered by the activation partial order A iff one label is a prefix of the
+// other. Labels do not correspond across requests; they exist purely to make
+// the A test and activator() computation O(depth).
+#ifndef SRC_KEM_LABEL_H_
+#define SRC_KEM_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace karousos {
+
+using HandlerLabel = std::vector<uint32_t>;
+
+// True iff `ancestor` is a strict or equal prefix of `descendant`.
+inline bool IsLabelPrefix(const HandlerLabel& ancestor, const HandlerLabel& descendant) {
+  if (ancestor.size() > descendant.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < ancestor.size(); ++i) {
+    if (ancestor[i] != descendant[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string LabelToString(const HandlerLabel& label);
+
+// R-order test over operation coordinates plus their handler labels
+// (Definition 7). `init` coordinates (rid == kInitRequestId) R-precede every
+// operation of every request, because the initialization pseudo-handler I is
+// the activator of all request handlers (§3).
+//
+// Preconditions: when a.rid == b.rid and the hids differ, the caller supplies
+// the two handlers' labels from that request's label map.
+inline bool RPrecedes(const OpRef& a, const HandlerLabel& label_a, const OpRef& b,
+                      const HandlerLabel& label_b) {
+  if (a.rid == kInitRequestId && b.rid != kInitRequestId) {
+    return true;
+  }
+  if (a.rid != b.rid) {
+    return false;
+  }
+  if (a.hid == b.hid) {
+    return a.opnum < b.opnum;
+  }
+  return IsLabelPrefix(label_a, label_b);
+}
+
+inline bool RConcurrent(const OpRef& a, const HandlerLabel& label_a, const OpRef& b,
+                        const HandlerLabel& label_b) {
+  return !RPrecedes(a, label_a, b, label_b) && !RPrecedes(b, label_b, a, label_a);
+}
+
+}  // namespace karousos
+
+#endif  // SRC_KEM_LABEL_H_

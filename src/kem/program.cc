@@ -1,0 +1,29 @@
+#include "src/kem/program.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace karousos {
+
+void Program::DefineFunction(std::string_view name, HandlerFn fn) {
+  FunctionDef def;
+  def.id = DigestOf(name);
+  def.name = std::string(name);
+  def.fn = std::move(fn);
+  auto [it, inserted] = functions_.emplace(def.id, std::move(def));
+  if (!inserted) {
+    std::fprintf(stderr, "karousos: duplicate function definition '%s'\n", it->second.name.c_str());
+    std::abort();
+  }
+}
+
+const FunctionDef* Program::FindFunction(FunctionId id) const {
+  auto it = functions_.find(id);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+const FunctionDef* Program::FindFunctionByName(std::string_view name) const {
+  return FindFunction(DigestOf(name));
+}
+
+}  // namespace karousos

@@ -1,0 +1,63 @@
+// Programs in the KEM model (§3): a deterministic initialization function
+// plus a table of named handler functions. The function table is the C++
+// analogue of the deployed source code — both the server and the verifier
+// hold the same Program, mirroring the premise that the verifier knows the
+// golden-master code and re-executes it.
+#ifndef SRC_KEM_PROGRAM_H_
+#define SRC_KEM_PROGRAM_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/digest.h"
+#include "src/common/ids.h"
+#include "src/kem/ctx.h"
+
+namespace karousos {
+
+using HandlerFn = std::function<void(Ctx&)>;
+
+// The event type that user requests arrive on: handlers registered for this
+// event during initialization are the request handlers (§3).
+inline constexpr std::string_view kRequestEventName = "request";
+
+inline uint64_t EventId(std::string_view name) { return DigestOf(name); }
+
+struct FunctionDef {
+  FunctionId id = 0;
+  std::string name;
+  HandlerFn fn;
+};
+
+class Program {
+ public:
+  // Registers a named handler function. Names must be unique.
+  void DefineFunction(std::string_view name, HandlerFn fn);
+
+  // Sets the initialization function (runs as pseudo-handler I, §3).
+  void SetInit(HandlerFn init) { init_ = std::move(init); }
+
+  const HandlerFn& init() const { return init_; }
+  const FunctionDef* FindFunction(FunctionId id) const;
+  const FunctionDef* FindFunctionByName(std::string_view name) const;
+  const std::map<FunctionId, FunctionDef>& functions() const { return functions_; }
+
+ private:
+  HandlerFn init_;
+  std::map<FunctionId, FunctionDef> functions_;
+};
+
+// Computes a handler id from its structural coordinates (§5, C.1.2):
+// hid = H(functionID, parent hid, opnum of the activating operation).
+// Request handlers use parent = kNoHandler, opnum = 0; the initialization
+// pseudo-handler has the fixed id kInitHandlerId.
+inline HandlerId ComputeHandlerId(FunctionId function, HandlerId parent, OpNum activating_opnum) {
+  return DigestOfInts(function, parent, activating_opnum);
+}
+
+}  // namespace karousos
+
+#endif  // SRC_KEM_PROGRAM_H_

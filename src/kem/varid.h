@@ -1,0 +1,35 @@
+// Variable-id derivation, shared verbatim by the server and the verifier:
+// both sides must map (name, scope, request) to the same VarId or variable
+// logs could never line up.
+#ifndef SRC_KEM_VARID_H_
+#define SRC_KEM_VARID_H_
+
+#include <string_view>
+
+#include "src/common/digest.h"
+#include "src/common/ids.h"
+#include "src/kem/ctx.h"
+
+namespace karousos {
+
+inline VarId ResolveVarId(std::string_view name, VarScope scope, RequestId rid) {
+  Digest d;
+  switch (scope) {
+    case VarScope::kGlobal:
+      d.Update(uint64_t{1});
+      break;
+    case VarScope::kRequest:
+      d.Update(uint64_t{2});
+      d.Update(rid);
+      break;
+    case VarScope::kUntracked:
+      d.Update(uint64_t{3});
+      break;
+  }
+  d.Update(name);
+  return d.Finish();
+}
+
+}  // namespace karousos
+
+#endif  // SRC_KEM_VARID_H_

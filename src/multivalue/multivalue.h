@@ -1,0 +1,80 @@
+// SIMD-on-demand multivalues (§2.3, §5).
+//
+// During batched re-execution the verifier runs each handler *once* for a
+// whole group of requests. Data that is identical across the group is kept
+// collapsed as a single Value; data that differs is expanded into a
+// per-request vector. Operations are applied element-wise and the result
+// re-collapses when all lanes agree — this is the "SIMD-on-demand" technique
+// Karousos borrows from Orochi. During online execution at the server the
+// group width is 1, so every multivalue is collapsed and the same application
+// code runs unchanged.
+#ifndef SRC_MULTIVALUE_MULTIVALUE_H_
+#define SRC_MULTIVALUE_MULTIVALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace karousos {
+
+class MultiValue {
+ public:
+  // Collapsed null.
+  MultiValue() = default;
+  // Collapsed scalar.
+  MultiValue(Value v) : collapsed_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  MultiValue(int64_t v) : collapsed_(Value(v)) {}    // NOLINT(google-explicit-constructor)
+  MultiValue(int v) : collapsed_(Value(v)) {}        // NOLINT(google-explicit-constructor)
+  MultiValue(bool v) : collapsed_(Value(v)) {}       // NOLINT(google-explicit-constructor)
+  MultiValue(const char* v) : collapsed_(Value(v)) {}          // NOLINT
+  MultiValue(std::string v) : collapsed_(Value(std::move(v))) {}  // NOLINT
+
+  // Expanded vector of per-lane values. Collapses eagerly when all lanes are
+  // equal (the invariant: an expanded MultiValue has >= 2 distinct lanes or
+  // was built from fewer than 1 lane... it never stores an all-equal vector).
+  static MultiValue Expanded(std::vector<Value> lanes);
+
+  bool collapsed() const { return lanes_.empty(); }
+  size_t lane_count_or_one() const { return collapsed() ? 1 : lanes_.size(); }
+
+  // Lane access: for a collapsed multivalue every lane is the single value.
+  const Value& Lane(size_t i) const { return collapsed() ? collapsed_ : lanes_[i]; }
+  const Value& CollapsedValue() const { return collapsed_; }
+
+  // True iff collapsed and equal across lanes trivially; callers that require
+  // group-uniform data (e.g. Branch conditions) use TryCollapse.
+  bool UniformAcross(size_t width) const { return collapsed() || lanes_.size() == width; }
+
+  // Element-wise unary / binary application. Width rules: collapsed op
+  // collapsed -> collapsed; otherwise widths must agree (or one side is
+  // collapsed and broadcast).
+  static MultiValue Map(const MultiValue& a, const std::function<Value(const Value&)>& f);
+  static MultiValue Zip(const MultiValue& a, const MultiValue& b,
+                        const std::function<Value(const Value&, const Value&)>& f);
+
+  // Structural equality (collapsed(x) == expanded([x,x]) is impossible by the
+  // eager-collapse invariant, so representation equality is value equality).
+  friend bool operator==(const MultiValue& a, const MultiValue& b) {
+    return a.collapsed_ == b.collapsed_ && a.lanes_ == b.lanes_;
+  }
+  friend bool operator!=(const MultiValue& a, const MultiValue& b) { return !(a == b); }
+
+  std::string ToString() const;
+
+ private:
+  Value collapsed_;           // Valid iff lanes_ empty.
+  std::vector<Value> lanes_;  // Expanded representation.
+};
+
+// Arithmetic and logic helpers used by application code. Integer ops treat
+// non-int lanes as 0 (JavaScript-ish permissiveness keeps app code short).
+MultiValue MvAdd(const MultiValue& a, const MultiValue& b);
+MultiValue MvEq(const MultiValue& a, const MultiValue& b);
+MultiValue MvConcat(const MultiValue& a, const MultiValue& b);
+
+}  // namespace karousos
+
+#endif  // SRC_MULTIVALUE_MULTIVALUE_H_

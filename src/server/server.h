@@ -1,0 +1,188 @@
+// The (instrumented) server: runs a KEM program against a stream of requests
+// under simulated concurrency, producing the ground-truth trace and — unless
+// instrumentation is off — the advice of §C.1.3.
+//
+// Concurrency model: the dispatch loop keeps up to `concurrency` requests in
+// flight and, on each iteration, non-deterministically (seeded) selects one
+// pending event among the in-flight requests, exactly as KEM's dispatch loop
+// does (§3). Handlers run to completion; interleaving happens at handler
+// granularity. More concurrency means more interleaving of different
+// requests' handler activations, which is what creates R-concurrent accesses
+// and drives the paper's overhead / advice-size trends.
+//
+// Instrumentation modes:
+//   * kOff      — the "unmodified server" baseline of Figure 6: no ids, no
+//                 labels, no logs; variables are plain storage.
+//   * kKarousos — full §4/§5 advice collection: variable accesses are logged
+//                 only when R-concurrent with the dictating/preceding write.
+//   * kOrochi   — the Orochi-JS baseline (§6, "Baselines"): every tracked
+//                 variable access is logged, and the grouping tag is a digest
+//                 of the handler *sequence* rather than the handler tree.
+#ifndef SRC_SERVER_SERVER_H_
+#define SRC_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/digest.h"
+#include "src/common/rng.h"
+#include "src/kem/label.h"
+#include "src/kem/program.h"
+#include "src/server/advice.h"
+#include "src/trace/trace.h"
+#include "src/txkv/store.h"
+
+namespace karousos {
+
+enum class CollectMode : uint8_t { kOff, kKarousos, kOrochi };
+
+const char* CollectModeName(CollectMode mode);
+
+struct ServerConfig {
+  CollectMode mode = CollectMode::kKarousos;
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+  // Maximum number of requests concurrently in flight.
+  int concurrency = 1;
+  // Seed for the dispatch-loop scheduler and for Ctx::Random values.
+  uint64_t seed = 1;
+  // Requests used to warm the application before timing starts (§6.1 uses
+  // the first 120 of 600); serve_seconds excludes time until the warmup-th
+  // response is delivered.
+  size_t warmup_requests = 0;
+  // Annotation advisor (the paper's future-work item of automating the
+  // loggable-variable annotations, §1/§5): when set (requires an
+  // instrumented mode), accesses to *unannotated* variables are shadow-
+  // checked for R-concurrency and violations are reported per variable, so
+  // a developer learns exactly which variables must be marked loggable.
+  bool annotation_lint = false;
+};
+
+struct ServerRunResult {
+  Trace trace;
+  Advice advice;  // Empty when mode == kOff.
+  // Wall-clock seconds serving the post-warmup requests (the whole run when
+  // warmup_requests == 0).
+  double serve_seconds = 0;
+  // Work counters (bench diagnostics).
+  size_t handler_activations = 0;
+  size_t ops_executed = 0;
+  size_t var_accesses = 0;
+  size_t var_log_entries = 0;
+  size_t state_ops = 0;
+  size_t conflicts = 0;
+  size_t advice_spool_bytes = 0;
+  // Annotation-lint findings: unannotated variables with R-concurrent
+  // accesses, and how many such accesses were observed.
+  std::map<std::string, size_t> lint_violations;
+};
+
+class ServerCtx;
+
+class Server {
+ public:
+  Server(const Program& program, const ServerConfig& config);
+  ~Server();
+
+  // Serves `request_inputs` (request ids are assigned 1..N in order) and
+  // returns the trace plus collected advice. Deterministic for a fixed
+  // (program, config, inputs) triple across all instrumentation modes, so
+  // that mode comparisons see identical schedules.
+  ServerRunResult Run(const std::vector<Value>& request_inputs);
+
+  const TxKvStore& store() const { return store_; }
+
+ private:
+  friend class ServerCtx;
+
+  struct PendingEvent {
+    uint64_t event = 0;
+    Value payload;
+    HandlerId activator_hid = kNoHandler;
+    OpNum activator_opnum = 0;
+  };
+
+  struct Registration {
+    uint64_t event = 0;
+    FunctionId function = 0;
+  };
+
+  struct RequestState {
+    Value input;
+    bool responded = false;
+    std::deque<PendingEvent> pending;
+    // Per-request handler registrations, in registration order.
+    std::vector<Registration> registered;
+    // Instrumented-only state:
+    std::map<HandlerId, HandlerLabel> labels;
+    std::map<HandlerId, uint32_t> child_counts;
+    std::vector<HandlerLogEntry> handler_log;
+    uint64_t tree_tag_acc = 0;  // Karousos tag: unordered combine over handlers.
+    Digest seq_tag;             // Orochi tag: order-sensitive over handlers.
+    size_t handler_count = 0;
+  };
+
+  struct TrackedVar {
+    bool declared = false;
+    // True while no write has happened since OnInitialize: the declaration
+    // itself is not a loggable write, so log entries may not reference it.
+    bool last_is_declaration = true;
+    Value value;
+    OpRef last_write;  // Most recent write or the OnInitialize coordinates.
+    HandlerLabel last_write_label;
+  };
+
+  // Runs the handlers registered for one event of one request.
+  void DispatchEvent(RequestId rid, const PendingEvent& event, ServerRunResult* result);
+
+  // Runs one handler activation to completion.
+  void RunActivation(RequestId rid, FunctionId function, HandlerId hid, const Value& payload,
+                     HandlerId activator, ServerRunResult* result);
+
+  bool instrumented() const { return config_.mode != CollectMode::kOff; }
+
+  // Uninstrumented runs still need monotone PUT indexes per transaction for
+  // the store's last-writer bookkeeping (the values are discarded).
+  uint32_t NextUninstrumentedPutIndex(const TxnKey& txn) { return ++put_counters_[txn]; }
+
+  const Program& program_;
+  ServerConfig config_;
+  TxKvStore store_;
+  std::unique_ptr<Rng> sched_rng_;
+  std::unique_ptr<Rng> value_rng_;
+
+  // Global handlers registered by the initialization function (§3).
+  std::vector<Registration> global_handlers_;
+  std::map<RequestId, RequestState> requests_;
+  struct UntrackedVar {
+    Value value;
+    // Lint-mode shadow tracking.
+    std::string name;
+    bool written = false;
+    OpRef last_write;
+    HandlerLabel last_write_label;
+  };
+
+  std::map<VarId, TrackedVar> tracked_vars_;
+  std::map<VarId, UntrackedVar> untracked_vars_;
+  std::map<TxnKey, uint32_t> put_counters_;
+
+  Trace trace_;
+  Advice advice_;
+  // Advice spool: logged entries are serialized as they are produced, the
+  // way a deployed server streams advice out (§2.1 requires keeping the
+  // verifier fed without buffering the whole run). Its cost is part of the
+  // instrumented server's overhead; its length approximates bytes shipped.
+  ByteWriter advice_spool_;
+  ServerRunResult* current_result_ = nullptr;
+  // Sink for the simulated activation-context bookkeeping (keeps the
+  // instrumentation tax from being optimized away).
+  volatile uint64_t instrumentation_sink_ = 0;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_SERVER_SERVER_H_

@@ -1,0 +1,102 @@
+#include "src/trace/trace.h"
+
+#include <unordered_map>
+
+namespace karousos {
+
+bool Trace::IsBalanced(std::string* reason) const {
+  std::unordered_map<RequestId, int> state;  // 0 unseen, 1 requested, 2 responded.
+  for (const TraceEvent& ev : events) {
+    int& s = state[ev.rid];
+    if (ev.kind == TraceEvent::Kind::kRequest) {
+      if (s != 0) {
+        *reason = "duplicate request id " + std::to_string(ev.rid);
+        return false;
+      }
+      s = 1;
+    } else {
+      if (s != 1) {
+        *reason = "response for request " + std::to_string(ev.rid) +
+                  (s == 0 ? " before its request" : " delivered twice");
+        return false;
+      }
+      s = 2;
+    }
+  }
+  for (const auto& [rid, s] : state) {
+    if (s != 2) {
+      *reason = "request " + std::to_string(rid) + " has no response";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<RequestId> Trace::RequestIds() const {
+  std::vector<RequestId> rids;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == TraceEvent::Kind::kRequest) {
+      rids.push_back(ev.rid);
+    }
+  }
+  return rids;
+}
+
+std::optional<Value> Trace::RequestInput(RequestId rid) const {
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == TraceEvent::Kind::kRequest && ev.rid == rid) {
+      return ev.payload;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Value> Trace::Response(RequestId rid) const {
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == TraceEvent::Kind::kResponse && ev.rid == rid) {
+      return ev.payload;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t Trace::request_count() const {
+  size_t n = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == TraceEvent::Kind::kRequest) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Trace::Serialize(ByteWriter* out) const {
+  out->WriteVarint(events.size());
+  for (const TraceEvent& ev : events) {
+    out->WriteByte(static_cast<uint8_t>(ev.kind));
+    out->WriteVarint(ev.rid);
+    out->WriteValue(ev.payload);
+  }
+}
+
+std::optional<Trace> Trace::Deserialize(ByteReader* in) {
+  auto n = in->ReadVarint();
+  if (!n) {
+    return std::nullopt;
+  }
+  Trace trace;
+  trace.events.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto kind = in->ReadByte();
+    auto rid = in->ReadVarint();
+    auto payload = in->ReadValue();
+    if (!kind || *kind > 1 || !rid || !payload) {
+      return std::nullopt;
+    }
+    trace.events.push_back(TraceEvent{static_cast<TraceEvent::Kind>(*kind), *rid,
+                                      std::move(*payload)});
+  }
+  return trace;
+}
+
+}  // namespace karousos

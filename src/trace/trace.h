@@ -1,0 +1,49 @@
+// The request/response trace (Definition 1): the ground-truth, chronologically
+// ordered list of request arrivals and response deliveries that the trusted
+// collector observed at the server's boundary.
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/serde.h"
+#include "src/common/value.h"
+
+namespace karousos {
+
+struct TraceEvent {
+  enum class Kind : uint8_t { kRequest, kResponse };
+  Kind kind = Kind::kRequest;
+  RequestId rid = 0;
+  Value payload;  // Request input, or response contents.
+};
+
+struct Trace {
+  std::vector<TraceEvent> events;
+
+  // True iff every request has exactly one response and vice versa, and each
+  // response follows its request ("Check Tr is balanced", Figure 14).
+  bool IsBalanced(std::string* reason) const;
+
+  // All request ids in arrival order.
+  std::vector<RequestId> RequestIds() const;
+
+  // The request input / response payload for a request id (nullopt if absent
+  // or duplicated).
+  std::optional<Value> RequestInput(RequestId rid) const;
+  std::optional<Value> Response(RequestId rid) const;
+
+  size_t request_count() const;
+
+  void Serialize(ByteWriter* out) const;
+  static std::optional<Trace> Deserialize(ByteReader* in);
+};
+
+}  // namespace karousos
+
+#endif  // SRC_TRACE_TRACE_H_

@@ -1,0 +1,231 @@
+#include "src/txkv/store.h"
+
+#include <algorithm>
+
+namespace karousos {
+
+const char* IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kSerializable:
+      return "serializable";
+    case IsolationLevel::kReadCommitted:
+      return "read-committed";
+    case IsolationLevel::kReadUncommitted:
+      return "read-uncommitted";
+  }
+  return "unknown";
+}
+
+TxStatus TxKvStore::Begin(RequestId rid, TxId tid) {
+  TxnKey txn{rid, tid};
+  if (seen_.count(txn) > 0) {
+    return TxStatus::kInvalidTxn;
+  }
+  seen_[txn] = true;
+  OpenTxn state;
+  state.rid = rid;
+  open_.emplace(txn, std::move(state));
+  return TxStatus::kOk;
+}
+
+bool TxKvStore::AcquireShared(Row& row, const TxnKey& txn) {
+  if (row.x_owner == txn) {
+    return true;  // Already hold exclusive; shared is implied.
+  }
+  if (row.x_owner != TxnKey{}) {
+    return false;  // No-wait: another writer holds the row.
+  }
+  if (std::find(row.s_holders.begin(), row.s_holders.end(), txn) == row.s_holders.end()) {
+    row.s_holders.push_back(txn);
+    return true;
+  }
+  return true;
+}
+
+bool TxKvStore::AcquireExclusive(Row& row, const TxnKey& txn) {
+  if (row.x_owner == txn) {
+    return true;
+  }
+  if (row.x_owner != TxnKey{}) {
+    return false;
+  }
+  if (level_ == IsolationLevel::kSerializable) {
+    for (const TxnKey& holder : row.s_holders) {
+      if (!(holder == txn)) {
+        return false;  // Readers block writers under 2PL; no-wait -> conflict.
+      }
+    }
+  }
+  // Upgrade: drop our shared hold, take exclusive.
+  row.s_holders.erase(std::remove(row.s_holders.begin(), row.s_holders.end(), txn),
+                      row.s_holders.end());
+  row.x_owner = txn;
+  return true;
+}
+
+void TxKvStore::RecordFinalWrite(OpenTxn& state, const std::string& key, uint32_t index) {
+  for (auto& [k, idx] : state.final_writes) {
+    if (k == key) {
+      idx = index;
+      return;
+    }
+  }
+  state.final_writes.emplace_back(key, index);
+}
+
+KvGetResult TxKvStore::Get(RequestId rid, TxId tid, const std::string& key) {
+  KvGetResult result;
+  TxnKey txn{rid, tid};
+  auto it = open_.find(txn);
+  if (it == open_.end()) {
+    result.status = TxStatus::kInvalidTxn;
+    return result;
+  }
+  auto row_it = rows_.find(key);
+  Row* row = row_it == rows_.end() ? nullptr : &row_it->second;
+
+  // Own uncommitted write: every isolation level observes it.
+  if (row != nullptr && row->has_dirty && row->dirty_writer.rid == rid &&
+      row->dirty_writer.tid == tid) {
+    result.found = true;
+    result.value = row->dirty;
+    result.dictating_write = row->dirty_writer;
+    return result;
+  }
+
+  switch (level_) {
+    case IsolationLevel::kSerializable: {
+      // Lock even absent rows, via row creation, so that a later writer of
+      // the key conflicts with this reader (phantom-free for point reads).
+      if (row == nullptr) {
+        row = &rows_[key];
+      }
+      if (!AcquireShared(*row, txn)) {
+        result.status = TxStatus::kConflict;
+        return result;
+      }
+      it->second.s_locked.push_back(key);
+      if (row->has_committed) {
+        result.found = true;
+        result.value = row->committed;
+        result.dictating_write = row->committed_writer;
+      }
+      return result;
+    }
+    case IsolationLevel::kReadCommitted: {
+      if (row != nullptr && row->has_committed) {
+        result.found = true;
+        result.value = row->committed;
+        result.dictating_write = row->committed_writer;
+      }
+      return result;
+    }
+    case IsolationLevel::kReadUncommitted: {
+      if (row != nullptr && row->has_dirty) {
+        result.found = true;
+        result.value = row->dirty;
+        result.dictating_write = row->dirty_writer;
+      } else if (row != nullptr && row->has_committed) {
+        result.found = true;
+        result.value = row->committed;
+        result.dictating_write = row->committed_writer;
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+TxStatus TxKvStore::Put(RequestId rid, TxId tid, uint32_t self_index, const std::string& key,
+                        Value value) {
+  TxnKey txn{rid, tid};
+  auto it = open_.find(txn);
+  if (it == open_.end()) {
+    return TxStatus::kInvalidTxn;
+  }
+  Row& row = rows_[key];
+  if (!AcquireExclusive(row, txn)) {
+    return TxStatus::kConflict;
+  }
+  if (!row.has_dirty) {
+    it->second.x_locked.push_back(key);
+  }
+  row.has_dirty = true;
+  row.dirty = std::move(value);
+  row.dirty_writer = TxOpRef{rid, tid, self_index};
+  RecordFinalWrite(it->second, key, self_index);
+  return TxStatus::kOk;
+}
+
+TxStatus TxKvStore::Commit(RequestId rid, TxId tid) {
+  TxnKey txn{rid, tid};
+  auto it = open_.find(txn);
+  if (it == open_.end()) {
+    return TxStatus::kInvalidTxn;
+  }
+  OpenTxn& state = it->second;
+  for (const auto& [key, index] : state.final_writes) {
+    Row& row = rows_[key];
+    row.has_committed = true;
+    row.committed = row.dirty;
+    row.committed_writer = TxOpRef{rid, tid, index};
+    row.has_dirty = false;
+    binlog_.push_back(TxOpRef{rid, tid, index});
+  }
+  ReleaseLocks(txn, state);
+  open_.erase(it);
+  return TxStatus::kOk;
+}
+
+void TxKvStore::Abort(RequestId rid, TxId tid) {
+  TxnKey txn{rid, tid};
+  auto it = open_.find(txn);
+  if (it == open_.end()) {
+    return;
+  }
+  OpenTxn& state = it->second;
+  for (const std::string& key : state.x_locked) {
+    Row& row = rows_[key];
+    if (row.has_dirty && row.dirty_writer.rid == rid && row.dirty_writer.tid == tid) {
+      row.has_dirty = false;
+      row.dirty = Value();
+      row.dirty_writer = kNilTxOp;
+    }
+  }
+  ReleaseLocks(txn, state);
+  open_.erase(it);
+}
+
+void TxKvStore::ReleaseLocks(const TxnKey& txn, OpenTxn& state) {
+  for (const std::string& key : state.x_locked) {
+    auto row_it = rows_.find(key);
+    if (row_it != rows_.end() && row_it->second.x_owner == txn) {
+      row_it->second.x_owner = TxnKey{};
+    }
+  }
+  for (const std::string& key : state.s_locked) {
+    auto row_it = rows_.find(key);
+    if (row_it == rows_.end()) {
+      continue;
+    }
+    auto& holders = row_it->second.s_holders;
+    holders.erase(std::remove(holders.begin(), holders.end(), txn), holders.end());
+  }
+}
+
+std::optional<Value> TxKvStore::CommittedValue(const std::string& key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end() || !it->second.has_committed) {
+    return std::nullopt;
+  }
+  return it->second.committed;
+}
+
+void TxKvStore::Reset() {
+  rows_.clear();
+  open_.clear();
+  seen_.clear();
+  binlog_.clear();
+}
+
+}  // namespace karousos

@@ -1,0 +1,727 @@
+// Grouped re-execution (Figures 18-21): the verifier runs each re-execution
+// group's handler tree once, SIMD-on-demand over the group's requests,
+// checking every operation against the untrusted advice.
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "src/apps/app_util.h"
+#include "src/kem/varid.h"
+#include "src/verifier/verifier.h"
+
+namespace karousos {
+
+namespace {
+
+struct PendingActivation {
+  HandlerId hid = 0;
+  FunctionId function = 0;
+  MultiValue input;
+};
+
+struct FoundWrite {
+  OpRef op;
+  Value value;
+};
+
+}  // namespace
+
+// The Ctx implementation for re-execution. One instance per handler-body
+// execution; `rids` are the group lanes. With is_init set it executes the
+// initialization pseudo-handler: no advice consultation at all (the verifier
+// trusts its own init run, Figure 14 line 20).
+class ReplayCtx : public Ctx {
+ public:
+  ReplayCtx(Verifier* verifier, std::vector<RequestId> rids, HandlerId hid, MultiValue input,
+            bool is_init)
+      : v_(*verifier), rids_(std::move(rids)), hid_(hid), input_(std::move(input)),
+        is_init_(is_init) {
+    if (!is_init_) {
+      // Every enqueued handler was checked against opcounts before enqueue;
+      // cache the per-lane bounds so NextOp avoids a map lookup per lane.
+      lane_opcounts_.reserve(rids_.size());
+      for (RequestId rid : rids_) {
+        auto it = v_.advice_->opcounts.find({rid, hid_});
+        lane_opcounts_.push_back(it == v_.advice_->opcounts.end() ? 0 : it->second);
+      }
+    }
+  }
+
+  // Wired by ReExecGroup so emits can enqueue activations.
+  std::deque<PendingActivation>* active = nullptr;
+  std::set<HandlerId>* enqueued_hids = nullptr;
+
+  const MultiValue& Input() const override { return input_; }
+
+  // ---- Tracked variables (Figures 20-21) --------------------------------
+
+  void DeclareVar(std::string_view name, VarScope scope) override {
+    if (scope == VarScope::kUntracked) {
+      v_.untracked_vars_[ResolveVarId(name, scope, 0)] = Value();
+      return;
+    }
+    OpNum opnum = NextOp();
+    RequireUnlogged(opnum);
+    for (RequestId rid : rids_) {
+      Verifier::VerifierVar& var = v_.vars_[ResolveVarId(name, scope, rid)];
+      if (var.declared) {
+        Verifier::Reject("variable declared twice during re-execution");
+      }
+      var.declared = true;
+    }
+  }
+
+  MultiValue ReadVar(std::string_view name, VarScope scope) override {
+    if (scope == VarScope::kUntracked) {
+      auto it = v_.untracked_vars_.find(ResolveVarId(name, scope, 0));
+      return MultiValue(it == v_.untracked_vars_.end() ? Value() : it->second);
+    }
+    OpNum opnum = NextOp();
+    RequireUnlogged(opnum);
+    std::vector<Value> lanes;
+    lanes.reserve(rids_.size());
+    for (RequestId rid : rids_) {
+      lanes.push_back(ReadLane(ResolveVarId(name, scope, rid), OpRef{rid, hid_, opnum}));
+    }
+    return MultiValue::Expanded(std::move(lanes));
+  }
+
+  void WriteVar(std::string_view name, VarScope scope, const MultiValue& value) override {
+    if (scope == VarScope::kUntracked) {
+      if (!value.collapsed()) {
+        Verifier::Reject("diverging write to an unannotated variable");
+      }
+      v_.untracked_vars_[ResolveVarId(name, scope, 0)] = value.CollapsedValue();
+      return;
+    }
+    OpNum opnum = NextOp();
+    RequireUnlogged(opnum);
+    for (size_t i = 0; i < rids_.size(); ++i) {
+      WriteLane(ResolveVarId(name, scope, rids_[i]), OpRef{rids_[i], hid_, opnum}, value.Lane(i));
+    }
+  }
+
+  // ---- Control flow -------------------------------------------------------
+
+  bool Branch(const MultiValue& condition) override {
+    bool truth = condition.Lane(0).Truthy();
+    for (size_t i = 1; i < rids_.size(); ++i) {
+      if (condition.Lane(i).Truthy() != truth) {
+        Verifier::Reject("control flow diverged within a re-execution group");
+      }
+    }
+    return truth;
+  }
+
+  // ---- Handler operations (Figure 19) -------------------------------------
+
+  void Emit(std::string_view event, const MultiValue& payload) override {
+    if (is_init_) {
+      Verifier::Reject("initialization emitted an event");
+    }
+    OpNum opnum = NextOp();
+    uint64_t event_id = EventId(event);
+    for (RequestId rid : rids_) {
+      CheckHandlerOp(rid, opnum, HandlerLogEntry::Kind::kEmit, event_id, 0);
+    }
+    ActivateHandlers(opnum, payload);
+  }
+
+  void RegisterHandler(std::string_view event, std::string_view function) override {
+    uint64_t event_id = EventId(event);
+    FunctionId function_id = DigestOf(function);
+    if (is_init_) {
+      if (v_.program_.FindFunction(function_id) == nullptr) {
+        Verifier::Reject("initialization registered an unknown function");
+      }
+      v_.global_handlers_.emplace_back(event_id, function_id);
+      return;
+    }
+    OpNum opnum = NextOp();
+    for (RequestId rid : rids_) {
+      CheckHandlerOp(rid, opnum, HandlerLogEntry::Kind::kRegister, event_id, function_id);
+    }
+  }
+
+  void UnregisterHandler(std::string_view event, std::string_view function) override {
+    if (is_init_) {
+      Verifier::Reject("initialization unregistered a handler");
+    }
+    OpNum opnum = NextOp();
+    for (RequestId rid : rids_) {
+      CheckHandlerOp(rid, opnum, HandlerLogEntry::Kind::kUnregister, EventId(event),
+                     DigestOf(function));
+    }
+  }
+
+  // ---- External state (Figure 19, CheckStateOp) ---------------------------
+
+  TxHandle TxStart() override {
+    if (is_init_) {
+      Verifier::Reject("initialization used external state");
+    }
+    OpNum opnum = NextOp();
+    std::vector<TxId> tids;
+    tids.reserve(rids_.size());
+    for (RequestId rid : rids_) {
+      TxId tid = DigestOfInts(rid, hid_, opnum);
+      CheckStateOp(rid, opnum, TxOpType::kTxStart, tid, nullptr, nullptr);
+      tids.push_back(tid);
+    }
+    TxHandle handle;
+    handle.slot = static_cast<uint32_t>(open_txns_.size());
+    handle.valid = true;
+    open_txns_.push_back(std::move(tids));
+    return handle;
+  }
+
+  TxGetResult TxGet(TxHandle tx, const MultiValue& key) override {
+    TxGetResult out;
+    OpNum opnum = NextOp();
+    if (CheckConflictMarker(opnum)) {
+      out.conflict = true;
+      return out;
+    }
+    const std::vector<TxId>& tids = TidsOf(tx);
+    std::vector<Value> values;
+    std::vector<Value> found;
+    values.reserve(rids_.size());
+    found.reserve(rids_.size());
+    for (size_t i = 0; i < rids_.size(); ++i) {
+      std::string key_str = key.Lane(i).StringOr(key.Lane(i).ToString());
+      const TxOperation& op =
+          CheckStateOpReturning(rids_[i], opnum, TxOpType::kGet, tids[i], &key_str);
+      if (op.get_found) {
+        // Feed from the dictating PUT (validated by AnalyzeLogs).
+        const TxOperation& writer =
+            v_.advice_->tx_logs.at(TxnKey{op.get_from.rid, op.get_from.tid})[op.get_from.index -
+                                                                             1];
+        values.push_back(writer.put_value);
+        found.push_back(Value(true));
+      } else {
+        values.push_back(Value());
+        found.push_back(Value(false));
+      }
+    }
+    out.value = MultiValue::Expanded(std::move(values));
+    out.found = MultiValue::Expanded(std::move(found));
+    return out;
+  }
+
+  bool TxPut(TxHandle tx, const MultiValue& key, const MultiValue& value) override {
+    OpNum opnum = NextOp();
+    if (CheckConflictMarker(opnum)) {
+      return false;
+    }
+    const std::vector<TxId>& tids = TidsOf(tx);
+    for (size_t i = 0; i < rids_.size(); ++i) {
+      std::string key_str = key.Lane(i).StringOr(key.Lane(i).ToString());
+      Value lane_value = value.Lane(i);
+      CheckStateOp(rids_[i], opnum, TxOpType::kPut, tids[i], &key_str, &lane_value);
+    }
+    return true;
+  }
+
+  bool TxCommit(TxHandle tx) override {
+    OpNum opnum = NextOp();
+    const std::vector<TxId>& tids = TidsOf(tx);
+    bool committed = true;
+    bool first = true;
+    for (size_t i = 0; i < rids_.size(); ++i) {
+      const TxOperation& op =
+          CheckStateOpReturning(rids_[i], opnum, TxOpType::kTxCommit, tids[i], nullptr);
+      bool lane_committed = op.type == TxOpType::kTxCommit;
+      if (first) {
+        committed = lane_committed;
+        first = false;
+      } else if (lane_committed != committed) {
+        Verifier::Reject("commit outcome diverged within a re-execution group");
+      }
+    }
+    return committed;
+  }
+
+  void TxAbort(TxHandle tx) override {
+    OpNum opnum = NextOp();
+    const std::vector<TxId>& tids = TidsOf(tx);
+    for (size_t i = 0; i < rids_.size(); ++i) {
+      CheckStateOp(rids_[i], opnum, TxOpType::kTxAbort, tids[i], nullptr, nullptr);
+    }
+  }
+
+  MultiValue TxIdValue(TxHandle tx) override {
+    const std::vector<TxId>& tids = TidsOf(tx);
+    std::vector<Value> lanes;
+    lanes.reserve(tids.size());
+    for (TxId tid : tids) {
+      lanes.push_back(Value(static_cast<int64_t>(tid)));
+    }
+    return MultiValue::Expanded(std::move(lanes));
+  }
+
+  TxHandle TxResume(const MultiValue& tid_value) override {
+    std::vector<TxId> tids;
+    tids.reserve(rids_.size());
+    for (size_t i = 0; i < rids_.size(); ++i) {
+      tids.push_back(static_cast<TxId>(tid_value.Lane(i).IntOr(0)));
+    }
+    TxHandle handle;
+    handle.slot = static_cast<uint32_t>(open_txns_.size());
+    handle.valid = true;
+    open_txns_.push_back(std::move(tids));
+    return handle;
+  }
+
+  // ---- Application computation ---------------------------------------------
+
+  MultiValue AppWork(const MultiValue& seed, uint32_t units) override {
+    // Plain work, deduplicated per distinct operand by MultiValue::Map.
+    return MvExpensive(seed, units);
+  }
+
+  // ---- Non-determinism -----------------------------------------------------
+
+  MultiValue Random() override {
+    OpNum opnum = NextOp();
+    RequireUnlogged(opnum);
+    std::vector<Value> lanes;
+    lanes.reserve(rids_.size());
+    for (RequestId rid : rids_) {
+      auto it = v_.advice_->nondet.find(OpRef{rid, hid_, opnum});
+      if (it == v_.advice_->nondet.end() || it->second.kind != NondetRecord::Kind::kValue) {
+        Verifier::Reject("non-deterministic operation has no recorded value");
+      }
+      lanes.push_back(it->second.value);
+    }
+    return MultiValue::Expanded(std::move(lanes));
+  }
+
+  // ---- Response ------------------------------------------------------------
+
+  void Respond(const MultiValue& body) override {
+    if (is_init_) {
+      Verifier::Reject("initialization produced a response");
+    }
+    for (size_t i = 0; i < rids_.size(); ++i) {
+      RequestId rid = rids_[i];
+      auto it = v_.advice_->response_emitted_by.find(rid);
+      if (it == v_.advice_->response_emitted_by.end() ||
+          it->second != std::make_pair(hid_, ops_issued_)) {
+        Verifier::Reject("response delivered at a different operation than advice claims");
+      }
+      if (!v_.responded_.insert(rid).second) {
+        Verifier::Reject("request responded twice during re-execution");
+      }
+      auto expected = v_.responses_.find(rid);
+      if (expected == v_.responses_.end() || !(expected->second == body.Lane(i))) {
+        Verifier::Reject("re-executed response does not match the trace");
+      }
+    }
+  }
+
+  OpNum ops_issued() const { return ops_issued_; }
+
+ private:
+  OpNum NextOp() {
+    ++ops_issued_;
+    ++v_.stats_.ops_executed;
+    if (!is_init_) {
+      for (OpNum count : lane_opcounts_) {
+        if (ops_issued_ > count) {
+          Verifier::Reject("handler issued more operations than its opcount");
+        }
+      }
+    }
+    return ops_issued_;
+  }
+
+  // Annotated-variable and non-deterministic operations must not coincide
+  // with any handler-log or transaction-log entry: otherwise a log entry
+  // would exist that re-execution never validates.
+  void RequireUnlogged(OpNum opnum) {
+    if (is_init_) {
+      return;
+    }
+    for (RequestId rid : rids_) {
+      if (v_.op_map_.count(OpRef{rid, hid_, opnum}) > 0) {
+        Verifier::Reject("advice log entry occupies a non-loggable operation position");
+      }
+    }
+  }
+
+  const std::vector<TxId>& TidsOf(TxHandle tx) const {
+    if (!tx.valid || tx.slot >= open_txns_.size()) {
+      Verifier::Reject("invalid transaction handle during re-execution");
+    }
+    return open_txns_[tx.slot];
+  }
+
+  // True if the server recorded a no-wait conflict for this operation. The
+  // marker must be uniform across lanes (divergent outcomes imply divergent
+  // control flow, which grouping forbids). Conflicted operations consumed an
+  // opnum online but never reached the store, so they must have no log entry.
+  bool CheckConflictMarker(OpNum opnum) {
+    bool conflict = false;
+    bool first = true;
+    for (RequestId rid : rids_) {
+      auto it = v_.advice_->nondet.find(OpRef{rid, hid_, opnum});
+      bool lane_conflict =
+          it != v_.advice_->nondet.end() && it->second.kind == NondetRecord::Kind::kConflict;
+      if (first) {
+        conflict = lane_conflict;
+        first = false;
+      } else if (lane_conflict != conflict) {
+        Verifier::Reject("conflict outcome diverged within a re-execution group");
+      }
+    }
+    if (conflict) {
+      RequireUnlogged(opnum);
+    }
+    return conflict;
+  }
+
+  void CheckHandlerOp(RequestId rid, OpNum opnum, HandlerLogEntry::Kind kind, uint64_t event,
+                      FunctionId function) {
+    OpRef cur{rid, hid_, opnum};
+    auto loc = v_.op_map_.find(cur);
+    if (loc == v_.op_map_.end() || loc->second.kind != Verifier::OpLocation::Kind::kHandlerLog ||
+        loc->second.rid != rid) {
+      Verifier::Reject("handler operation missing from the handler log");
+    }
+    const HandlerLogEntry& entry = v_.advice_->handler_logs.at(rid)[loc->second.index - 1];
+    if (entry.kind != kind || entry.event != event ||
+        (kind != HandlerLogEntry::Kind::kEmit && entry.function != function)) {
+      Verifier::Reject("handler operation does not match the handler log entry");
+    }
+  }
+
+  const TxOperation& CheckStateOpReturning(RequestId rid, OpNum opnum, TxOpType type, TxId tid,
+                                           const std::string* key) {
+    OpRef cur{rid, hid_, opnum};
+    auto loc = v_.op_map_.find(cur);
+    if (loc == v_.op_map_.end() || loc->second.kind != Verifier::OpLocation::Kind::kTxLog) {
+      Verifier::Reject("state operation missing from the transaction logs");
+    }
+    const TxnKey txn = loc->second.txn;
+    if (txn.rid != rid || txn.tid != tid) {
+      Verifier::Reject("state operation attributed to the wrong transaction");
+    }
+    uint32_t position = ++v_.tx_positions_[txn];
+    if (loc->second.index != position) {
+      Verifier::Reject("state operation out of order within its transaction log");
+    }
+    const TxOperation& op = v_.advice_->tx_logs.at(txn)[loc->second.index - 1];
+    // A re-executed tx_commit may face a logged tx_abort: the online commit
+    // failed (Figure 19 line 9). Every other type must match exactly.
+    if (op.type != type && !(type == TxOpType::kTxCommit && op.type == TxOpType::kTxAbort)) {
+      Verifier::Reject("state operation type does not match the transaction log");
+    }
+    if (key != nullptr && op.key != *key) {
+      Verifier::Reject("state operation key does not match the transaction log");
+    }
+    return op;
+  }
+
+  void CheckStateOp(RequestId rid, OpNum opnum, TxOpType type, TxId tid, const std::string* key,
+                    const Value* put_value) {
+    const TxOperation& op = CheckStateOpReturning(rid, opnum, type, tid, key);
+    if (put_value != nullptr && !(op.put_value == *put_value)) {
+      Verifier::Reject("re-executed PUT value does not match the transaction log");
+    }
+  }
+
+  void ActivateHandlers(OpNum opnum, const MultiValue& payload) {
+    // All lanes must activate the same handlers (Figure 19 line 31).
+    const std::vector<Verifier::Activation>* expected = nullptr;
+    static const std::vector<Verifier::Activation> kEmpty;
+    for (RequestId rid : rids_) {
+      auto it = v_.activated_handlers_.find(OpRef{rid, hid_, opnum});
+      const std::vector<Verifier::Activation>* lane =
+          it == v_.activated_handlers_.end() ? &kEmpty : &it->second;
+      if (expected == nullptr) {
+        expected = lane;
+      } else if (lane->size() != expected->size() ||
+                 !std::equal(lane->begin(), lane->end(), expected->begin(),
+                             [](const Verifier::Activation& a, const Verifier::Activation& b) {
+                               return a.hid == b.hid && a.function == b.function;
+                             })) {
+        Verifier::Reject("emit activates different handlers across the group");
+      }
+    }
+    for (const Verifier::Activation& act : *expected) {
+      if (!enqueued_hids->insert(act.hid).second) {
+        Verifier::Reject("handler activated twice within a request");
+      }
+      for (RequestId rid : rids_) {
+        v_.parents_[rid][act.hid] = hid_;
+      }
+      active->push_back(PendingActivation{act.hid, act.function, payload});
+    }
+  }
+
+  Value ReadLane(VarId vid, const OpRef& cur);
+  void WriteLane(VarId vid, const OpRef& cur, const Value& value);
+  std::optional<FoundWrite> FindNearestRPrecedingWrite(Verifier::VerifierVar& var,
+                                                       const OpRef& cur);
+
+  Verifier& v_;
+  std::vector<RequestId> rids_;
+  HandlerId hid_;
+  MultiValue input_;
+  bool is_init_;
+  OpNum ops_issued_ = 0;
+  std::vector<OpNum> lane_opcounts_;
+  std::vector<std::vector<TxId>> open_txns_;
+};
+
+// Figure 20, OnRead.
+Value ReplayCtx::ReadLane(VarId vid, const OpRef& cur) {
+  auto var_it = v_.vars_.find(vid);
+  if (var_it == v_.vars_.end() || !var_it->second.declared) {
+    Verifier::Reject("re-executed read of an undeclared variable");
+  }
+  Verifier::VerifierVar& var = var_it->second;
+  if (!is_init_) {
+    auto log_it = v_.advice_->var_logs.find(vid);
+    if (log_it != v_.advice_->var_logs.end()) {
+      auto entry_it = log_it->second.find(cur);
+      if (entry_it != log_it->second.end()) {
+        const VarLogEntry& entry = entry_it->second;
+        if (entry.kind != VarLogEntry::Kind::kRead || entry.prec.IsNil()) {
+          Verifier::Reject("variable log entry for a read is malformed");
+        }
+        auto dict_it = log_it->second.find(entry.prec);
+        if (dict_it == log_it->second.end() ||
+            dict_it->second.kind != VarLogEntry::Kind::kWrite) {
+          Verifier::Reject("logged read's dictating write is not a logged write");
+        }
+        if (!v_.var_log_touched_.insert({vid, cur}).second) {
+          Verifier::Reject("variable log entry re-executed twice");
+        }
+        var.read_observers[entry.prec].push_back(cur);
+        return dict_it->second.value;
+      }
+    }
+  }
+  std::optional<FoundWrite> found = FindNearestRPrecedingWrite(var, cur);
+  if (!found.has_value()) {
+    return Value();  // Reads before any write observe the initial nil.
+  }
+  var.read_observers[found->op].push_back(cur);
+  return found->value;
+}
+
+// Figure 21, OnWrite — with one recovery beyond the paper's pseudocode:
+// back-filled log entries carry a nil predecessor, so their position in the
+// write chain is recovered through FindNearestRPrecedingWrite, keeping the
+// reconstructed history connected.
+void ReplayCtx::WriteLane(VarId vid, const OpRef& cur, const Value& value) {
+  auto var_it = v_.vars_.find(vid);
+  if (var_it == v_.vars_.end() || !var_it->second.declared) {
+    Verifier::Reject("re-executed write of an undeclared variable");
+  }
+  Verifier::VerifierVar& var = var_it->second;
+  // The variable's dictionary keeps every written version, keyed by handler
+  // and opnum (§4.2).
+  std::optional<FoundWrite> nearest = FindNearestRPrecedingWrite(var, cur);
+  var.var_dict[{cur.rid, cur.hid}].emplace_back(cur.opnum, value);
+  bool logged = false;
+  if (!is_init_) {
+    auto log_it = v_.advice_->var_logs.find(vid);
+    if (log_it != v_.advice_->var_logs.end()) {
+      auto entry_it = log_it->second.find(cur);
+      if (entry_it != log_it->second.end()) {
+        logged = true;
+        const VarLogEntry& entry = entry_it->second;
+        if (entry.kind != VarLogEntry::Kind::kWrite) {
+          Verifier::Reject("variable log entry for a write is marked as a read");
+        }
+        if (!(entry.value == value)) {
+          Verifier::Reject("re-executed write value does not match the variable log");
+        }
+        if (!v_.var_log_touched_.insert({vid, cur}).second) {
+          Verifier::Reject("variable log entry re-executed twice");
+        }
+        if (!entry.prec.IsNil()) {
+          auto prec_it = log_it->second.find(entry.prec);
+          if (prec_it == log_it->second.end() ||
+              prec_it->second.kind != VarLogEntry::Kind::kWrite) {
+            Verifier::Reject("logged write's predecessor is not a logged write");
+          }
+          if (var.write_observer.count(entry.prec) > 0) {
+            Verifier::Reject("two writes overwrite the same value");
+          }
+          var.write_observer[entry.prec] = cur;
+          return;
+        }
+      }
+    }
+  }
+  // Unlogged write, or a back-filled entry (nil predecessor): link into the
+  // chain through the nearest R-preceding write.
+  if (nearest.has_value()) {
+    if (var.write_observer.count(nearest->op) > 0) {
+      Verifier::Reject("two writes overwrite the same value");
+    }
+    var.write_observer[nearest->op] = cur;
+  } else {
+    if (!var.initializer.IsNil()) {
+      Verifier::Reject("variable has two initializing writes");
+    }
+    var.initializer = cur;
+  }
+  (void)logged;
+}
+
+// The dictionary interrogation of §4.2: the last write by this handler before
+// `cur`, else the last write by the nearest ancestor (walking activator
+// links), falling back to the initialization pseudo-handler I.
+std::optional<FoundWrite> ReplayCtx::FindNearestRPrecedingWrite(Verifier::VerifierVar& var,
+                                                                const OpRef& cur) {
+  RequestId rid = cur.rid;
+  HandlerId h = cur.hid;
+  bool same_handler = true;
+  while (true) {
+    auto dict_it = var.var_dict.find({rid, h});
+    if (dict_it != var.var_dict.end() && !dict_it->second.empty()) {
+      const auto& writes = dict_it->second;
+      if (same_handler) {
+        // Last write strictly before cur.opnum (entries are opnum-sorted).
+        const std::pair<OpNum, Value>* best = nullptr;
+        for (const auto& w : writes) {
+          if (w.first < cur.opnum) {
+            best = &w;
+          } else {
+            break;
+          }
+        }
+        if (best != nullptr) {
+          return FoundWrite{OpRef{rid, h, best->first}, best->second};
+        }
+      } else {
+        return FoundWrite{OpRef{rid, h, writes.back().first}, writes.back().second};
+      }
+    }
+    if (rid == kInitRequestId) {
+      return std::nullopt;  // Climbed past I: no write exists.
+    }
+    same_handler = false;
+    auto parents_it = v_.parents_.find(rid);
+    HandlerId parent = kNoHandler;
+    if (parents_it != v_.parents_.end()) {
+      auto p = parents_it->second.find(h);
+      if (p != parents_it->second.end()) {
+        parent = p->second;
+      }
+    }
+    if (parent == kNoHandler) {
+      // Request handlers are activated by I (§3).
+      rid = kInitRequestId;
+      h = kInitHandlerId;
+    } else {
+      h = parent;
+    }
+  }
+}
+
+void Verifier::RunInitialization() {
+  if (!program_.init()) {
+    return;
+  }
+  ReplayCtx ctx(this, {kInitRequestId}, kInitHandlerId, MultiValue(), /*is_init=*/true);
+  program_.init()(ctx);
+}
+
+void Verifier::ReExec() {
+  // Group requests by their (alleged) tag; groups re-execute in order of
+  // their earliest request id, which is deterministic but otherwise
+  // arbitrary (Lemma 1: all well-formed orders are equivalent).
+  std::map<uint64_t, std::vector<RequestId>> by_tag;
+  for (RequestId rid : trace_rids_) {
+    auto it = advice_->tags.find(rid);
+    if (it == advice_->tags.end()) {
+      Reject("no re-execution tag for request " + std::to_string(rid));
+    }
+    by_tag[it->second].push_back(rid);
+  }
+  std::vector<const std::vector<RequestId>*> groups;
+  groups.reserve(by_tag.size());
+  for (const auto& [tag, rids] : by_tag) {
+    groups.push_back(&rids);
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const auto* a, const auto* b) { return a->front() < b->front(); });
+  for (const auto* rids : groups) {
+    ReExecGroup(*rids);
+    ++stats_.groups;
+    stats_.group_lane_total += rids->size();
+  }
+  // Every handler the advice mentions must have been re-executed (Figure 18
+  // line 64) and every request must have produced its response.
+  for (const auto& [key, count] : advice_->opcounts) {
+    if (executed_.count(key) == 0) {
+      Reject("advice mentions a handler that re-execution never ran");
+    }
+  }
+  for (RequestId rid : trace_rids_) {
+    if (responded_.count(rid) == 0) {
+      Reject("request " + std::to_string(rid) + " produced no response during re-execution");
+    }
+  }
+  // Every variable-log entry must have been produced by re-execution, or the
+  // log could feed values from operations that never happened.
+  if (var_log_touched_.size() != advice_->var_log_entry_count()) {
+    Reject("variable log contains entries that re-execution never produced");
+  }
+}
+
+void Verifier::ReExecGroup(const std::vector<RequestId>& rids) {
+  std::vector<Value> inputs;
+  inputs.reserve(rids.size());
+  for (RequestId rid : rids) {
+    inputs.push_back(request_inputs_.at(rid));
+  }
+  MultiValue group_input = MultiValue::Expanded(std::move(inputs));
+
+  std::deque<PendingActivation> active;
+  std::set<HandlerId> enqueued;
+  for (const auto& [event, function] : global_handlers_) {
+    if (event != EventId(kRequestEventName)) {
+      continue;
+    }
+    HandlerId hid = ComputeHandlerId(function, kNoHandler, 0);
+    for (RequestId rid : rids) {
+      if (advice_->opcounts.count({rid, hid}) == 0) {
+        Reject("request handler missing from opcounts");
+      }
+      parents_[rid][hid] = kNoHandler;
+    }
+    if (!enqueued.insert(hid).second) {
+      Reject("duplicate request handler activation");
+    }
+    active.push_back(PendingActivation{hid, function, group_input});
+  }
+  while (!active.empty()) {
+    PendingActivation next = std::move(active.front());
+    active.pop_front();
+    const FunctionDef* def = program_.FindFunction(next.function);
+    if (def == nullptr) {
+      Reject("activation of an unknown function");
+    }
+    ReplayCtx ctx(this, rids, next.hid, std::move(next.input), /*is_init=*/false);
+    ctx.active = &active;
+    ctx.enqueued_hids = &enqueued;
+    ++stats_.handler_executions;
+    stats_.handler_lanes += rids.size();
+    def->fn(ctx);
+    for (RequestId rid : rids) {
+      auto it = advice_->opcounts.find({rid, next.hid});
+      if (it == advice_->opcounts.end() || it->second != ctx.ops_issued()) {
+        Reject("handler issued fewer operations than its opcount");
+      }
+      executed_.insert({rid, next.hid});
+    }
+  }
+}
+
+}  // namespace karousos

@@ -1,0 +1,341 @@
+#include "src/verifier/verifier.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace karousos {
+
+namespace {
+
+// Auxiliary node marker for the time-precedence epoch chain (never collides
+// with request ids, which are assigned from 1 upward).
+constexpr uint64_t kEpochMarker = ~uint64_t{0};
+
+std::string DescribeNode(const NodeKey& key) {
+  std::ostringstream out;
+  if (key.a == kEpochMarker) {
+    out << "epoch#" << key.b;
+  } else if (key.b == 0 && key.c == 0) {
+    out << "req(r" << key.a << ")";
+  } else if (key.b == 0 && key.c == kOpNumInf) {
+    out << "resp(r" << key.a << ")";
+  } else {
+    out << OpRef{key.a, key.b, static_cast<OpNum>(key.c)}.ToString();
+  }
+  return out.str();
+}
+
+}  // namespace
+
+AuditResult Verifier::Audit(const Trace& trace, const Advice& advice) {
+  trace_ = &trace;
+  advice_ = &advice;
+  AuditResult result;
+  try {
+    Preprocess();
+    ReExec();
+    Postprocess();
+    result.accepted = true;
+  } catch (const RejectError& e) {
+    result.reason = e.reason;
+  } catch (const std::exception& e) {
+    // Malformed advice must never crash the verifier: any fault surfacing
+    // from re-executed application code counts as server misbehavior.
+    result.reason = std::string("re-execution fault: ") + e.what();
+  }
+  stats_.graph_nodes = graph_.node_count();
+  stats_.graph_edges = graph_.edge_count();
+  for (const auto& [vid, var] : vars_) {
+    for (const auto& [key, writes] : var.var_dict) {
+      stats_.var_dict_entries += writes.size();
+    }
+  }
+  result.stats = stats_;
+  return result;
+}
+
+void Verifier::Preprocess() {
+  std::string reason;
+  if (!trace_->IsBalanced(&reason)) {
+    Reject("trace is not balanced: " + reason);
+  }
+  for (RequestId rid : trace_->RequestIds()) {
+    if (rid == kInitRequestId) {
+      Reject("trace contains the reserved init request id");
+    }
+    trace_rids_.insert(rid);
+  }
+  for (const TraceEvent& ev : trace_->events) {
+    if (ev.kind == TraceEvent::Kind::kRequest) {
+      request_inputs_[ev.rid] = ev.payload;
+    } else {
+      responses_[ev.rid] = ev.payload;
+    }
+  }
+  RunInitialization();  // Implemented with ReplayCtx in reexec.cc.
+  AddTimePrecedenceEdges();
+  AddProgramEdges();
+  AddBoundaryEdges();
+  AddHandlerRelatedEdges();
+  AddExternalStateEdges();
+  IsolationLevelVerification();
+}
+
+void Verifier::AddTimePrecedenceEdges() {
+  // Encodes exactly the response-before-request constraints of the trace with
+  // O(n) edges: responses feed an auxiliary epoch chain, and each request
+  // arrival hangs off the most recent epoch. Epoch nodes have no incoming
+  // edges from requests, so no spurious response-response or request-request
+  // ordering is introduced (that would break Completeness).
+  uint64_t epoch_count = 0;
+  bool have_epoch = false;
+  NodeKey current_epoch{};
+  std::vector<RequestId> pending_responses;
+  for (const TraceEvent& ev : trace_->events) {
+    if (ev.kind == TraceEvent::Kind::kResponse) {
+      pending_responses.push_back(ev.rid);
+      continue;
+    }
+    if (!pending_responses.empty()) {
+      NodeKey next{kEpochMarker, ++epoch_count, 0};
+      if (have_epoch) {
+        graph_.AddEdge(current_epoch, next);
+      }
+      for (RequestId resp_rid : pending_responses) {
+        graph_.AddEdge(NodeKey::ForResponseDelivery(resp_rid), next);
+      }
+      pending_responses.clear();
+      current_epoch = next;
+      have_epoch = true;
+    }
+    if (have_epoch) {
+      graph_.AddEdge(current_epoch, NodeKey::ForRequestArrival(ev.rid));
+    }
+  }
+}
+
+void Verifier::AddProgramEdges() {
+  for (const auto& [key, count] : advice_->opcounts) {
+    const auto& [rid, hid] = key;
+    if (trace_rids_.count(rid) == 0) {
+      Reject("opcounts entry for request not in trace");
+    }
+    if (hid == kNoHandler || hid == kInitHandlerId) {
+      Reject("opcounts entry with reserved handler id");
+    }
+    if (count >= kOpNumInf) {
+      Reject("opcount overflow");
+    }
+    DirectedGraph::NodeId prev = graph_.AddNode(NodeKey::ForOp(OpRef{rid, hid, 0}));
+    for (OpNum i = 1; i <= count; ++i) {
+      DirectedGraph::NodeId node = graph_.AddNode(NodeKey::ForOp(OpRef{rid, hid, i}));
+      graph_.AddEdge(prev, node);
+      prev = node;
+    }
+    graph_.AddEdge(prev, graph_.AddNode(NodeKey::ForOp(OpRef{rid, hid, kOpNumInf})));
+  }
+}
+
+void Verifier::AddBoundaryEdges() {
+  // Request arrival -> request-handler start, for the request handlers the
+  // verifier's own initialization run registered.
+  std::set<HandlerId> request_handler_hids;
+  for (const auto& [event, function] : global_handlers_) {
+    if (event == EventId(kRequestEventName)) {
+      request_handler_hids.insert(ComputeHandlerId(function, kNoHandler, 0));
+    }
+  }
+  for (const auto& [key, count] : advice_->opcounts) {
+    const auto& [rid, hid] = key;
+    if (request_handler_hids.count(hid) > 0) {
+      graph_.AddEdge(NodeKey::ForRequestArrival(rid), NodeKey::ForOp(OpRef{rid, hid, 0}));
+    }
+  }
+  // Response delivery sits between the delivering handler's last-op-before
+  // and next-op-after (Figure 15).
+  for (const auto& [rid, by] : advice_->response_emitted_by) {
+    if (trace_rids_.count(rid) == 0) {
+      Reject("responseEmittedBy entry for request not in trace");
+    }
+  }
+  for (RequestId rid : trace_rids_) {
+    auto it = advice_->response_emitted_by.find(rid);
+    if (it == advice_->response_emitted_by.end()) {
+      Reject("responseEmittedBy missing for request " + std::to_string(rid));
+    }
+    const auto& [hid_r, opnum_r] = it->second;
+    auto count_it = advice_->opcounts.find({rid, hid_r});
+    if (count_it == advice_->opcounts.end() || opnum_r > count_it->second) {
+      Reject("responseEmittedBy references a nonexistent operation");
+    }
+    graph_.AddEdge(NodeKey::ForOp(OpRef{rid, hid_r, opnum_r}), NodeKey::ForResponseDelivery(rid));
+    OpNum next = opnum_r == count_it->second ? kOpNumInf : opnum_r + 1;
+    graph_.AddEdge(NodeKey::ForResponseDelivery(rid), NodeKey::ForOp(OpRef{rid, hid_r, next}));
+  }
+}
+
+void Verifier::CheckOpIsValid(RequestId rid, HandlerId hid, OpNum opnum) {
+  auto it = advice_->opcounts.find({rid, hid});
+  if (it == advice_->opcounts.end()) {
+    Reject("log entry for handler with no opcount");
+  }
+  if (opnum < 1 || opnum > it->second) {
+    Reject("log entry opnum out of range");
+  }
+  if (op_map_.count(OpRef{rid, hid, opnum}) > 0) {
+    Reject("two log entries claim the same operation");
+  }
+}
+
+std::vector<FunctionId> Verifier::MatchHandlers(
+    const std::vector<std::pair<uint64_t, FunctionId>>& globals,
+    const std::vector<std::pair<uint64_t, FunctionId>>& registered, uint64_t event) {
+  std::vector<FunctionId> matched;
+  for (const auto& [ev, fn] : globals) {
+    if (ev == event) {
+      matched.push_back(fn);
+    }
+  }
+  for (const auto& [ev, fn] : registered) {
+    if (ev == event) {
+      matched.push_back(fn);
+    }
+  }
+  return matched;
+}
+
+void Verifier::AddHandlerRelatedEdges() {
+  for (const auto& [rid, log] : advice_->handler_logs) {
+    if (trace_rids_.count(rid) == 0) {
+      Reject("handler log for request not in trace");
+    }
+    std::vector<std::pair<uint64_t, FunctionId>> registered;
+    OpRef prev{};
+    for (uint32_t i = 1; i <= log.size(); ++i) {
+      const HandlerLogEntry& e = log[i - 1];
+      CheckOpIsValid(rid, e.hid, e.opnum);
+      OpRef cur{rid, e.hid, e.opnum};
+      OpLocation loc;
+      loc.kind = OpLocation::Kind::kHandlerLog;
+      loc.rid = rid;
+      loc.index = i;
+      op_map_.emplace(cur, loc);
+      if (i > 1) {
+        graph_.AddEdge(NodeKey::ForOp(prev), NodeKey::ForOp(cur));
+      }
+      prev = cur;
+      switch (e.kind) {
+        case HandlerLogEntry::Kind::kRegister:
+          if (program_.FindFunction(e.function) == nullptr) {
+            Reject("handler log registers an unknown function");
+          }
+          registered.emplace_back(e.event, e.function);
+          break;
+        case HandlerLogEntry::Kind::kUnregister: {
+          auto match = std::find(registered.begin(), registered.end(),
+                                 std::make_pair(e.event, e.function));
+          if (match == registered.end()) {
+            Reject("handler log unregisters a function that is not registered");
+          }
+          registered.erase(match);
+          break;
+        }
+        case HandlerLogEntry::Kind::kEmit: {
+          for (FunctionId fn : MatchHandlers(global_handlers_, registered, e.event)) {
+            HandlerId child = ComputeHandlerId(fn, e.hid, e.opnum);
+            if (advice_->opcounts.count({rid, child}) == 0) {
+              Reject("emitted event activates a handler missing from opcounts");
+            }
+            activated_handlers_[cur].push_back(Activation{child, fn});
+            graph_.AddEdge(NodeKey::ForOp(cur), NodeKey::ForOp(OpRef{rid, child, 0}));
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Verifier::AddExternalStateEdges() {
+  history_ = AnalyzeLogs(advice_->tx_logs);
+  if (!history_.ok) {
+    Reject(history_.reason);
+  }
+  for (const auto& [txn, log] : advice_->tx_logs) {
+    if (trace_rids_.count(txn.rid) == 0) {
+      Reject("transaction log for request not in trace");
+    }
+    for (uint32_t i = 1; i <= log.size(); ++i) {
+      const TxOperation& op = log[i - 1];
+      CheckOpIsValid(txn.rid, op.hid, op.opnum);
+      OpRef cur{txn.rid, op.hid, op.opnum};
+      OpLocation loc;
+      loc.kind = OpLocation::Kind::kTxLog;
+      loc.txn = txn;
+      loc.index = i;
+      op_map_.emplace(cur, loc);
+      if (op.type == TxOpType::kGet && op.get_found) {
+        // Write-read edge from the dictating PUT to this GET (§4.4; footnote
+        // 3 explains why no WW/RW edges are added for external state).
+        auto writer_log = advice_->tx_logs.find(TxnKey{op.get_from.rid, op.get_from.tid});
+        // AnalyzeLogs already validated the reference.
+        const TxOperation& writer = writer_log->second[op.get_from.index - 1];
+        graph_.AddEdge(NodeKey::ForOp(OpRef{op.get_from.rid, writer.hid, writer.opnum}),
+                       NodeKey::ForOp(cur));
+      }
+    }
+  }
+}
+
+void Verifier::IsolationLevelVerification() {
+  IsolationCheckResult result =
+      CheckIsolation(isolation_, advice_->tx_logs, advice_->write_order, history_);
+  stats_.isolation_dg_nodes = result.dg_nodes;
+  stats_.isolation_dg_edges = result.dg_edges;
+  if (!result.ok) {
+    Reject("isolation verification failed: " + result.reason);
+  }
+}
+
+void Verifier::Postprocess() {
+  AddInternalStateEdges();
+  if (graph_.HasCycle()) {
+    std::ostringstream out;
+    out << "execution graph has a cycle:";
+    for (const NodeKey& node : graph_.FindCycle()) {
+      out << " " << DescribeNode(node);
+    }
+    Reject(out.str());
+  }
+}
+
+void Verifier::AddInternalStateEdges() {
+  for (const auto& [vid, var] : vars_) {
+    OpRef cur = var.initializer;
+    std::set<OpRef> visited;
+    while (!cur.IsNil()) {
+      if (!visited.insert(cur).second) {
+        Reject("variable write chain is cyclic");
+      }
+      auto readers = var.read_observers.find(cur);
+      if (readers != var.read_observers.end()) {
+        for (const OpRef& r : readers->second) {
+          graph_.AddEdge(NodeKey::ForOp(cur), NodeKey::ForOp(r));  // WR
+        }
+      }
+      auto next = var.write_observer.find(cur);
+      if (next == var.write_observer.end()) {
+        break;
+      }
+      if (readers != var.read_observers.end()) {
+        for (const OpRef& r : readers->second) {
+          graph_.AddEdge(NodeKey::ForOp(r), NodeKey::ForOp(next->second));  // RW
+        }
+      }
+      graph_.AddEdge(NodeKey::ForOp(cur), NodeKey::ForOp(next->second));  // WW
+      cur = next->second;
+    }
+  }
+}
+
+}  // namespace karousos

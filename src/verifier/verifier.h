@@ -1,0 +1,163 @@
+// The Karousos verifier: Audit = Preprocess -> ReExec -> Postprocess
+// (Figures 14-21). The verifier holds the golden-master Program, receives the
+// trusted trace and the untrusted advice, and accepts iff the trace could
+// have been produced by some schedule of the program on those requests.
+//
+// The same verifier audits both Karousos and Orochi-JS advice: grouping is
+// driven by the (untrusted) tags in the advice, and every difference between
+// the two systems lives in how the server computed tags and how much it
+// logged. Wrong tags can only cause rejection (divergence checks), never
+// wrong acceptance.
+#ifndef SRC_VERIFIER_VERIFIER_H_
+#define SRC_VERIFIER_VERIFIER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/adya/checker.h"
+#include "src/common/graph.h"
+#include "src/common/ids.h"
+#include "src/kem/program.h"
+#include "src/multivalue/multivalue.h"
+#include "src/server/advice.h"
+#include "src/trace/trace.h"
+
+namespace karousos {
+
+struct AuditStats {
+  size_t groups = 0;
+  size_t group_lane_total = 0;       // Sum of group widths == #requests.
+  size_t handler_executions = 0;     // Handler-body executions (deduplicated).
+  size_t handler_lanes = 0;          // Sum over executions of group width.
+  size_t ops_executed = 0;           // Deduplicated operation executions.
+  size_t graph_nodes = 0;
+  size_t graph_edges = 0;
+  size_t var_dict_entries = 0;
+  size_t isolation_dg_nodes = 0;
+  size_t isolation_dg_edges = 0;
+};
+
+struct AuditResult {
+  bool accepted = false;
+  std::string reason;  // Empty on accept.
+  AuditStats stats;
+};
+
+// Thrown by internal checks on server misbehavior; caught by Audit().
+struct RejectError {
+  explicit RejectError(std::string r) : reason(std::move(r)) {}
+  std::string reason;
+};
+
+class ReplayCtx;
+
+class Verifier {
+ public:
+  Verifier(const Program& program, IsolationLevel isolation)
+      : program_(program), isolation_(isolation) {}
+
+  // One-shot: audits a single (trace, advice) pair.
+  AuditResult Audit(const Trace& trace, const Advice& advice);
+
+ private:
+  friend class ReplayCtx;
+
+  // Location of an operation in the advice logs (Figure 14's OpMap).
+  struct OpLocation {
+    enum class Kind : uint8_t { kHandlerLog, kTxLog };
+    Kind kind = Kind::kHandlerLog;
+    RequestId rid = 0;  // Handler-log owner.
+    TxnKey txn{};       // Tx-log owner.
+    uint32_t index = 0; // 1-based position within the log.
+  };
+
+  struct Activation {
+    HandlerId hid = 0;
+    FunctionId function = 0;
+  };
+
+  // Verifier-side tracked-variable state (Figures 20-21).
+  struct VerifierVar {
+    // var_dict: per (rid, hid), the writes that handler performed, in opnum
+    // order (value snapshots for FindNearestRPrecedingWrite).
+    std::map<std::pair<RequestId, HandlerId>, std::vector<std::pair<OpNum, Value>>> var_dict;
+    std::unordered_map<OpRef, std::vector<OpRef>, OpRefHash> read_observers;
+    std::unordered_map<OpRef, OpRef, OpRefHash> write_observer;
+    OpRef initializer;  // First write in the reconstructed history (nil until set).
+    bool declared = false;
+  };
+
+  // --- Preprocess (Figure 14) -------------------------------------------
+  void Preprocess();
+  void RunInitialization();
+  void AddTimePrecedenceEdges();
+  void AddProgramEdges();
+  void AddBoundaryEdges();
+  void AddHandlerRelatedEdges();
+  void AddExternalStateEdges();
+  void IsolationLevelVerification();
+  void CheckOpIsValid(RequestId rid, HandlerId hid, OpNum opnum);
+
+  // --- ReExec (Figures 18-19) --------------------------------------------
+  void ReExec();
+  void ReExecGroup(const std::vector<RequestId>& rids);
+
+  // --- Postprocess (Figure 21) --------------------------------------------
+  void Postprocess();
+  void AddInternalStateEdges();
+
+  // The canonical handler-matching order shared with the server: global
+  // handlers in registration order, then per-request registrations in
+  // registration order.
+  static std::vector<FunctionId> MatchHandlers(
+      const std::vector<std::pair<uint64_t, FunctionId>>& globals,
+      const std::vector<std::pair<uint64_t, FunctionId>>& registered, uint64_t event);
+
+  [[noreturn]] static void Reject(std::string reason) { throw RejectError(std::move(reason)); }
+
+  const Program& program_;
+  IsolationLevel isolation_;
+
+  const Trace* trace_ = nullptr;
+  const Advice* advice_ = nullptr;
+
+  DirectedGraph graph_;
+  std::unordered_map<OpRef, OpLocation, OpRefHash> op_map_;
+  std::unordered_map<OpRef, std::vector<Activation>, OpRefHash> activated_handlers_;
+  // Global handlers registered by the verifier's own initialization run.
+  std::vector<std::pair<uint64_t, FunctionId>> global_handlers_;
+  HistoryAnalysis history_;
+
+  std::set<RequestId> trace_rids_;
+  std::map<VarId, VerifierVar> vars_;
+  // Parent handler of each executed handler, per request (for the var-dict
+  // ancestor climb). Request handlers map to kNoHandler.
+  std::map<RequestId, std::unordered_map<HandlerId, HandlerId>> parents_;
+  // Position counters per transaction during re-execution.
+  std::map<TxnKey, uint32_t> tx_positions_;
+  // (rid, hid) pairs executed by ReExec (for the final opcounts check).
+  std::set<std::pair<RequestId, HandlerId>> executed_;
+  std::set<RequestId> responded_;
+  // Request inputs / expected responses, indexed once from the trace.
+  std::map<RequestId, Value> request_inputs_;
+  std::map<RequestId, Value> responses_;
+  // Variable-log entries that re-execution actually produced; at the end of
+  // ReExec every entry must have been produced, or the log smuggled values
+  // ("the verifier ensures that all operations in the logs are produced
+  // during re-execution", §4.4 — applied to variable logs as well).
+  std::set<std::pair<VarId, OpRef>> var_log_touched_;
+  // Unannotated variables: a plain reconstructed copy, no version tracking.
+  std::map<VarId, Value> untracked_vars_;
+
+  AuditStats stats_;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_VERIFIER_VERIFIER_H_

@@ -1,0 +1,138 @@
+#include "src/workload/workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/rng.h"
+
+namespace karousos {
+
+namespace {
+
+const char* kDays[] = {"mon", "tue", "wed", "thu", "fri", "sat", "sun", "every"};
+
+std::vector<Value> GenerateMotd(const WorkloadConfig& config, uint64_t write_percent) {
+  Rng rng(config.seed ^ 0x6d6f7464);
+  std::vector<Value> out;
+  out.reserve(config.requests);
+  for (size_t i = 0; i < config.requests; ++i) {
+    const char* day = kDays[rng.Below(8)];
+    if (rng.Percent(write_percent)) {
+      // Realistic message bodies (a few hundred bytes): large written values
+      // are what make write-heavy MOTD expensive to verify — each logged
+      // write is stored in the variable log and the verifier's value
+      // dictionary (§6.2).
+      std::string msg = "msg-" + std::to_string(rng.Below(100000)) + " ";
+      msg.append(1400, static_cast<char>('a' + rng.Below(26)));
+      out.push_back(MakeMap({{"op", "set"}, {"day", day}, {"msg", Value(std::move(msg))}}));
+    } else {
+      out.push_back(MakeMap({{"op", "get"}, {"day", day}}));
+    }
+  }
+  return out;
+}
+
+std::vector<Value> GenerateStacks(const WorkloadConfig& config, uint64_t write_percent) {
+  Rng rng(config.seed ^ 0x737461636b);
+  std::vector<Value> out;
+  out.reserve(config.requests);
+  std::vector<std::string> known_dumps;
+  uint64_t fresh = 0;
+  for (size_t i = 0; i < config.requests; ++i) {
+    if (rng.Percent(write_percent) || known_dumps.empty()) {
+      // 10% of submits report a new dump, 90% a previously reported one.
+      std::string dump;
+      if (known_dumps.empty() || rng.Percent(10)) {
+        dump = "stack#" + std::to_string(++fresh) + " at frame " + std::to_string(rng.Below(64));
+        known_dumps.push_back(dump);
+      } else {
+        dump = known_dumps[rng.Below(known_dumps.size())];
+      }
+      out.push_back(MakeMap({{"op", "submit"}, {"dump", Value(dump)}}));
+    } else if (rng.Percent(75) && !known_dumps.empty()) {
+      out.push_back(MakeMap(
+          {{"op", "count"}, {"dump", Value(known_dumps[rng.Below(known_dumps.size())])}}));
+    } else {
+      out.push_back(MakeMap({{"op", "list"}}));
+    }
+  }
+  return out;
+}
+
+std::vector<Value> GenerateWiki(const WorkloadConfig& config) {
+  Rng rng(config.seed ^ 0x77696b69);
+  std::vector<Value> out;
+  out.reserve(config.requests);
+  std::vector<std::string> pages;
+  uint64_t next_page = 0;
+  for (size_t i = 0; i < config.requests; ++i) {
+    Value conn(static_cast<int64_t>(
+        config.connections > 0 ? static_cast<int64_t>(i) % config.connections : 0));
+    uint64_t roll = rng.Below(100);
+    if (roll < 25 || pages.empty()) {
+      std::string id = "p" + std::to_string(++next_page);
+      pages.push_back(id);
+      out.push_back(MakeMap({{"op", "create_page"},
+                             {"id", Value(id)},
+                             {"title", Value("Title " + id)},
+                             {"content", Value("Contents of " + id)},
+                             {"conn", conn}}));
+    } else if (roll < 40) {
+      out.push_back(MakeMap({{"op", "create_comment"},
+                             {"page", Value(pages[rng.Below(pages.size())])},
+                             {"text", Value("comment " + std::to_string(i))},
+                             {"conn", conn}}));
+    } else {
+      out.push_back(MakeMap({{"op", "render"},
+                             {"page", Value(pages[rng.Below(pages.size())])},
+                             {"conn", conn}}));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kReadHeavy:
+      return "90% reads";
+    case WorkloadKind::kWriteHeavy:
+      return "90% writes";
+    case WorkloadKind::kMixed:
+      return "mixed";
+    case WorkloadKind::kWikiMix:
+      return "wiki mix";
+  }
+  return "?";
+}
+
+std::vector<Value> GenerateWorkload(const WorkloadConfig& config) {
+  uint64_t write_percent = 50;
+  switch (config.kind) {
+    case WorkloadKind::kReadHeavy:
+      write_percent = 10;
+      break;
+    case WorkloadKind::kWriteHeavy:
+      write_percent = 90;
+      break;
+    case WorkloadKind::kMixed:
+      write_percent = 50;
+      break;
+    case WorkloadKind::kWikiMix:
+      break;
+  }
+  if (config.app == "motd") {
+    return GenerateMotd(config, write_percent);
+  }
+  if (config.app == "stacks") {
+    return GenerateStacks(config, write_percent);
+  }
+  if (config.app == "wiki") {
+    return GenerateWiki(config);
+  }
+  std::fprintf(stderr, "unknown workload app '%s'\n", config.app.c_str());
+  std::abort();
+}
+
+}  // namespace karousos

@@ -1,0 +1,41 @@
+// Workload generators mirroring §6's evaluation setup: read-heavy (90/10),
+// write-heavy (10/90), and mixed (50/50) request streams for the model
+// applications, and the 25% page-creation / 15% comment / 60% render mix
+// (loosely derived from a Wikipedia trace) for the wiki application. Write
+// requests to the stacks application are split 10% new dump / 90% previously
+// reported, as in the paper.
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace karousos {
+
+enum class WorkloadKind : uint8_t {
+  kReadHeavy,   // 90% reads / 10% writes.
+  kWriteHeavy,  // 10% reads / 90% writes.
+  kMixed,       // 50% / 50%.
+  kWikiMix,     // 25% create-page, 15% create-comment, 60% render.
+};
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+struct WorkloadConfig {
+  std::string app;  // "motd", "stacks", or "wiki".
+  WorkloadKind kind = WorkloadKind::kMixed;
+  size_t requests = 600;
+  uint64_t seed = 1;
+  // Number of simulated client connections; stamped into wiki requests as
+  // the connection-pool slot.
+  int connections = 1;
+};
+
+std::vector<Value> GenerateWorkload(const WorkloadConfig& config);
+
+}  // namespace karousos
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

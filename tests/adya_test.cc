@@ -1,0 +1,253 @@
+// Adya isolation testing (§4.4): hand-built anomaly histories must be
+// rejected at the appropriate levels, and histories the txkv store actually
+// produces must pass at the store's configured level (a property test tying
+// the substrate and the checker together).
+#include "src/adya/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace karousos {
+namespace {
+
+// Builders for compact history construction.
+TxOperation Start() { return TxOperation{TxOpType::kTxStart, 1, 1, "", Value(), kNilTxOp, false}; }
+TxOperation Commit() {
+  return TxOperation{TxOpType::kTxCommit, 1, 9, "", Value(), kNilTxOp, false};
+}
+TxOperation Abort() { return TxOperation{TxOpType::kTxAbort, 1, 9, "", Value(), kNilTxOp, false}; }
+TxOperation Put(std::string key, Value v, OpNum opnum) {
+  return TxOperation{TxOpType::kPut, 1, opnum, std::move(key), std::move(v), kNilTxOp, false};
+}
+TxOperation Get(std::string key, TxOpRef from, OpNum opnum) {
+  return TxOperation{TxOpType::kGet, 1, opnum, std::move(key), Value(), from, true};
+}
+
+TEST(AdyaTest, EmptyHistoryPassesAllLevels) {
+  for (IsolationLevel level : {IsolationLevel::kSerializable, IsolationLevel::kReadCommitted,
+                               IsolationLevel::kReadUncommitted}) {
+    EXPECT_TRUE(CheckHistory(level, {}, {}).ok);
+  }
+}
+
+TEST(AdyaTest, SimpleSerialHistoryPasses) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Put("k", Value(1), 2), Commit()};
+  logs[{2, 20}] = {Start(), Get("k", TxOpRef{1, 10, 2}, 2), Put("k", Value(2), 3), Commit()};
+  WriteOrder order = {TxOpRef{1, 10, 2}, TxOpRef{2, 20, 3}};
+  EXPECT_TRUE(CheckHistory(IsolationLevel::kSerializable, logs, order).ok);
+}
+
+TEST(AdyaTest, LogWithoutTxStartRejected) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Put("k", Value(1), 1), Commit()};
+  EXPECT_FALSE(AnalyzeLogs(logs).ok);
+}
+
+TEST(AdyaTest, OperationsAfterCommitRejected) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Commit(), Put("k", Value(1), 3)};
+  EXPECT_FALSE(AnalyzeLogs(logs).ok);
+}
+
+TEST(AdyaTest, GetWithDanglingDictatingWriteRejected) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Get("k", TxOpRef{5, 55, 2}, 2), Commit()};
+  EXPECT_FALSE(AnalyzeLogs(logs).ok);
+}
+
+TEST(AdyaTest, GetWithKeyMismatchRejected) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Put("other", Value(1), 2), Commit()};
+  logs[{2, 20}] = {Start(), Get("k", TxOpRef{1, 10, 2}, 2), Commit()};
+  EXPECT_FALSE(AnalyzeLogs(logs).ok);
+}
+
+TEST(AdyaTest, TransactionMustObserveOwnWrites) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Put("k", Value(1), 2), Commit()};
+  logs[{2, 20}] = {Start(), Put("k", Value(2), 2), Get("k", TxOpRef{1, 10, 2}, 3), Commit()};
+  HistoryAnalysis analysis = AnalyzeLogs(logs);
+  EXPECT_FALSE(analysis.ok);
+  EXPECT_NE(analysis.reason.find("own"), std::string::npos);
+}
+
+TEST(AdyaTest, WriteOrderLengthMismatchRejected) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Put("k", Value(1), 2), Commit()};
+  EXPECT_FALSE(CheckHistory(IsolationLevel::kReadUncommitted, logs, {}).ok);
+}
+
+TEST(AdyaTest, WriteOrderWithNonFinalModificationRejected) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Put("k", Value(1), 2), Put("k", Value(2), 3), Commit()};
+  // The order lists the first PUT, which is not the final modification.
+  WriteOrder order = {TxOpRef{1, 10, 2}};
+  EXPECT_FALSE(CheckHistory(IsolationLevel::kReadUncommitted, logs, order).ok);
+  WriteOrder good = {TxOpRef{1, 10, 3}};
+  EXPECT_TRUE(CheckHistory(IsolationLevel::kReadUncommitted, logs, good).ok);
+}
+
+TEST(AdyaTest, G1aAbortedReadRejectedAtReadCommitted) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Put("k", Value(1), 2), Abort()};
+  logs[{2, 20}] = {Start(), Get("k", TxOpRef{1, 10, 2}, 2), Commit()};
+  WriteOrder order = {};
+  EXPECT_FALSE(CheckHistory(IsolationLevel::kReadCommitted, logs, order).ok);
+  // Read-uncommitted tolerates it (G1a is not proscribed there).
+  EXPECT_TRUE(CheckHistory(IsolationLevel::kReadUncommitted, logs, order).ok);
+}
+
+TEST(AdyaTest, G1bIntermediateReadRejectedAtReadCommitted) {
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Put("k", Value(1), 2), Put("k", Value(2), 3), Commit()};
+  logs[{2, 20}] = {Start(), Get("k", TxOpRef{1, 10, 2}, 2), Commit()};  // Reads non-final PUT.
+  WriteOrder order = {TxOpRef{1, 10, 3}};
+  EXPECT_FALSE(CheckHistory(IsolationLevel::kReadCommitted, logs, order).ok);
+  EXPECT_TRUE(CheckHistory(IsolationLevel::kReadUncommitted, logs, order).ok);
+}
+
+TEST(AdyaTest, G0WriteCycleRejectedEverywhere) {
+  // T1 and T2 interleave writes on two keys: w-w edges in both directions.
+  TransactionLogs logs;
+  logs[{1, 10}] = {Start(), Put("a", Value(1), 2), Put("b", Value(1), 3), Commit()};
+  logs[{2, 20}] = {Start(), Put("b", Value(2), 2), Put("a", Value(2), 3), Commit()};
+  // a: T1 then T2; b: T2 then T1 -> cycle of write-dependencies.
+  WriteOrder order = {TxOpRef{1, 10, 2}, TxOpRef{2, 20, 2}, TxOpRef{2, 20, 3},
+                      TxOpRef{1, 10, 3}};
+  for (IsolationLevel level : {IsolationLevel::kSerializable, IsolationLevel::kReadCommitted,
+                               IsolationLevel::kReadUncommitted}) {
+    IsolationCheckResult result = CheckHistory(level, logs, order);
+    EXPECT_FALSE(result.ok) << IsolationLevelName(level);
+    EXPECT_NE(result.reason.find("cycle"), std::string::npos);
+  }
+}
+
+TEST(AdyaTest, G2WriteSkewRejectedOnlyAtSerializability) {
+  // Classic write skew: T1 reads a, writes b; T2 reads b, writes a.
+  TransactionLogs logs;
+  logs[{0, 5}] = {Start(), Put("a", Value(0), 2), Put("b", Value(0), 3), Commit()};
+  logs[{1, 10}] = {Start(), Get("a", TxOpRef{0, 5, 2}, 2), Put("b", Value(1), 3), Commit()};
+  logs[{2, 20}] = {Start(), Get("b", TxOpRef{0, 5, 3}, 2), Put("a", Value(2), 3), Commit()};
+  WriteOrder order = {TxOpRef{0, 5, 2}, TxOpRef{0, 5, 3}, TxOpRef{1, 10, 3}, TxOpRef{2, 20, 3}};
+  EXPECT_FALSE(CheckHistory(IsolationLevel::kSerializable, logs, order).ok);
+  EXPECT_TRUE(CheckHistory(IsolationLevel::kReadCommitted, logs, order).ok);
+  EXPECT_TRUE(CheckHistory(IsolationLevel::kReadUncommitted, logs, order).ok);
+}
+
+TEST(AdyaTest, LostUpdateRejectedAtSerializability) {
+  // T1 and T2 both read v0 of k and then write k: one update is lost.
+  TransactionLogs logs;
+  logs[{0, 5}] = {Start(), Put("k", Value(0), 2), Commit()};
+  logs[{1, 10}] = {Start(), Get("k", TxOpRef{0, 5, 2}, 2), Put("k", Value(1), 3), Commit()};
+  logs[{2, 20}] = {Start(), Get("k", TxOpRef{0, 5, 2}, 2), Put("k", Value(2), 3), Commit()};
+  WriteOrder order = {TxOpRef{0, 5, 2}, TxOpRef{1, 10, 3}, TxOpRef{2, 20, 3}};
+  EXPECT_FALSE(CheckHistory(IsolationLevel::kSerializable, logs, order).ok);
+  EXPECT_TRUE(CheckHistory(IsolationLevel::kReadCommitted, logs, order).ok);
+}
+
+// Property test: whatever history the store actually produces under random
+// concurrent transactions must pass the checker at the store's level. This
+// runs transactions in interleaved steps, building the same transaction logs
+// an honest Karousos server would.
+class StoreHistoryProperty : public testing::TestWithParam<IsolationLevel> {};
+
+TEST_P(StoreHistoryProperty, StoreHistoriesPassTheirLevel) {
+  const IsolationLevel level = GetParam();
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed * 31 + static_cast<uint64_t>(level));
+    TxKvStore store(level);
+    TransactionLogs logs;
+
+    struct LiveTxn {
+      RequestId rid;
+      TxId tid;
+      bool dead = false;
+    };
+    std::vector<LiveTxn> live;
+    uint64_t next_id = 1;
+    const char* keys[] = {"k1", "k2", "k3"};
+    for (int step = 0; step < 300; ++step) {
+      if (live.empty() || (live.size() < 4 && rng.Percent(30))) {
+        LiveTxn txn{next_id, next_id * 100, false};
+        ++next_id;
+        ASSERT_EQ(store.Begin(txn.rid, txn.tid), TxStatus::kOk);
+        logs[{txn.rid, txn.tid}].push_back(Start());
+        live.push_back(txn);
+        continue;
+      }
+      size_t pick = rng.Below(live.size());
+      LiveTxn& txn = live[pick];
+      TxnKey key{txn.rid, txn.tid};
+      uint32_t index = static_cast<uint32_t>(logs[key].size()) + 1;
+      uint64_t action = rng.Below(10);
+      const std::string k = keys[rng.Below(3)];
+      if (action < 4) {
+        KvGetResult got = store.Get(txn.rid, txn.tid, k);
+        if (got.status == TxStatus::kOk) {
+          TxOperation op = got.found ? Get(k, got.dictating_write, 1)
+                                     : TxOperation{TxOpType::kGet, 1, 1, k, Value(), kNilTxOp,
+                                                   false};
+          logs[key].push_back(op);
+        } else {
+          store.Abort(txn.rid, txn.tid);
+          logs[key].push_back(Abort());
+          txn.dead = true;
+        }
+      } else if (action < 8) {
+        TxStatus status = store.Put(txn.rid, txn.tid, index, k, Value(static_cast<int64_t>(step)));
+        if (status == TxStatus::kOk) {
+          logs[key].push_back(Put(k, Value(static_cast<int64_t>(step)), 1));
+        } else {
+          store.Abort(txn.rid, txn.tid);
+          logs[key].push_back(Abort());
+          txn.dead = true;
+        }
+      } else if (action < 9) {
+        store.Abort(txn.rid, txn.tid);
+        logs[key].push_back(Abort());
+        txn.dead = true;
+      } else {
+        ASSERT_EQ(store.Commit(txn.rid, txn.tid), TxStatus::kOk);
+        logs[key].push_back(Commit());
+        txn.dead = true;
+      }
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [](const LiveTxn& t) { return t.dead; }),
+                 live.end());
+    }
+    for (LiveTxn& txn : live) {
+      store.Abort(txn.rid, txn.tid);
+      logs[{txn.rid, txn.tid}].push_back(Abort());
+    }
+    // Fix up opnum bookkeeping: give each op a distinct (hid, opnum) pair.
+    for (auto& [txn_key, log] : logs) {
+      for (uint32_t i = 0; i < log.size(); ++i) {
+        log[i].hid = txn_key.tid;
+        log[i].opnum = i + 1;
+      }
+    }
+    IsolationCheckResult result = CheckHistory(level, logs, store.binlog());
+    EXPECT_TRUE(result.ok) << "seed " << seed << " at " << IsolationLevelName(level) << ": "
+                           << result.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, StoreHistoryProperty,
+                         testing::Values(IsolationLevel::kSerializable,
+                                         IsolationLevel::kReadCommitted,
+                                         IsolationLevel::kReadUncommitted),
+                         [](const testing::TestParamInfo<IsolationLevel>& info) {
+                           switch (info.param) {
+                             case IsolationLevel::kSerializable:
+                               return std::string("serializable");
+                             case IsolationLevel::kReadCommitted:
+                               return std::string("read_committed");
+                             default:
+                               return std::string("read_uncommitted");
+                           }
+                         });
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,159 @@
+// Dynamic (per-request) handler registration and unregistration (§3): apps
+// can register listeners during a request; emits activate whatever is
+// registered at that moment; the verifier reconstructs the same activation
+// sets from the handler logs (Figure 16's Registered simulation).
+#include <gtest/gtest.h>
+
+#include "src/apps/app_util.h"
+#include "src/audit/audit.h"
+
+namespace karousos {
+namespace {
+
+// Subscription app: the request handler registers a per-request listener for
+// the "tick" event (two listeners when the request asks for "double"), emits
+// a tick, and the listener(s) respond / accumulate.
+AppSpec MakeSubscribeApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("subscribe_handle", [](Ctx& ctx) {
+    MultiValue in = ctx.Input();
+    ctx.RegisterHandler("tick", "tick_listener");
+    if (ctx.Branch(MvEq(MvField(in, "mode"), MultiValue("double")))) {
+      ctx.RegisterHandler("tick", "tick_second");
+      ctx.DeclareVar("ticks", VarScope::kRequest);
+      ctx.WriteVar("ticks", VarScope::kRequest, MultiValue(0));
+      ctx.Emit("tick", MvMakeMap({{"x", MvField(in, "x")}, {"both", MultiValue(true)}}));
+    } else if (ctx.Branch(MvEq(MvField(in, "mode"), MultiValue("cancel")))) {
+      // Register then unregister: the emit must activate nothing, and the
+      // request handler itself responds.
+      ctx.UnregisterHandler("tick", "tick_listener");
+      ctx.Emit("tick", MvMakeMap({{"x", MvField(in, "x")}}));
+      ctx.Respond(MvMakeMap({{"cancelled", MultiValue(true)}}));
+    } else {
+      ctx.Emit("tick", MvMakeMap({{"x", MvField(in, "x")}}));
+    }
+  });
+  program->DefineFunction("tick_listener", [](Ctx& ctx) {
+    MultiValue x = MvField(ctx.Input(), "x");
+    if (ctx.Branch(MvField(ctx.Input(), "both"))) {
+      // Double mode: join with the sibling listener via the counter.
+      MultiValue ticks = MvAdd(ctx.ReadVar("ticks", VarScope::kRequest), MultiValue(1));
+      ctx.WriteVar("ticks", VarScope::kRequest, ticks);
+      if (ctx.Branch(MvEq(ticks, MultiValue(2)))) {
+        ctx.Respond(MvMakeMap({{"sum", MvAdd(x, x)}}));
+      }
+      return;
+    }
+    ctx.Respond(MvMakeMap({{"echo", x}}));
+  });
+  program->DefineFunction("tick_second", [](Ctx& ctx) {
+    MultiValue ticks = MvAdd(ctx.ReadVar("ticks", VarScope::kRequest), MultiValue(1));
+    ctx.WriteVar("ticks", VarScope::kRequest, ticks);
+    if (ctx.Branch(MvEq(ticks, MultiValue(2)))) {
+      MultiValue x = MvField(ctx.Input(), "x");
+      ctx.Respond(MvMakeMap({{"sum", MvAdd(x, x)}}));
+    }
+  });
+  program->SetInit(
+      [](Ctx& ctx) { ctx.RegisterHandler(kRequestEventName, "subscribe_handle"); });
+  return AppSpec{"subscribe", std::move(program)};
+}
+
+TEST(DynamicHandlersTest, SingleListenerRoundTrip) {
+  AppSpec app = MakeSubscribeApp();
+  std::vector<Value> inputs = {MakeMap({{"mode", "single"}, {"x", 21}})};
+  ServerConfig config;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  ASSERT_TRUE(result.audit.accepted) << result.audit.reason;
+  EXPECT_EQ(result.server.trace.Response(1)->Field("echo"), Value(21));
+}
+
+TEST(DynamicHandlersTest, TwoListenersActivatedByOneEmit) {
+  AppSpec app = MakeSubscribeApp();
+  std::vector<Value> inputs = {MakeMap({{"mode", "double"}, {"x", 10}})};
+  ServerConfig config;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  ASSERT_TRUE(result.audit.accepted) << result.audit.reason;
+  EXPECT_EQ(result.server.trace.Response(1)->Field("sum"), Value(20));
+  // One emit activated two handlers: 3 opcount entries for the request.
+  EXPECT_EQ(result.server.advice.opcounts.size(), 3u);
+}
+
+TEST(DynamicHandlersTest, UnregisterSilencesTheEmit) {
+  AppSpec app = MakeSubscribeApp();
+  std::vector<Value> inputs = {MakeMap({{"mode", "cancel"}, {"x", 5}})};
+  ServerConfig config;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  ASSERT_TRUE(result.audit.accepted) << result.audit.reason;
+  EXPECT_EQ(result.server.trace.Response(1)->Field("cancelled"), Value(true));
+  // Only the request handler ran.
+  EXPECT_EQ(result.server.advice.opcounts.size(), 1u);
+}
+
+TEST(DynamicHandlersTest, MixedModesGroupSeparatelyAndAllAudit) {
+  AppSpec app = MakeSubscribeApp();
+  std::vector<Value> inputs;
+  for (int i = 0; i < 24; ++i) {
+    const char* modes[] = {"single", "double", "cancel"};
+    inputs.push_back(MakeMap({{"mode", modes[i % 3]}, {"x", i}}));
+  }
+  ServerConfig config;
+  config.concurrency = 6;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  ASSERT_TRUE(result.audit.accepted) << result.audit.reason;
+  // In double mode either listener may respond depending on dispatch order,
+  // so there are up to four groups (single, cancel, double-a, double-b).
+  EXPECT_GE(result.audit.stats.groups, 3u);
+  EXPECT_LE(result.audit.stats.groups, 4u);
+}
+
+TEST(DynamicHandlersTest, DroppedRegisterEntryRejected) {
+  // Removing the register entry from the handler log makes the later emit
+  // activate nothing per the advice, while re-execution still emits to a
+  // registered listener — the books cannot balance.
+  AppSpec app = MakeSubscribeApp();
+  std::vector<Value> inputs = {MakeMap({{"mode", "single"}, {"x", 1}})};
+  ServerConfig config;
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(inputs);
+  auto& log = run.advice.handler_logs.at(1);
+  bool removed = false;
+  for (auto it = log.begin(); it != log.end(); ++it) {
+    if (it->kind == HandlerLogEntry::Kind::kRegister) {
+      log.erase(it);
+      removed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(removed);
+  AuditResult audit = AuditOnly(app, run.trace, run.advice, config.isolation);
+  EXPECT_FALSE(audit.accepted);
+}
+
+TEST(DynamicHandlersTest, ForgedExtraRegistrationRejected) {
+  // Injecting a registration the program never performed: the emitted event
+  // would activate an extra handler whose opcounts entry is missing, or, if
+  // the server also fabricates opcounts, a handler re-execution never runs.
+  AppSpec app = MakeSubscribeApp();
+  std::vector<Value> inputs = {MakeMap({{"mode", "single"}, {"x", 1}})};
+  ServerConfig config;
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(inputs);
+  auto& log = run.advice.handler_logs.at(1);
+  // Forge: before the emit, claim tick_second was also registered.
+  HandlerLogEntry forged;
+  forged.kind = HandlerLogEntry::Kind::kRegister;
+  forged.hid = log.front().hid;
+  forged.opnum = log.front().opnum;  // Collides -> caught; use fresh position.
+  forged.opnum = static_cast<OpNum>(log.size() + 5);
+  forged.event = EventId("tick");
+  forged.function = DigestOf("tick_second");
+  log.insert(log.begin(), forged);
+  run.advice.opcounts[{1, forged.hid}] =
+      std::max(run.advice.opcounts[{1, forged.hid}], forged.opnum);
+  AuditResult audit = AuditOnly(app, run.trace, run.advice, config.isolation);
+  EXPECT_FALSE(audit.accepted);
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,112 @@
+// Shape regressions: the qualitative claims of Figures 6-8 (see
+// EXPERIMENTS.md), asserted at small scale so CI catches any change that
+// would break the reproduction. These check relationships, never absolute
+// times.
+#include <gtest/gtest.h>
+
+#include "src/audit/audit.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+struct ModeRun {
+  ServerRunResult server;
+  AuditResult audit;
+};
+
+ModeRun RunMode(const std::string& app_name, WorkloadKind kind, CollectMode mode,
+                int concurrency, size_t requests = 200) {
+  AppSpec app = app_name == "motd"     ? MakeMotdApp()
+                : app_name == "stacks" ? MakeStacksApp()
+                                       : MakeWikiApp();
+  WorkloadConfig wl;
+  wl.app = app_name;
+  wl.kind = kind;
+  wl.requests = requests;
+  wl.connections = concurrency;
+  ServerConfig config;
+  config.mode = mode;
+  config.concurrency = concurrency;
+  config.seed = 21;
+  Server server(*app.program, config);
+  ModeRun run;
+  run.server = server.Run(GenerateWorkload(wl));
+  run.audit = AuditOnly(app, run.server.trace, run.server.advice, config.isolation);
+  return run;
+}
+
+TEST(FigureShapesTest, MotdAdviceIdenticalAcrossSystems) {
+  // Figure 8, MOTD: every access is R-concurrent, so Karousos's advice is
+  // byte-for-byte as large as Orochi-JS's.
+  ModeRun k = RunMode("motd", WorkloadKind::kWriteHeavy, CollectMode::kKarousos, 8);
+  ModeRun o = RunMode("motd", WorkloadKind::kWriteHeavy, CollectMode::kOrochi, 8);
+  ASSERT_TRUE(k.audit.accepted) << k.audit.reason;
+  ASSERT_TRUE(o.audit.accepted) << o.audit.reason;
+  EXPECT_EQ(k.server.advice.var_log_entry_count(), o.server.advice.var_log_entry_count());
+  EXPECT_EQ(k.server.advice.MeasureSize().total, o.server.advice.MeasureSize().total);
+  EXPECT_EQ(k.audit.stats.groups, o.audit.stats.groups);
+}
+
+TEST(FigureShapesTest, StacksKarousosGroupsCoarserUnderConcurrency) {
+  // Figure 7, stacks: concurrency scrambles sibling completion order, so
+  // sequence tags fragment while tree tags survive. Needs enough requests
+  // that list fan-outs carry several children (known dumps accumulate).
+  ModeRun k = RunMode("stacks", WorkloadKind::kReadHeavy, CollectMode::kKarousos, 12, 500);
+  ModeRun o = RunMode("stacks", WorkloadKind::kReadHeavy, CollectMode::kOrochi, 12, 500);
+  ASSERT_TRUE(k.audit.accepted) << k.audit.reason;
+  ASSERT_TRUE(o.audit.accepted) << o.audit.reason;
+  EXPECT_LT(k.audit.stats.groups, o.audit.stats.groups);
+  EXPECT_LT(k.audit.stats.handler_executions, o.audit.stats.handler_executions);
+}
+
+TEST(FigureShapesTest, WikiKarousosAdviceSmallerAndGrowsWithConcurrency) {
+  // Figure 8, wiki: R-ordered logging saves bytes, and advice grows with the
+  // number of concurrent connections (the pool-stats object).
+  ModeRun k1 = RunMode("wiki", WorkloadKind::kWikiMix, CollectMode::kKarousos, 1);
+  ModeRun k16 = RunMode("wiki", WorkloadKind::kWikiMix, CollectMode::kKarousos, 16);
+  ModeRun o16 = RunMode("wiki", WorkloadKind::kWikiMix, CollectMode::kOrochi, 16);
+  ASSERT_TRUE(k1.audit.accepted) << k1.audit.reason;
+  ASSERT_TRUE(k16.audit.accepted) << k16.audit.reason;
+  ASSERT_TRUE(o16.audit.accepted) << o16.audit.reason;
+  EXPECT_LT(k16.server.advice.MeasureSize().total, o16.server.advice.MeasureSize().total);
+  EXPECT_LT(k1.server.advice.MeasureSize().total, k16.server.advice.MeasureSize().total);
+  EXPECT_LT(k16.server.advice.var_log_entry_count(),
+            o16.server.advice.var_log_entry_count());
+}
+
+TEST(FigureShapesTest, InstrumentationCostsServingTimeNotBehaviour) {
+  // Figure 6's premise: the instrumented server does strictly more work.
+  // Compare deterministic work proxies rather than wall clock (CI-safe).
+  ModeRun off = RunMode("stacks", WorkloadKind::kMixed, CollectMode::kOff, 8);
+  ModeRun on = RunMode("stacks", WorkloadKind::kMixed, CollectMode::kKarousos, 8);
+  // Identical schedules -> identical activations and responses.
+  EXPECT_EQ(off.server.handler_activations, on.server.handler_activations);
+  ASSERT_EQ(off.server.trace.events.size(), on.server.trace.events.size());
+  for (size_t i = 0; i < off.server.trace.events.size(); ++i) {
+    EXPECT_EQ(off.server.trace.events[i].payload, on.server.trace.events[i].payload);
+  }
+  // Only the instrumented run pays for advice.
+  EXPECT_EQ(off.server.advice_spool_bytes, 0u);
+  EXPECT_GT(on.server.advice_spool_bytes, 0u);
+  EXPECT_GT(on.server.var_log_entries, 0u);
+  EXPECT_EQ(off.server.var_log_entries, 0u);
+}
+
+TEST(FigureShapesTest, BatchingDedupScalesWithIdenticalRequests) {
+  // The core of Figure 7's wins: verifier work per request falls as groups
+  // widen. 200 identical requests -> one group -> one handler execution per
+  // handler in the tree.
+  AppSpec app = MakeMotdApp();
+  std::vector<Value> inputs(200, MakeMap({{"op", "get"}, {"day", "fri"}}));
+  ServerConfig config;
+  config.concurrency = 8;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  ASSERT_TRUE(result.audit.accepted) << result.audit.reason;
+  EXPECT_EQ(result.audit.stats.groups, 1u);
+  EXPECT_EQ(result.audit.stats.handler_executions, 1u);
+  EXPECT_EQ(result.audit.stats.handler_lanes, 200u);
+}
+
+}  // namespace
+}  // namespace karousos

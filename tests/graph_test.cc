@@ -1,0 +1,113 @@
+#include "src/common/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace karousos {
+namespace {
+
+NodeKey K(uint64_t n) { return NodeKey{n, 0, 1}; }
+
+TEST(GraphTest, EmptyAndSingleNode) {
+  DirectedGraph g;
+  EXPECT_FALSE(g.HasCycle());
+  g.AddNode(K(1));
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_EQ(g.node_count(), 1u);
+}
+
+TEST(GraphTest, SelfLoopIsACycle) {
+  DirectedGraph g;
+  g.AddEdge(K(1), K(1));
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(GraphTest, ChainIsAcyclic) {
+  DirectedGraph g;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    g.AddEdge(K(i), K(i + 1));
+  }
+  EXPECT_FALSE(g.HasCycle());
+}
+
+TEST(GraphTest, BackEdgeMakesCycle) {
+  DirectedGraph g;
+  g.AddEdge(K(1), K(2));
+  g.AddEdge(K(2), K(3));
+  g.AddEdge(K(3), K(1));
+  EXPECT_TRUE(g.HasCycle());
+  std::vector<NodeKey> cycle = g.FindCycle();
+  ASSERT_GE(cycle.size(), 2u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+TEST(GraphTest, DiamondIsAcyclic) {
+  DirectedGraph g;
+  g.AddEdge(K(1), K(2));
+  g.AddEdge(K(1), K(3));
+  g.AddEdge(K(2), K(4));
+  g.AddEdge(K(3), K(4));
+  EXPECT_FALSE(g.HasCycle());
+}
+
+TEST(GraphTest, DisconnectedComponentCycleIsFound) {
+  DirectedGraph g;
+  g.AddEdge(K(1), K(2));
+  g.AddEdge(K(10), K(11));
+  g.AddEdge(K(11), K(10));
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(GraphTest, ParallelEdgesAreNotCycles) {
+  DirectedGraph g;
+  g.AddEdge(K(1), K(2));
+  g.AddEdge(K(1), K(2));
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphTest, InternsKeysOnce) {
+  DirectedGraph g;
+  auto a = g.AddNode(K(7));
+  auto b = g.AddNode(K(7));
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(g.HasNode(K(7)));
+  EXPECT_FALSE(g.HasNode(K(8)));
+  EXPECT_EQ(g.KeyOf(a), K(7));
+}
+
+TEST(GraphTest, DeepChainDoesNotOverflowStack) {
+  // The iterative DFS must survive graphs far deeper than any call stack.
+  DirectedGraph g;
+  constexpr uint64_t kDepth = 500000;
+  for (uint64_t i = 0; i < kDepth; ++i) {
+    g.AddEdge(K(i), K(i + 1));
+  }
+  EXPECT_FALSE(g.HasCycle());
+  g.AddEdge(K(kDepth), K(0));
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(GraphTest, RandomDagPlusBackEdgeProperty) {
+  // Property: edges only from lower to higher ids form a DAG; adding any
+  // reverse edge on a connected pair creates a cycle.
+  Rng rng(7);
+  DirectedGraph g;
+  constexpr uint64_t kNodes = 300;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.Below(kNodes);
+    uint64_t b = rng.Below(kNodes);
+    if (a == b) {
+      continue;
+    }
+    g.AddEdge(K(std::min(a, b)), K(std::max(a, b)));
+  }
+  EXPECT_FALSE(g.HasCycle());
+  g.AddEdge(K(250), K(0));  // 0 -> ... -> 250 exists with high probability.
+  g.AddEdge(K(0), K(250));  // Ensure the forward path exists regardless.
+  EXPECT_TRUE(g.HasCycle());
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,122 @@
+// Instrumentation-invariance tests: collecting advice must never change what
+// the application computes — only what it costs. These guard the premise of
+// every mode comparison in the evaluation.
+#include <gtest/gtest.h>
+
+#include "src/apps/app_util.h"
+#include "src/audit/audit.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+TEST(InstrumentationTest, AppWorkResultsIdenticalAcrossModes) {
+  // The simulated app work (taxed at the instrumented server, plain at the
+  // unmodified one, memoized at the verifier) must produce bit-identical
+  // results, or responses would differ between modes.
+  std::vector<Value> inputs = {MakeMap({{"op", "get"}, {"day", "mon"}}),
+                               MakeMap({{"op", "set"}, {"day", "mon"}, {"msg", "payload"}}),
+                               MakeMap({{"op", "get"}, {"day", "mon"}})};
+  std::vector<Value> responses[3];
+  int idx = 0;
+  for (CollectMode mode : {CollectMode::kOff, CollectMode::kKarousos, CollectMode::kOrochi}) {
+    AppSpec app = MakeMotdApp();
+    ServerConfig config;
+    config.mode = mode;
+    config.concurrency = 1;
+    Server server(*app.program, config);
+    ServerRunResult run = server.Run(inputs);
+    for (RequestId rid : run.trace.RequestIds()) {
+      responses[idx].push_back(*run.trace.Response(rid));
+    }
+    ++idx;
+  }
+  EXPECT_EQ(responses[0], responses[1]);
+  EXPECT_EQ(responses[1], responses[2]);
+  // And the etag really is the AppWork product (non-empty hex string).
+  EXPECT_TRUE(responses[0][0].Field("etag").is_string());
+  EXPECT_FALSE(responses[0][0].Field("etag").AsString().empty());
+}
+
+TEST(InstrumentationTest, VerifierAppWorkMatchesServer) {
+  // The verifier's memoized evaluation feeds re-executed responses; if it
+  // computed anything different from the server's taxed loop, every audit
+  // would reject on response mismatch. Exercise explicitly at group width >1.
+  AppSpec app = MakeMotdApp();
+  std::vector<Value> inputs;
+  for (int i = 0; i < 16; ++i) {
+    inputs.push_back(MakeMap({{"op", "get"}, {"day", "tue"}}));
+  }
+  ServerConfig config;
+  config.concurrency = 4;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  EXPECT_TRUE(result.audit.accepted) << result.audit.reason;
+  EXPECT_EQ(result.audit.stats.groups, 1u);
+}
+
+TEST(InstrumentationTest, AdviceSpoolGrowsWithLogging) {
+  // The spool (streamed advice) must be empty for the unmodified server and
+  // larger for log-all than for R-concurrent-only logging.
+  WorkloadConfig wl;
+  wl.app = "wiki";
+  wl.kind = WorkloadKind::kWikiMix;
+  wl.requests = 80;
+  wl.connections = 8;
+  std::vector<Value> inputs = GenerateWorkload(wl);
+  size_t spool[3];
+  int idx = 0;
+  for (CollectMode mode : {CollectMode::kOff, CollectMode::kKarousos, CollectMode::kOrochi}) {
+    AppSpec app = MakeWikiApp();
+    ServerConfig config;
+    config.mode = mode;
+    config.concurrency = 8;
+    Server server(*app.program, config);
+    spool[idx++] = server.Run(inputs).advice_spool_bytes;
+  }
+  EXPECT_EQ(spool[0], 0u);
+  EXPECT_GT(spool[1], 0u);
+  EXPECT_GT(spool[2], spool[1]);
+}
+
+TEST(InstrumentationTest, WarmupTimingExcludesWarmupServing) {
+  AppSpec app = MakeMotdApp();
+  WorkloadConfig wl;
+  wl.app = "motd";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = 200;
+  std::vector<Value> inputs = GenerateWorkload(wl);
+  ServerConfig warm;
+  warm.concurrency = 4;
+  warm.warmup_requests = 150;
+  Server warm_server(*app.program, warm);
+  double warm_time = warm_server.Run(inputs).serve_seconds;
+  AppSpec app2 = MakeMotdApp();
+  ServerConfig full;
+  full.concurrency = 4;
+  Server full_server(*app2.program, full);
+  double full_time = full_server.Run(inputs).serve_seconds;
+  // Timing noise aside, serving 50 post-warmup requests cannot take longer
+  // than serving all 200 by any meaningful margin.
+  EXPECT_LT(warm_time, full_time * 1.05 + 0.005);
+}
+
+TEST(InstrumentationTest, WorkCountersAreConsistent) {
+  AppSpec app = MakeStacksApp();
+  WorkloadConfig wl;
+  wl.app = "stacks";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = 60;
+  ServerConfig config;
+  config.concurrency = 6;
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(GenerateWorkload(wl));
+  EXPECT_GT(run.handler_activations, 60u);  // Submits/lists spawn children.
+  EXPECT_GT(run.ops_executed, run.handler_activations);
+  EXPECT_GT(run.var_accesses, 0u);
+  EXPECT_GE(run.var_accesses, run.var_log_entries);
+  EXPECT_EQ(run.var_log_entries, run.advice.var_log_entry_count());
+  EXPECT_GT(run.state_ops, 0u);
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,132 @@
+// KEM building blocks: labels and the R-order predicate (§4.2, §5), handler
+// ids, digests, and the function registry.
+#include <gtest/gtest.h>
+
+#include "src/common/digest.h"
+#include "src/kem/label.h"
+#include "src/kem/program.h"
+#include "src/kem/varid.h"
+
+namespace karousos {
+namespace {
+
+TEST(LabelTest, PrefixRelation) {
+  HandlerLabel root{};
+  HandlerLabel a{0};
+  HandlerLabel a0{0, 0};
+  HandlerLabel a1{0, 1};
+  HandlerLabel b{1};
+  EXPECT_TRUE(IsLabelPrefix(root, a));
+  EXPECT_TRUE(IsLabelPrefix(a, a0));
+  EXPECT_TRUE(IsLabelPrefix(a, a1));
+  EXPECT_FALSE(IsLabelPrefix(a0, a1));
+  EXPECT_FALSE(IsLabelPrefix(a1, a0));
+  EXPECT_FALSE(IsLabelPrefix(b, a0));
+  EXPECT_FALSE(IsLabelPrefix(a0, a));  // Longer labels are not prefixes of shorter.
+  EXPECT_TRUE(IsLabelPrefix(a, a));    // Reflexive.
+}
+
+TEST(RorderTest, SameHandlerOrderedByOpnum) {
+  HandlerLabel l{0};
+  OpRef a{1, 7, 1};
+  OpRef b{1, 7, 5};
+  EXPECT_TRUE(RPrecedes(a, l, b, l));
+  EXPECT_FALSE(RPrecedes(b, l, a, l));
+  EXPECT_FALSE(RConcurrent(a, l, b, l));
+}
+
+TEST(RorderTest, AncestorPrecedesDescendant) {
+  OpRef parent{1, 7, 3};
+  OpRef child{1, 8, 1};
+  HandlerLabel pl{0};
+  HandlerLabel cl{0, 2};
+  // Any op of the ancestor precedes any op of the descendant, regardless of
+  // opnum (Definition 7: run-to-completion means the parent finished first).
+  EXPECT_TRUE(RPrecedes(parent, pl, child, cl));
+  EXPECT_FALSE(RPrecedes(child, cl, parent, pl));
+}
+
+TEST(RorderTest, SiblingsAreRConcurrent) {
+  OpRef a{1, 7, 1};
+  OpRef b{1, 8, 1};
+  HandlerLabel la{0, 0};
+  HandlerLabel lb{0, 1};
+  EXPECT_TRUE(RConcurrent(a, la, b, lb));
+}
+
+TEST(RorderTest, DifferentRequestsAreRConcurrent) {
+  OpRef a{1, 7, 1};
+  OpRef b{2, 7, 1};
+  HandlerLabel l{0};
+  EXPECT_TRUE(RConcurrent(a, l, b, l));
+}
+
+TEST(RorderTest, InitPrecedesEverything) {
+  OpRef init{kInitRequestId, kInitHandlerId, 5};
+  OpRef op{42, 7, 1};
+  HandlerLabel none{};
+  HandlerLabel l{3, 1};
+  EXPECT_TRUE(RPrecedes(init, none, op, l));
+  EXPECT_FALSE(RPrecedes(op, l, init, none));
+}
+
+TEST(HandlerIdTest, StructuralAndStable) {
+  FunctionId f1 = DigestOf("handler_one");
+  FunctionId f2 = DigestOf("handler_two");
+  EXPECT_EQ(ComputeHandlerId(f1, kNoHandler, 0), ComputeHandlerId(f1, kNoHandler, 0));
+  EXPECT_NE(ComputeHandlerId(f1, kNoHandler, 0), ComputeHandlerId(f2, kNoHandler, 0));
+  HandlerId parent = ComputeHandlerId(f1, kNoHandler, 0);
+  EXPECT_NE(ComputeHandlerId(f2, parent, 1), ComputeHandlerId(f2, parent, 2));
+  EXPECT_NE(ComputeHandlerId(f2, parent, 1), ComputeHandlerId(f2, kNoHandler, 1));
+}
+
+TEST(DigestTest, OrderSensitivity) {
+  Digest a;
+  a.Update(uint64_t{1});
+  a.Update(uint64_t{2});
+  Digest b;
+  b.Update(uint64_t{2});
+  b.Update(uint64_t{1});
+  EXPECT_NE(a.Finish(), b.Finish());
+}
+
+TEST(DigestTest, StringsAreLengthDelimited) {
+  Digest a;
+  a.Update("ab");
+  a.Update("c");
+  Digest b;
+  b.Update("a");
+  b.Update("bc");
+  EXPECT_NE(a.Finish(), b.Finish());
+}
+
+TEST(DigestTest, UnorderedCombineIsCommutative) {
+  uint64_t x = DigestOf("x");
+  uint64_t y = DigestOf("y");
+  uint64_t z = DigestOf("z");
+  uint64_t abc = CombineUnordered(CombineUnordered(CombineUnordered(0, x), y), z);
+  uint64_t cba = CombineUnordered(CombineUnordered(CombineUnordered(0, z), y), x);
+  EXPECT_EQ(abc, cba);
+  EXPECT_NE(abc, CombineUnordered(CombineUnordered(0, x), y));
+}
+
+TEST(VarIdTest, ScopesAndRequestsAreDisjoint) {
+  EXPECT_NE(ResolveVarId("v", VarScope::kGlobal, 0), ResolveVarId("v", VarScope::kUntracked, 0));
+  EXPECT_NE(ResolveVarId("v", VarScope::kRequest, 1), ResolveVarId("v", VarScope::kRequest, 2));
+  EXPECT_EQ(ResolveVarId("v", VarScope::kGlobal, 1), ResolveVarId("v", VarScope::kGlobal, 2));
+  EXPECT_NE(ResolveVarId("v", VarScope::kGlobal, 0), ResolveVarId("w", VarScope::kGlobal, 0));
+}
+
+TEST(ProgramTest, FunctionLookup) {
+  Program program;
+  program.DefineFunction("alpha", [](Ctx&) {});
+  program.DefineFunction("beta", [](Ctx&) {});
+  EXPECT_NE(program.FindFunctionByName("alpha"), nullptr);
+  EXPECT_EQ(program.FindFunctionByName("alpha")->name, "alpha");
+  EXPECT_EQ(program.FindFunctionByName("gamma"), nullptr);
+  EXPECT_EQ(program.FindFunction(DigestOf("beta"))->id, DigestOf("beta"));
+  EXPECT_EQ(program.functions().size(), 2u);
+}
+
+}  // namespace
+}  // namespace karousos

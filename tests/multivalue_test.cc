@@ -1,0 +1,104 @@
+#include "src/multivalue/multivalue.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/app_util.h"
+
+namespace karousos {
+namespace {
+
+TEST(MultiValueTest, CollapsedByDefault) {
+  MultiValue mv(Value(3));
+  EXPECT_TRUE(mv.collapsed());
+  EXPECT_EQ(mv.Lane(0), Value(3));
+  EXPECT_EQ(mv.Lane(17), Value(3));  // Broadcast semantics.
+}
+
+TEST(MultiValueTest, ExpandedCollapsesWhenUniform) {
+  MultiValue mv = MultiValue::Expanded({Value(5), Value(5), Value(5)});
+  EXPECT_TRUE(mv.collapsed());
+  EXPECT_EQ(mv.CollapsedValue(), Value(5));
+}
+
+TEST(MultiValueTest, ExpandedStaysExpandedWhenDivergent) {
+  MultiValue mv = MultiValue::Expanded({Value(1), Value(2)});
+  EXPECT_FALSE(mv.collapsed());
+  EXPECT_EQ(mv.Lane(0), Value(1));
+  EXPECT_EQ(mv.Lane(1), Value(2));
+}
+
+TEST(MultiValueTest, MapPreservesWidthAndRecollapses) {
+  MultiValue mv = MultiValue::Expanded({Value(1), Value(2)});
+  // Mapping to a constant collapses again — the SIMD-on-demand property.
+  MultiValue constant = MultiValue::Map(mv, [](const Value&) { return Value("c"); });
+  EXPECT_TRUE(constant.collapsed());
+  MultiValue doubled =
+      MultiValue::Map(mv, [](const Value& v) { return Value(v.AsInt() * 2); });
+  EXPECT_FALSE(doubled.collapsed());
+  EXPECT_EQ(doubled.Lane(1), Value(4));
+}
+
+TEST(MultiValueTest, ZipBroadcastsCollapsedSide) {
+  MultiValue wide = MultiValue::Expanded({Value(1), Value(2), Value(3)});
+  MultiValue sum = MvAdd(wide, MultiValue(10));
+  EXPECT_EQ(sum.Lane(0), Value(11));
+  EXPECT_EQ(sum.Lane(2), Value(13));
+}
+
+TEST(MultiValueTest, EqHelpers) {
+  MultiValue a = MultiValue::Expanded({Value("x"), Value("y")});
+  MultiValue eq = MvEq(a, MultiValue("x"));
+  EXPECT_EQ(eq.Lane(0), Value(true));
+  EXPECT_EQ(eq.Lane(1), Value(false));
+}
+
+TEST(AppUtilTest, MapHelpers) {
+  MultiValue map(MakeMap({{"a", 1}}));
+  MultiValue set = MvMapSet(map, MultiValue("b"), MultiValue(2));
+  EXPECT_EQ(MvMapGet(set, MultiValue("b")).CollapsedValue(), Value(2));
+  EXPECT_EQ(MvMapHas(set, MultiValue("a")).CollapsedValue(), Value(true));
+  EXPECT_EQ(MvMapSize(set).CollapsedValue(), Value(2));
+  MultiValue erased = MvMapErase(set, MultiValue("a"));
+  EXPECT_EQ(MvMapHas(erased, MultiValue("a")).CollapsedValue(), Value(false));
+}
+
+TEST(AppUtilTest, ListHelpers) {
+  MultiValue list(Value(ValueList{}));
+  list = MvListAppend(list, MultiValue(7));
+  list = MvListAppend(list, MultiValue("x"));
+  EXPECT_EQ(MvListLen(list).CollapsedValue(), Value(2));
+  EXPECT_EQ(MvListGet(list, 1).CollapsedValue(), Value("x"));
+  EXPECT_TRUE(MvListGet(list, 5).CollapsedValue().is_null());
+}
+
+TEST(AppUtilTest, PerLaneMapUpdate) {
+  // Lane-divergent keys update different slots per lane.
+  MultiValue maps(Value(ValueMap{}));
+  MultiValue keys = MultiValue::Expanded({Value("k1"), Value("k2")});
+  MultiValue updated = MvMapSet(maps, keys, MultiValue(1));
+  EXPECT_FALSE(updated.collapsed());
+  EXPECT_TRUE(updated.Lane(0).HasField("k1"));
+  EXPECT_FALSE(updated.Lane(0).HasField("k2"));
+  EXPECT_TRUE(updated.Lane(1).HasField("k2"));
+}
+
+TEST(AppUtilTest, ContentDigestIsStablePerLane) {
+  MultiValue a = MvContentDigest(MultiValue("same"));
+  MultiValue b = MvContentDigest(MultiValue("same"));
+  EXPECT_EQ(a, b);
+  MultiValue c = MvContentDigest(MultiValue("different"));
+  EXPECT_NE(a, c);
+}
+
+TEST(AppUtilTest, PrefixAndLogicHelpers) {
+  MultiValue wide = MultiValue::Expanded({Value("a"), Value("b")});
+  MultiValue prefixed = MvPrefix("dump:", wide);
+  EXPECT_EQ(prefixed.Lane(0), Value("dump:a"));
+  EXPECT_EQ(MvNot(MultiValue(false)).CollapsedValue(), Value(true));
+  EXPECT_EQ(MvAnd(MultiValue(true), MultiValue(0)).CollapsedValue(), Value(false));
+  EXPECT_EQ(MvLtScalar(2, MultiValue(3)).CollapsedValue(), Value(true));
+  EXPECT_EQ(MvLtScalar(3, MultiValue(3)).CollapsedValue(), Value(false));
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,113 @@
+#include "src/common/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace karousos {
+namespace {
+
+TEST(SerdeTest, VarintRoundTrip) {
+  ByteWriter w;
+  const uint64_t samples[] = {0, 1, 127, 128, 300, 1u << 20, ~uint64_t{0}};
+  for (uint64_t v : samples) {
+    w.WriteVarint(v);
+  }
+  ByteReader r(w.bytes());
+  for (uint64_t v : samples) {
+    auto got = r.ReadVarint();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TruncatedVarintFails) {
+  std::vector<uint8_t> bytes = {0x80, 0x80};  // Continuation bits, no terminator.
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.ReadVarint().has_value());
+}
+
+TEST(SerdeTest, StringRoundTripAndBounds) {
+  ByteWriter w;
+  w.WriteString("hello");
+  w.WriteString("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_EQ(*r.ReadString(), "");
+  // A length prefix larger than the remaining buffer must fail cleanly.
+  ByteWriter bad;
+  bad.WriteVarint(1000);
+  bad.WriteByte('x');
+  ByteReader r2(bad.bytes());
+  EXPECT_FALSE(r2.ReadString().has_value());
+}
+
+TEST(SerdeTest, ValueRoundTripAllKinds) {
+  Value original = MakeMap({
+      {"null", Value()},
+      {"bool", Value(true)},
+      {"neg", Value(-123456789)},
+      {"dbl", Value(2.25)},
+      {"str", Value("text")},
+      {"list", MakeList({1, "two", MakeMap({{"x", 3}})})},
+  });
+  ByteWriter w;
+  w.WriteValue(original);
+  ByteReader r(w.bytes());
+  auto decoded = r.ReadValue();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, MalformedValueKindFails) {
+  std::vector<uint8_t> bytes = {0x09};  // Kind byte out of range.
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.ReadValue().has_value());
+}
+
+TEST(SerdeTest, RandomValueFuzzRoundTrip) {
+  // Property: encode(decode(x)) == x for randomly generated values.
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::function<Value(int)> gen = [&](int depth) -> Value {
+      switch (rng.Below(depth > 2 ? 5 : 7)) {
+        case 0:
+          return Value();
+        case 1:
+          return Value(rng.Below(2) == 1);
+        case 2:
+          return Value(static_cast<int64_t>(rng.Next()));
+        case 3:
+          return Value(static_cast<double>(rng.NextDouble()));
+        case 4:
+          return Value("s" + std::to_string(rng.Below(1000)));
+        case 5: {
+          ValueList list;
+          for (uint64_t i = 0, n = rng.Below(4); i < n; ++i) {
+            list.push_back(gen(depth + 1));
+          }
+          return Value(std::move(list));
+        }
+        default: {
+          ValueMap map;
+          for (uint64_t i = 0, n = rng.Below(4); i < n; ++i) {
+            map.emplace("k" + std::to_string(i), gen(depth + 1));
+          }
+          return Value(std::move(map));
+        }
+      }
+    };
+    Value original = gen(0);
+    ByteWriter w;
+    w.WriteValue(original);
+    ByteReader r(w.bytes());
+    auto decoded = r.ReadValue();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, original);
+  }
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,520 @@
+// Soundness (§2.1): a misbehaving server — bogus responses, doctored logs,
+// impossible interleavings — must be REJECTED, no matter how the advice is
+// arranged. Each test perturbs an honest run (or hand-builds advice) and
+// checks the verifier rejects.
+#include <gtest/gtest.h>
+
+#include "src/apps/app_util.h"
+#include "src/audit/audit.h"
+#include "src/kem/varid.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+struct HonestRun {
+  AppSpec app;
+  ServerRunResult server;
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+};
+
+HonestRun RunMotd(int concurrency = 4) {
+  HonestRun run{MakeMotdApp(), {}, IsolationLevel::kSerializable};
+  WorkloadConfig wl;
+  wl.app = "motd";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = 40;
+  ServerConfig config;
+  config.concurrency = concurrency;
+  Server server(*run.app.program, config);
+  run.server = server.Run(GenerateWorkload(wl));
+  return run;
+}
+
+HonestRun RunStacks(int concurrency = 8) {
+  HonestRun run{MakeStacksApp(), {}, IsolationLevel::kSerializable};
+  WorkloadConfig wl;
+  wl.app = "stacks";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = 60;
+  ServerConfig config;
+  config.concurrency = concurrency;
+  Server server(*run.app.program, config);
+  run.server = server.Run(GenerateWorkload(wl));
+  return run;
+}
+
+AuditResult Verify(const HonestRun& run) {
+  return AuditOnly(run.app, run.server.trace, run.server.advice, run.isolation);
+}
+
+TEST(SoundnessTest, HonestBaselineAccepts) {
+  HonestRun run = RunStacks();
+  AuditResult audit = Verify(run);
+  EXPECT_TRUE(audit.accepted) << audit.reason;
+}
+
+TEST(SoundnessTest, ForgedResponseRejected) {
+  HonestRun run = RunMotd();
+  for (TraceEvent& ev : run.server.trace.events) {
+    if (ev.kind == TraceEvent::Kind::kResponse) {
+      ev.payload = MakeMap({{"msg", "forged"}});
+      break;
+    }
+  }
+  EXPECT_FALSE(Verify(run).accepted);
+}
+
+TEST(SoundnessTest, UnbalancedTraceRejected) {
+  HonestRun run = RunMotd();
+  // Drop the last response.
+  for (auto it = run.server.trace.events.rbegin(); it != run.server.trace.events.rend(); ++it) {
+    if (it->kind == TraceEvent::Kind::kResponse) {
+      run.server.trace.events.erase(std::next(it).base());
+      break;
+    }
+  }
+  AuditResult audit = Verify(run);
+  EXPECT_FALSE(audit.accepted);
+  EXPECT_NE(audit.reason.find("balanced"), std::string::npos) << audit.reason;
+}
+
+TEST(SoundnessTest, TamperedVarLogWriteValueRejected) {
+  // Simulate-and-check (§4.3): re-executed write values must match the log.
+  HonestRun run = RunMotd();
+  ASSERT_FALSE(run.server.advice.var_logs.empty());
+  bool mutated = false;
+  for (auto& [vid, log] : run.server.advice.var_logs) {
+    for (auto& [op, entry] : log) {
+      if (entry.kind == VarLogEntry::Kind::kWrite) {
+        entry.value = Value("poisoned");
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) {
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  AuditResult audit = Verify(run);
+  EXPECT_FALSE(audit.accepted);
+}
+
+TEST(SoundnessTest, ExtraVarLogEntryRejected) {
+  // A log entry that re-execution never produces could smuggle values into
+  // future reads; the verifier insists every entry is produced.
+  HonestRun run = RunMotd();
+  VarId vid = ResolveVarId("motd", VarScope::kGlobal, 0);
+  VarLogEntry ghost;
+  ghost.kind = VarLogEntry::Kind::kWrite;
+  ghost.value = Value("ghost");
+  ghost.prec = kNilOp;
+  run.server.advice.var_logs[vid].emplace(OpRef{1, 0x1234, 77}, ghost);
+  AuditResult audit = Verify(run);
+  EXPECT_FALSE(audit.accepted);
+}
+
+TEST(SoundnessTest, DroppedHandlerLogEntryRejected) {
+  HonestRun run = RunStacks();
+  bool mutated = false;
+  for (auto& [rid, log] : run.server.advice.handler_logs) {
+    if (!log.empty()) {
+      log.pop_back();
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  EXPECT_FALSE(Verify(run).accepted);
+}
+
+TEST(SoundnessTest, InflatedOpcountRejected) {
+  HonestRun run = RunMotd();
+  ASSERT_FALSE(run.server.advice.opcounts.empty());
+  run.server.advice.opcounts.begin()->second += 1;
+  EXPECT_FALSE(Verify(run).accepted);
+}
+
+TEST(SoundnessTest, OpcountForUnknownRequestRejected) {
+  HonestRun run = RunMotd();
+  run.server.advice.opcounts[{9999, 0x42}] = 3;
+  AuditResult audit = Verify(run);
+  EXPECT_FALSE(audit.accepted);
+  EXPECT_NE(audit.reason.find("not in trace"), std::string::npos) << audit.reason;
+}
+
+TEST(SoundnessTest, MissingResponseEmittedByRejected) {
+  HonestRun run = RunMotd();
+  ASSERT_FALSE(run.server.advice.response_emitted_by.empty());
+  run.server.advice.response_emitted_by.erase(run.server.advice.response_emitted_by.begin());
+  EXPECT_FALSE(Verify(run).accepted);
+}
+
+TEST(SoundnessTest, WrongGroupTagRejected) {
+  // Move a 'set' request into a 'get' group: control flow diverges.
+  HonestRun run = RunMotd();
+  RequestId set_rid = 0;
+  RequestId get_rid = 0;
+  for (const TraceEvent& ev : run.server.trace.events) {
+    if (ev.kind != TraceEvent::Kind::kRequest) {
+      continue;
+    }
+    if (ev.payload.Field("op") == Value("set") && set_rid == 0) {
+      set_rid = ev.rid;
+    }
+    if (ev.payload.Field("op") == Value("get") && get_rid == 0) {
+      get_rid = ev.rid;
+    }
+  }
+  ASSERT_NE(set_rid, 0u);
+  ASSERT_NE(get_rid, 0u);
+  run.server.advice.tags[set_rid] = run.server.advice.tags[get_rid];
+  AuditResult audit = Verify(run);
+  EXPECT_FALSE(audit.accepted);
+}
+
+TEST(SoundnessTest, DroppedNondetRecordRejected) {
+  // A comment storm on one wiki page produces no-wait lock conflicts (the
+  // S-lock window spans the two comment handlers); dropping a recorded
+  // conflict marker makes re-execution take the non-conflict path and
+  // diverge from the logs.
+  HonestRun run{MakeWikiApp(), {}, IsolationLevel::kSerializable};
+  std::vector<Value> inputs = {MakeMap(
+      {{"op", "create_page"}, {"id", "p1"}, {"title", "T"}, {"content", "C"}, {"conn", 0}})};
+  for (int i = 0; i < 40; ++i) {
+    inputs.push_back(MakeMap(
+        {{"op", "create_comment"}, {"page", "p1"}, {"text", "hi"}, {"conn", i % 8}}));
+  }
+  ServerConfig config;
+  config.concurrency = 8;
+  config.seed = 5;
+  Server server(*run.app.program, config);
+  run.server = server.Run(inputs);
+  ASSERT_FALSE(run.server.advice.nondet.empty()) << "schedule produced no conflicts";
+  ASSERT_TRUE(Verify(run).accepted);
+  run.server.advice.nondet.erase(run.server.advice.nondet.begin());
+  EXPECT_FALSE(Verify(run).accepted);
+}
+
+TEST(SoundnessTest, ForgedConflictMarkerRejected) {
+  // Marking a successful state op as conflicted shifts every subsequent
+  // transaction-log position.
+  HonestRun run = RunStacks();
+  TxnKey victim{};
+  OpRef op{};
+  bool found = false;
+  for (const auto& [txn, log] : run.server.advice.tx_logs) {
+    for (const TxOperation& entry : log) {
+      if (entry.type == TxOpType::kGet) {
+        victim = txn;
+        op = OpRef{txn.rid, entry.hid, entry.opnum};
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  run.server.advice.nondet[op] = NondetRecord{NondetRecord::Kind::kConflict, Value()};
+  EXPECT_FALSE(Verify(run).accepted);
+  (void)victim;
+}
+
+TEST(SoundnessTest, SwappedWriteOrderRejected) {
+  // Two sequential submits of the same dump: reversing their write order
+  // makes the dependency graph cyclic (write-depend vs read-depend).
+  AppSpec app = MakeStacksApp();
+  std::vector<Value> inputs = {
+      MakeMap({{"op", "submit"}, {"dump", "once"}}),
+      MakeMap({{"op", "submit"}, {"dump", "once"}}),
+  };
+  ServerConfig config;
+  config.concurrency = 1;
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(inputs);
+  ASSERT_GE(run.advice.write_order.size(), 2u);
+  std::swap(run.advice.write_order.front(), run.advice.write_order.back());
+  AuditResult audit = AuditOnly(app, run.trace, run.advice, config.isolation);
+  EXPECT_FALSE(audit.accepted);
+}
+
+TEST(SoundnessTest, GetFromAbortedTransactionRejected) {
+  // Redirect a committed GET's dictating write to a PUT of an aborted (or
+  // non-final) transaction: phenomenon G1a/G1b.
+  HonestRun run = RunStacks(10);
+  // Find a committed GET and any PUT not in the write order.
+  std::set<TxOpRef> in_order(run.server.advice.write_order.begin(),
+                             run.server.advice.write_order.end());
+  TxOperation* get_op = nullptr;
+  for (auto& [txn, log] : run.server.advice.tx_logs) {
+    if (log.empty() || log.back().type != TxOpType::kTxCommit) {
+      continue;
+    }
+    for (TxOperation& entry : log) {
+      if (entry.type == TxOpType::kGet && entry.get_found) {
+        get_op = &entry;
+        break;
+      }
+    }
+    if (get_op != nullptr) {
+      break;
+    }
+  }
+  if (get_op == nullptr) {
+    GTEST_SKIP() << "no committed GET in this schedule";
+  }
+  // Forge a dictating write reference to a bogus position: AnalyzeLogs or the
+  // G1 checks must catch it.
+  TxOpRef forged = get_op->get_from;
+  forged.index += 1;
+  get_op->get_from = forged;
+  EXPECT_FALSE(Verify(run).accepted);
+}
+
+// The load-buffering litmus app used by the impossible-interleaving tests:
+// each request reads one shared variable, then writes another, and responds
+// with the value read.
+AppSpec MakeLitmusApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("litmus_handle", [](Ctx& ctx) {
+    MultiValue in = ctx.Input();
+    MultiValue read_name = MvField(in, "r");
+    MultiValue value = ctx.Branch(MvEq(read_name, MultiValue("x")))
+                           ? ctx.ReadVar("x", VarScope::kGlobal)
+                           : ctx.ReadVar("y", VarScope::kGlobal);
+    if (ctx.Branch(MvEq(MvField(in, "w"), MultiValue("x")))) {
+      ctx.WriteVar("x", VarScope::kGlobal, MvField(in, "val"));
+    } else {
+      ctx.WriteVar("y", VarScope::kGlobal, MvField(in, "val"));
+    }
+    ctx.Respond(MvMakeMap({{"v", value}}));
+  });
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar("x", VarScope::kGlobal);
+    ctx.WriteVar("x", VarScope::kGlobal, MultiValue(0));
+    ctx.DeclareVar("y", VarScope::kGlobal);
+    ctx.WriteVar("y", VarScope::kGlobal, MultiValue(0));
+    ctx.RegisterHandler(kRequestEventName, "litmus_handle");
+  });
+  return AppSpec{"litmus", std::move(program)};
+}
+
+// The §4.3 attack family (Figure 5): advice + responses claiming an
+// execution that no interleaving of the program could produce. Request 1
+// reads y then writes x := 1; request 2 reads x then writes y := 2. The
+// server alleges r1 read y == 2 AND r2 read x == 1 — a causal cycle.
+TEST(SoundnessTest, ImpossibleInterleavingRejected) {
+  AppSpec app = MakeLitmusApp();
+  std::vector<Value> inputs = {
+      MakeMap({{"r", "y"}, {"w", "x"}, {"val", 1}}),
+      MakeMap({{"r", "x"}, {"w", "y"}, {"val", 2}}),
+  };
+  ServerConfig config;
+  config.concurrency = 2;
+  config.seed = 1;
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(inputs);
+
+  // Coordinates: single request handler; ops are 1 = read, 2 = write.
+  FunctionId f = DigestOf("litmus_handle");
+  HandlerId hid = ComputeHandlerId(f, kNoHandler, 0);
+  VarId x = ResolveVarId("x", VarScope::kGlobal, 0);
+  VarId y = ResolveVarId("y", VarScope::kGlobal, 0);
+  OpRef r1_read{1, hid, 1};
+  OpRef r1_write{1, hid, 2};
+  OpRef r2_read{2, hid, 1};
+  OpRef r2_write{2, hid, 2};
+
+  Advice& a = run.advice;
+  a.var_logs.clear();
+  // x's log: r1 writes 1; r2's read observes it.
+  a.var_logs[x][r1_write] = VarLogEntry{VarLogEntry::Kind::kWrite, Value(int64_t{1}), kNilOp};
+  a.var_logs[x][r2_read] = VarLogEntry{VarLogEntry::Kind::kRead, Value(), r1_write};
+  // y's log: r2 writes 2; r1's read observes it.
+  a.var_logs[y][r2_write] = VarLogEntry{VarLogEntry::Kind::kWrite, Value(int64_t{2}), kNilOp};
+  a.var_logs[y][r1_read] = VarLogEntry{VarLogEntry::Kind::kRead, Value(), r2_write};
+  // Responses consistent with the alleged (impossible) reads.
+  for (TraceEvent& ev : run.trace.events) {
+    if (ev.kind == TraceEvent::Kind::kResponse) {
+      ev.payload = MakeMap({{"v", ev.rid == 1 ? Value(int64_t{2}) : Value(int64_t{1})}});
+    }
+  }
+  AuditResult audit = AuditOnly(app, run.trace, a, config.isolation);
+  EXPECT_FALSE(audit.accepted);
+  EXPECT_NE(audit.reason.find("cycle"), std::string::npos) << audit.reason;
+}
+
+// Reads-from-the-future: request 1 responds before request 2 even arrives,
+// yet the advice claims r1's read observed r2's write. The fed value equals
+// what r1 really returned, so only consistent-ordering verification (the
+// graph with time-precedence edges) can catch it.
+TEST(SoundnessTest, ReadFromTheFutureRejected) {
+  AppSpec app = MakeLitmusApp();
+  std::vector<Value> inputs = {
+      MakeMap({{"r", "y"}, {"w", "x"}, {"val", 7}}),   // r1: reads y (initial 0).
+      MakeMap({{"r", "x"}, {"w", "y"}, {"val", 0}}),   // r2: writes y := 0 later.
+  };
+  ServerConfig config;
+  config.concurrency = 1;  // Strictly sequential: r1 finishes before r2 starts.
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(inputs);
+  ASSERT_EQ(run.trace.Response(1)->Field("v"), Value(int64_t{0}));
+
+  FunctionId f = DigestOf("litmus_handle");
+  HandlerId hid = ComputeHandlerId(f, kNoHandler, 0);
+  VarId y = ResolveVarId("y", VarScope::kGlobal, 0);
+  OpRef r1_read{1, hid, 1};
+  OpRef r2_write{2, hid, 2};
+  // Claim r1's read of y observed r2's write of 0 — same value r1 truly
+  // read, but from the future.
+  run.advice.var_logs[y][r2_write] =
+      VarLogEntry{VarLogEntry::Kind::kWrite, Value(int64_t{0}), kNilOp};
+  run.advice.var_logs[y][r1_read] = VarLogEntry{VarLogEntry::Kind::kRead, Value(), r2_write};
+
+  AuditResult audit = AuditOnly(app, run.trace, run.advice, config.isolation);
+  EXPECT_FALSE(audit.accepted);
+  EXPECT_NE(audit.reason.find("cycle"), std::string::npos) << audit.reason;
+}
+
+// The §4.4 example, verbatim: request r1 issues op1 = GET(k); op2 = write(x, 1)
+// and request r2 issues op3 = read(x); op4 = PUT(k, 1). The server claims
+// op3 reads from op2 (true) AND op1 reads from op4 — "preposterously, that
+// op1 read from an operation that, according to the rest of the advice, was
+// executed after it". The WR edges across program variables and external
+// state close a cycle in G.
+AppSpec MakeCrossStateApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("cross_handle", [](Ctx& ctx) {
+    MultiValue in = ctx.Input();
+    if (ctx.Branch(MvEq(MvField(in, "role"), MultiValue("r1")))) {
+      TxHandle tx = ctx.TxStart();
+      TxGetResult got = ctx.TxGet(tx, MultiValue("k"));  // op1
+      ctx.Branch(MultiValue(got.conflict));
+      ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+      ctx.WriteVar("x", VarScope::kGlobal, MvField(in, "v"));  // op2
+      ctx.Respond(MvMakeMap({{"got", got.value}}));
+    } else {
+      MultiValue x = ctx.ReadVar("x", VarScope::kGlobal);  // op3
+      TxHandle tx = ctx.TxStart();
+      bool ok = ctx.TxPut(tx, MultiValue("k"), x);  // op4
+      ctx.Branch(MultiValue(ok));
+      ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+      ctx.Respond(MvMakeMap({{"put", x}}));
+    }
+  });
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar("x", VarScope::kGlobal);
+    ctx.WriteVar("x", VarScope::kGlobal, MultiValue(0));
+    ctx.RegisterHandler(kRequestEventName, "cross_handle");
+  });
+  return AppSpec{"crossstate", std::move(program)};
+}
+
+TEST(SoundnessTest, CrossStateReadFromFutureRejected) {
+  AppSpec app = MakeCrossStateApp();
+  std::vector<Value> inputs = {
+      MakeMap({{"role", "r1"}, {"v", 1}}),
+      MakeMap({{"role", "r2"}}),
+  };
+  ServerConfig config;
+  config.concurrency = 2;  // Both requests in flight: no time-precedence edge.
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(inputs);
+  // Identify r2's PUT in the transaction logs.
+  TxOpRef put_ref = kNilTxOp;
+  for (const auto& [txn, log] : run.advice.tx_logs) {
+    for (uint32_t i = 1; i <= log.size(); ++i) {
+      if (txn.rid == 2 && log[i - 1].type == TxOpType::kPut) {
+        put_ref = TxOpRef{txn.rid, txn.tid, i};
+      }
+    }
+  }
+  ASSERT_FALSE(put_ref.IsNil());
+  // Forge r1's GET to have read r2's PUT, and fix r1's response to match the
+  // fed value (so simulate-and-check alone cannot catch it).
+  bool forged = false;
+  for (auto& [txn, log] : run.advice.tx_logs) {
+    if (txn.rid != 1) {
+      continue;
+    }
+    for (TxOperation& op : log) {
+      if (op.type == TxOpType::kGet) {
+        op.get_found = true;
+        op.get_from = put_ref;
+        forged = true;
+      }
+    }
+  }
+  ASSERT_TRUE(forged);
+  for (TraceEvent& ev : run.trace.events) {
+    if (ev.kind == TraceEvent::Kind::kResponse && ev.rid == 1) {
+      ev.payload = MakeMap({{"got", 1}});
+    }
+  }
+  AuditResult audit = AuditOnly(app, run.trace, run.advice, config.isolation);
+  EXPECT_FALSE(audit.accepted);
+  EXPECT_NE(audit.reason.find("cycle"), std::string::npos) << audit.reason;
+}
+
+TEST(SoundnessTest, WrongEmitEventInHandlerLogRejected) {
+  HonestRun run = RunStacks();
+  bool mutated = false;
+  for (auto& [rid, log] : run.server.advice.handler_logs) {
+    for (HandlerLogEntry& e : log) {
+      if (e.kind == HandlerLogEntry::Kind::kEmit) {
+        e.event = EventId("some_other_event");
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) {
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  EXPECT_FALSE(Verify(run).accepted);
+}
+
+TEST(SoundnessTest, GetClaimedNotFoundRejected) {
+  // Claiming a successful GET found nothing starves the re-executed read; the
+  // fed nil diverges from the original execution and the audit rejects.
+  HonestRun run = RunStacks();
+  bool mutated = false;
+  for (auto& [txn, log] : run.server.advice.tx_logs) {
+    for (TxOperation& op : log) {
+      if (op.type == TxOpType::kGet && op.get_found) {
+        op.get_found = false;
+        op.get_from = kNilTxOp;
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) {
+      break;
+    }
+  }
+  if (!mutated) {
+    GTEST_SKIP() << "no found GET in this schedule";
+  }
+  EXPECT_FALSE(Verify(run).accepted);
+}
+
+TEST(SoundnessTest, LitmusHonestBaselineAccepts) {
+  // The litmus app itself audits cleanly when the server is honest.
+  AppSpec app = MakeLitmusApp();
+  std::vector<Value> inputs = {
+      MakeMap({{"r", "y"}, {"w", "x"}, {"val", 1}}),
+      MakeMap({{"r", "x"}, {"w", "y"}, {"val", 2}}),
+      MakeMap({{"r", "x"}, {"w", "x"}, {"val", 3}}),
+  };
+  ServerConfig config;
+  config.concurrency = 3;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  EXPECT_TRUE(result.audit.accepted) << result.audit.reason;
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,87 @@
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace karousos {
+namespace {
+
+Trace MakeBalanced() {
+  Trace trace;
+  trace.events = {
+      {TraceEvent::Kind::kRequest, 1, Value("in1")},
+      {TraceEvent::Kind::kRequest, 2, Value("in2")},
+      {TraceEvent::Kind::kResponse, 2, Value("out2")},
+      {TraceEvent::Kind::kResponse, 1, Value("out1")},
+  };
+  return trace;
+}
+
+TEST(TraceTest, BalancedTracePasses) {
+  std::string reason;
+  EXPECT_TRUE(MakeBalanced().IsBalanced(&reason)) << reason;
+}
+
+TEST(TraceTest, ResponseBeforeRequestFails) {
+  Trace trace;
+  trace.events = {
+      {TraceEvent::Kind::kResponse, 1, Value()},
+      {TraceEvent::Kind::kRequest, 1, Value()},
+  };
+  std::string reason;
+  EXPECT_FALSE(trace.IsBalanced(&reason));
+}
+
+TEST(TraceTest, MissingResponseFails) {
+  Trace trace = MakeBalanced();
+  trace.events.pop_back();
+  std::string reason;
+  EXPECT_FALSE(trace.IsBalanced(&reason));
+  EXPECT_NE(reason.find("no response"), std::string::npos);
+}
+
+TEST(TraceTest, DuplicateRequestFails) {
+  Trace trace = MakeBalanced();
+  trace.events.push_back({TraceEvent::Kind::kRequest, 1, Value()});
+  std::string reason;
+  EXPECT_FALSE(trace.IsBalanced(&reason));
+}
+
+TEST(TraceTest, DuplicateResponseFails) {
+  Trace trace = MakeBalanced();
+  trace.events.push_back({TraceEvent::Kind::kResponse, 1, Value()});
+  std::string reason;
+  EXPECT_FALSE(trace.IsBalanced(&reason));
+}
+
+TEST(TraceTest, Lookups) {
+  Trace trace = MakeBalanced();
+  EXPECT_EQ(trace.request_count(), 2u);
+  EXPECT_EQ(trace.RequestIds(), (std::vector<RequestId>{1, 2}));
+  EXPECT_EQ(*trace.RequestInput(2), Value("in2"));
+  EXPECT_EQ(*trace.Response(1), Value("out1"));
+  EXPECT_FALSE(trace.Response(3).has_value());
+}
+
+TEST(TraceTest, SerializationRoundTrip) {
+  Trace trace = MakeBalanced();
+  ByteWriter w;
+  trace.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto decoded = Trace::Deserialize(&r);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->events.size(), trace.events.size());
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(decoded->events[i].kind, trace.events[i].kind);
+    EXPECT_EQ(decoded->events[i].rid, trace.events[i].rid);
+    EXPECT_EQ(decoded->events[i].payload, trace.events[i].payload);
+  }
+}
+
+TEST(TraceTest, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> garbage = {0x05, 0x99, 0x01};
+  ByteReader r(garbage);
+  EXPECT_FALSE(Trace::Deserialize(&r).has_value());
+}
+
+}  // namespace
+}  // namespace karousos

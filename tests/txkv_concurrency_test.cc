@@ -1,0 +1,117 @@
+// Interleaved multi-transaction scenarios for the transactional KV store:
+// lock lifetimes, abort visibility, binlog contents under mixed outcomes.
+#include <gtest/gtest.h>
+
+#include "src/txkv/store.h"
+
+namespace karousos {
+namespace {
+
+TEST(TxKvConcurrencyTest, WriterBlocksReaderUnderSerializable) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  ASSERT_EQ(store.Put(1, 100, 2, "k", Value(1)), TxStatus::kOk);
+  store.Begin(2, 200);
+  EXPECT_EQ(store.Get(2, 200, "k").status, TxStatus::kConflict);
+  store.Commit(1, 100);
+  EXPECT_EQ(store.Get(2, 200, "k").status, TxStatus::kOk);
+}
+
+TEST(TxKvConcurrencyTest, AbortedWriterUnblocksImmediately) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "k", Value("dirty"));
+  store.Begin(2, 200);
+  EXPECT_EQ(store.Get(2, 200, "k").status, TxStatus::kConflict);
+  store.Abort(1, 100);
+  KvGetResult got = store.Get(2, 200, "k");
+  EXPECT_EQ(got.status, TxStatus::kOk);
+  EXPECT_FALSE(got.found);  // Nothing ever committed.
+}
+
+TEST(TxKvConcurrencyTest, ReadUncommittedSeesThenUnseesAbortedWrite) {
+  TxKvStore store(IsolationLevel::kReadUncommitted);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "k", Value("phantom"));
+  store.Begin(2, 200);
+  EXPECT_EQ(store.Get(2, 200, "k").value, Value("phantom"));
+  store.Abort(1, 100);
+  EXPECT_FALSE(store.Get(2, 200, "k").found);
+}
+
+TEST(TxKvConcurrencyTest, AbortedTransactionsLeaveNoBinlogEntries) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "a", Value(1));
+  store.Commit(1, 100);
+  store.Begin(2, 200);
+  store.Put(2, 200, 2, "b", Value(2));
+  store.Abort(2, 200);
+  store.Begin(3, 300);
+  store.Put(3, 300, 2, "c", Value(3));
+  store.Commit(3, 300);
+  ASSERT_EQ(store.binlog().size(), 2u);
+  EXPECT_EQ(store.binlog()[0].rid, 1u);
+  EXPECT_EQ(store.binlog()[1].rid, 3u);
+}
+
+TEST(TxKvConcurrencyTest, TwoKeysNoConflict) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Begin(2, 200);
+  EXPECT_EQ(store.Put(1, 100, 2, "a", Value(1)), TxStatus::kOk);
+  EXPECT_EQ(store.Put(2, 200, 2, "b", Value(2)), TxStatus::kOk);
+  EXPECT_EQ(store.Commit(1, 100), TxStatus::kOk);
+  EXPECT_EQ(store.Commit(2, 200), TxStatus::kOk);
+  // Binlog order follows commit order.
+  ASSERT_EQ(store.binlog().size(), 2u);
+  EXPECT_EQ(store.binlog()[0].rid, 1u);
+}
+
+TEST(TxKvConcurrencyTest, ReadCommittedWritersStillExcludeEachOther) {
+  TxKvStore store(IsolationLevel::kReadCommitted);
+  store.Begin(1, 100);
+  ASSERT_EQ(store.Put(1, 100, 2, "k", Value(1)), TxStatus::kOk);
+  store.Begin(2, 200);
+  EXPECT_EQ(store.Put(2, 200, 2, "k", Value(2)), TxStatus::kConflict);
+}
+
+TEST(TxKvConcurrencyTest, OwnReadsSeeLatestOwnWriteAcrossUpdates) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "k", Value(1));
+  store.Put(1, 100, 3, "k", Value(2));
+  KvGetResult got = store.Get(1, 100, "k");
+  EXPECT_EQ(got.value, Value(2));
+  EXPECT_EQ(got.dictating_write, (TxOpRef{1, 100, 3}));
+}
+
+TEST(TxKvConcurrencyTest, DictatingWriteSurvivesUnrelatedCommits) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "k", Value("v1"));
+  store.Commit(1, 100);
+  store.Begin(2, 200);
+  store.Put(2, 200, 2, "other", Value("x"));
+  store.Commit(2, 200);
+  store.Begin(3, 300);
+  EXPECT_EQ(store.Get(3, 300, "k").dictating_write, (TxOpRef{1, 100, 2}));
+}
+
+TEST(TxKvConcurrencyTest, ManyConcurrentReadersThenUpgradeConflicts) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  for (RequestId rid = 1; rid <= 5; ++rid) {
+    store.Begin(rid, rid * 10);
+    EXPECT_EQ(store.Get(rid, rid * 10, "k").status, TxStatus::kOk);
+  }
+  // One of the readers tries to upgrade: blocked by the other four.
+  EXPECT_EQ(store.Put(1, 10, 2, "k", Value(1)), TxStatus::kConflict);
+  // Once the others finish, the upgrade succeeds.
+  for (RequestId rid = 2; rid <= 5; ++rid) {
+    store.Commit(rid, rid * 10);
+  }
+  EXPECT_EQ(store.Put(1, 10, 2, "k", Value(1)), TxStatus::kOk);
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,151 @@
+// Transactional KV store: isolation semantics, no-wait conflicts, last-writer
+// tracking, and the binlog write order.
+#include "src/txkv/store.h"
+
+#include <gtest/gtest.h>
+
+namespace karousos {
+namespace {
+
+TEST(TxKvTest, BasicPutGetCommit) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  ASSERT_EQ(store.Begin(1, 100), TxStatus::kOk);
+  EXPECT_EQ(store.Put(1, 100, 2, "k", Value("v")), TxStatus::kOk);
+  KvGetResult own = store.Get(1, 100, "k");
+  EXPECT_TRUE(own.found);
+  EXPECT_EQ(own.value, Value("v"));
+  EXPECT_EQ(own.dictating_write, (TxOpRef{1, 100, 2}));
+  ASSERT_EQ(store.Commit(1, 100), TxStatus::kOk);
+  EXPECT_EQ(*store.CommittedValue("k"), Value("v"));
+  ASSERT_EQ(store.binlog().size(), 1u);
+  EXPECT_EQ(store.binlog()[0], (TxOpRef{1, 100, 2}));
+}
+
+TEST(TxKvTest, TidReuseRejected) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  ASSERT_EQ(store.Begin(1, 100), TxStatus::kOk);
+  ASSERT_EQ(store.Commit(1, 100), TxStatus::kOk);
+  EXPECT_EQ(store.Begin(1, 100), TxStatus::kInvalidTxn);
+}
+
+TEST(TxKvTest, AbortRevertsDirtyState) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "k", Value("committed"));
+  store.Commit(1, 100);
+  store.Begin(2, 200);
+  store.Put(2, 200, 2, "k", Value("doomed"));
+  store.Abort(2, 200);
+  EXPECT_EQ(*store.CommittedValue("k"), Value("committed"));
+  // The row lock is released: a new writer succeeds.
+  store.Begin(3, 300);
+  EXPECT_EQ(store.Put(3, 300, 2, "k", Value("next")), TxStatus::kOk);
+}
+
+TEST(TxKvTest, SerializableWriteWriteConflictIsNoWait) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Begin(2, 200);
+  ASSERT_EQ(store.Put(1, 100, 2, "k", Value(1)), TxStatus::kOk);
+  EXPECT_EQ(store.Put(2, 200, 2, "k", Value(2)), TxStatus::kConflict);
+}
+
+TEST(TxKvTest, SerializableReadBlocksWriter) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Begin(2, 200);
+  store.Get(1, 100, "k");  // S lock, even on an absent row.
+  EXPECT_EQ(store.Put(2, 200, 2, "k", Value(2)), TxStatus::kConflict);
+  store.Commit(1, 100);
+  EXPECT_EQ(store.Put(2, 200, 2, "k", Value(2)), TxStatus::kOk);
+}
+
+TEST(TxKvTest, SerializableSharedReadersCoexist) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Begin(2, 200);
+  EXPECT_EQ(store.Get(1, 100, "k").status, TxStatus::kOk);
+  EXPECT_EQ(store.Get(2, 200, "k").status, TxStatus::kOk);
+}
+
+TEST(TxKvTest, SerializableLockUpgradeForSoleReader) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Get(1, 100, "k");
+  EXPECT_EQ(store.Put(1, 100, 2, "k", Value(1)), TxStatus::kOk);
+}
+
+TEST(TxKvTest, ReadCommittedSeesOnlyCommittedData) {
+  TxKvStore store(IsolationLevel::kReadCommitted);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "k", Value("dirty"));
+  store.Begin(2, 200);
+  KvGetResult got = store.Get(2, 200, "k");
+  EXPECT_EQ(got.status, TxStatus::kOk);  // Readers never block.
+  EXPECT_FALSE(got.found);               // Nothing committed yet.
+  store.Commit(1, 100);
+  got = store.Get(2, 200, "k");
+  EXPECT_TRUE(got.found);
+  EXPECT_EQ(got.value, Value("dirty"));
+}
+
+TEST(TxKvTest, ReadUncommittedSeesDirtyWrites) {
+  TxKvStore store(IsolationLevel::kReadUncommitted);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "k", Value("dirty"));
+  store.Begin(2, 200);
+  KvGetResult got = store.Get(2, 200, "k");
+  EXPECT_TRUE(got.found);
+  EXPECT_EQ(got.value, Value("dirty"));
+  // The dictating write names the uncommitted writer — exactly the G1a
+  // evidence Adya's checks consume.
+  EXPECT_EQ(got.dictating_write, (TxOpRef{1, 100, 2}));
+}
+
+TEST(TxKvTest, BinlogRecordsOnlyFinalModificationsInCommitOrder) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "a", Value(1));
+  store.Put(1, 100, 3, "a", Value(2));  // Overwrites own write: only index 3 is final.
+  store.Put(1, 100, 4, "b", Value(3));
+  store.Commit(1, 100);
+  store.Begin(2, 200);
+  store.Put(2, 200, 2, "a", Value(4));
+  store.Commit(2, 200);
+  ASSERT_EQ(store.binlog().size(), 3u);
+  EXPECT_EQ(store.binlog()[0], (TxOpRef{1, 100, 3}));
+  EXPECT_EQ(store.binlog()[1], (TxOpRef{1, 100, 4}));
+  EXPECT_EQ(store.binlog()[2], (TxOpRef{2, 200, 2}));
+}
+
+TEST(TxKvTest, GetReportsDictatingWriteAcrossTransactions) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "k", Value("v1"));
+  store.Commit(1, 100);
+  store.Begin(2, 200);
+  KvGetResult got = store.Get(2, 200, "k");
+  EXPECT_EQ(got.dictating_write, (TxOpRef{1, 100, 2}));
+}
+
+TEST(TxKvTest, OperationsOnUnknownTransactionFail) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  EXPECT_EQ(store.Get(1, 1, "k").status, TxStatus::kInvalidTxn);
+  EXPECT_EQ(store.Put(1, 1, 1, "k", Value(1)), TxStatus::kInvalidTxn);
+  EXPECT_EQ(store.Commit(1, 1), TxStatus::kInvalidTxn);
+  store.Abort(1, 1);  // No-op, must not crash.
+}
+
+TEST(TxKvTest, ResetClearsEverything) {
+  TxKvStore store(IsolationLevel::kSerializable);
+  store.Begin(1, 100);
+  store.Put(1, 100, 2, "k", Value(1));
+  store.Commit(1, 100);
+  store.Reset();
+  EXPECT_EQ(store.binlog().size(), 0u);
+  EXPECT_FALSE(store.CommittedValue("k").has_value());
+  EXPECT_EQ(store.Begin(1, 100), TxStatus::kOk);  // Tid reusable after reset.
+}
+
+}  // namespace
+}  // namespace karousos

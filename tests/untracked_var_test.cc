@@ -1,0 +1,141 @@
+// Unannotated ("untracked") variables (§5): not annotating a variable tells
+// Karousos to assume every access is R-ordered. If that assumption holds,
+// audits behave normally; if it is violated (the variable is really shared
+// across requests), Completeness is lost — some faithful executions are
+// rejected — but Soundness never is: the verifier errs toward rejection,
+// never toward accepting a wrong trace.
+#include <gtest/gtest.h>
+
+#include "src/apps/app_util.h"
+#include "src/audit/audit.h"
+
+namespace karousos {
+namespace {
+
+// Config is written once at init and only read afterwards: the legitimate
+// use of an unannotated variable.
+AppSpec MakeConfigApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("config_handle", [](Ctx& ctx) {
+    MultiValue greeting = ctx.ReadVar("config", VarScope::kUntracked);
+    ctx.Respond(MvMakeMap({{"greeting", MvField(greeting, "greeting")},
+                           {"to", MvField(ctx.Input(), "name")}}));
+  });
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar("config", VarScope::kUntracked);
+    ctx.WriteVar("config", VarScope::kUntracked,
+                 MvMakeMap({{"greeting", MultiValue("hello")}}));
+    ctx.RegisterHandler(kRequestEventName, "config_handle");
+  });
+  return AppSpec{"config", std::move(program)};
+}
+
+// A counter in an unannotated variable that is *shared across requests*: the
+// developer failed to annotate a loggable variable.
+AppSpec MakeBrokenCounterApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("broken_handle", [](Ctx& ctx) {
+    MultiValue next = MvAdd(ctx.ReadVar("hits", VarScope::kUntracked), MultiValue(1));
+    ctx.WriteVar("hits", VarScope::kUntracked, next);
+    ctx.Respond(MvMakeMap({{"hits", next}}));
+  });
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar("hits", VarScope::kUntracked);
+    ctx.WriteVar("hits", VarScope::kUntracked, MultiValue(0));
+    ctx.RegisterHandler(kRequestEventName, "broken_handle");
+  });
+  return AppSpec{"broken", std::move(program)};
+}
+
+TEST(UntrackedVarTest, InitOnlyUsageAuditsCleanlyWithZeroVarAdvice) {
+  AppSpec app = MakeConfigApp();
+  std::vector<Value> inputs;
+  for (int i = 0; i < 10; ++i) {
+    inputs.push_back(MakeMap({{"name", Value("u" + std::to_string(i))}}));
+  }
+  ServerConfig config;
+  config.concurrency = 4;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  EXPECT_TRUE(result.audit.accepted) << result.audit.reason;
+  // No annotations -> no variable logs at all.
+  EXPECT_EQ(result.server.advice.var_log_entry_count(), 0u);
+}
+
+TEST(UntrackedVarTest, CrossRequestSharingLosesCompletenessNotSoundness) {
+  AppSpec app = MakeBrokenCounterApp();
+  std::vector<Value> inputs(6, MakeMap({{"op", "hit"}}));
+  ServerConfig config;
+  config.concurrency = 3;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  // The server executed faithfully (responses 1..6 in schedule order), but
+  // the verifier cannot reproduce cross-request flows through an unannotated
+  // variable: it must reject — a Completeness loss, exactly as §5 predicts.
+  EXPECT_FALSE(result.audit.accepted);
+  // The fix is one annotation away: the same program with a tracked variable
+  // audits cleanly.
+  auto fixed = std::make_shared<Program>();
+  fixed->DefineFunction("broken_handle", [](Ctx& ctx) {
+    MultiValue next = MvAdd(ctx.ReadVar("hits", VarScope::kGlobal), MultiValue(1));
+    ctx.WriteVar("hits", VarScope::kGlobal, next);
+    ctx.Respond(MvMakeMap({{"hits", next}}));
+  });
+  fixed->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar("hits", VarScope::kGlobal);
+    ctx.WriteVar("hits", VarScope::kGlobal, MultiValue(0));
+    ctx.RegisterHandler(kRequestEventName, "broken_handle");
+  });
+  AppSpec fixed_app{"fixed", fixed};
+  AuditPipelineResult fixed_result = RunAndAudit(fixed_app, inputs, config);
+  EXPECT_TRUE(fixed_result.audit.accepted) << fixed_result.audit.reason;
+}
+
+TEST(UntrackedVarTest, AnnotationLintFlagsSharedUnannotatedVariables) {
+  // The annotation advisor (the paper's future-work item): a lint-mode run
+  // reports exactly which unannotated variables experienced R-concurrent
+  // accesses — the ones that must be marked loggable.
+  AppSpec broken = MakeBrokenCounterApp();
+  std::vector<Value> inputs(10, MakeMap({{"op", "hit"}}));
+  ServerConfig config;
+  config.concurrency = 4;
+  config.annotation_lint = true;
+  Server server(*broken.program, config);
+  ServerRunResult run = server.Run(inputs);
+  ASSERT_EQ(run.lint_violations.size(), 1u);
+  EXPECT_EQ(run.lint_violations.begin()->first, "hits");
+  EXPECT_GT(run.lint_violations.begin()->second, 0u);
+
+  // The clean config app lints clean.
+  AppSpec clean = MakeConfigApp();
+  Server clean_server(*clean.program, config);
+  ServerRunResult clean_run =
+      clean_server.Run({MakeMap({{"name", "a"}}), MakeMap({{"name", "b"}})});
+  EXPECT_TRUE(clean_run.lint_violations.empty());
+}
+
+TEST(UntrackedVarTest, OverAnnotationOnlyCostsAdvice) {
+  // Marking a variable loggable when it has no R-concurrent accesses is pure
+  // overhead — Soundness and Completeness are unaffected (§5).
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("over_handle", [](Ctx& ctx) {
+    // Request-scoped tracked variable used only within one handler.
+    ctx.DeclareVar("scratch", VarScope::kRequest);
+    ctx.WriteVar("scratch", VarScope::kRequest, MvField(ctx.Input(), "x"));
+    ctx.Respond(MvMakeMap({{"x", ctx.ReadVar("scratch", VarScope::kRequest)}}));
+  });
+  program->SetInit(
+      [](Ctx& ctx) { ctx.RegisterHandler(kRequestEventName, "over_handle"); });
+  AppSpec app{"over", program};
+  std::vector<Value> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(MakeMap({{"x", i}}));
+  }
+  ServerConfig config;
+  config.concurrency = 4;
+  AuditPipelineResult result = RunAndAudit(app, inputs, config);
+  EXPECT_TRUE(result.audit.accepted) << result.audit.reason;
+  // All accesses are R-ordered (same handler), so Karousos logs nothing.
+  EXPECT_EQ(result.server.advice.var_log_entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,79 @@
+#include "src/common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace karousos {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(42).is_int());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(MakeList({1, 2}).is_list());
+  EXPECT_TRUE(MakeMap({{"a", 1}}).is_map());
+  EXPECT_EQ(Value(42).AsInt(), 42);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value().Truthy());
+  EXPECT_FALSE(Value(false).Truthy());
+  EXPECT_FALSE(Value(0).Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_FALSE(Value(ValueList{}).Truthy());
+  EXPECT_FALSE(Value(ValueMap{}).Truthy());
+  EXPECT_TRUE(Value(true).Truthy());
+  EXPECT_TRUE(Value(-1).Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+  EXPECT_TRUE(MakeList({Value()}).Truthy());
+}
+
+TEST(ValueTest, FieldAccess) {
+  Value m = MakeMap({{"a", 1}, {"b", "two"}});
+  EXPECT_EQ(m.Field("a"), Value(1));
+  EXPECT_EQ(m.Field("b"), Value("two"));
+  EXPECT_TRUE(m.Field("missing").is_null());
+  EXPECT_TRUE(Value(3).Field("a").is_null());
+  EXPECT_TRUE(m.HasField("a"));
+  EXPECT_FALSE(m.HasField("c"));
+}
+
+TEST(ValueTest, EqualityIsStructural) {
+  EXPECT_EQ(MakeMap({{"a", MakeList({1, "x"})}}), MakeMap({{"a", MakeList({1, "x"})}}));
+  EXPECT_NE(MakeMap({{"a", 1}}), MakeMap({{"a", 2}}));
+  EXPECT_NE(Value(1), Value(1.0));  // Int and double are distinct kinds.
+  EXPECT_NE(Value(0), Value(false));
+}
+
+TEST(ValueTest, DigestDistinguishesStructure) {
+  EXPECT_NE(Value("ab").DigestValue(), MakeList({"a", "b"}).DigestValue());
+  EXPECT_NE(MakeList({1, 2}).DigestValue(), MakeList({2, 1}).DigestValue());
+  EXPECT_EQ(MakeMap({{"a", 1}, {"b", 2}}).DigestValue(),
+            MakeMap({{"b", 2}, {"a", 1}}).DigestValue());  // Map order canonical.
+  EXPECT_NE(Value().DigestValue(), Value(0).DigestValue());
+}
+
+TEST(ValueTest, ToStringRendersJson) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(MakeList({1, "a"}).ToString(), "[1,\"a\"]");
+  EXPECT_EQ(MakeMap({{"k", MakeList({})}}).ToString(), "{\"k\":[]}");
+  EXPECT_EQ(Value("quote\"back\\slash").ToString(), "\"quote\\\"back\\\\slash\"");
+}
+
+TEST(ValueTest, OrderingIsTotalAndConsistent) {
+  std::vector<Value> values = {Value(), Value(false), Value(true), Value(-5),
+                               Value(3), Value("a"),  Value("b"),  MakeList({1})};
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_FALSE(values[i] < values[i]);
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      EXPECT_TRUE(values[i] < values[j]);
+      EXPECT_FALSE(values[j] < values[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,336 @@
+// karousos — command-line front end for the audit pipeline.
+//
+//   karousos serve  --app wiki --workload mixed --requests 600 --concurrency 15 \
+//                   --out-trace trace.bin --out-advice advice.bin
+//   karousos audit  --app wiki --trace trace.bin --advice advice.bin [--isolation rc]
+//   karousos tamper --trace trace.bin --out trace_forged.bin
+//   karousos inspect --advice advice.bin
+//
+// `serve` runs the instrumented server and writes the collector's trace and
+// the server's advice in the wire format; `audit` replays them through the
+// verifier; `tamper` forges the first response (for demos); `inspect` prints
+// the advice composition.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/audit/audit.h"
+#include "src/common/json.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  karousos serve  --app <motd|stacks|wiki> [--workload <reads|writes|mixed>]\n"
+               "                  [--requests N] [--concurrency C] [--seed S] [--mode karousos|orochi]\n"
+               "                  [--isolation ser|rc|ru] --out-trace FILE --out-advice FILE\n"
+               "  karousos audit  --app <motd|stacks|wiki> --trace FILE --advice FILE\n"
+               "                  [--isolation ser|rc|ru]\n"
+               "  karousos tamper --trace FILE --out FILE\n"
+               "  karousos inspect --advice FILE\n");
+  return 2;
+}
+
+std::optional<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+struct Args {
+  std::string command;
+  std::string app = "motd";
+  std::string workload = "mixed";
+  std::string mode = "karousos";
+  std::string isolation = "ser";
+  std::string trace_path;
+  std::string advice_path;
+  std::string out_path;
+  std::string inputs_path;  // JSON-lines request stream (overrides --workload).
+  size_t requests = 200;
+  int concurrency = 8;
+  uint64_t seed = 1;
+};
+
+std::optional<Args> Parse(int argc, char** argv) {
+  if (argc < 2) {
+    return std::nullopt;
+  }
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    std::string value = argv[i + 1];
+    if (flag == "--app") {
+      args.app = value;
+    } else if (flag == "--workload") {
+      args.workload = value;
+    } else if (flag == "--mode") {
+      args.mode = value;
+    } else if (flag == "--isolation") {
+      args.isolation = value;
+    } else if (flag == "--trace") {
+      args.trace_path = value;
+    } else if (flag == "--advice") {
+      args.advice_path = value;
+    } else if (flag == "--out-trace") {
+      args.trace_path = value;
+    } else if (flag == "--out-advice") {
+      args.advice_path = value;
+    } else if (flag == "--out") {
+      args.out_path = value;
+    } else if (flag == "--inputs") {
+      args.inputs_path = value;
+    } else if (flag == "--requests") {
+      args.requests = static_cast<size_t>(std::stoul(value));
+    } else if (flag == "--concurrency") {
+      args.concurrency = std::stoi(value);
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(value);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+AppSpec MakeApp(const std::string& name) {
+  if (name == "motd") {
+    return MakeMotdApp();
+  }
+  if (name == "stacks") {
+    return MakeStacksApp();
+  }
+  if (name == "wiki") {
+    return MakeWikiApp();
+  }
+  std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+IsolationLevel ParseIsolation(const std::string& s) {
+  if (s == "ser") {
+    return IsolationLevel::kSerializable;
+  }
+  if (s == "rc") {
+    return IsolationLevel::kReadCommitted;
+  }
+  if (s == "ru") {
+    return IsolationLevel::kReadUncommitted;
+  }
+  std::fprintf(stderr, "unknown isolation level '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+int CmdServe(const Args& args) {
+  if (args.trace_path.empty() || args.advice_path.empty()) {
+    return Usage();
+  }
+  std::vector<Value> inputs;
+  if (!args.inputs_path.empty()) {
+    // One JSON request per line.
+    std::ifstream in(args.inputs_path);
+    if (!in) {
+      std::fprintf(stderr, "failed to read %s\n", args.inputs_path.c_str());
+      return 1;
+    }
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) {
+        continue;
+      }
+      JsonParseError error;
+      auto value = ParseJson(line, &error);
+      if (!value) {
+        std::fprintf(stderr, "%s:%zu: JSON error at offset %zu: %s\n",
+                     args.inputs_path.c_str(), lineno, error.position, error.message.c_str());
+        return 1;
+      }
+      inputs.push_back(std::move(*value));
+    }
+  } else {
+    WorkloadConfig wl;
+    wl.app = args.app;
+    wl.kind = args.workload == "reads"    ? WorkloadKind::kReadHeavy
+              : args.workload == "writes" ? WorkloadKind::kWriteHeavy
+              : args.app == "wiki"        ? WorkloadKind::kWikiMix
+                                          : WorkloadKind::kMixed;
+    wl.requests = args.requests;
+    wl.seed = args.seed;
+    wl.connections = args.concurrency;
+    inputs = GenerateWorkload(wl);
+  }
+
+  AppSpec app = MakeApp(args.app);
+  ServerConfig config;
+  config.mode = args.mode == "orochi" ? CollectMode::kOrochi : CollectMode::kKarousos;
+  config.isolation = ParseIsolation(args.isolation);
+  config.concurrency = args.concurrency;
+  config.seed = args.seed;
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(inputs);
+
+  ByteWriter trace_bytes;
+  run.trace.Serialize(&trace_bytes);
+  ByteWriter advice_bytes;
+  run.advice.Serialize(&advice_bytes);
+  if (!WriteFile(args.trace_path, trace_bytes.bytes()) ||
+      !WriteFile(args.advice_path, advice_bytes.bytes())) {
+    std::fprintf(stderr, "failed to write outputs\n");
+    return 1;
+  }
+  std::printf("served %zu requests (%s, concurrency %d) in %.3fs\n", inputs.size(),
+              CollectModeName(config.mode), args.concurrency, run.serve_seconds);
+  std::printf("trace: %zu events -> %s (%zu B)\n", run.trace.events.size(),
+              args.trace_path.c_str(), trace_bytes.size());
+  std::printf("advice: %zu var-log entries, %zu txns -> %s (%zu B)\n",
+              run.advice.var_log_entry_count(), run.advice.tx_logs.size(),
+              args.advice_path.c_str(), advice_bytes.size());
+  return 0;
+}
+
+int CmdAudit(const Args& args) {
+  if (args.trace_path.empty() || args.advice_path.empty()) {
+    return Usage();
+  }
+  auto trace_bytes = ReadFile(args.trace_path);
+  auto advice_bytes = ReadFile(args.advice_path);
+  if (!trace_bytes || !advice_bytes) {
+    std::fprintf(stderr, "failed to read inputs\n");
+    return 1;
+  }
+  ByteReader trace_reader(*trace_bytes);
+  auto trace = Trace::Deserialize(&trace_reader);
+  if (!trace) {
+    std::printf("REJECTED: malformed trace file\n");
+    return 1;
+  }
+  ByteReader advice_reader(*advice_bytes);
+  auto advice = Advice::Deserialize(&advice_reader);
+  if (!advice) {
+    std::printf("REJECTED: malformed advice (server misbehavior)\n");
+    return 1;
+  }
+  AppSpec app = MakeApp(args.app);
+  AuditResult audit = AuditOnly(app, *trace, *advice, ParseIsolation(args.isolation));
+  if (audit.accepted) {
+    std::printf("ACCEPTED: %zu requests in %zu groups, %zu handler executions, "
+                "G = %zu nodes / %zu edges\n",
+                audit.stats.group_lane_total, audit.stats.groups,
+                audit.stats.handler_executions, audit.stats.graph_nodes,
+                audit.stats.graph_edges);
+    return 0;
+  }
+  std::printf("REJECTED: %s\n", audit.reason.c_str());
+  return 1;
+}
+
+int CmdTamper(const Args& args) {
+  if (args.trace_path.empty() || args.out_path.empty()) {
+    return Usage();
+  }
+  auto bytes = ReadFile(args.trace_path);
+  if (!bytes) {
+    std::fprintf(stderr, "failed to read trace\n");
+    return 1;
+  }
+  ByteReader reader(*bytes);
+  auto trace = Trace::Deserialize(&reader);
+  if (!trace) {
+    std::fprintf(stderr, "malformed trace\n");
+    return 1;
+  }
+  for (TraceEvent& ev : trace->events) {
+    if (ev.kind == TraceEvent::Kind::kResponse) {
+      ev.payload = MakeMap({{"forged", true}});
+      std::printf("forged the response of request %llu\n",
+                  static_cast<unsigned long long>(ev.rid));
+      break;
+    }
+  }
+  ByteWriter writer;
+  trace->Serialize(&writer);
+  if (!WriteFile(args.out_path, writer.bytes())) {
+    std::fprintf(stderr, "failed to write output\n");
+    return 1;
+  }
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  if (args.advice_path.empty()) {
+    return Usage();
+  }
+  auto bytes = ReadFile(args.advice_path);
+  if (!bytes) {
+    std::fprintf(stderr, "failed to read advice\n");
+    return 1;
+  }
+  ByteReader reader(*bytes);
+  auto advice = Advice::Deserialize(&reader);
+  if (!advice) {
+    std::printf("malformed advice file\n");
+    return 1;
+  }
+  Advice::SizeBreakdown size = advice->MeasureSize();
+  std::printf("advice: %zu B total\n", size.total);
+  std::printf("  tags:           %8zu B (%zu requests)\n", size.tags, advice->tags.size());
+  std::printf("  handler logs:   %8zu B (%zu entries)\n", size.handler_logs,
+              advice->handler_log_entry_count());
+  std::printf("  variable logs:  %8zu B (%zu entries in %zu variables)\n", size.var_logs,
+              advice->var_log_entry_count(), advice->var_logs.size());
+  std::printf("  tx logs:        %8zu B (%zu transactions)\n", size.tx_logs,
+              advice->tx_logs.size());
+  std::printf("  write order:    %8zu B (%zu writes)\n", size.write_order,
+              advice->write_order.size());
+  std::printf("  other:          %8zu B (%zu opcounts, %zu nondet records)\n", size.other,
+              advice->opcounts.size(), advice->nondet.size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  auto args = Parse(argc, argv);
+  if (!args) {
+    return Usage();
+  }
+  if (args->command == "serve") {
+    return CmdServe(*args);
+  }
+  if (args->command == "audit") {
+    return CmdAudit(*args);
+  }
+  if (args->command == "tamper") {
+    return CmdTamper(*args);
+  }
+  if (args->command == "inspect") {
+    return CmdInspect(*args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace karousos
+
+int main(int argc, char** argv) { return karousos::Main(argc, argv); }
