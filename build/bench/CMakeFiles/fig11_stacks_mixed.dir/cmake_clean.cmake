@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_stacks_mixed.dir/fig11_stacks_mixed.cc.o"
+  "CMakeFiles/fig11_stacks_mixed.dir/fig11_stacks_mixed.cc.o.d"
+  "fig11_stacks_mixed"
+  "fig11_stacks_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_stacks_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_stacks_writes.dir/fig12_stacks_writes.cc.o"
+  "CMakeFiles/fig12_stacks_writes.dir/fig12_stacks_writes.cc.o.d"
+  "fig12_stacks_writes"
+  "fig12_stacks_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_stacks_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

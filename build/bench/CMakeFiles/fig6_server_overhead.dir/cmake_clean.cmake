@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_server_overhead.dir/fig6_server_overhead.cc.o"
+  "CMakeFiles/fig6_server_overhead.dir/fig6_server_overhead.cc.o.d"
+  "fig6_server_overhead"
+  "fig6_server_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_server_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_verification.dir/fig7_verification.cc.o"
+  "CMakeFiles/fig7_verification.dir/fig7_verification.cc.o.d"
+  "fig7_verification"
+  "fig7_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_motd_mixed.dir/fig9_motd_mixed.cc.o"
+  "CMakeFiles/fig9_motd_mixed.dir/fig9_motd_mixed.cc.o.d"
+  "fig9_motd_mixed"
+  "fig9_motd_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_motd_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

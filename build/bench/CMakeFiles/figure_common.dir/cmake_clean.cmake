@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_common.dir/figure_common.cc.o"
+  "CMakeFiles/figure_common.dir/figure_common.cc.o.d"
+  "libfigure_common.a"
+  "libfigure_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

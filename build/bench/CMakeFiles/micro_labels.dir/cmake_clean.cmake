@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_labels.dir/micro_labels.cc.o"
+  "CMakeFiles/micro_labels.dir/micro_labels.cc.o.d"
+  "micro_labels"
+  "micro_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

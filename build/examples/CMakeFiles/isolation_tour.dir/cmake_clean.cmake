@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_tour.dir/isolation_tour.cpp.o"
+  "CMakeFiles/isolation_tour.dir/isolation_tour.cpp.o.d"
+  "isolation_tour"
+  "isolation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_audit.dir/wiki_audit.cpp.o"
+  "CMakeFiles/wiki_audit.dir/wiki_audit.cpp.o.d"
+  "wiki_audit"
+  "wiki_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

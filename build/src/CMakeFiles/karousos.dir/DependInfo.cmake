@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adya/checker.cc" "src/CMakeFiles/karousos.dir/adya/checker.cc.o" "gcc" "src/CMakeFiles/karousos.dir/adya/checker.cc.o.d"
+  "/root/repo/src/apps/app_util.cc" "src/CMakeFiles/karousos.dir/apps/app_util.cc.o" "gcc" "src/CMakeFiles/karousos.dir/apps/app_util.cc.o.d"
+  "/root/repo/src/apps/motd.cc" "src/CMakeFiles/karousos.dir/apps/motd.cc.o" "gcc" "src/CMakeFiles/karousos.dir/apps/motd.cc.o.d"
+  "/root/repo/src/apps/pingpong.cc" "src/CMakeFiles/karousos.dir/apps/pingpong.cc.o" "gcc" "src/CMakeFiles/karousos.dir/apps/pingpong.cc.o.d"
+  "/root/repo/src/apps/stacks.cc" "src/CMakeFiles/karousos.dir/apps/stacks.cc.o" "gcc" "src/CMakeFiles/karousos.dir/apps/stacks.cc.o.d"
+  "/root/repo/src/apps/wiki.cc" "src/CMakeFiles/karousos.dir/apps/wiki.cc.o" "gcc" "src/CMakeFiles/karousos.dir/apps/wiki.cc.o.d"
+  "/root/repo/src/audit/audit.cc" "src/CMakeFiles/karousos.dir/audit/audit.cc.o" "gcc" "src/CMakeFiles/karousos.dir/audit/audit.cc.o.d"
+  "/root/repo/src/baseline/sequential.cc" "src/CMakeFiles/karousos.dir/baseline/sequential.cc.o" "gcc" "src/CMakeFiles/karousos.dir/baseline/sequential.cc.o.d"
+  "/root/repo/src/common/graph.cc" "src/CMakeFiles/karousos.dir/common/graph.cc.o" "gcc" "src/CMakeFiles/karousos.dir/common/graph.cc.o.d"
+  "/root/repo/src/common/ids.cc" "src/CMakeFiles/karousos.dir/common/ids.cc.o" "gcc" "src/CMakeFiles/karousos.dir/common/ids.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/karousos.dir/common/json.cc.o" "gcc" "src/CMakeFiles/karousos.dir/common/json.cc.o.d"
+  "/root/repo/src/common/serde.cc" "src/CMakeFiles/karousos.dir/common/serde.cc.o" "gcc" "src/CMakeFiles/karousos.dir/common/serde.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/karousos.dir/common/value.cc.o" "gcc" "src/CMakeFiles/karousos.dir/common/value.cc.o.d"
+  "/root/repo/src/kem/label.cc" "src/CMakeFiles/karousos.dir/kem/label.cc.o" "gcc" "src/CMakeFiles/karousos.dir/kem/label.cc.o.d"
+  "/root/repo/src/kem/program.cc" "src/CMakeFiles/karousos.dir/kem/program.cc.o" "gcc" "src/CMakeFiles/karousos.dir/kem/program.cc.o.d"
+  "/root/repo/src/multivalue/multivalue.cc" "src/CMakeFiles/karousos.dir/multivalue/multivalue.cc.o" "gcc" "src/CMakeFiles/karousos.dir/multivalue/multivalue.cc.o.d"
+  "/root/repo/src/server/advice.cc" "src/CMakeFiles/karousos.dir/server/advice.cc.o" "gcc" "src/CMakeFiles/karousos.dir/server/advice.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/CMakeFiles/karousos.dir/server/server.cc.o" "gcc" "src/CMakeFiles/karousos.dir/server/server.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/karousos.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/karousos.dir/trace/trace.cc.o.d"
+  "/root/repo/src/txkv/store.cc" "src/CMakeFiles/karousos.dir/txkv/store.cc.o" "gcc" "src/CMakeFiles/karousos.dir/txkv/store.cc.o.d"
+  "/root/repo/src/verifier/reexec.cc" "src/CMakeFiles/karousos.dir/verifier/reexec.cc.o" "gcc" "src/CMakeFiles/karousos.dir/verifier/reexec.cc.o.d"
+  "/root/repo/src/verifier/verifier.cc" "src/CMakeFiles/karousos.dir/verifier/verifier.cc.o" "gcc" "src/CMakeFiles/karousos.dir/verifier/verifier.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/karousos.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/karousos.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

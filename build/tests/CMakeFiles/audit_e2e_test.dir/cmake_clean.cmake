@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_e2e_test.dir/audit_e2e_test.cc.o"
+  "CMakeFiles/audit_e2e_test.dir/audit_e2e_test.cc.o.d"
+  "audit_e2e_test"
+  "audit_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_property_test.dir/audit_property_test.cc.o"
+  "CMakeFiles/audit_property_test.dir/audit_property_test.cc.o.d"
+  "audit_property_test"
+  "audit_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_handlers_test.dir/dynamic_handlers_test.cc.o"
+  "CMakeFiles/dynamic_handlers_test.dir/dynamic_handlers_test.cc.o.d"
+  "dynamic_handlers_test"
+  "dynamic_handlers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_handlers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kem_test.dir/kem_test.cc.o"
+  "CMakeFiles/kem_test.dir/kem_test.cc.o.d"
+  "kem_test"
+  "kem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reexec_test.dir/reexec_test.cc.o"
+  "CMakeFiles/reexec_test.dir/reexec_test.cc.o.d"
+  "reexec_test"
+  "reexec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reexec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soundness_test.dir/soundness_test.cc.o"
+  "CMakeFiles/soundness_test.dir/soundness_test.cc.o.d"
+  "soundness_test"
+  "soundness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txkv_concurrency_test.dir/txkv_concurrency_test.cc.o"
+  "CMakeFiles/txkv_concurrency_test.dir/txkv_concurrency_test.cc.o.d"
+  "txkv_concurrency_test"
+  "txkv_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txkv_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

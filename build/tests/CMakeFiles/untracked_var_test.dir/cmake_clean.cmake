@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/untracked_var_test.dir/untracked_var_test.cc.o"
+  "CMakeFiles/untracked_var_test.dir/untracked_var_test.cc.o.d"
+  "untracked_var_test"
+  "untracked_var_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/untracked_var_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_unit_test.dir/verifier_unit_test.cc.o"
+  "CMakeFiles/verifier_unit_test.dir/verifier_unit_test.cc.o.d"
+  "verifier_unit_test"
+  "verifier_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/karousos_cli.dir/karousos_cli.cc.o"
+  "CMakeFiles/karousos_cli.dir/karousos_cli.cc.o.d"
+  "karousos"
+  "karousos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/karousos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
