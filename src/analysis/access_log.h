@@ -1,0 +1,40 @@
+// The untracked-access log: one record per read/write of an *unannotated*
+// (VarScope::kUntracked) variable observed during server execution.
+//
+// Untracked variables produce no advice — the paper's soundness argument for
+// them (§5) rests on the precondition that every access is ordered by the
+// reconstructed order R. The server cannot enforce that precondition, but it
+// can cheaply *record* the accesses; the race detector in
+// src/analysis/race.h then checks the precondition mechanically.
+#ifndef SRC_ANALYSIS_ACCESS_LOG_H_
+#define SRC_ANALYSIS_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/kem/label.h"
+
+namespace karousos {
+
+struct UntrackedAccess {
+  enum class Kind : uint8_t { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  VarId vid = 0;
+  std::string name;    // Declared variable name ("" if accessed undeclared).
+  RequestId rid = 0;   // kInitRequestId for initialization-time accesses.
+  HandlerId hid = 0;
+  HandlerLabel label;  // The accessing handler's A-order label.
+  // 1-based position of this access within its handler activation's stream
+  // of untracked accesses (program order within the handler).
+  uint32_t seq = 0;
+
+  std::string ToString() const;
+};
+
+using UntrackedAccessLog = std::vector<UntrackedAccess>;
+
+}  // namespace karousos
+
+#endif  // SRC_ANALYSIS_ACCESS_LOG_H_

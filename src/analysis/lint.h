@@ -1,0 +1,49 @@
+// The advice linter: a pure, re-execution-free structural pass over a
+// deserialized (Trace, Advice) pair.
+//
+// The verifier's grouped re-execution eventually rejects any malformed
+// advice, but it does so deep inside ReExec with reasons phrased in terms of
+// divergence ("handler operation missing from the handler log", ...). The
+// linter validates the advice's *cross-referential integrity* up front —
+// every OpRef, transaction position, and opcount the advice alleges must
+// resolve — so that a misbehaving (or merely buggy) server fails fast, with
+// a diagnostic naming the exact broken reference. Wrong advice can only cause
+// rejection, never wrong acceptance (§2.1), so linting first is free:
+// anything the linter rejects, re-execution would also have rejected.
+//
+// Rule catalogue (stable IDs; tests pin one corruption to each rule):
+//   KAR-ADV-001  advice component references a request id not in the trace
+//   KAR-ADV-002  opcounts entry malformed (reserved handler id, count overflow)
+//   KAR-ADV-003  dangling VarLogEntry::prec (absent, non-write, or self)
+//   KAR-ADV-004  var-log entry coordinates not covered by opcounts
+//   KAR-ADV-005  handler-log entry coordinates not covered by opcounts
+//   KAR-ADV-006  two log entries claim the same operation coordinates
+//   KAR-ADV-007  responseEmittedBy references an unknown (rid, hid) or opnum
+//   KAR-ADV-008  responseEmittedBy missing for a request in the trace
+//   KAR-ADV-009  write-order entry names a transaction-log position that is
+//                absent or not a PUT
+//   KAR-ADV-010  the alleged write order is cyclic (an entry recurs)
+//   KAR-ADV-011  tx-log GET's dictating-write reference does not resolve to a
+//                matching PUT
+//   KAR-ADV-012  tx-log entry coordinates not covered by opcounts
+//   KAR-ADV-013  nondet record references an operation not covered by opcounts
+//   KAR-ADV-014  re-execution tag missing for a request in the trace
+#ifndef SRC_ANALYSIS_LINT_H_
+#define SRC_ANALYSIS_LINT_H_
+
+#include <vector>
+
+#include "src/analysis/diagnostic.h"
+#include "src/server/advice.h"
+#include "src/trace/trace.h"
+
+namespace karousos {
+
+// Runs every lint rule and returns the findings in rule-ID order (then in
+// deterministic advice-iteration order within a rule). Pure: no re-execution,
+// no program access, no mutation.
+std::vector<LintDiagnostic> LintAdvice(const Trace& trace, const Advice& advice);
+
+}  // namespace karousos
+
+#endif  // SRC_ANALYSIS_LINT_H_

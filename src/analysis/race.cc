@@ -1,0 +1,189 @@
+#include "src/analysis/race.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+namespace karousos {
+
+std::string UntrackedAccess::ToString() const {
+  std::ostringstream out;
+  out << (kind == Kind::kWrite ? "write" : "read") << " of '" << name << "' at r" << rid << "/h"
+      << std::hex << hid << std::dec << " (label " << LabelToString(label) << ", access #" << seq
+      << ")";
+  return out.str();
+}
+
+std::string RaceFinding::Describe() const {
+  std::ostringstream out;
+  out << "untracked variable '" << var_name << "': " << first.ToString() << " and "
+      << second.ToString()
+      << " are not ordered by R — annotate the variable as loggable (§5 precondition violated)";
+  return out.str();
+}
+
+namespace {
+
+// Vector clock over one request's handler activations. Components are
+// interned per distinct A-order label; values are access counts (see race.h).
+using VectorClock = std::vector<uint32_t>;
+
+// Interns handler labels to dense component slots, per request.
+class ComponentSpace {
+ public:
+  uint32_t SlotOf(const HandlerLabel& label) {
+    auto [it, inserted] = slots_.emplace(label, static_cast<uint32_t>(slots_.size()));
+    return it->second;
+  }
+  size_t size() const { return slots_.size(); }
+
+ private:
+  std::map<HandlerLabel, uint32_t> slots_;
+};
+
+bool PointwiseLeq(const VectorClock& a, const VectorClock& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint32_t rhs = i < b.size() ? b[i] : 0;
+    if (a[i] > rhs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ClockedAccess {
+  const UntrackedAccess* access = nullptr;
+  VectorClock clock;
+};
+
+// R-orders two accesses of the same request via their vector clocks.
+bool HappensBefore(const ClockedAccess& a, const ClockedAccess& b) {
+  return PointwiseLeq(a.clock, b.clock);
+}
+
+}  // namespace
+
+std::vector<RaceFinding> DetectUntrackedRaces(const UntrackedAccessLog& log) {
+  // Pass 1: per (request, handler-label), total number of untracked accesses
+  // — the clock value ancestors contribute — and the component slots.
+  std::map<RequestId, ComponentSpace> spaces;
+  std::map<std::pair<RequestId, HandlerLabel>, uint32_t> handler_access_counts;
+  for (const UntrackedAccess& a : log) {
+    if (a.rid == kInitRequestId) {
+      continue;  // Initialization R-precedes everything; never part of a race.
+    }
+    spaces[a.rid].SlotOf(a.label);
+    uint32_t& count = handler_access_counts[{a.rid, a.label}];
+    count = std::max(count, a.seq);
+  }
+
+  // Pass 2: assemble the per-variable access lists with their clocks.
+  struct VarAccesses {
+    std::vector<ClockedAccess> all;
+    bool has_request_write = false;  // Any non-init write at all?
+  };
+  std::map<VarId, VarAccesses> by_var;
+  for (const UntrackedAccess& a : log) {
+    ClockedAccess clocked;
+    clocked.access = &a;
+    if (a.rid != kInitRequestId) {
+      ComponentSpace& space = spaces[a.rid];
+      clocked.clock.assign(space.size(), 0);
+      // Ancestor components: all of the ancestor handler's accesses precede
+      // this one (A orders at handler granularity, matching RPrecedes).
+      HandlerLabel prefix;
+      for (size_t depth = 0; depth < a.label.size(); ++depth) {
+        prefix.push_back(a.label[depth]);
+        auto count_it = handler_access_counts.find({a.rid, prefix});
+        if (count_it == handler_access_counts.end()) {
+          continue;  // Ancestor performed no untracked accesses.
+        }
+        uint32_t value = depth + 1 == a.label.size() ? a.seq : count_it->second;
+        clocked.clock[space.SlotOf(prefix)] = value;
+      }
+      if (a.kind == UntrackedAccess::Kind::kWrite) {
+        by_var[a.vid].has_request_write = true;
+      }
+    }
+    by_var[a.vid].all.push_back(std::move(clocked));
+  }
+
+  // Pass 3: pairwise conflict detection per variable. Only pairs with at
+  // least one write conflict; a variable never written after initialization
+  // (the legitimate read-only-config pattern) is skipped outright.
+  std::vector<RaceFinding> findings;
+  std::set<std::tuple<VarId, RequestId, HandlerId, RequestId, HandlerId, bool>> seen;
+  for (const auto& [vid, var] : by_var) {
+    if (!var.has_request_write) {
+      continue;
+    }
+    const std::vector<ClockedAccess>& accesses = var.all;
+    for (size_t i = 0; i < accesses.size(); ++i) {
+      const UntrackedAccess& a = *accesses[i].access;
+      if (a.rid == kInitRequestId) {
+        continue;
+      }
+      for (size_t j = i + 1; j < accesses.size(); ++j) {
+        const UntrackedAccess& b = *accesses[j].access;
+        if (b.rid == kInitRequestId) {
+          continue;
+        }
+        bool a_writes = a.kind == UntrackedAccess::Kind::kWrite;
+        bool b_writes = b.kind == UntrackedAccess::Kind::kWrite;
+        if (!a_writes && !b_writes) {
+          continue;
+        }
+        bool ordered;
+        if (a.rid != b.rid) {
+          ordered = false;  // Different requests are never R-ordered.
+        } else {
+          ordered = HappensBefore(accesses[i], accesses[j]) ||
+                    HappensBefore(accesses[j], accesses[i]);
+        }
+        if (ordered) {
+          continue;
+        }
+        bool both_write = a_writes && b_writes;
+        // One racy code path (handler pair) reports once, not per request
+        // pair: key on the handler ids with requests collapsed when the race
+        // is cross-request.
+        bool cross_request = a.rid != b.rid;
+        auto key = std::make_tuple(vid, cross_request ? 0 : a.rid, std::min(a.hid, b.hid),
+                                   cross_request ? 0 : b.rid, std::max(a.hid, b.hid), both_write);
+        if (!seen.insert(key).second) {
+          continue;
+        }
+        RaceFinding finding;
+        finding.rule = both_write ? kRuleRaceWriteWrite : kRuleRaceReadWrite;
+        finding.vid = vid;
+        finding.var_name = !a.name.empty() ? a.name : b.name;
+        finding.first = a;
+        finding.second = b;
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<LintDiagnostic> RaceFindingsToDiagnostics(const std::vector<RaceFinding>& findings) {
+  std::vector<LintDiagnostic> out;
+  out.reserve(findings.size());
+  for (const RaceFinding& f : findings) {
+    LintDiagnostic d;
+    d.rule = f.rule;
+    d.severity = LintSeverity::kWarning;
+    std::ostringstream loc;
+    loc << "untracked[0x" << std::hex << f.vid << std::dec << "]";
+    d.location = loc.str();
+    d.message = f.Describe();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace karousos

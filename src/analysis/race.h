@@ -1,0 +1,63 @@
+// Happens-before race detection for unannotated ("untracked") variables.
+//
+// §5's soundness argument for untracked variables has an unchecked
+// precondition: every access to an untracked variable must be ordered by the
+// reconstructed order R. R orders two operations of the *same* request iff
+// their handlers are related by the activation partial order A (one handler's
+// label is a prefix of the other's) — plus program order within a handler —
+// and orders initialization before everything; operations of *different*
+// requests are never R-ordered. When the precondition is violated the audit
+// loses Completeness (honest executions get rejected) with an opaque
+// divergence reason; this detector checks the precondition mechanically from
+// the server's untracked-access log and names the offending variable and
+// access pair.
+//
+// Mechanics: per request, each handler activation becomes one vector-clock
+// component (interned from its A-order label); an access's clock assigns
+// count-so-far to every ancestor component and its own sequence number to its
+// handler's component. Access a happens-before access b iff clock(a) <=
+// clock(b) pointwise — which holds exactly when b's handler is an A-descendant
+// of a's (or the same handler, later in program order). Two conflicting
+// accesses (same variable, at least one write, neither from initialization)
+// whose clocks are incomparable are a race: the §5 precondition is violated
+// and the variable must be annotated as loggable.
+#ifndef SRC_ANALYSIS_RACE_H_
+#define SRC_ANALYSIS_RACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/access_log.h"
+#include "src/analysis/diagnostic.h"
+
+namespace karousos {
+
+// Stable rule IDs for race findings (the analysis layer's diagnostics share
+// one namespace with the advice linter's KAR-ADV-* rules).
+inline constexpr const char* kRuleRaceWriteWrite = "KAR-RACE-001";
+inline constexpr const char* kRuleRaceReadWrite = "KAR-RACE-002";
+
+struct RaceFinding {
+  std::string rule;  // kRuleRaceWriteWrite or kRuleRaceReadWrite.
+  VarId vid = 0;
+  std::string var_name;
+  UntrackedAccess first;   // In log (observation) order.
+  UntrackedAccess second;
+  std::string Describe() const;
+};
+
+// Scans the access log and returns every conflicting, un-R-ordered access
+// pair, deduplicated by (variable, handler pair, access kinds) so one racy
+// code path reports once rather than once per request pair. Deterministic in
+// the log order. An empty result means the §5 precondition held for this
+// execution.
+std::vector<RaceFinding> DetectUntrackedRaces(const UntrackedAccessLog& log);
+
+// Renders findings as analysis-layer diagnostics (warning severity: a race is
+// a Completeness hazard the developer must fix by annotating, not a proof of
+// server misbehavior, so the audit reports it without rejecting on it).
+std::vector<LintDiagnostic> RaceFindingsToDiagnostics(const std::vector<RaceFinding>& findings);
+
+}  // namespace karousos
+
+#endif  // SRC_ANALYSIS_RACE_H_

@@ -7,13 +7,17 @@ AuditPipelineResult RunAndAudit(const AppSpec& app, const std::vector<Value>& in
   AuditPipelineResult result;
   Server server(*app.program, config);
   result.server = server.Run(inputs);
-  result.audit = AuditOnly(app, result.server.trace, result.server.advice, config.isolation);
+  result.audit = AuditOnly(app, result.server.trace, result.server.advice, config.isolation,
+                           &result.server.untracked_accesses);
   return result;
 }
 
 AuditResult AuditOnly(const AppSpec& app, const Trace& trace, const Advice& advice,
-                      IsolationLevel isolation) {
+                      IsolationLevel isolation, const UntrackedAccessLog* untracked) {
   Verifier verifier(*app.program, isolation);
+  if (untracked != nullptr) {
+    verifier.set_untracked_accesses(untracked);
+  }
   return verifier.Audit(trace, advice);
 }
 

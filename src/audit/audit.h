@@ -21,13 +21,15 @@ struct AuditPipelineResult {
 };
 
 // Serves `inputs` with the given config, then audits the result with a fresh
-// verifier holding the same program.
+// verifier holding the same program. The server's untracked-access log is fed
+// to the verifier's race detector, so warnings appear in audit.diagnostics.
 AuditPipelineResult RunAndAudit(const AppSpec& app, const std::vector<Value>& inputs,
                                 const ServerConfig& config);
 
-// Audit only (server output already in hand).
+// Audit only (server output already in hand). Pass the server's
+// untracked-access log to additionally run the §5 race detector.
 AuditResult AuditOnly(const AppSpec& app, const Trace& trace, const Advice& advice,
-                      IsolationLevel isolation);
+                      IsolationLevel isolation, const UntrackedAccessLog* untracked = nullptr);
 
 }  // namespace karousos
 

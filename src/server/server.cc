@@ -76,6 +76,7 @@ class ServerCtx : public Ctx {
     VarId vid = ResolveVarId(name, scope, rid_);
     if (scope == VarScope::kUntracked) {
       Server::UntrackedVar& var = server_.untracked_vars_[vid];
+      RecordUntrackedAccess(UntrackedAccess::Kind::kRead, vid, var);
       LintUntrackedAccess(var);
       return MultiValue(var.value);
     }
@@ -121,6 +122,7 @@ class ServerCtx : public Ctx {
     }
     if (scope == VarScope::kUntracked) {
       Server::UntrackedVar& var = server_.untracked_vars_[vid];
+      RecordUntrackedAccess(UntrackedAccess::Kind::kWrite, vid, var);
       LintUntrackedAccess(var);
       var.value = value.CollapsedValue();
       if (server_.config_.annotation_lint && instrumented()) {
@@ -448,6 +450,24 @@ class ServerCtx : public Ctx {
     return open_txns_[tx.slot];
   }
 
+  // Feeds the §5-precondition race detector (src/analysis/race.h). Labels
+  // only exist in instrumented modes; an uninstrumented run records nothing.
+  void RecordUntrackedAccess(UntrackedAccess::Kind kind, VarId vid,
+                             const Server::UntrackedVar& var) {
+    if (!instrumented() || !server_.config_.record_untracked_accesses) {
+      return;
+    }
+    UntrackedAccess rec;
+    rec.kind = kind;
+    rec.vid = vid;
+    rec.name = var.name;
+    rec.rid = rid_;
+    rec.hid = hid_;
+    rec.label = label_;
+    rec.seq = ++untracked_seq_;
+    result_->untracked_accesses.push_back(std::move(rec));
+  }
+
   // Shadow R-concurrency check for unannotated variables (annotation
   // advisor). Accesses R-concurrent with the variable's most recent write
   // mean the developer must annotate it as loggable.
@@ -497,6 +517,8 @@ class ServerCtx : public Ctx {
   // Shadow counter for lint-mode untracked accesses: keeps their coordinates
   // distinct without perturbing the real opnum stream.
   OpNum lint_opnum_ = 0;
+  // Per-activation position counter for the untracked-access log.
+  uint32_t untracked_seq_ = 0;
   Digest cf_digest_;
   std::vector<TxId> open_txns_;
 };

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/access_log.h"
 #include "src/common/digest.h"
 #include "src/common/rng.h"
 #include "src/kem/label.h"
@@ -59,6 +60,11 @@ struct ServerConfig {
   // checked for R-concurrency and violations are reported per variable, so
   // a developer learns exactly which variables must be marked loggable.
   bool annotation_lint = false;
+  // Record every untracked-variable access (instrumented modes only) into
+  // ServerRunResult::untracked_accesses, feeding the happens-before race
+  // detector in src/analysis/race.h. Honest applications keep no mutable
+  // untracked state, so the default-on recording costs nothing there.
+  bool record_untracked_accesses = true;
 };
 
 struct ServerRunResult {
@@ -78,6 +84,9 @@ struct ServerRunResult {
   // Annotation-lint findings: unannotated variables with R-concurrent
   // accesses, and how many such accesses were observed.
   std::map<std::string, size_t> lint_violations;
+  // Every untracked-variable access, in observation order (empty when
+  // record_untracked_accesses is off or the mode is uninstrumented).
+  UntrackedAccessLog untracked_accesses;
 };
 
 class ServerCtx;

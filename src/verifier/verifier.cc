@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/analysis/lint.h"
+#include "src/analysis/race.h"
+
 namespace karousos {
 
 namespace {
@@ -38,11 +41,14 @@ AuditResult Verifier::Audit(const Trace& trace, const Advice& advice) {
     result.accepted = true;
   } catch (const RejectError& e) {
     result.reason = e.reason;
+    result.rule = e.rule;
   } catch (const std::exception& e) {
     // Malformed advice must never crash the verifier: any fault surfacing
     // from re-executed application code counts as server misbehavior.
     result.reason = std::string("re-execution fault: ") + e.what();
   }
+  result.diagnostics = std::move(diagnostics_);
+  diagnostics_.clear();
   stats_.graph_nodes = graph_.node_count();
   stats_.graph_edges = graph_.edge_count();
   for (const auto& [vid, var] : vars_) {
@@ -72,6 +78,7 @@ void Verifier::Preprocess() {
       responses_[ev.rid] = ev.payload;
     }
   }
+  RunAnalysisPasses();
   RunInitialization();  // Implemented with ReplayCtx in reexec.cc.
   AddTimePrecedenceEdges();
   AddProgramEdges();
@@ -79,6 +86,30 @@ void Verifier::Preprocess() {
   AddHandlerRelatedEdges();
   AddExternalStateEdges();
   IsolationLevelVerification();
+}
+
+void Verifier::RunAnalysisPasses() {
+  // Structural advice lint (src/analysis/lint.h). All findings are kept for
+  // the result; the first error becomes the structured rejection so callers
+  // see the rule ID without grepping the reason text.
+  for (LintDiagnostic& d : LintAdvice(*trace_, *advice_)) {
+    diagnostics_.push_back(std::move(d));
+  }
+  // Happens-before race scan over untracked accesses, when the caller
+  // supplied the server-side log. Races are Completeness hazards (the
+  // developer must annotate the variable), not proof of misbehavior: they are
+  // reported as warnings, never rejected on.
+  if (untracked_accesses_ != nullptr) {
+    for (LintDiagnostic& d :
+         RaceFindingsToDiagnostics(DetectUntrackedRaces(*untracked_accesses_))) {
+      diagnostics_.push_back(std::move(d));
+    }
+  }
+  for (const LintDiagnostic& d : diagnostics_) {
+    if (d.severity == LintSeverity::kError) {
+      throw RejectError(d.rule, "advice lint: " + d.Format());
+    }
+  }
 }
 
 void Verifier::AddTimePrecedenceEdges() {

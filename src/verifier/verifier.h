@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "src/adya/checker.h"
+#include "src/analysis/access_log.h"
+#include "src/analysis/diagnostic.h"
 #include "src/common/graph.h"
 #include "src/common/ids.h"
 #include "src/kem/program.h"
@@ -46,13 +48,23 @@ struct AuditStats {
 struct AuditResult {
   bool accepted = false;
   std::string reason;  // Empty on accept.
+  // Stable rule ID when the rejection came from the advice-lint preprocess
+  // stage (e.g. "KAR-ADV-003"); empty for re-execution rejections.
+  std::string rule;
+  // Analysis-layer findings that accompanied the audit: lint diagnostics
+  // (including the one that caused a rejection) and, when an untracked-access
+  // log was supplied, happens-before race findings (warnings).
+  std::vector<LintDiagnostic> diagnostics;
   AuditStats stats;
 };
 
 // Thrown by internal checks on server misbehavior; caught by Audit().
 struct RejectError {
   explicit RejectError(std::string r) : reason(std::move(r)) {}
+  RejectError(std::string rule_id, std::string r)
+      : reason(std::move(r)), rule(std::move(rule_id)) {}
   std::string reason;
+  std::string rule;  // Analysis rule ID; empty for re-execution rejections.
 };
 
 class ReplayCtx;
@@ -64,6 +76,13 @@ class Verifier {
 
   // One-shot: audits a single (trace, advice) pair.
   AuditResult Audit(const Trace& trace, const Advice& advice);
+
+  // Optional: supply the server-side untracked-access log so that the
+  // preprocess stage can run the §5 happens-before race detector and attach
+  // its findings to the audit result as warnings. (The accesses are not part
+  // of the advice — untracked variables are unlogged by design — so this is
+  // only available when the auditor also operated the collector pipeline.)
+  void set_untracked_accesses(const UntrackedAccessLog* log) { untracked_accesses_ = log; }
 
  private:
   friend class ReplayCtx;
@@ -95,6 +114,9 @@ class Verifier {
 
   // --- Preprocess (Figure 14) -------------------------------------------
   void Preprocess();
+  // Analysis-layer preprocess: structural advice lint (rejecting on the
+  // first error, with its rule ID) plus the untracked-access race scan.
+  void RunAnalysisPasses();
   void RunInitialization();
   void AddTimePrecedenceEdges();
   void AddProgramEdges();
@@ -126,6 +148,8 @@ class Verifier {
 
   const Trace* trace_ = nullptr;
   const Advice* advice_ = nullptr;
+  const UntrackedAccessLog* untracked_accesses_ = nullptr;
+  std::vector<LintDiagnostic> diagnostics_;
 
   DirectedGraph graph_;
   std::unordered_map<OpRef, OpLocation, OpRefHash> op_map_;

@@ -1,0 +1,217 @@
+// Happens-before race detector tests (src/analysis/race.h): the §5
+// soundness precondition for untracked variables — every access R-ordered —
+// checked mechanically over the server's untracked-access log.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/race.h"
+#include "src/apps/app_util.h"
+#include "src/audit/audit.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+// Config is written once at init and only read afterwards: the legitimate
+// use of an unannotated variable (mirrors untracked_var_test.cc).
+AppSpec MakeConfigApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("config_handle", [](Ctx& ctx) {
+    MultiValue greeting = ctx.ReadVar("config", VarScope::kUntracked);
+    ctx.Respond(MvMakeMap({{"greeting", MvField(greeting, "greeting")},
+                           {"to", MvField(ctx.Input(), "name")}}));
+  });
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar("config", VarScope::kUntracked);
+    ctx.WriteVar("config", VarScope::kUntracked,
+                 MvMakeMap({{"greeting", MultiValue("hello")}}));
+    ctx.RegisterHandler(kRequestEventName, "config_handle");
+  });
+  return AppSpec{"config", std::move(program)};
+}
+
+// The ablation scenario from untracked_var_test.cc: a counter shared across
+// requests through an unannotated variable.
+AppSpec MakeBrokenCounterApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("broken_handle", [](Ctx& ctx) {
+    MultiValue next = MvAdd(ctx.ReadVar("hits", VarScope::kUntracked), MultiValue(1));
+    ctx.WriteVar("hits", VarScope::kUntracked, next);
+    ctx.Respond(MvMakeMap({{"hits", next}}));
+  });
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar("hits", VarScope::kUntracked);
+    ctx.WriteVar("hits", VarScope::kUntracked, MultiValue(0));
+    ctx.RegisterHandler(kRequestEventName, "broken_handle");
+  });
+  return AppSpec{"broken", std::move(program)};
+}
+
+// Two sibling child handlers of the same request both bump an untracked
+// variable: siblings are A-concurrent, so this races within one request.
+AppSpec MakeSiblingRaceApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("sib_root", [](Ctx& ctx) {
+    ctx.Emit("work", ctx.Input());
+    ctx.Emit("work", ctx.Input());
+    ctx.Respond(MultiValue("ok"));
+  });
+  program->DefineFunction("sib_work", [](Ctx& ctx) {
+    MultiValue next = MvAdd(ctx.ReadVar("shared", VarScope::kUntracked), MultiValue(1));
+    ctx.WriteVar("shared", VarScope::kUntracked, next);
+  });
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar("shared", VarScope::kUntracked);
+    ctx.WriteVar("shared", VarScope::kUntracked, MultiValue(0));
+    ctx.RegisterHandler(kRequestEventName, "sib_root");
+    ctx.RegisterHandler("work", "sib_work");
+  });
+  return AppSpec{"sibling", std::move(program)};
+}
+
+// Parent writes, then its child handler reads and writes: every access pair
+// is ordered by A (the parent's label prefixes the child's), so with one
+// request there is nothing to report.
+AppSpec MakeParentChildApp() {
+  auto program = std::make_shared<Program>();
+  program->DefineFunction("ord_root", [](Ctx& ctx) {
+    ctx.WriteVar("state", VarScope::kUntracked, MultiValue(1));
+    ctx.Emit("next", ctx.Input());
+    ctx.Respond(MultiValue("ok"));
+  });
+  program->DefineFunction("ord_next", [](Ctx& ctx) {
+    MultiValue v = ctx.ReadVar("state", VarScope::kUntracked);
+    ctx.WriteVar("state", VarScope::kUntracked, MvAdd(v, MultiValue(1)));
+  });
+  program->SetInit([](Ctx& ctx) {
+    ctx.DeclareVar("state", VarScope::kUntracked);
+    ctx.RegisterHandler(kRequestEventName, "ord_root");
+    ctx.RegisterHandler("next", "ord_next");
+  });
+  return AppSpec{"ordered", std::move(program)};
+}
+
+ServerRunResult RunApp(const AppSpec& app, const std::vector<Value>& inputs,
+                       int concurrency) {
+  ServerConfig config;
+  config.concurrency = concurrency;
+  Server server(*app.program, config);
+  return server.Run(inputs);
+}
+
+bool HasRule(const std::vector<RaceFinding>& findings, const std::string& rule) {
+  for (const RaceFinding& f : findings) {
+    if (f.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(AnalysisRaceTest, BrokenCounterAblationIsFlagged) {
+  std::vector<Value> inputs(6, MakeMap({{"op", "hit"}}));
+  ServerRunResult run = RunApp(MakeBrokenCounterApp(), inputs, 3);
+  ASSERT_FALSE(run.untracked_accesses.empty());
+  std::vector<RaceFinding> findings = DetectUntrackedRaces(run.untracked_accesses);
+  ASSERT_FALSE(findings.empty());
+  // Cross-request read/write and write/write pairs on "hits".
+  EXPECT_TRUE(HasRule(findings, kRuleRaceWriteWrite));
+  EXPECT_TRUE(HasRule(findings, kRuleRaceReadWrite));
+  for (const RaceFinding& f : findings) {
+    EXPECT_EQ(f.var_name, "hits");
+  }
+}
+
+TEST(AnalysisRaceTest, InitOnlyConfigIsSilent) {
+  std::vector<Value> inputs;
+  for (int i = 0; i < 10; ++i) {
+    inputs.push_back(MakeMap({{"name", Value("u" + std::to_string(i))}}));
+  }
+  ServerRunResult run = RunApp(MakeConfigApp(), inputs, 4);
+  // Accesses are recorded (init write + per-request reads)...
+  EXPECT_FALSE(run.untracked_accesses.empty());
+  // ...but a variable never written after initialization cannot race.
+  EXPECT_TRUE(DetectUntrackedRaces(run.untracked_accesses).empty());
+}
+
+TEST(AnalysisRaceTest, HonestAppsAreSilent) {
+  for (const char* name : {"motd", "stacks", "wiki"}) {
+    WorkloadConfig wl;
+    wl.app = name;
+    wl.kind = std::string(name) == "wiki" ? WorkloadKind::kWikiMix : WorkloadKind::kMixed;
+    wl.requests = 60;
+    wl.seed = 3;
+    wl.connections = 8;
+    AppSpec app = std::string(name) == "motd"     ? MakeMotdApp()
+                  : std::string(name) == "stacks" ? MakeStacksApp()
+                                                  : MakeWikiApp();
+    ServerRunResult run = RunApp(app, GenerateWorkload(wl), 8);
+    std::vector<RaceFinding> findings = DetectUntrackedRaces(run.untracked_accesses);
+    EXPECT_TRUE(findings.empty()) << name << ": " << findings.front().Describe();
+  }
+}
+
+TEST(AnalysisRaceTest, SameRequestSiblingHandlersRace) {
+  // One request, concurrency 1: the race is structural (A-concurrent
+  // siblings), not a scheduling accident.
+  ServerRunResult run = RunApp(MakeSiblingRaceApp(), {MakeMap({{"x", 1}})}, 1);
+  std::vector<RaceFinding> findings = DetectUntrackedRaces(run.untracked_accesses);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_TRUE(HasRule(findings, kRuleRaceWriteWrite));
+  for (const RaceFinding& f : findings) {
+    EXPECT_EQ(f.first.rid, f.second.rid) << f.Describe();
+  }
+}
+
+TEST(AnalysisRaceTest, ParentThenChildAccessesAreOrdered) {
+  ServerRunResult run = RunApp(MakeParentChildApp(), {MakeMap({{"x", 1}})}, 1);
+  ASSERT_FALSE(run.untracked_accesses.empty());
+  EXPECT_TRUE(DetectUntrackedRaces(run.untracked_accesses).empty());
+}
+
+TEST(AnalysisRaceTest, RecordingCanBeDisabled) {
+  ServerConfig config;
+  config.concurrency = 3;
+  config.record_untracked_accesses = false;
+  AppSpec app = MakeBrokenCounterApp();
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(std::vector<Value>(6, MakeMap({{"op", "hit"}})));
+  EXPECT_TRUE(run.untracked_accesses.empty());
+}
+
+TEST(AnalysisRaceTest, AuditPipelineSurfacesRaceWarnings) {
+  std::vector<Value> inputs(6, MakeMap({{"op", "hit"}}));
+  ServerConfig config;
+  config.concurrency = 3;
+  AuditPipelineResult result = RunAndAudit(MakeBrokenCounterApp(), inputs, config);
+  // The audit still rejects (Completeness loss, as §5 predicts), and the
+  // diagnostics explain why: the untracked accesses race.
+  EXPECT_FALSE(result.audit.accepted);
+  bool saw_race = false;
+  for (const LintDiagnostic& d : result.audit.diagnostics) {
+    if (d.rule == kRuleRaceWriteWrite || d.rule == kRuleRaceReadWrite) {
+      EXPECT_EQ(d.severity, LintSeverity::kWarning);
+      EXPECT_NE(d.message.find("hits"), std::string::npos);
+      saw_race = true;
+    }
+  }
+  EXPECT_TRUE(saw_race);
+
+  // The honest apps' pipelines carry no race diagnostics.
+  WorkloadConfig wl;
+  wl.app = "stacks";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = 30;
+  wl.seed = 5;
+  wl.connections = 4;
+  ServerConfig honest;
+  honest.concurrency = 4;
+  AuditPipelineResult clean = RunAndAudit(MakeStacksApp(), GenerateWorkload(wl), honest);
+  EXPECT_TRUE(clean.audit.accepted) << clean.audit.reason;
+  EXPECT_TRUE(clean.audit.diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace karousos

@@ -9,7 +9,9 @@
 // `serve` runs the instrumented server and writes the collector's trace and
 // the server's advice in the wire format; `audit` replays them through the
 // verifier; `tamper` forges the first response (for demos); `inspect` prints
-// the advice composition.
+// the advice composition; `analyze` runs the analysis layer alone — the
+// structural advice linter over (trace, advice) files, or (with --races) the
+// §5 happens-before race detector over a fresh in-process serve.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/lint.h"
+#include "src/analysis/race.h"
 #include "src/audit/audit.h"
 #include "src/common/json.h"
 #include "src/workload/workload.h"
@@ -33,7 +37,12 @@ int Usage() {
                "  karousos audit  --app <motd|stacks|wiki> --trace FILE --advice FILE\n"
                "                  [--isolation ser|rc|ru]\n"
                "  karousos tamper --trace FILE --out FILE\n"
-               "  karousos inspect --advice FILE\n");
+               "  karousos inspect --advice FILE\n"
+               "  karousos analyze --trace FILE --advice FILE\n"
+               "      lint the advice against the trace; exit 1 on findings\n"
+               "  karousos analyze --races --app <motd|stacks|wiki> [--workload ...]\n"
+               "                  [--requests N] [--concurrency C] [--seed S]\n"
+               "      serve in-process and race-check untracked accesses; exit 1 on findings\n");
   return 2;
 }
 
@@ -69,6 +78,7 @@ struct Args {
   size_t requests = 200;
   int concurrency = 8;
   uint64_t seed = 1;
+  bool races = false;
 };
 
 std::optional<Args> Parse(int argc, char** argv) {
@@ -77,9 +87,19 @@ std::optional<Args> Parse(int argc, char** argv) {
   }
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc;) {
     std::string flag = argv[i];
+    if (flag == "--races") {
+      args.races = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag '%s' needs a value\n", flag.c_str());
+      return std::nullopt;
+    }
     std::string value = argv[i + 1];
+    i += 2;
     if (flag == "--app") {
       args.app = value;
     } else if (flag == "--workload") {
@@ -310,6 +330,84 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
+// Runs the structural advice linter over (trace, advice) files — the same
+// pass Verifier::Audit runs as its preprocess stage, standalone and without
+// re-execution. Prints every diagnostic; exits 1 iff there are findings.
+int CmdAnalyzeLint(const Args& args) {
+  if (args.trace_path.empty() || args.advice_path.empty()) {
+    return Usage();
+  }
+  auto trace_bytes = ReadFile(args.trace_path);
+  auto advice_bytes = ReadFile(args.advice_path);
+  if (!trace_bytes || !advice_bytes) {
+    std::fprintf(stderr, "failed to read inputs\n");
+    return 1;
+  }
+  ByteReader trace_reader(*trace_bytes);
+  auto trace = Trace::Deserialize(&trace_reader);
+  if (!trace) {
+    std::printf("malformed trace file\n");
+    return 1;
+  }
+  ByteReader advice_reader(*advice_bytes);
+  auto advice = Advice::Deserialize(&advice_reader);
+  if (!advice) {
+    std::printf("malformed advice file\n");
+    return 1;
+  }
+  std::vector<LintDiagnostic> diagnostics = LintAdvice(*trace, *advice);
+  for (const LintDiagnostic& d : diagnostics) {
+    std::printf("%s\n", d.Format().c_str());
+  }
+  if (diagnostics.empty()) {
+    std::printf("advice lint: clean (%zu requests, %zu var-log entries)\n",
+                advice->tags.size(), advice->var_log_entry_count());
+    return 0;
+  }
+  std::printf("advice lint: %zu finding(s)\n", diagnostics.size());
+  return 1;
+}
+
+// Serves the app in-process with untracked-access recording on and runs the
+// §5 happens-before race detector over the access log. Exits 1 iff races.
+int CmdAnalyzeRaces(const Args& args) {
+  WorkloadConfig wl;
+  wl.app = args.app;
+  wl.kind = args.workload == "reads"    ? WorkloadKind::kReadHeavy
+            : args.workload == "writes" ? WorkloadKind::kWriteHeavy
+            : args.app == "wiki"        ? WorkloadKind::kWikiMix
+                                        : WorkloadKind::kMixed;
+  wl.requests = args.requests;
+  wl.seed = args.seed;
+  wl.connections = args.concurrency;
+  std::vector<Value> inputs = GenerateWorkload(wl);
+
+  AppSpec app = MakeApp(args.app);
+  ServerConfig config;
+  config.mode = args.mode == "orochi" ? CollectMode::kOrochi : CollectMode::kKarousos;
+  config.isolation = ParseIsolation(args.isolation);
+  config.concurrency = args.concurrency;
+  config.seed = args.seed;
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(inputs);
+
+  std::vector<RaceFinding> findings = DetectUntrackedRaces(run.untracked_accesses);
+  for (const RaceFinding& f : findings) {
+    std::printf("%s: %s\n", f.rule.c_str(), f.Describe().c_str());
+  }
+  if (findings.empty()) {
+    std::printf("race check: clean (%zu untracked accesses across %zu requests)\n",
+                run.untracked_accesses.size(), inputs.size());
+    return 0;
+  }
+  std::printf("race check: %zu finding(s)\n", findings.size());
+  return 1;
+}
+
+int CmdAnalyze(const Args& args) {
+  return args.races ? CmdAnalyzeRaces(args) : CmdAnalyzeLint(args);
+}
+
 int Main(int argc, char** argv) {
   auto args = Parse(argc, argv);
   if (!args) {
@@ -326,6 +424,9 @@ int Main(int argc, char** argv) {
   }
   if (args->command == "inspect") {
     return CmdInspect(*args);
+  }
+  if (args->command == "analyze") {
+    return CmdAnalyze(*args);
   }
   return Usage();
 }

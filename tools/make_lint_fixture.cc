@@ -1,0 +1,109 @@
+// Generates tests/fixtures/lint_bad.{trace,advice}: an honest stacks serve
+// whose advice is then corrupted in two independent, lint-detectable ways —
+//   * one logged read's dictating-write reference is redirected to an
+//     operation position that no log entry occupies (KAR-ADV-003), and
+//   * the first write-order entry is appended again at the end, turning the
+//     alleged total order into a cycle (KAR-ADV-010).
+// Both corruptions survive serialization, so `karousos analyze` and the
+// verifier's preprocess stage must both report them from the checked-in
+// files. Regenerate with the `make_lint_fixture` build target.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/apps/app.h"
+#include "src/server/server.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+int Main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: make_lint_fixture <out-trace> <out-advice>\n");
+    return 2;
+  }
+
+  WorkloadConfig wl;
+  wl.app = "stacks";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = 40;
+  wl.seed = 7;
+  wl.connections = 6;
+
+  AppSpec app = MakeStacksApp();
+  ServerConfig config;
+  config.concurrency = 6;
+  config.seed = 7;
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(GenerateWorkload(wl));
+
+  // Corruption 1 (KAR-ADV-003): dangling VarLogEntry::prec. Pick the first
+  // logged read and point its dictating write at an opnum no entry holds.
+  bool corrupted_prec = false;
+  for (auto& [vid, log] : run.advice.var_logs) {
+    for (auto& [op, entry] : log) {
+      if (entry.kind == VarLogEntry::Kind::kRead) {
+        entry.prec = OpRef{op.rid, op.hid, kOpNumInf - 1};
+        corrupted_prec = true;
+        break;
+      }
+    }
+    if (corrupted_prec) {
+      break;
+    }
+  }
+  if (!corrupted_prec) {
+    std::fprintf(stderr, "no logged read to corrupt; raise concurrency\n");
+    return 1;
+  }
+
+  // Corruption 2 (KAR-ADV-010): duplicate write-order entry => cycle.
+  if (run.advice.write_order.size() < 2) {
+    std::fprintf(stderr, "write order too small to corrupt\n");
+    return 1;
+  }
+  run.advice.write_order.push_back(run.advice.write_order.front());
+
+  // Sanity: the linter must flag exactly the two planted rules.
+  bool saw_003 = false;
+  bool saw_010 = false;
+  for (const LintDiagnostic& d : LintAdvice(run.trace, run.advice)) {
+    saw_003 |= d.rule == "KAR-ADV-003";
+    saw_010 |= d.rule == "KAR-ADV-010";
+  }
+  if (!saw_003 || !saw_010) {
+    std::fprintf(stderr, "planted corruptions not detected (003=%d, 010=%d)\n", saw_003,
+                 saw_010);
+    return 1;
+  }
+
+  ByteWriter trace_bytes;
+  run.trace.Serialize(&trace_bytes);
+  ByteWriter advice_bytes;
+  run.advice.Serialize(&advice_bytes);
+  if (!WriteFile(argv[1], trace_bytes.bytes()) || !WriteFile(argv[2], advice_bytes.bytes())) {
+    std::fprintf(stderr, "failed to write fixture files\n");
+    return 1;
+  }
+  std::printf("wrote %s (%zu B) and %s (%zu B)\n", argv[1], trace_bytes.size(), argv[2],
+              advice_bytes.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace karousos
+
+int main(int argc, char** argv) { return karousos::Main(argc, argv); }

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library,
+# tools, tests, and benches, using the compile database from the build tree.
+#
+#   usage: tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build directory must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default here is ./build).
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+[ $# -gt 0 ] && shift
+[ "${1:-}" = "--" ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not found on PATH; skipping" >&2
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "no compile database at $build_dir/compile_commands.json" >&2
+  echo "configure with: cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+files="$(find "$repo_root/src" "$repo_root/tools" "$repo_root/tests" "$repo_root/bench" \
+  -name '*.cc' 2>/dev/null | sort)"
+status=0
+for f in $files; do
+  clang-tidy -p "$build_dir" --quiet "$@" "$f" || status=1
+done
+exit $status
