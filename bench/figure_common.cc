@@ -91,7 +91,9 @@ void PrintServerOverhead(const FigureSpec& spec, const FigureOptions& options) {
 void PrintVerification(const FigureSpec& spec, const FigureOptions& options) {
   std::printf("\n[verification time] app=%s workload=\"%s\" requests=%zu\n", spec.app.c_str(),
               WorkloadKindName(spec.kind), options.requests);
-  std::printf("%12s %14s %14s %14s %9s %9s\n", "concurrency", "karousos (s)", "orochi-js (s)",
+  unsigned par_threads = options.audit_threads;
+  std::printf("%12s %14s %14s %14s %14s %9s %9s\n", "concurrency", "karousos (s)",
+              ("k-par" + std::to_string(par_threads) + " (s)").c_str(), "orochi-js (s)",
               "sequential(s)", "k-groups", "o-groups");
   for (int concurrency : options.concurrencies) {
     ServerRunResult karousos_run =
@@ -99,6 +101,7 @@ void PrintVerification(const FigureSpec& spec, const FigureOptions& options) {
     ServerRunResult orochi_run = RunServer(spec, options, concurrency, CollectMode::kOrochi, 0);
 
     std::vector<double> k_times;
+    std::vector<double> kp_times;
     std::vector<double> o_times;
     std::vector<double> s_times;
     size_t k_groups = 0;
@@ -113,6 +116,18 @@ void PrintVerification(const FigureSpec& spec, const FigureOptions& options) {
         k_groups = audit.stats.groups;
         if (!audit.accepted) {
           std::fprintf(stderr, "BUG: karousos audit rejected: %s\n", audit.reason.c_str());
+          std::exit(1);
+        }
+      }
+      {
+        AppSpec app = MakeApp(spec.app);
+        double t0 = Now();
+        AuditResult audit =
+            AuditOnly(app, karousos_run.trace, karousos_run.advice,
+                      VerifierConfig{IsolationLevel::kSerializable, par_threads});
+        kp_times.push_back(Now() - t0);
+        if (!audit.accepted) {
+          std::fprintf(stderr, "BUG: parallel audit rejected: %s\n", audit.reason.c_str());
           std::exit(1);
         }
       }
@@ -135,8 +150,8 @@ void PrintVerification(const FigureSpec& spec, const FigureOptions& options) {
         s_times.push_back(Now() - t0);
       }
     }
-    std::printf("%12d %14.4f %14.4f %14.4f %9zu %9zu\n", concurrency, Median(k_times),
-                Median(o_times), Median(s_times), k_groups, o_groups);
+    std::printf("%12d %14.4f %14.4f %14.4f %14.4f %9zu %9zu\n", concurrency, Median(k_times),
+                Median(kp_times), Median(o_times), Median(s_times), k_groups, o_groups);
   }
 }
 

@@ -30,6 +30,9 @@ struct FigureOptions {
   int reps = 5;
   std::vector<int> concurrencies = {1, 4, 15, 30, 60};
   uint64_t seed = 7;
+  // Audit-group parallelism for the Karousos verifier's parallel column in
+  // PrintVerification (VerifierConfig::threads; 0 = all hardware threads).
+  unsigned audit_threads = 0;
 };
 
 // Figure 6 / panels (a): processing time for the post-warmup requests,
@@ -37,7 +40,8 @@ struct FigureOptions {
 void PrintServerOverhead(const FigureSpec& spec, const FigureOptions& options);
 
 // Figure 7 / panels (b): total time to verify a 600-request trace — Karousos
-// verifier, Orochi-JS verifier, and the sequential re-executor.
+// verifier (serial and at options.audit_threads), Orochi-JS verifier, and the
+// sequential re-executor.
 void PrintVerification(const FigureSpec& spec, const FigureOptions& options);
 
 // Figure 8 / panels (c): advice bytes shipped to the verifier, Karousos vs

@@ -3,22 +3,28 @@
 namespace karousos {
 
 AuditPipelineResult RunAndAudit(const AppSpec& app, const std::vector<Value>& inputs,
-                                const ServerConfig& config) {
+                                const ServerConfig& config, unsigned audit_threads) {
   AuditPipelineResult result;
   Server server(*app.program, config);
   result.server = server.Run(inputs);
-  result.audit = AuditOnly(app, result.server.trace, result.server.advice, config.isolation,
+  result.audit = AuditOnly(app, result.server.trace, result.server.advice,
+                           VerifierConfig{config.isolation, audit_threads},
                            &result.server.untracked_accesses);
   return result;
 }
 
 AuditResult AuditOnly(const AppSpec& app, const Trace& trace, const Advice& advice,
-                      IsolationLevel isolation, const UntrackedAccessLog* untracked) {
-  Verifier verifier(*app.program, isolation);
+                      const VerifierConfig& config, const UntrackedAccessLog* untracked) {
+  Verifier verifier(*app.program, config);
   if (untracked != nullptr) {
     verifier.set_untracked_accesses(untracked);
   }
   return verifier.Audit(trace, advice);
+}
+
+AuditResult AuditOnly(const AppSpec& app, const Trace& trace, const Advice& advice,
+                      IsolationLevel isolation, const UntrackedAccessLog* untracked) {
+  return AuditOnly(app, trace, advice, VerifierConfig{isolation, 1}, untracked);
 }
 
 }  // namespace karousos

@@ -23,11 +23,17 @@ struct AuditPipelineResult {
 // Serves `inputs` with the given config, then audits the result with a fresh
 // verifier holding the same program. The server's untracked-access log is fed
 // to the verifier's race detector, so warnings appear in audit.diagnostics.
+// `audit_threads` is VerifierConfig::threads (1 = serial, 0 = all hardware
+// threads, N = N audit workers); the result is identical for every value.
 AuditPipelineResult RunAndAudit(const AppSpec& app, const std::vector<Value>& inputs,
-                                const ServerConfig& config);
+                                const ServerConfig& config, unsigned audit_threads = 1);
 
 // Audit only (server output already in hand). Pass the server's
 // untracked-access log to additionally run the §5 race detector.
+AuditResult AuditOnly(const AppSpec& app, const Trace& trace, const Advice& advice,
+                      const VerifierConfig& config, const UntrackedAccessLog* untracked = nullptr);
+
+// Convenience overload: serial audit at the given isolation level.
 AuditResult AuditOnly(const AppSpec& app, const Trace& trace, const Advice& advice,
                       IsolationLevel isolation, const UntrackedAccessLog* untracked = nullptr);
 

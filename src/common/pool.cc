@@ -1,0 +1,132 @@
+#include "src/common/pool.h"
+
+namespace karousos {
+
+unsigned WorkStealingPool::ResolveThreads(unsigned requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+WorkStealingPool::WorkStealingPool(unsigned threads) {
+  if (threads == 0) {
+    threads = 1;
+  }
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+bool WorkStealingPool::PopOwn(size_t worker, size_t* out) {
+  Queue& q = *queues_[worker];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.items.empty()) {
+    return false;
+  }
+  *out = q.items.front();
+  q.items.pop_front();
+  return true;
+}
+
+bool WorkStealingPool::Steal(size_t thief, size_t* out) {
+  for (size_t offset = 1; offset < queues_.size(); ++offset) {
+    Queue& victim = *queues_[(thief + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.items.empty()) {
+      *out = victim.items.back();
+      victim.items.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::DrainJob(size_t worker) {
+  size_t index = 0;
+  while (PopOwn(worker, &index) || Steal(worker, &index)) {
+    // Read the live job function under the lock: a worker that raced past the
+    // end of the previous job may claim an index of the next one, and must
+    // run it with the next job's function, not a stale pointer.
+    const std::function<void(size_t)>* fn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(job_mu_);
+      fn = job_fn_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(job_mu_);
+      if (--job_pending_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void WorkStealingPool::WorkerMain(size_t worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(job_mu_);
+      job_cv_.wait(lock, [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = job_epoch_;
+    }
+    DrainJob(worker);
+  }
+}
+
+void WorkStealingPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (queues_.size() == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    // Publish the job BEFORE any index becomes visible, all under job_mu_: a
+    // worker still draining the tail of the previous job can legally claim an
+    // index of this one, and the fn read in DrainJob must then observe the
+    // new function, never a stale or null pointer.
+    std::lock_guard<std::mutex> lock(job_mu_);
+    job_fn_ = &fn;
+    job_pending_ = n;
+    ++job_epoch_;
+    // Deal indices round-robin so every participant starts with a fair
+    // share and stealing only kicks in on skew.
+    for (size_t i = 0; i < n; ++i) {
+      Queue& q = *queues_[i % queues_.size()];
+      std::lock_guard<std::mutex> qlock(q.mu);
+      q.items.push_back(i);
+    }
+  }
+  job_cv_.notify_all();
+  DrainJob(0);
+  std::unique_lock<std::mutex> lock(job_mu_);
+  done_cv_.wait(lock, [&] { return job_pending_ == 0; });
+  job_fn_ = nullptr;
+}
+
+}  // namespace karousos

@@ -1,0 +1,84 @@
+// A small work-stealing thread pool for embarrassingly parallel index
+// spaces. Built for the verifier's parallel audit engine: re-execution
+// groups are independent (§4.1 / Lemma 1), so the audit scheduler fans a
+// group list out over workers and lets idle workers steal from busy ones —
+// group costs are highly skewed (one hot group can carry most of the
+// deduplicated work), which is exactly the load shape work stealing evens
+// out.
+//
+// Design notes:
+//   * One deque per participant (the calling thread participates as worker
+//     0), each guarded by its own mutex. Owners pop from the front (LIFO for
+//     locality); thieves steal from the back (FIFO — they take the oldest,
+//     typically largest, remaining chunk of the victim's share).
+//   * Determinism is the caller's job: tasks run in an arbitrary order on
+//     arbitrary threads, so callers that need reproducible output must write
+//     into index-addressed slots and merge in index order afterwards (the
+//     verifier does exactly this).
+//   * Tasks must not throw — capture failures into the per-index result slot
+//     instead. An escaping exception would tear down the process.
+#ifndef SRC_COMMON_POOL_H_
+#define SRC_COMMON_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace karousos {
+
+class WorkStealingPool {
+ public:
+  // Spawns `threads - 1` worker threads (the caller is the remaining
+  // participant). `threads` is clamped to at least 1; with 1 participant
+  // ParallelFor degenerates to an inline loop.
+  explicit WorkStealingPool(unsigned threads);
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  ~WorkStealingPool();
+
+  // Total participants, including the calling thread.
+  unsigned threads() const { return static_cast<unsigned>(queues_.size()); }
+
+  // Runs fn(i) for every i in [0, n), distributed over all participants, and
+  // blocks until every index has finished. The calling thread works too.
+  // Not reentrant: do not call ParallelFor from inside a task.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Maps the user-facing thread knob to a participant count:
+  // 0 = one per hardware thread (at least 1), anything else verbatim.
+  static unsigned ResolveThreads(unsigned requested);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<size_t> items;
+  };
+
+  bool PopOwn(size_t worker, size_t* out);
+  bool Steal(size_t thief, size_t* out);
+  // Claims and runs indices until no queue holds work, then returns.
+  void DrainJob(size_t worker);
+  void WorkerMain(size_t worker);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  // [0] = caller.
+  std::vector<std::thread> workers_;            // queues_[i + 1] belongs to workers_[i].
+
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;   // Workers: a new job was published.
+  std::condition_variable done_cv_;  // Caller: all indices finished.
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  uint64_t job_epoch_ = 0;
+  size_t job_pending_ = 0;  // Indices published but not yet finished.
+  bool shutdown_ = false;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_POOL_H_

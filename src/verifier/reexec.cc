@@ -1,11 +1,25 @@
 // Grouped re-execution (Figures 18-21): the verifier runs each re-execution
 // group's handler tree once, SIMD-on-demand over the group's requests,
 // checking every operation against the untrusted advice.
+//
+// Parallel audit engine: groups are independent (their rids partition the
+// trace, reads feed from the advice logs or from same-request/init history,
+// never from another group), so ReExec executes them concurrently on a
+// work-stealing pool. Every group runs against the post-initialization base
+// state only and captures its mutations in a GroupState delta; the deltas
+// are merged on the calling thread in group-index order, with cross-group
+// shared-variable claims (write-chain links, initializing writes, declares)
+// replayed against the merged state in their recorded order. The merged
+// outcome — including which rejection fires first and the exact diagnostics
+// and stats — is therefore a pure function of (trace, advice), bit-identical
+// from threads=1 (the serial oracle, same code minus the pool) to any N.
 #include <algorithm>
 #include <deque>
 #include <optional>
+#include <stdexcept>
 
 #include "src/apps/app_util.h"
+#include "src/common/pool.h"
 #include "src/kem/varid.h"
 #include "src/verifier/verifier.h"
 
@@ -30,11 +44,16 @@ struct FoundWrite {
 // execution; `rids` are the group lanes. With is_init set it executes the
 // initialization pseudo-handler: no advice consultation at all (the verifier
 // trusts its own init run, Figure 14 line 20).
+//
+// All mutable state goes through the group's GroupState delta; the verifier
+// itself is only read (base variable state from the init run, the advice,
+// the op map). That asymmetry is what makes a ReplayCtx safe to run on any
+// pool thread.
 class ReplayCtx : public Ctx {
  public:
-  ReplayCtx(Verifier* verifier, std::vector<RequestId> rids, HandlerId hid, MultiValue input,
-            bool is_init)
-      : v_(*verifier), rids_(std::move(rids)), hid_(hid), input_(std::move(input)),
+  ReplayCtx(Verifier* verifier, Verifier::GroupState* gs, std::vector<RequestId> rids,
+            HandlerId hid, MultiValue input, bool is_init)
+      : v_(*verifier), gs_(*gs), rids_(std::move(rids)), hid_(hid), input_(std::move(input)),
         is_init_(is_init) {
     if (!is_init_) {
       // Every enqueued handler was checked against opcounts before enqueue;
@@ -57,24 +76,33 @@ class ReplayCtx : public Ctx {
 
   void DeclareVar(std::string_view name, VarScope scope) override {
     if (scope == VarScope::kUntracked) {
-      v_.untracked_vars_[ResolveVarId(name, scope, 0)] = Value();
+      gs_.untracked[ResolveVarId(name, scope, 0)] = Value();
       return;
     }
     OpNum opnum = NextOp();
     RequireUnlogged(opnum);
     for (RequestId rid : rids_) {
-      Verifier::VerifierVar& var = v_.vars_[ResolveVarId(name, scope, rid)];
-      if (var.declared) {
+      VarId vid = ResolveVarId(name, scope, rid);
+      const Verifier::VerifierVar* base = BaseVar(vid);
+      Verifier::VerifierVar& local = gs_.vars[vid];
+      if (local.declared || (base != nullptr && base->declared)) {
         Verifier::Reject("variable declared twice during re-execution");
       }
-      var.declared = true;
+      local.declared = true;
+      gs_.claims.push_back(
+          {Verifier::GroupState::Claim::Kind::kDeclare, vid, OpRef{}, OpRef{}});
     }
   }
 
   MultiValue ReadVar(std::string_view name, VarScope scope) override {
     if (scope == VarScope::kUntracked) {
-      auto it = v_.untracked_vars_.find(ResolveVarId(name, scope, 0));
-      return MultiValue(it == v_.untracked_vars_.end() ? Value() : it->second);
+      VarId vid = ResolveVarId(name, scope, 0);
+      auto local_it = gs_.untracked.find(vid);
+      if (local_it != gs_.untracked.end()) {
+        return MultiValue(local_it->second);
+      }
+      auto base_it = v_.untracked_vars_.find(vid);
+      return MultiValue(base_it == v_.untracked_vars_.end() ? Value() : base_it->second);
     }
     OpNum opnum = NextOp();
     RequireUnlogged(opnum);
@@ -91,7 +119,7 @@ class ReplayCtx : public Ctx {
       if (!value.collapsed()) {
         Verifier::Reject("diverging write to an unannotated variable");
       }
-      v_.untracked_vars_[ResolveVarId(name, scope, 0)] = value.CollapsedValue();
+      gs_.untracked[ResolveVarId(name, scope, 0)] = value.CollapsedValue();
       return;
     }
     OpNum opnum = NextOp();
@@ -309,7 +337,7 @@ class ReplayCtx : public Ctx {
           it->second != std::make_pair(hid_, ops_issued_)) {
         Verifier::Reject("response delivered at a different operation than advice claims");
       }
-      if (!v_.responded_.insert(rid).second) {
+      if (!gs_.responded.insert(rid).second) {
         Verifier::Reject("request responded twice during re-execution");
       }
       auto expected = v_.responses_.find(rid);
@@ -324,7 +352,7 @@ class ReplayCtx : public Ctx {
  private:
   OpNum NextOp() {
     ++ops_issued_;
-    ++v_.stats_.ops_executed;
+    ++gs_.stats.ops_executed;
     if (!is_init_) {
       for (OpNum count : lane_opcounts_) {
         if (ops_issued_ > count) {
@@ -406,7 +434,7 @@ class ReplayCtx : public Ctx {
     if (txn.rid != rid || txn.tid != tid) {
       Verifier::Reject("state operation attributed to the wrong transaction");
     }
-    uint32_t position = ++v_.tx_positions_[txn];
+    uint32_t position = ++gs_.tx_positions[txn];
     if (loc->second.index != position) {
       Verifier::Reject("state operation out of order within its transaction log");
     }
@@ -453,18 +481,54 @@ class ReplayCtx : public Ctx {
         Verifier::Reject("handler activated twice within a request");
       }
       for (RequestId rid : rids_) {
-        v_.parents_[rid][act.hid] = hid_;
+        gs_.parents[rid][act.hid] = hid_;
       }
       active->push_back(PendingActivation{act.hid, act.function, payload});
     }
   }
 
+  // Base (post-initialization) view of a variable; null if the init run
+  // never touched it. Read-only during group execution.
+  const Verifier::VerifierVar* BaseVar(VarId vid) const {
+    auto it = v_.vars_.find(vid);
+    return it == v_.vars_.end() ? nullptr : &it->second;
+  }
+
+  // This group's local overlay of a variable; null until the group touches it.
+  Verifier::VerifierVar* LocalVar(VarId vid) {
+    auto it = gs_.vars.find(vid);
+    return it == gs_.vars.end() ? nullptr : &it->second;
+  }
+
+  bool IsDeclared(VarId vid) {
+    const Verifier::VerifierVar* base = BaseVar(vid);
+    if (base != nullptr && base->declared) {
+      return true;
+    }
+    Verifier::VerifierVar* local = LocalVar(vid);
+    return local != nullptr && local->declared;
+  }
+
+  // Links cur as the overwriter of prec: rejects if the link is already
+  // taken locally or in the base state, and records a claim so that a
+  // conflict with another group's link is caught at merge time.
+  void LinkWrite(VarId vid, const OpRef& prec, const OpRef& cur) {
+    const Verifier::VerifierVar* base = BaseVar(vid);
+    Verifier::VerifierVar& local = gs_.vars[vid];
+    if (local.write_observer.count(prec) > 0 ||
+        (base != nullptr && base->write_observer.count(prec) > 0)) {
+      Verifier::Reject("two writes overwrite the same value");
+    }
+    local.write_observer[prec] = cur;
+    gs_.claims.push_back({Verifier::GroupState::Claim::Kind::kChainLink, vid, prec, cur});
+  }
+
   Value ReadLane(VarId vid, const OpRef& cur);
   void WriteLane(VarId vid, const OpRef& cur, const Value& value);
-  std::optional<FoundWrite> FindNearestRPrecedingWrite(Verifier::VerifierVar& var,
-                                                       const OpRef& cur);
+  std::optional<FoundWrite> FindNearestRPrecedingWrite(VarId vid, const OpRef& cur);
 
   Verifier& v_;
+  Verifier::GroupState& gs_;
   std::vector<RequestId> rids_;
   HandlerId hid_;
   MultiValue input_;
@@ -476,11 +540,9 @@ class ReplayCtx : public Ctx {
 
 // Figure 20, OnRead.
 Value ReplayCtx::ReadLane(VarId vid, const OpRef& cur) {
-  auto var_it = v_.vars_.find(vid);
-  if (var_it == v_.vars_.end() || !var_it->second.declared) {
+  if (!IsDeclared(vid)) {
     Verifier::Reject("re-executed read of an undeclared variable");
   }
-  Verifier::VerifierVar& var = var_it->second;
   if (!is_init_) {
     auto log_it = v_.advice_->var_logs.find(vid);
     if (log_it != v_.advice_->var_logs.end()) {
@@ -495,19 +557,19 @@ Value ReplayCtx::ReadLane(VarId vid, const OpRef& cur) {
             dict_it->second.kind != VarLogEntry::Kind::kWrite) {
           Verifier::Reject("logged read's dictating write is not a logged write");
         }
-        if (!v_.var_log_touched_.insert({vid, cur}).second) {
+        if (!gs_.var_log_touched.insert({vid, cur}).second) {
           Verifier::Reject("variable log entry re-executed twice");
         }
-        var.read_observers[entry.prec].push_back(cur);
+        gs_.vars[vid].read_observers[entry.prec].push_back(cur);
         return dict_it->second.value;
       }
     }
   }
-  std::optional<FoundWrite> found = FindNearestRPrecedingWrite(var, cur);
+  std::optional<FoundWrite> found = FindNearestRPrecedingWrite(vid, cur);
   if (!found.has_value()) {
     return Value();  // Reads before any write observe the initial nil.
   }
-  var.read_observers[found->op].push_back(cur);
+  gs_.vars[vid].read_observers[found->op].push_back(cur);
   return found->value;
 }
 
@@ -516,22 +578,18 @@ Value ReplayCtx::ReadLane(VarId vid, const OpRef& cur) {
 // write chain is recovered through FindNearestRPrecedingWrite, keeping the
 // reconstructed history connected.
 void ReplayCtx::WriteLane(VarId vid, const OpRef& cur, const Value& value) {
-  auto var_it = v_.vars_.find(vid);
-  if (var_it == v_.vars_.end() || !var_it->second.declared) {
+  if (!IsDeclared(vid)) {
     Verifier::Reject("re-executed write of an undeclared variable");
   }
-  Verifier::VerifierVar& var = var_it->second;
   // The variable's dictionary keeps every written version, keyed by handler
   // and opnum (§4.2).
-  std::optional<FoundWrite> nearest = FindNearestRPrecedingWrite(var, cur);
-  var.var_dict[{cur.rid, cur.hid}].emplace_back(cur.opnum, value);
-  bool logged = false;
+  std::optional<FoundWrite> nearest = FindNearestRPrecedingWrite(vid, cur);
+  gs_.vars[vid].var_dict[{cur.rid, cur.hid}].emplace_back(cur.opnum, value);
   if (!is_init_) {
     auto log_it = v_.advice_->var_logs.find(vid);
     if (log_it != v_.advice_->var_logs.end()) {
       auto entry_it = log_it->second.find(cur);
       if (entry_it != log_it->second.end()) {
-        logged = true;
         const VarLogEntry& entry = entry_it->second;
         if (entry.kind != VarLogEntry::Kind::kWrite) {
           Verifier::Reject("variable log entry for a write is marked as a read");
@@ -539,7 +597,7 @@ void ReplayCtx::WriteLane(VarId vid, const OpRef& cur, const Value& value) {
         if (!(entry.value == value)) {
           Verifier::Reject("re-executed write value does not match the variable log");
         }
-        if (!v_.var_log_touched_.insert({vid, cur}).second) {
+        if (!gs_.var_log_touched.insert({vid, cur}).second) {
           Verifier::Reject("variable log entry re-executed twice");
         }
         if (!entry.prec.IsNil()) {
@@ -548,10 +606,7 @@ void ReplayCtx::WriteLane(VarId vid, const OpRef& cur, const Value& value) {
               prec_it->second.kind != VarLogEntry::Kind::kWrite) {
             Verifier::Reject("logged write's predecessor is not a logged write");
           }
-          if (var.write_observer.count(entry.prec) > 0) {
-            Verifier::Reject("two writes overwrite the same value");
-          }
-          var.write_observer[entry.prec] = cur;
+          LinkWrite(vid, entry.prec, cur);
           return;
         }
       }
@@ -560,31 +615,48 @@ void ReplayCtx::WriteLane(VarId vid, const OpRef& cur, const Value& value) {
   // Unlogged write, or a back-filled entry (nil predecessor): link into the
   // chain through the nearest R-preceding write.
   if (nearest.has_value()) {
-    if (var.write_observer.count(nearest->op) > 0) {
-      Verifier::Reject("two writes overwrite the same value");
-    }
-    var.write_observer[nearest->op] = cur;
+    LinkWrite(vid, nearest->op, cur);
   } else {
-    if (!var.initializer.IsNil()) {
+    const Verifier::VerifierVar* base = BaseVar(vid);
+    Verifier::VerifierVar& local = gs_.vars[vid];
+    if (!local.initializer.IsNil() || (base != nullptr && !base->initializer.IsNil())) {
       Verifier::Reject("variable has two initializing writes");
     }
-    var.initializer = cur;
+    local.initializer = cur;
+    gs_.claims.push_back(
+        {Verifier::GroupState::Claim::Kind::kInitializer, vid, OpRef{}, cur});
   }
-  (void)logged;
 }
 
 // The dictionary interrogation of §4.2: the last write by this handler before
 // `cur`, else the last write by the nearest ancestor (walking activator
-// links), falling back to the initialization pseudo-handler I.
-std::optional<FoundWrite> ReplayCtx::FindNearestRPrecedingWrite(Verifier::VerifierVar& var,
-                                                                const OpRef& cur) {
+// links), falling back to the initialization pseudo-handler I. Consults the
+// group's local dictionary first, then the post-init base dictionary — the
+// climb only ever visits this group's own requests plus the init request, so
+// no other group's writes can be observed.
+std::optional<FoundWrite> ReplayCtx::FindNearestRPrecedingWrite(VarId vid, const OpRef& cur) {
+  const Verifier::VerifierVar* base = BaseVar(vid);
+  Verifier::VerifierVar* local = LocalVar(vid);
   RequestId rid = cur.rid;
   HandlerId h = cur.hid;
   bool same_handler = true;
   while (true) {
-    auto dict_it = var.var_dict.find({rid, h});
-    if (dict_it != var.var_dict.end() && !dict_it->second.empty()) {
-      const auto& writes = dict_it->second;
+    const std::vector<std::pair<OpNum, Value>>* writes_ptr = nullptr;
+    const std::pair<RequestId, HandlerId> key{rid, h};
+    if (local != nullptr) {
+      auto it = local->var_dict.find(key);
+      if (it != local->var_dict.end() && !it->second.empty()) {
+        writes_ptr = &it->second;
+      }
+    }
+    if (writes_ptr == nullptr && base != nullptr) {
+      auto it = base->var_dict.find(key);
+      if (it != base->var_dict.end() && !it->second.empty()) {
+        writes_ptr = &it->second;
+      }
+    }
+    if (writes_ptr != nullptr) {
+      const auto& writes = *writes_ptr;
       if (same_handler) {
         // Last write strictly before cur.opnum (entries are opnum-sorted).
         const std::pair<OpNum, Value>* best = nullptr;
@@ -606,9 +678,9 @@ std::optional<FoundWrite> ReplayCtx::FindNearestRPrecedingWrite(Verifier::Verifi
       return std::nullopt;  // Climbed past I: no write exists.
     }
     same_handler = false;
-    auto parents_it = v_.parents_.find(rid);
+    auto parents_it = gs_.parents.find(rid);
     HandlerId parent = kNoHandler;
-    if (parents_it != v_.parents_.end()) {
+    if (parents_it != gs_.parents.end()) {
       auto p = parents_it->second.find(h);
       if (p != parents_it->second.end()) {
         parent = p->second;
@@ -628,14 +700,22 @@ void Verifier::RunInitialization() {
   if (!program_.init()) {
     return;
   }
-  ReplayCtx ctx(this, {kInitRequestId}, kInitHandlerId, MultiValue(), /*is_init=*/true);
-  program_.init()(ctx);
+  // The init run is an ordinary isolated execution whose delta becomes the
+  // read-only base state every group executes against. Rejections propagate
+  // directly (the verifier trusts its own init run; a throw here is a
+  // program/advice mismatch surfaced before any group runs).
+  GroupState gs;
+  {
+    ReplayCtx ctx(this, &gs, {kInitRequestId}, kInitHandlerId, MultiValue(), /*is_init=*/true);
+    program_.init()(ctx);
+  }
+  MergeGroup(gs);
 }
 
 void Verifier::ReExec() {
-  // Group requests by their (alleged) tag; groups re-execute in order of
-  // their earliest request id, which is deterministic but otherwise
-  // arbitrary (Lemma 1: all well-formed orders are equivalent).
+  // Group requests by their (alleged) tag; groups merge in order of their
+  // earliest request id, which is deterministic but otherwise arbitrary
+  // (Lemma 1: all well-formed orders are equivalent).
   std::map<uint64_t, std::vector<RequestId>> by_tag;
   for (RequestId rid : trace_rids_) {
     auto it = advice_->tags.find(rid);
@@ -651,11 +731,36 @@ void Verifier::ReExec() {
   }
   std::sort(groups.begin(), groups.end(),
             [](const auto* a, const auto* b) { return a->front() < b->front(); });
-  for (const auto* rids : groups) {
-    ReExecGroup(*rids);
-    ++stats_.groups;
-    stats_.group_lane_total += rids->size();
+
+  // Execute every group in isolation (possibly concurrently), then merge the
+  // deltas in group-index order. The merge — not the execution schedule —
+  // decides the audit outcome, so any thread count yields the same result.
+  std::vector<GroupState> states(groups.size());
+  size_t executed_count = groups.size();
+  unsigned threads = WorkStealingPool::ResolveThreads(config_.threads);
+  if (threads > 1 && groups.size() > 1) {
+    WorkStealingPool pool(static_cast<unsigned>(std::min<size_t>(threads, groups.size())));
+    pool.ParallelFor(groups.size(),
+                     [&](size_t i) { states[i] = ExecuteGroup(*groups[i]); });
+  } else {
+    // Serial oracle path: same isolated execution and merge, no pool. A
+    // locally rejected group ends the merge at or before its index, so later
+    // groups need not execute at all.
+    executed_count = 0;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      states[i] = ExecuteGroup(*groups[i]);
+      ++executed_count;
+      if (states[i].rejected) {
+        break;
+      }
+    }
   }
+  for (size_t i = 0; i < executed_count; ++i) {
+    MergeGroup(states[i]);
+    ++stats_.groups;
+    stats_.group_lane_total += groups[i]->size();
+  }
+
   // Every handler the advice mentions must have been re-executed (Figure 18
   // line 64) and every request must have produced its response.
   for (const auto& [key, count] : advice_->opcounts) {
@@ -675,7 +780,103 @@ void Verifier::ReExec() {
   }
 }
 
-void Verifier::ReExecGroup(const std::vector<RequestId>& rids) {
+Verifier::GroupState Verifier::ExecuteGroup(const std::vector<RequestId>& rids) {
+  GroupState gs;
+  try {
+    ReExecGroup(rids, &gs);
+  } catch (const RejectError& e) {
+    gs.rejected = true;
+    gs.reason = e.reason;
+    gs.rule = e.rule;
+  } catch (const std::exception& e) {
+    // Faults from re-executed application code are captured here (never
+    // propagated across pool threads) and re-raised during the ordered
+    // merge, where Audit() wraps them as "re-execution fault: ...".
+    gs.rejected = true;
+    gs.fault = true;
+    gs.reason = e.what();
+  }
+  return gs;
+}
+
+void Verifier::MergeGroup(GroupState& gs) {
+  // Non-conflicting deltas first: var-dict entries and read-observer pushes
+  // append (keys are per-request, disjoint across groups), the bookkeeping
+  // sets are unions of disjoint key spaces, untracked overlays apply in
+  // group order.
+  for (auto& [vid, local] : gs.vars) {
+    VerifierVar& var = vars_[vid];
+    for (auto& [key, writes] : local.var_dict) {
+      auto& dst = var.var_dict[key];
+      if (dst.empty()) {
+        dst = std::move(writes);
+      } else {
+        dst.insert(dst.end(), std::make_move_iterator(writes.begin()),
+                   std::make_move_iterator(writes.end()));
+      }
+    }
+    for (auto& [prec, readers] : local.read_observers) {
+      auto& dst = var.read_observers[prec];
+      dst.insert(dst.end(), readers.begin(), readers.end());
+    }
+  }
+  for (auto& [vid, value] : gs.untracked) {
+    untracked_vars_[vid] = std::move(value);
+  }
+  for (auto& [rid, per_request] : gs.parents) {
+    auto& dst = parents_[rid];
+    for (const auto& [hid, parent] : per_request) {
+      dst[hid] = parent;
+    }
+  }
+  for (const auto& [txn, position] : gs.tx_positions) {
+    tx_positions_[txn] = position;
+  }
+  executed_.insert(gs.executed.begin(), gs.executed.end());
+  responded_.insert(gs.responded.begin(), gs.responded.end());
+  var_log_touched_.insert(gs.var_log_touched.begin(), gs.var_log_touched.end());
+  stats_.Merge(gs.stats);
+
+  // Shared-variable claims, replayed in the order the group issued them.
+  // Each was pre-checked against base + the group's own state; re-checking
+  // against the merged state catches exactly the cross-group conflicts, at
+  // the same program point (and with the same reason) the serial execution
+  // would have caught them.
+  for (const GroupState::Claim& claim : gs.claims) {
+    VerifierVar& var = vars_[claim.vid];
+    switch (claim.kind) {
+      case GroupState::Claim::Kind::kDeclare:
+        if (var.declared) {
+          Reject("variable declared twice during re-execution");
+        }
+        var.declared = true;
+        break;
+      case GroupState::Claim::Kind::kInitializer:
+        if (!var.initializer.IsNil()) {
+          Reject("variable has two initializing writes");
+        }
+        var.initializer = claim.cur;
+        break;
+      case GroupState::Claim::Kind::kChainLink:
+        if (var.write_observer.count(claim.prec) > 0) {
+          Reject("two writes overwrite the same value");
+        }
+        var.write_observer[claim.prec] = claim.cur;
+        break;
+    }
+  }
+
+  // The group's own captured outcome comes after its claims: a group stops
+  // executing at its first failure, so every recorded claim precedes it.
+  if (gs.rejected) {
+    if (gs.fault) {
+      throw std::runtime_error(gs.reason);
+    }
+    throw RejectError(gs.rule, gs.reason);
+  }
+}
+
+void Verifier::ReExecGroup(const std::vector<RequestId>& rids, GroupState* gs) {
   std::vector<Value> inputs;
   inputs.reserve(rids.size());
   for (RequestId rid : rids) {
@@ -694,7 +895,7 @@ void Verifier::ReExecGroup(const std::vector<RequestId>& rids) {
       if (advice_->opcounts.count({rid, hid}) == 0) {
         Reject("request handler missing from opcounts");
       }
-      parents_[rid][hid] = kNoHandler;
+      gs->parents[rid][hid] = kNoHandler;
     }
     if (!enqueued.insert(hid).second) {
       Reject("duplicate request handler activation");
@@ -708,18 +909,18 @@ void Verifier::ReExecGroup(const std::vector<RequestId>& rids) {
     if (def == nullptr) {
       Reject("activation of an unknown function");
     }
-    ReplayCtx ctx(this, rids, next.hid, std::move(next.input), /*is_init=*/false);
+    ReplayCtx ctx(this, gs, rids, next.hid, std::move(next.input), /*is_init=*/false);
     ctx.active = &active;
     ctx.enqueued_hids = &enqueued;
-    ++stats_.handler_executions;
-    stats_.handler_lanes += rids.size();
+    ++gs->stats.handler_executions;
+    gs->stats.handler_lanes += rids.size();
     def->fn(ctx);
     for (RequestId rid : rids) {
       auto it = advice_->opcounts.find({rid, next.hid});
       if (it == advice_->opcounts.end() || it->second != ctx.ops_issued()) {
         Reject("handler issued fewer operations than its opcount");
       }
-      executed_.insert({rid, next.hid});
+      gs->executed.insert({rid, next.hid});
     }
   }
 }

@@ -30,6 +30,19 @@ std::string DescribeNode(const NodeKey& key) {
 
 }  // namespace
 
+void AuditStats::Merge(const AuditStats& other) {
+  groups += other.groups;
+  group_lane_total += other.group_lane_total;
+  handler_executions += other.handler_executions;
+  handler_lanes += other.handler_lanes;
+  ops_executed += other.ops_executed;
+  graph_nodes += other.graph_nodes;
+  graph_edges += other.graph_edges;
+  var_dict_entries += other.var_dict_entries;
+  isolation_dg_nodes += other.isolation_dg_nodes;
+  isolation_dg_edges += other.isolation_dg_edges;
+}
+
 AuditResult Verifier::Audit(const Trace& trace, const Advice& advice) {
   trace_ = &trace;
   advice_ = &advice;
@@ -320,7 +333,7 @@ void Verifier::AddExternalStateEdges() {
 
 void Verifier::IsolationLevelVerification() {
   IsolationCheckResult result =
-      CheckIsolation(isolation_, advice_->tx_logs, advice_->write_order, history_);
+      CheckIsolation(config_.isolation, advice_->tx_logs, advice_->write_order, history_);
   stats_.isolation_dg_nodes = result.dg_nodes;
   stats_.isolation_dg_edges = result.dg_edges;
   if (!result.ok) {

@@ -43,6 +43,21 @@ struct AuditStats {
   size_t var_dict_entries = 0;
   size_t isolation_dg_nodes = 0;
   size_t isolation_dg_edges = 0;
+
+  // Accumulates another stats block into this one, field by field. The merge
+  // is commutative and associative, so per-group deltas can be combined in
+  // any order (the parallel audit engine merges them in group-index order
+  // anyway, purely for the determinism of everything else).
+  void Merge(const AuditStats& other);
+};
+
+// Verifier-side knobs, kept separate from ServerConfig: the verifier runs at
+// the principal, on different hardware than the server.
+struct VerifierConfig {
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+  // Audit-group parallelism for ReExec: 0 = one thread per hardware thread,
+  // 1 = the serial path (the determinism oracle), N = N worker threads.
+  unsigned threads = 1;
 };
 
 struct AuditResult {
@@ -72,7 +87,10 @@ class ReplayCtx;
 class Verifier {
  public:
   Verifier(const Program& program, IsolationLevel isolation)
-      : program_(program), isolation_(isolation) {}
+      : Verifier(program, VerifierConfig{isolation, 1}) {}
+
+  Verifier(const Program& program, const VerifierConfig& config)
+      : program_(program), config_(config) {}
 
   // One-shot: audits a single (trace, advice) pair.
   AuditResult Audit(const Trace& trace, const Advice& advice);
@@ -112,6 +130,51 @@ class Verifier {
     bool declared = false;
   };
 
+  // All mutable state one re-execution group touches, captured as a delta
+  // over the post-initialization base state. Groups execute against base +
+  // their own delta only — never against each other — which is what makes
+  // them schedulable on any thread in any order. The deltas are then merged
+  // into the verifier in group-index order, reproducing one canonical serial
+  // execution bit for bit (result, reason, diagnostics, stats) regardless of
+  // thread count.
+  struct GroupState {
+    // A shared-variable mutation that can collide with another group's:
+    // re-checked against the merged state, in recorded order, at merge time.
+    struct Claim {
+      enum class Kind : uint8_t {
+        kDeclare,      // var declared (rejects "variable declared twice").
+        kInitializer,  // cur claims the initializing write.
+        kChainLink,    // cur overwrites prec in the write chain.
+      };
+      Kind kind = Kind::kChainLink;
+      VarId vid = 0;
+      OpRef prec;  // kChainLink only.
+      OpRef cur;   // kInitializer / kChainLink.
+    };
+
+    // Local VerifierVar overlays: var_dict entries and read-observer pushes
+    // produced by this group (merge appends them; keys are disjoint across
+    // groups), plus write_observer/initializer/declared shadows used only
+    // for this group's own visibility during execution (the authoritative
+    // cross-group application happens through `claims`).
+    std::map<VarId, VerifierVar> vars;
+    std::map<VarId, Value> untracked;  // Overlay over the post-init snapshot.
+    std::map<RequestId, std::unordered_map<HandlerId, HandlerId>> parents;
+    std::map<TxnKey, uint32_t> tx_positions;
+    std::set<std::pair<RequestId, HandlerId>> executed;
+    std::set<RequestId> responded;
+    std::set<std::pair<VarId, OpRef>> var_log_touched;
+    std::vector<Claim> claims;
+    AuditStats stats;  // Only the ReExec-phase counters are populated.
+
+    // Outcome of the isolated execution. A fault is a non-Reject exception
+    // surfacing from re-executed application code.
+    bool rejected = false;
+    bool fault = false;
+    std::string reason;
+    std::string rule;
+  };
+
   // --- Preprocess (Figure 14) -------------------------------------------
   void Preprocess();
   // Analysis-layer preprocess: structural advice lint (rejecting on the
@@ -128,7 +191,14 @@ class Verifier {
 
   // --- ReExec (Figures 18-19) --------------------------------------------
   void ReExec();
-  void ReExecGroup(const std::vector<RequestId>& rids);
+  // Runs one group against the post-init base state, capturing every
+  // mutation (and the outcome) in the returned delta. Never throws.
+  GroupState ExecuteGroup(const std::vector<RequestId>& rids);
+  void ReExecGroup(const std::vector<RequestId>& rids, GroupState* gs);
+  // Applies a group delta to the verifier in group-index order; replays the
+  // recorded claims against the merged state and throws RejectError on a
+  // cross-group conflict or on the group's own captured rejection.
+  void MergeGroup(GroupState& gs);
 
   // --- Postprocess (Figure 21) --------------------------------------------
   void Postprocess();
@@ -144,7 +214,7 @@ class Verifier {
   [[noreturn]] static void Reject(std::string reason) { throw RejectError(std::move(reason)); }
 
   const Program& program_;
-  IsolationLevel isolation_;
+  VerifierConfig config_;
 
   const Trace* trace_ = nullptr;
   const Advice* advice_ = nullptr;

@@ -1,0 +1,258 @@
+// Adversarial tests for the parallel audit engine: every advice mutation that
+// the serial verifier rejects must still be rejected at threads=4 — with the
+// same rule ID and reason — and wrong tags must never cause wrong acceptance
+// in parallel mode. Soundness (§2.1) does not get to depend on the schedule:
+// a misbehaving server cannot escape the audit by hoping its forged group
+// lands on a lucky thread.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app_util.h"
+#include "src/audit/audit.h"
+#include "src/kem/varid.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+struct HonestRun {
+  AppSpec app;
+  ServerRunResult server;
+};
+
+HonestRun RunMotd(int concurrency = 4) {
+  HonestRun run{MakeMotdApp(), {}};
+  WorkloadConfig wl;
+  wl.app = "motd";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = 40;
+  ServerConfig config;
+  config.concurrency = concurrency;
+  Server server(*run.app.program, config);
+  run.server = server.Run(GenerateWorkload(wl));
+  return run;
+}
+
+HonestRun RunStacks(int concurrency = 8) {
+  HonestRun run{MakeStacksApp(), {}};
+  WorkloadConfig wl;
+  wl.app = "stacks";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = 60;
+  ServerConfig config;
+  config.concurrency = concurrency;
+  Server server(*run.app.program, config);
+  run.server = server.Run(GenerateWorkload(wl));
+  return run;
+}
+
+// The soundness contract under parallelism: serial rejects => parallel
+// rejects with the identical rule and reason.
+void ExpectRejectsIdentically(const HonestRun& run) {
+  AuditResult serial = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                 VerifierConfig{IsolationLevel::kSerializable, 1});
+  ASSERT_FALSE(serial.accepted) << "mutation was not rejected by the serial oracle";
+  AuditResult parallel = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                   VerifierConfig{IsolationLevel::kSerializable, 4});
+  EXPECT_FALSE(parallel.accepted);
+  EXPECT_EQ(serial.reason, parallel.reason);
+  EXPECT_EQ(serial.rule, parallel.rule);
+}
+
+TEST(ParallelAdversarialTest, ForgedResponse) {
+  HonestRun run = RunMotd();
+  for (TraceEvent& ev : run.server.trace.events) {
+    if (ev.kind == TraceEvent::Kind::kResponse) {
+      ev.payload = MakeMap({{"msg", "forged"}});
+      break;
+    }
+  }
+  ExpectRejectsIdentically(run);
+}
+
+TEST(ParallelAdversarialTest, TamperedVarLogWriteValue) {
+  HonestRun run = RunMotd();
+  bool mutated = false;
+  for (auto& [vid, log] : run.server.advice.var_logs) {
+    for (auto& [op, entry] : log) {
+      if (entry.kind == VarLogEntry::Kind::kWrite) {
+        entry.value = Value("poisoned");
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) {
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  ExpectRejectsIdentically(run);
+}
+
+TEST(ParallelAdversarialTest, GhostVarLogEntry) {
+  HonestRun run = RunMotd();
+  VarId vid = ResolveVarId("motd", VarScope::kGlobal, 0);
+  VarLogEntry ghost;
+  ghost.kind = VarLogEntry::Kind::kWrite;
+  ghost.value = Value("ghost");
+  ghost.prec = kNilOp;
+  run.server.advice.var_logs[vid].emplace(OpRef{1, 0x1234, 77}, ghost);
+  ExpectRejectsIdentically(run);
+}
+
+TEST(ParallelAdversarialTest, DroppedHandlerLogEntry) {
+  HonestRun run = RunStacks();
+  bool mutated = false;
+  for (auto& [rid, log] : run.server.advice.handler_logs) {
+    if (!log.empty()) {
+      log.pop_back();
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  ExpectRejectsIdentically(run);
+}
+
+TEST(ParallelAdversarialTest, InflatedOpcount) {
+  HonestRun run = RunMotd();
+  ASSERT_FALSE(run.server.advice.opcounts.empty());
+  run.server.advice.opcounts.begin()->second += 1;
+  ExpectRejectsIdentically(run);
+}
+
+TEST(ParallelAdversarialTest, MissingResponseEmittedBy) {
+  HonestRun run = RunMotd();
+  ASSERT_FALSE(run.server.advice.response_emitted_by.empty());
+  run.server.advice.response_emitted_by.erase(run.server.advice.response_emitted_by.begin());
+  ExpectRejectsIdentically(run);
+}
+
+TEST(ParallelAdversarialTest, ForgedConflictMarker) {
+  HonestRun run = RunStacks();
+  OpRef op{};
+  bool found = false;
+  for (const auto& [txn, log] : run.server.advice.tx_logs) {
+    for (const TxOperation& entry : log) {
+      if (entry.type == TxOpType::kGet) {
+        op = OpRef{txn.rid, entry.hid, entry.opnum};
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  run.server.advice.nondet[op] = NondetRecord{NondetRecord::Kind::kConflict, Value()};
+  ExpectRejectsIdentically(run);
+}
+
+TEST(ParallelAdversarialTest, SwappedWriteOrder) {
+  AppSpec app = MakeStacksApp();
+  std::vector<Value> inputs = {
+      MakeMap({{"op", "submit"}, {"dump", "once"}}),
+      MakeMap({{"op", "submit"}, {"dump", "once"}}),
+  };
+  ServerConfig config;
+  config.concurrency = 1;
+  Server server(*app.program, config);
+  ServerRunResult run = server.Run(inputs);
+  ASSERT_GE(run.advice.write_order.size(), 2u);
+  std::swap(run.advice.write_order.front(), run.advice.write_order.back());
+  ExpectRejectsIdentically(HonestRun{std::move(app), std::move(run)});
+}
+
+TEST(ParallelAdversarialTest, GetClaimedNotFound) {
+  HonestRun run = RunStacks();
+  bool mutated = false;
+  for (auto& [txn, log] : run.server.advice.tx_logs) {
+    for (TxOperation& op : log) {
+      if (op.type == TxOpType::kGet && op.get_found) {
+        op.get_found = false;
+        op.get_from = kNilTxOp;
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) {
+      break;
+    }
+  }
+  if (!mutated) {
+    GTEST_SKIP() << "no found GET in this schedule";
+  }
+  ExpectRejectsIdentically(run);
+}
+
+// --- Wrong tags: the attack surface the parallel engine widens if groups ---
+// --- could observe each other. They must only ever cause rejection. --------
+
+TEST(ParallelAdversarialTest, WrongTagNeverCausesWrongAcceptance) {
+  // Sweep several forged tag assignments; each must reject in parallel mode
+  // exactly as serially. (Acceptance would mean a group observed state it
+  // must not — the soundness failure mode of a buggy merge.)
+  for (uint64_t mutation = 0; mutation < 6; ++mutation) {
+    SCOPED_TRACE("mutation=" + std::to_string(mutation));
+    HonestRun run = RunMotd(8);
+    ASSERT_GE(run.server.advice.tags.size(), 8u);
+    auto it = run.server.advice.tags.begin();
+    std::advance(it, mutation);
+    auto jt = run.server.advice.tags.rbegin();
+    if (it->second == jt->second) {
+      continue;  // Same group already; moving it is a no-op.
+    }
+    it->second = jt->second;  // Force the request into an alien group.
+    AuditResult serial = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                   VerifierConfig{IsolationLevel::kSerializable, 1});
+    AuditResult parallel = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                     VerifierConfig{IsolationLevel::kSerializable, 4});
+    EXPECT_EQ(serial.accepted, parallel.accepted);
+    EXPECT_EQ(serial.reason, parallel.reason);
+    EXPECT_EQ(serial.rule, parallel.rule);
+    // An honest run forged this way may only survive if the two requests were
+    // genuinely groupable; it must never accept while serial rejects.
+    if (!serial.accepted) {
+      EXPECT_FALSE(parallel.accepted);
+    }
+  }
+}
+
+TEST(ParallelAdversarialTest, AllRequestsForcedIntoOneGroup) {
+  // Collapse every tag to one group: maximum intra-group divergence, zero
+  // parallelism. Serial and parallel must agree (reject, in practice).
+  HonestRun run = RunMotd(8);
+  uint64_t tag = run.server.advice.tags.begin()->second;
+  for (auto& [rid, t] : run.server.advice.tags) {
+    t = tag;
+  }
+  AuditResult serial = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                 VerifierConfig{IsolationLevel::kSerializable, 1});
+  AuditResult parallel = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                   VerifierConfig{IsolationLevel::kSerializable, 4});
+  EXPECT_EQ(serial.accepted, parallel.accepted);
+  EXPECT_EQ(serial.reason, parallel.reason);
+}
+
+TEST(ParallelAdversarialTest, EveryRequestItsOwnGroup) {
+  // Shatter the grouping: one group per request maximizes group count (and
+  // thus scheduler pressure). Still the same result as serial — and honest
+  // advice re-tagged this way must still reject or accept identically.
+  HonestRun run = RunMotd(8);
+  uint64_t tag = 0x9000;
+  for (auto& [rid, t] : run.server.advice.tags) {
+    t = tag++;
+  }
+  AuditResult serial = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                 VerifierConfig{IsolationLevel::kSerializable, 1});
+  AuditResult parallel = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                   VerifierConfig{IsolationLevel::kSerializable, 4});
+  EXPECT_EQ(serial.accepted, parallel.accepted);
+  EXPECT_EQ(serial.reason, parallel.reason);
+}
+
+}  // namespace
+}  // namespace karousos

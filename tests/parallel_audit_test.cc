@@ -1,0 +1,220 @@
+// Determinism oracle for the parallel audit engine: for every example app and
+// workload, Audit at threads ∈ {1, 2, 4, 8} must produce a result that is
+// bit-identical to the serial path — verdict, rejection reason, rule ID,
+// diagnostics (text and order), and every stats counter. This must hold on
+// accepting AND rejecting inputs: which rejection fires first is part of the
+// contract (the merge order, not the thread schedule, decides it).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app_util.h"
+#include "src/audit/audit.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+ServerRunResult Serve(const AppSpec& app, const std::string& name, WorkloadKind kind,
+                      size_t requests, int concurrency, uint64_t seed = 1) {
+  WorkloadConfig wl;
+  wl.app = name;
+  wl.kind = kind;
+  wl.requests = requests;
+  wl.seed = seed;
+  wl.connections = concurrency;
+  ServerConfig config;
+  config.concurrency = concurrency;
+  config.seed = seed;
+  Server server(*app.program, config);
+  return server.Run(GenerateWorkload(wl));
+}
+
+void ExpectIdentical(const AuditResult& serial, const AuditResult& parallel, unsigned threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  EXPECT_EQ(serial.accepted, parallel.accepted);
+  EXPECT_EQ(serial.reason, parallel.reason);
+  EXPECT_EQ(serial.rule, parallel.rule);
+  ASSERT_EQ(serial.diagnostics.size(), parallel.diagnostics.size());
+  for (size_t i = 0; i < serial.diagnostics.size(); ++i) {
+    EXPECT_EQ(serial.diagnostics[i].Format(), parallel.diagnostics[i].Format());
+  }
+  EXPECT_EQ(serial.stats.groups, parallel.stats.groups);
+  EXPECT_EQ(serial.stats.group_lane_total, parallel.stats.group_lane_total);
+  EXPECT_EQ(serial.stats.handler_executions, parallel.stats.handler_executions);
+  EXPECT_EQ(serial.stats.handler_lanes, parallel.stats.handler_lanes);
+  EXPECT_EQ(serial.stats.ops_executed, parallel.stats.ops_executed);
+  EXPECT_EQ(serial.stats.graph_nodes, parallel.stats.graph_nodes);
+  EXPECT_EQ(serial.stats.graph_edges, parallel.stats.graph_edges);
+  EXPECT_EQ(serial.stats.var_dict_entries, parallel.stats.var_dict_entries);
+  EXPECT_EQ(serial.stats.isolation_dg_nodes, parallel.stats.isolation_dg_nodes);
+  EXPECT_EQ(serial.stats.isolation_dg_edges, parallel.stats.isolation_dg_edges);
+}
+
+// Audits (trace, advice) at 1, 2, 4, and 8 threads and requires all four
+// results identical. Returns the serial result for further assertions.
+AuditResult ExpectAllThreadCountsAgree(const AppSpec& app, const Trace& trace,
+                                       const Advice& advice) {
+  AuditResult serial =
+      AuditOnly(app, trace, advice, VerifierConfig{IsolationLevel::kSerializable, 1});
+  for (unsigned threads : {2u, 4u, 8u}) {
+    AuditResult parallel =
+        AuditOnly(app, trace, advice, VerifierConfig{IsolationLevel::kSerializable, threads});
+    ExpectIdentical(serial, parallel, threads);
+  }
+  return serial;
+}
+
+TEST(ParallelAuditTest, MotdMixedAccepts) {
+  AppSpec app = MakeMotdApp();
+  ServerRunResult run = Serve(app, "motd", WorkloadKind::kMixed, 60, 8);
+  AuditResult serial = ExpectAllThreadCountsAgree(app, run.trace, run.advice);
+  EXPECT_TRUE(serial.accepted) << serial.reason;
+  EXPECT_GT(serial.stats.groups, 1u) << "workload produced a single group; sweep is vacuous";
+}
+
+TEST(ParallelAuditTest, StacksMixedAccepts) {
+  AppSpec app = MakeStacksApp();
+  ServerRunResult run = Serve(app, "stacks", WorkloadKind::kMixed, 60, 8);
+  AuditResult serial = ExpectAllThreadCountsAgree(app, run.trace, run.advice);
+  EXPECT_TRUE(serial.accepted) << serial.reason;
+  EXPECT_GT(serial.stats.groups, 1u);
+}
+
+TEST(ParallelAuditTest, WikiMixAccepts) {
+  AppSpec app = MakeWikiApp();
+  ServerRunResult run = Serve(app, "wiki", WorkloadKind::kWikiMix, 60, 8);
+  AuditResult serial = ExpectAllThreadCountsAgree(app, run.trace, run.advice);
+  EXPECT_TRUE(serial.accepted) << serial.reason;
+  EXPECT_GT(serial.stats.groups, 1u);
+}
+
+TEST(ParallelAuditTest, ZeroMeansHardwareThreadsAndStillAgrees) {
+  AppSpec app = MakeMotdApp();
+  ServerRunResult run = Serve(app, "motd", WorkloadKind::kMixed, 40, 4);
+  AuditResult serial =
+      AuditOnly(app, run.trace, run.advice, VerifierConfig{IsolationLevel::kSerializable, 1});
+  AuditResult hw =
+      AuditOnly(app, run.trace, run.advice, VerifierConfig{IsolationLevel::kSerializable, 0});
+  ExpectIdentical(serial, hw, 0);
+  EXPECT_TRUE(serial.accepted) << serial.reason;
+}
+
+TEST(ParallelAuditTest, MoreThreadsThanGroupsAgrees) {
+  // Thread count far above the group count: the pool clamps to the group
+  // count, and nothing about the result may change.
+  AppSpec app = MakeMotdApp();
+  ServerRunResult run = Serve(app, "motd", WorkloadKind::kMixed, 10, 2);
+  AuditResult serial =
+      AuditOnly(app, run.trace, run.advice, VerifierConfig{IsolationLevel::kSerializable, 1});
+  AuditResult wide =
+      AuditOnly(app, run.trace, run.advice, VerifierConfig{IsolationLevel::kSerializable, 64});
+  ExpectIdentical(serial, wide, 64);
+  EXPECT_TRUE(serial.accepted) << serial.reason;
+}
+
+// --- Rejecting inputs: the first rejection (reason and all) must be the ----
+// --- same at every thread count. ------------------------------------------
+
+TEST(ParallelAuditTest, ForgedResponseRejectsIdentically) {
+  AppSpec app = MakeMotdApp();
+  ServerRunResult run = Serve(app, "motd", WorkloadKind::kMixed, 60, 8);
+  for (TraceEvent& ev : run.trace.events) {
+    if (ev.kind == TraceEvent::Kind::kResponse) {
+      ev.payload = MakeMap({{"msg", "forged"}});
+      break;
+    }
+  }
+  AuditResult serial = ExpectAllThreadCountsAgree(app, run.trace, run.advice);
+  EXPECT_FALSE(serial.accepted);
+  EXPECT_FALSE(serial.reason.empty());
+}
+
+TEST(ParallelAuditTest, TamperedVarLogRejectsIdentically) {
+  AppSpec app = MakeMotdApp();
+  ServerRunResult run = Serve(app, "motd", WorkloadKind::kMixed, 60, 8);
+  bool mutated = false;
+  for (auto& [vid, log] : run.advice.var_logs) {
+    for (auto& [op, entry] : log) {
+      if (entry.kind == VarLogEntry::Kind::kWrite) {
+        entry.value = Value("poisoned");
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) {
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  AuditResult serial = ExpectAllThreadCountsAgree(app, run.trace, run.advice);
+  EXPECT_FALSE(serial.accepted);
+}
+
+TEST(ParallelAuditTest, InflatedOpcountRejectsIdentically) {
+  AppSpec app = MakeStacksApp();
+  ServerRunResult run = Serve(app, "stacks", WorkloadKind::kMixed, 60, 8);
+  ASSERT_FALSE(run.advice.opcounts.empty());
+  run.advice.opcounts.begin()->second += 1;
+  AuditResult serial = ExpectAllThreadCountsAgree(app, run.trace, run.advice);
+  EXPECT_FALSE(serial.accepted);
+}
+
+TEST(ParallelAuditTest, WrongGroupTagRejectsIdentically) {
+  // A tag mutation makes some group internally inconsistent. The group that
+  // rejects — and therefore the reason — must not depend on the schedule.
+  AppSpec app = MakeMotdApp();
+  ServerRunResult run = Serve(app, "motd", WorkloadKind::kMixed, 60, 8);
+  RequestId set_rid = 0;
+  RequestId get_rid = 0;
+  for (const TraceEvent& ev : run.trace.events) {
+    if (ev.kind != TraceEvent::Kind::kRequest) {
+      continue;
+    }
+    if (ev.payload.Field("op") == Value("set") && set_rid == 0) {
+      set_rid = ev.rid;
+    }
+    if (ev.payload.Field("op") == Value("get") && get_rid == 0) {
+      get_rid = ev.rid;
+    }
+  }
+  ASSERT_NE(set_rid, 0u);
+  ASSERT_NE(get_rid, 0u);
+  run.advice.tags[set_rid] = run.advice.tags[get_rid];
+  AuditResult serial = ExpectAllThreadCountsAgree(app, run.trace, run.advice);
+  EXPECT_FALSE(serial.accepted);
+}
+
+TEST(ParallelAuditTest, DroppedHandlerLogRejectsIdentically) {
+  AppSpec app = MakeStacksApp();
+  ServerRunResult run = Serve(app, "stacks", WorkloadKind::kMixed, 60, 8);
+  bool mutated = false;
+  for (auto& [rid, log] : run.advice.handler_logs) {
+    if (!log.empty()) {
+      log.pop_back();
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  AuditResult serial = ExpectAllThreadCountsAgree(app, run.trace, run.advice);
+  EXPECT_FALSE(serial.accepted);
+}
+
+TEST(ParallelAuditTest, RepeatedParallelAuditsAreStable) {
+  // Same (trace, advice), audited at threads=4 five times: every run must
+  // return the very same result (no dependence on OS scheduling).
+  AppSpec app = MakeWikiApp();
+  ServerRunResult run = Serve(app, "wiki", WorkloadKind::kWikiMix, 60, 8);
+  AuditResult first =
+      AuditOnly(app, run.trace, run.advice, VerifierConfig{IsolationLevel::kSerializable, 4});
+  for (int i = 0; i < 4; ++i) {
+    AuditResult again =
+        AuditOnly(app, run.trace, run.advice, VerifierConfig{IsolationLevel::kSerializable, 4});
+    ExpectIdentical(first, again, 4);
+  }
+}
+
+}  // namespace
+}  // namespace karousos

@@ -1,0 +1,79 @@
+// Stress target for the parallel audit engine, meant to run under
+// ThreadSanitizer (`ctest -L tsan` — build with KAROUSOS_SANITIZE=thread).
+// Repeatedly audits mixed workloads of all three example apps at threads=8,
+// interleaving accepting and rejecting advice, so that the pool's publish /
+// steal / drain paths and the group-isolated verifier state get exercised
+// across many job epochs. Any data race in the engine is a determinism bug
+// waiting to happen; TSan turns it into a hard failure here.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/apps/app_util.h"
+#include "src/audit/audit.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+ServerRunResult Serve(const AppSpec& app, const std::string& name, WorkloadKind kind,
+                      uint64_t seed) {
+  WorkloadConfig wl;
+  wl.app = name;
+  wl.kind = kind;
+  wl.requests = 48;
+  wl.seed = seed;
+  wl.connections = 8;
+  ServerConfig config;
+  config.concurrency = 8;
+  config.seed = seed;
+  Server server(*app.program, config);
+  return server.Run(GenerateWorkload(wl));
+}
+
+TEST(ParallelStressTest, RepeatedMixedWorkloadAuditsAtEightThreads) {
+  struct AppCase {
+    std::string name;
+    WorkloadKind kind;
+  };
+  const AppCase cases[] = {
+      {"motd", WorkloadKind::kMixed},
+      {"stacks", WorkloadKind::kMixed},
+      {"wiki", WorkloadKind::kWikiMix},
+  };
+  for (int round = 0; round < 6; ++round) {
+    for (const AppCase& c : cases) {
+      SCOPED_TRACE(c.name + " round " + std::to_string(round));
+      AppSpec app = c.name == "motd"     ? MakeMotdApp()
+                    : c.name == "stacks" ? MakeStacksApp()
+                                         : MakeWikiApp();
+      ServerRunResult run = Serve(app, c.name, c.kind, 100 + round);
+      AuditResult accept = AuditOnly(app, run.trace, run.advice,
+                                     VerifierConfig{IsolationLevel::kSerializable, 8});
+      EXPECT_TRUE(accept.accepted) << accept.reason;
+
+      // Rejecting audit in the same round: the engine must tear its pool and
+      // group states down cleanly mid-merge as well.
+      if (!run.advice.opcounts.empty()) {
+        run.advice.opcounts.begin()->second += 1;
+        AuditResult reject = AuditOnly(app, run.trace, run.advice,
+                                       VerifierConfig{IsolationLevel::kSerializable, 8});
+        EXPECT_FALSE(reject.accepted);
+      }
+    }
+  }
+}
+
+TEST(ParallelStressTest, HardwareThreadsOnOneTrace) {
+  // Thread count 0 (all hardware threads) hammering one trace back to back.
+  AppSpec app = MakeStacksApp();
+  ServerRunResult run = Serve(app, "stacks", WorkloadKind::kMixed, 42);
+  for (int i = 0; i < 10; ++i) {
+    AuditResult audit =
+        AuditOnly(app, run.trace, run.advice, VerifierConfig{IsolationLevel::kSerializable, 0});
+    EXPECT_TRUE(audit.accepted) << audit.reason;
+  }
+}
+
+}  // namespace
+}  // namespace karousos

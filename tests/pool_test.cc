@@ -1,0 +1,106 @@
+// Unit tests for the work-stealing pool underneath the parallel audit engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/common/pool.h"
+
+namespace karousos {
+namespace {
+
+TEST(PoolTest, RunsEveryIndexExactlyOnce) {
+  WorkStealingPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(PoolTest, SingleThreadDegeneratesToInlineLoop) {
+  WorkStealingPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<int> order;
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(8, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(static_cast<int>(i));
+  });
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[i], i);  // Inline path preserves index order.
+  }
+}
+
+TEST(PoolTest, EmptyRangeIsANoop) {
+  WorkStealingPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "task ran for an empty range"; });
+}
+
+TEST(PoolTest, SkewedTasksAreStolen) {
+  // Index 0 sleeps; the rest are instant. With stealing, total wall clock
+  // stays near the single sleep instead of serializing behind worker 0's
+  // initial share.
+  WorkStealingPool pool(4);
+  std::atomic<int> done{0};
+  auto t0 = std::chrono::steady_clock::now();
+  pool.ParallelFor(64, [&](size_t i) {
+    if (i == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    done.fetch_add(1);
+  });
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(done.load(), 64);
+  // Generous bound: the 63 instant tasks must not queue behind the sleeper.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 2000);
+}
+
+TEST(PoolTest, ReusableAcrossJobs) {
+  WorkStealingPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(100, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 5050u) << "round " << round;
+  }
+}
+
+TEST(PoolTest, ManyMoreTasksThanThreads) {
+  WorkStealingPool pool(2);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(10000, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10000u);
+}
+
+TEST(PoolTest, ResolveThreads) {
+  EXPECT_EQ(WorkStealingPool::ResolveThreads(1), 1u);
+  EXPECT_EQ(WorkStealingPool::ResolveThreads(7), 7u);
+  EXPECT_GE(WorkStealingPool::ResolveThreads(0), 1u);  // 0 = hardware threads.
+}
+
+TEST(PoolTest, CallerParticipates) {
+  // Two participants, two tasks that each wait for the other to start: no
+  // single thread can run both, so the caller must execute exactly one (it
+  // drains work rather than idling until the worker finishes). Robust on
+  // any core count, including one.
+  WorkStealingPool pool(2);
+  std::atomic<int> started{0};
+  std::atomic<int> by_caller{0};
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(2, [&](size_t) {
+    started.fetch_add(1);
+    while (started.load() < 2) {
+      std::this_thread::yield();
+    }
+    if (std::this_thread::get_id() == caller) {
+      by_caller.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(by_caller.load(), 1);
+}
+
+}  // namespace
+}  // namespace karousos

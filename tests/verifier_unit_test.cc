@@ -199,6 +199,57 @@ TEST(VerifierUnitTest, TimePrecedenceOrderingIsEnforcedNotInvented) {
   EXPECT_TRUE(audit.accepted) << audit.reason;
 }
 
+TEST(VerifierUnitTest, AuditStatsMergeSumsEveryField) {
+  AuditStats a;
+  a.groups = 1;
+  a.group_lane_total = 2;
+  a.handler_executions = 3;
+  a.handler_lanes = 4;
+  a.ops_executed = 5;
+  a.graph_nodes = 6;
+  a.graph_edges = 7;
+  a.var_dict_entries = 8;
+  a.isolation_dg_nodes = 9;
+  a.isolation_dg_edges = 10;
+  AuditStats b;
+  b.groups = 100;
+  b.group_lane_total = 200;
+  b.handler_executions = 300;
+  b.handler_lanes = 400;
+  b.ops_executed = 500;
+  b.graph_nodes = 600;
+  b.graph_edges = 700;
+  b.var_dict_entries = 800;
+  b.isolation_dg_nodes = 900;
+  b.isolation_dg_edges = 1000;
+
+  AuditStats ab = a;
+  ab.Merge(b);
+  EXPECT_EQ(ab.groups, 101u);
+  EXPECT_EQ(ab.group_lane_total, 202u);
+  EXPECT_EQ(ab.handler_executions, 303u);
+  EXPECT_EQ(ab.handler_lanes, 404u);
+  EXPECT_EQ(ab.ops_executed, 505u);
+  EXPECT_EQ(ab.graph_nodes, 606u);
+  EXPECT_EQ(ab.graph_edges, 707u);
+  EXPECT_EQ(ab.var_dict_entries, 808u);
+  EXPECT_EQ(ab.isolation_dg_nodes, 909u);
+  EXPECT_EQ(ab.isolation_dg_edges, 1010u);
+
+  // Commutative: merge order across group deltas must not matter.
+  AuditStats ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ba.groups, ab.groups);
+  EXPECT_EQ(ba.ops_executed, ab.ops_executed);
+  EXPECT_EQ(ba.isolation_dg_edges, ab.isolation_dg_edges);
+
+  // Merging a default block is the identity.
+  AuditStats id = a;
+  id.Merge(AuditStats{});
+  EXPECT_EQ(id.groups, a.groups);
+  EXPECT_EQ(id.var_dict_entries, a.var_dict_entries);
+}
+
 TEST(VerifierUnitTest, StatsReportDedupFactors) {
   ChainRun run = RunChain(12);
   AuditResult audit = Audit(run);

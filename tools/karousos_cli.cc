@@ -35,7 +35,9 @@ int Usage() {
                "                  [--requests N] [--concurrency C] [--seed S] [--mode karousos|orochi]\n"
                "                  [--isolation ser|rc|ru] --out-trace FILE --out-advice FILE\n"
                "  karousos audit  --app <motd|stacks|wiki> --trace FILE --advice FILE\n"
-               "                  [--isolation ser|rc|ru]\n"
+               "                  [--isolation ser|rc|ru] [--threads N]\n"
+               "      --threads: audit-group parallelism (1 = serial, 0 = all hardware\n"
+               "      threads); the verdict is identical for every value\n"
                "  karousos tamper --trace FILE --out FILE\n"
                "  karousos inspect --advice FILE\n"
                "  karousos analyze --trace FILE --advice FILE\n"
@@ -78,6 +80,7 @@ struct Args {
   size_t requests = 200;
   int concurrency = 8;
   uint64_t seed = 1;
+  unsigned threads = 1;
   bool races = false;
 };
 
@@ -126,6 +129,8 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.concurrency = std::stoi(value);
     } else if (flag == "--seed") {
       args.seed = std::stoull(value);
+    } else if (flag == "--threads") {
+      args.threads = static_cast<unsigned>(std::stoul(value));
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -254,7 +259,8 @@ int CmdAudit(const Args& args) {
     return 1;
   }
   AppSpec app = MakeApp(args.app);
-  AuditResult audit = AuditOnly(app, *trace, *advice, ParseIsolation(args.isolation));
+  AuditResult audit = AuditOnly(app, *trace, *advice,
+                                VerifierConfig{ParseIsolation(args.isolation), args.threads});
   if (audit.accepted) {
     std::printf("ACCEPTED: %zu requests in %zu groups, %zu handler executions, "
                 "G = %zu nodes / %zu edges\n",
