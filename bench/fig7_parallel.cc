@@ -57,10 +57,18 @@ int Main(int argc, char** argv) {
   if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) {
     sweep.push_back(hw);
   }
+  // On a single-core host every "parallel" row is just the serial path plus
+  // scheduling overhead; printing those ratios as speedups would be
+  // misleading, so they are flagged here and suppressed in the table.
+  const bool speedup_meaningful = hw > 1;
 
   std::printf("=== Figure 7 companion: parallel audit thread sweep ===\n");
-  std::printf("(%u hardware threads; %zu requests per app; medians of %d reps)\n",
-              WorkStealingPool::ResolveThreads(0), kRequests, kReps);
+  std::printf("HARDWARE THREADS: %u\n", hw);
+  std::printf("(%zu requests per app; medians of %d reps)\n", kRequests, kReps);
+  if (!speedup_meaningful) {
+    std::printf("NOTE: single hardware thread -- speedup columns are not "
+                "meaningful and are suppressed.\n");
+  }
 
   std::vector<Row> rows;
   for (const std::string& name : {std::string("motd"), std::string("stacks"),
@@ -116,7 +124,11 @@ int Main(int argc, char** argv) {
       row.seconds = median;
       row.speedup = median > 0 ? serial_seconds / median : 0.0;
       rows.push_back(row);
-      std::printf("%9u %12.4f %8.2fx\n", threads, median, row.speedup);
+      if (speedup_meaningful) {
+        std::printf("%9u %12.4f %8.2fx\n", threads, median, row.speedup);
+      } else {
+        std::printf("%9u %12.4f %9s\n", threads, median, "--");
+      }
     }
   }
 
@@ -126,15 +138,26 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"benchmark\": \"fig7_parallel\",\n  \"requests\": %zu,\n"
-                    "  \"hardware_threads\": %u,\n  \"rows\": [\n",
-               kRequests, WorkStealingPool::ResolveThreads(0));
+                    "  \"hardware_threads\": %u,\n  \"speedup_meaningful\": %s,\n  \"rows\": [\n",
+               kRequests, hw, speedup_meaningful ? "true" : "false");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    std::fprintf(out,
-                 "    {\"app\": \"%s\", \"groups\": %zu, \"threads\": %u, "
-                 "\"seconds\": %.6f, \"speedup\": %.3f}%s\n",
-                 r.app.c_str(), r.groups, r.threads, r.seconds, r.speedup,
-                 i + 1 < rows.size() ? "," : "");
+    // Emit speedup only when the host could actually run threads in
+    // parallel; otherwise mark the row so downstream tooling (and readers)
+    // don't average noise into a "scaling" number.
+    if (speedup_meaningful) {
+      std::fprintf(out,
+                   "    {\"app\": \"%s\", \"groups\": %zu, \"threads\": %u, "
+                   "\"seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                   r.app.c_str(), r.groups, r.threads, r.seconds, r.speedup,
+                   i + 1 < rows.size() ? "," : "");
+    } else {
+      std::fprintf(out,
+                   "    {\"app\": \"%s\", \"groups\": %zu, \"threads\": %u, "
+                   "\"seconds\": %.6f, \"speedup\": null}%s\n",
+                   r.app.c_str(), r.groups, r.threads, r.seconds,
+                   i + 1 < rows.size() ? "," : "");
+    }
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

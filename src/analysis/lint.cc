@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/common/flat_map.h"
 #include "src/common/graph.h"
 
 namespace karousos {
@@ -140,13 +141,16 @@ class Linter {
   void CheckOpcounts() {
     for (const auto& [key, count] : advice_.opcounts) {
       const auto& [rid, hid] = key;
-      std::string loc =
-          "opcounts[(r" + std::to_string(rid) + ",h" + std::to_string(hid) + ")]";
+      // Location strings are built only on emission: the happy path across a
+      // large advice must not pay for diagnostics it never produces.
+      auto loc = [rid = rid, hid = hid] {
+        return "opcounts[(r" + std::to_string(rid) + ",h" + std::to_string(hid) + ")]";
+      };
       if (hid == kNoHandler || hid == kInitHandlerId) {
-        Emit(kRule002, loc, "opcounts entry with reserved handler id");
+        Emit(kRule002, loc(), "opcounts entry with reserved handler id");
       }
       if (count >= kOpNumInf) {
-        Emit(kRule002, loc, "opcount overflow");
+        Emit(kRule002, loc(), "opcount overflow");
       }
     }
   }
@@ -158,24 +162,26 @@ class Linter {
   void CheckVarLogPrecs() {
     for (const auto& [vid, log] : advice_.var_logs) {
       for (const auto& [op, entry] : log) {
-        const std::string loc = VarLogLoc(vid, op) + ".prec";
+        // Built lazily: var logs dominate the advice, and the clean path
+        // through this check must not format a location per entry.
+        auto loc = [vid = vid, &op] { return VarLogLoc(vid, op) + ".prec"; };
         if (entry.prec.IsNil()) {
           if (entry.kind == VarLogEntry::Kind::kRead) {
-            Emit(kRule003, loc, "logged read has no dictating write");
+            Emit(kRule003, loc(), "logged read has no dictating write");
           }
           continue;
         }
         if (entry.prec == op) {
-          Emit(kRule003, loc, "log entry names itself as its own predecessor");
+          Emit(kRule003, loc(), "log entry names itself as its own predecessor");
           continue;
         }
         auto prec_it = log.find(entry.prec);
         if (prec_it == log.end()) {
-          Emit(kRule003, loc,
+          Emit(kRule003, loc(),
                "dangling predecessor " + entry.prec.ToString() +
                    " (no such entry in this variable's log)");
         } else if (prec_it->second.kind != VarLogEntry::Kind::kWrite) {
-          Emit(kRule003, loc,
+          Emit(kRule003, loc(),
                "predecessor " + entry.prec.ToString() + " is not a write entry");
         }
       }
@@ -219,28 +225,33 @@ class Linter {
   // entry across the handler logs, transaction logs, and variable logs — an
   // operation executes once, so two entries for it are contradictory advice.
   void CheckDuplicateClaims() {
-    std::set<OpRef> claimed;
-    auto claim = [&](const OpRef& op, const std::string& loc) {
+    // The claim set is only probed, never iterated, so a hashed set keeps the
+    // emitted diagnostics (and their order) identical. Location strings are
+    // formatted lazily — only a duplicate pays for one.
+    FlatSet<OpRef> claimed;
+    auto claim = [&](const OpRef& op, auto&& loc) {
       if (!claimed.insert(op).second) {
-        Emit(kRule006, loc, "two log entries claim the same operation " + op.ToString());
+        Emit(kRule006, loc(), "two log entries claim the same operation " + op.ToString());
       }
     };
     for (const auto& [rid, log] : advice_.handler_logs) {
       for (size_t i = 0; i < log.size(); ++i) {
-        claim(OpRef{rid, log[i].hid, log[i].opnum},
-              "handler_logs[r" + std::to_string(rid) + "][" + std::to_string(i) + "]");
+        claim(OpRef{rid, log[i].hid, log[i].opnum}, [rid = rid, i] {
+          return "handler_logs[r" + std::to_string(rid) + "][" + std::to_string(i) + "]";
+        });
       }
     }
     for (const auto& [txn, log] : advice_.tx_logs) {
       for (size_t i = 0; i < log.size(); ++i) {
-        claim(OpRef{txn.rid, log[i].hid, log[i].opnum},
-              "tx_logs[" + TxOpRef{txn.rid, txn.tid, static_cast<uint32_t>(i) + 1}.ToString() +
-                  "]");
+        claim(OpRef{txn.rid, log[i].hid, log[i].opnum}, [&txn, i] {
+          return "tx_logs[" +
+                 TxOpRef{txn.rid, txn.tid, static_cast<uint32_t>(i) + 1}.ToString() + "]";
+        });
       }
     }
     for (const auto& [vid, log] : advice_.var_logs) {
       for (const auto& [op, entry] : log) {
-        claim(op, VarLogLoc(vid, op));
+        claim(op, [vid = vid, &op] { return VarLogLoc(vid, op); });
       }
     }
   }
@@ -277,20 +288,20 @@ class Linter {
   void CheckWriteOrderRefs() {
     for (size_t i = 0; i < advice_.write_order.size(); ++i) {
       const TxOpRef& w = advice_.write_order[i];
-      const std::string loc = "write_order[" + std::to_string(i) + "]";
+      auto loc = [i] { return "write_order[" + std::to_string(i) + "]"; };
       auto log_it = advice_.tx_logs.find(TxnKey{w.rid, w.tid});
       if (log_it == advice_.tx_logs.end()) {
-        Emit(kRule009, loc,
+        Emit(kRule009, loc(),
              "write-order entry " + w.ToString() + " names a transaction absent from tx_logs");
         continue;
       }
       if (w.index < 1 || w.index > log_it->second.size()) {
-        Emit(kRule009, loc,
+        Emit(kRule009, loc(),
              "write-order entry " + w.ToString() + " index out of range");
         continue;
       }
       if (log_it->second[w.index - 1].type != TxOpType::kPut) {
-        Emit(kRule009, loc,
+        Emit(kRule009, loc(),
              "write-order entry " + w.ToString() + " does not name a PUT");
       }
     }
@@ -328,37 +339,38 @@ class Linter {
         if (op.type != TxOpType::kGet) {
           continue;
         }
-        const std::string loc =
-            "tx_logs[" + TxOpRef{txn.rid, txn.tid, static_cast<uint32_t>(i) + 1}.ToString() +
-            "]";
+        auto loc = [&txn, i] {
+          return "tx_logs[" +
+                 TxOpRef{txn.rid, txn.tid, static_cast<uint32_t>(i) + 1}.ToString() + "]";
+        };
         if (!op.get_found) {
           if (!op.get_from.IsNil()) {
-            Emit(kRule011, loc, "not-found GET carries a dictating-write reference");
+            Emit(kRule011, loc(), "not-found GET carries a dictating-write reference");
           }
           continue;
         }
         if (op.get_from.IsNil()) {
-          Emit(kRule011, loc, "found GET carries no dictating-write reference");
+          Emit(kRule011, loc(), "found GET carries no dictating-write reference");
           continue;
         }
         auto writer_it = advice_.tx_logs.find(TxnKey{op.get_from.rid, op.get_from.tid});
         if (writer_it == advice_.tx_logs.end()) {
-          Emit(kRule011, loc,
+          Emit(kRule011, loc(),
                "GET's dictating write " + op.get_from.ToString() +
                    " names a transaction absent from tx_logs");
           continue;
         }
         if (op.get_from.index < 1 || op.get_from.index > writer_it->second.size()) {
-          Emit(kRule011, loc,
+          Emit(kRule011, loc(),
                "GET's dictating write " + op.get_from.ToString() + " index out of range");
           continue;
         }
         const TxOperation& writer = writer_it->second[op.get_from.index - 1];
         if (writer.type != TxOpType::kPut) {
-          Emit(kRule011, loc,
+          Emit(kRule011, loc(),
                "GET's dictating write " + op.get_from.ToString() + " is not a PUT");
         } else if (writer.key != op.key) {
-          Emit(kRule011, loc,
+          Emit(kRule011, loc(),
                "GET's dictating write " + op.get_from.ToString() + " wrote key '" + writer.key +
                    "', not '" + op.key + "'");
         }

@@ -1,10 +1,34 @@
 #include "src/apps/app_util.h"
 
-#include <sstream>
+#include <cinttypes>
+#include <cstdio>
 
 #include "src/common/digest.h"
 
 namespace karousos {
+
+namespace {
+
+// Lowercase hex with no leading zeros — the exact bytes the historical
+// ostringstream << std::hex formatting produced.
+std::string HexString(uint64_t h) {
+  char buf[17];
+  int n = std::snprintf(buf, sizeof(buf), "%" PRIx64, h);
+  return std::string(buf, static_cast<size_t>(n));
+}
+
+// The simulated expensive computation. The result depends only on the
+// operand's digest and the unit count, which is what makes DigestMemo-keyed
+// caching exact rather than approximate.
+std::string ExpensiveHex(uint64_t digest, uint64_t units) {
+  uint64_t h = digest;
+  for (uint64_t i = 0; i < units; ++i) {
+    h = Avalanche(h + i);
+  }
+  return HexString(h);
+}
+
+}  // namespace
 
 MultiValue MvField(const MultiValue& mv, std::string_view key) {
   std::string k(key);
@@ -13,14 +37,14 @@ MultiValue MvField(const MultiValue& mv, std::string_view key) {
 
 MultiValue MvMapGet(const MultiValue& map, const MultiValue& key) {
   return MultiValue::Zip(map, key, [](const Value& m, const Value& k) {
-    return m.Field(k.StringOr(k.ToString()));
+    return m.Field(k.StringOrToString());
   });
 }
 
 MultiValue MvMapSet(const MultiValue& map, const MultiValue& key, const MultiValue& value) {
   return MvZip3(map, key, value, [](const Value& m, const Value& k, const Value& v) {
     ValueMap out = m.is_map() ? m.AsMap() : ValueMap{};
-    out[k.StringOr(k.ToString())] = v;
+    out[k.StringOrToString()] = v;
     return Value(std::move(out));
   });
 }
@@ -28,14 +52,14 @@ MultiValue MvMapSet(const MultiValue& map, const MultiValue& key, const MultiVal
 MultiValue MvMapErase(const MultiValue& map, const MultiValue& key) {
   return MultiValue::Zip(map, key, [](const Value& m, const Value& k) {
     ValueMap out = m.is_map() ? m.AsMap() : ValueMap{};
-    out.erase(k.StringOr(k.ToString()));
+    out.erase(k.StringOrToString());
     return Value(std::move(out));
   });
 }
 
 MultiValue MvMapHas(const MultiValue& map, const MultiValue& key) {
   return MultiValue::Zip(map, key, [](const Value& m, const Value& k) {
-    return Value(m.HasField(k.StringOr(k.ToString())));
+    return Value(m.HasField(k.StringOrToString()));
   });
 }
 
@@ -83,21 +107,19 @@ MultiValue MvLtScalar(int64_t scalar, const MultiValue& mv) {
 
 MultiValue MvContentDigest(const MultiValue& mv) {
   return MultiValue::Map(mv, [](const Value& v) {
-    std::ostringstream out;
-    out << "d" << std::hex << DigestOf(v.ToString());
-    return Value(out.str());
+    return Value("d" + HexString(DigestOf(v.ToString())));
   });
 }
 
 MultiValue MvExpensive(const MultiValue& mv, uint32_t units) {
   return MultiValue::Map(mv, [units](const Value& v) {
-    uint64_t h = v.DigestValue();
-    for (uint32_t i = 0; i < units; ++i) {
-      h = Avalanche(h + i);
-    }
-    std::ostringstream out;
-    out << std::hex << h;
-    return Value(out.str());
+    return Value(ExpensiveHex(v.DigestValue(), units));
+  });
+}
+
+MultiValue MvExpensiveMemo(const MultiValue& mv, uint32_t units, DigestMemo* memo) {
+  return MultiValue::Map(mv, [units, memo](const Value& v) {
+    return Value(memo->GetOrCompute(v.DigestValue(), units, ExpensiveHex));
   });
 }
 
@@ -126,7 +148,7 @@ MultiValue MvMakeMap(std::initializer_list<std::pair<std::string, MultiValue>> f
 
 MultiValue MvPrefix(std::string_view prefix, const MultiValue& mv) {
   std::string p(prefix);
-  return MultiValue::Map(mv, [p](const Value& v) { return Value(p + v.StringOr(v.ToString())); });
+  return MultiValue::Map(mv, [p](const Value& v) { return Value(p + v.StringOrToString()); });
 }
 
 }  // namespace karousos

@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/memo.h"
 #include "src/common/value.h"
 #include "src/multivalue/multivalue.h"
 
@@ -44,6 +45,12 @@ MultiValue MvContentDigest(const MultiValue& mv);
 // that SIMD-on-demand deduplicates (§2.3). Returns a digest-string of the
 // result so the work cannot be optimized away and can flow into responses.
 MultiValue MvExpensive(const MultiValue& mv, uint32_t units);
+
+// MvExpensive with an audit-scoped memo. The per-lane result is a pure
+// function of (lane digest, units), so the verifier shares results across
+// groups: distinct groups re-execute distinct request sets, but the values
+// flowing through them repeat. Byte-identical to MvExpensive.
+MultiValue MvExpensiveMemo(const MultiValue& mv, uint32_t units, DigestMemo* memo);
 
 // Three-way zip (map/set-style updates need it).
 MultiValue MvZip3(const MultiValue& a, const MultiValue& b, const MultiValue& c,

@@ -47,7 +47,7 @@ void RespondRetry(Ctx& ctx) { ctx.Respond(MvMakeMap({{"retry", MultiValue(true)}
 MultiValue CachePut(const MultiValue& cache, const MultiValue& key, const MultiValue& html) {
   return MvZip3(cache, key, html, [](const Value& c, const Value& k, const Value& h) {
     ValueMap out = c.is_map() ? c.AsMap() : ValueMap{};
-    out[k.StringOr(k.ToString())] = h;
+    out[k.StringOrToString()] = h;
     while (out.size() > kRenderCacheCapacity) {
       out.erase(out.begin());
     }

@@ -1,0 +1,49 @@
+#include "src/common/arena.h"
+
+#include <algorithm>
+
+namespace karousos {
+
+void Arena::ActivateBlock(size_t index, size_t min_bytes) {
+  if (index == blocks_.size()) {
+    Block block;
+    block.size = std::max(block_bytes_, min_bytes);
+    block.data = std::make_unique<uint8_t[]>(block.size);
+    bytes_reserved_ += block.size;
+    blocks_.push_back(std::move(block));
+  }
+  current_ = index;
+  offset_ = 0;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) {
+    bytes = 1;  // Distinct non-null pointers, mirroring operator new.
+  }
+  if (blocks_.empty()) {
+    ActivateBlock(0, bytes);
+  }
+  size_t aligned = (offset_ + align - 1) & ~(align - 1);
+  if (aligned + bytes > blocks_[current_].size) {
+    // Reuse the next retained block if the request fits (blocks after a
+    // Reset), otherwise append a fresh one. Oversized requests that land on
+    // an undersized retained block skip it — wasting its tail is cheaper
+    // than shuffling the block list.
+    size_t next = current_ + 1;
+    while (next < blocks_.size() && blocks_[next].size < bytes) {
+      ++next;
+    }
+    ActivateBlock(next, bytes);
+    aligned = 0;  // Fresh blocks are max_align-aligned by operator new[].
+  }
+  offset_ = aligned + bytes;
+  bytes_allocated_ += bytes;
+  return blocks_[current_].data.get() + aligned;
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+}
+
+}  // namespace karousos

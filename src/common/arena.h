@@ -1,0 +1,78 @@
+// Bump allocator for audit-scoped scratch data.
+//
+// The re-execution hot path allocates many small, identically-shaped POD
+// arrays whose lifetime is bounded by one handler execution or one group
+// (per-lane opcount caches, per-transaction tid arrays). Routing them through
+// the general-purpose heap costs a malloc/free pair per array; an arena turns
+// each into a pointer bump, and the whole batch is released at once with
+// Reset() — the classic region discipline of audit work: everything a group
+// allocates dies with the group.
+//
+// Only trivially destructible types may live in an arena (destructors are
+// never run); AllocateArray enforces this at compile time.
+#ifndef SRC_COMMON_ARENA_H_
+#define SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace karousos {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes) : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // Returns `bytes` of storage aligned to `align` (a power of two). Requests
+  // larger than the block size get a dedicated block.
+  void* Allocate(size_t bytes, size_t align);
+
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage never runs destructors");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned types are not supported");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds to empty, keeping the allocated blocks for reuse. Pointers handed
+  // out earlier become dangling.
+  void Reset();
+
+  // Total bytes handed out since construction (across Resets) — the
+  // profiler's allocation counter.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  // Total block capacity currently held.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  // Makes block `index` current, growing the block list if needed;
+  // `min_bytes` is the allocation that must fit.
+  void ActivateBlock(size_t index, size_t min_bytes);
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;    // Index of the block being bumped.
+  size_t offset_ = 0;     // Bump offset within the current block.
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_ARENA_H_

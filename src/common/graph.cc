@@ -5,10 +5,9 @@
 namespace karousos {
 
 DirectedGraph::NodeId DirectedGraph::AddNode(const NodeKey& key) {
-  auto [it, inserted] = intern_.try_emplace(key, static_cast<NodeId>(keys_.size()));
+  auto [it, inserted] = intern_.emplace(key, static_cast<NodeId>(keys_.size()));
   if (inserted) {
     keys_.push_back(key);
-    adjacency_.emplace_back();
   }
   return it->second;
 }
@@ -26,8 +25,38 @@ void DirectedGraph::AddEdge(const NodeKey& from, const NodeKey& to) {
 }
 
 void DirectedGraph::AddEdge(NodeId from, NodeId to) {
-  adjacency_[static_cast<size_t>(from)].push_back(to);
-  ++edge_count_;
+  edges_.emplace_back(from, to);
+}
+
+void DirectedGraph::ReserveNodes(size_t n) {
+  intern_.reserve(n);
+  keys_.reserve(n);
+}
+
+void DirectedGraph::ReserveEdges(size_t m) { edges_.reserve(m); }
+
+void DirectedGraph::EnsureCsr() const {
+  if (csr_built_edges_ == edges_.size() && csr_built_nodes_ == keys_.size()) {
+    return;
+  }
+  const size_t n = keys_.size();
+  // Stable counting sort of the edge list by source node: per-node neighbor
+  // order equals edge insertion order, so DFS visits children in the same
+  // order the old per-node vectors produced.
+  csr_offsets_.assign(n + 1, 0);
+  for (const auto& [from, to] : edges_) {
+    ++csr_offsets_[static_cast<size_t>(from) + 1];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    csr_offsets_[v + 1] += csr_offsets_[v];
+  }
+  csr_targets_.resize(edges_.size());
+  std::vector<size_t> cursor(csr_offsets_.begin(), csr_offsets_.end() - 1);
+  for (const auto& [from, to] : edges_) {
+    csr_targets_[cursor[static_cast<size_t>(from)]++] = to;
+  }
+  csr_built_edges_ = edges_.size();
+  csr_built_nodes_ = keys_.size();
 }
 
 namespace {
@@ -37,27 +66,28 @@ enum class Color : uint8_t { kWhite, kGray, kBlack };
 }  // namespace
 
 bool DirectedGraph::HasCycle() const {
-  const size_t n = adjacency_.size();
+  EnsureCsr();
+  const size_t n = keys_.size();
   std::vector<Color> color(n, Color::kWhite);
-  // Explicit stack of (node, next-neighbor-index) frames.
+  // Explicit stack of (node, next-neighbor-cursor) frames; the cursor indexes
+  // straight into csr_targets_.
   std::vector<std::pair<NodeId, size_t>> stack;
   for (size_t root = 0; root < n; ++root) {
     if (color[root] != Color::kWhite) {
       continue;
     }
-    stack.emplace_back(static_cast<NodeId>(root), 0);
+    stack.emplace_back(static_cast<NodeId>(root), csr_offsets_[root]);
     color[root] = Color::kGray;
     while (!stack.empty()) {
       auto& [node, next] = stack.back();
-      const auto& out = adjacency_[static_cast<size_t>(node)];
-      if (next < out.size()) {
-        NodeId child = out[next++];
+      if (next < csr_offsets_[static_cast<size_t>(node) + 1]) {
+        NodeId child = csr_targets_[next++];
         if (color[static_cast<size_t>(child)] == Color::kGray) {
           return true;
         }
         if (color[static_cast<size_t>(child)] == Color::kWhite) {
           color[static_cast<size_t>(child)] = Color::kGray;
-          stack.emplace_back(child, 0);
+          stack.emplace_back(child, csr_offsets_[static_cast<size_t>(child)]);
         }
       } else {
         color[static_cast<size_t>(node)] = Color::kBlack;
@@ -69,20 +99,20 @@ bool DirectedGraph::HasCycle() const {
 }
 
 std::vector<NodeKey> DirectedGraph::FindCycle() const {
-  const size_t n = adjacency_.size();
+  EnsureCsr();
+  const size_t n = keys_.size();
   std::vector<Color> color(n, Color::kWhite);
   std::vector<std::pair<NodeId, size_t>> stack;
   for (size_t root = 0; root < n; ++root) {
     if (color[root] != Color::kWhite) {
       continue;
     }
-    stack.emplace_back(static_cast<NodeId>(root), 0);
+    stack.emplace_back(static_cast<NodeId>(root), csr_offsets_[root]);
     color[root] = Color::kGray;
     while (!stack.empty()) {
       auto& [node, next] = stack.back();
-      const auto& out = adjacency_[static_cast<size_t>(node)];
-      if (next < out.size()) {
-        NodeId child = out[next++];
+      if (next < csr_offsets_[static_cast<size_t>(node) + 1]) {
+        NodeId child = csr_targets_[next++];
         if (color[static_cast<size_t>(child)] == Color::kGray) {
           // Reconstruct the cycle from the DFS stack: child ... node child.
           std::vector<NodeKey> cycle;
@@ -99,7 +129,7 @@ std::vector<NodeKey> DirectedGraph::FindCycle() const {
         }
         if (color[static_cast<size_t>(child)] == Color::kWhite) {
           color[static_cast<size_t>(child)] = Color::kGray;
-          stack.emplace_back(child, 0);
+          stack.emplace_back(child, csr_offsets_[static_cast<size_t>(child)]);
         }
       } else {
         color[static_cast<size_t>(node)] = Color::kBlack;

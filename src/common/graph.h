@@ -6,15 +6,23 @@
 //   - G:  (rid, hid, opnum), with (rid, 0, 0) = request arrival and
 //         (rid, 0, kOpNumInf) = response delivery;
 //   - DG: (rid, tid, 0) per committed transaction.
+//
+// Edges accumulate in a flat edge list; adjacency is materialized lazily as a
+// CSR (offset + target arrays) the first time a traversal needs it, via a
+// stable counting sort. This replaces the per-node std::vector forest — one
+// allocation per node plus growth churn — with two bulk arrays, while keeping
+// each node's neighbor order identical to edge insertion order, so DFS
+// traversal order (and therefore cycle diagnostics) is unchanged.
 #ifndef SRC_COMMON_GRAPH_H_
 #define SRC_COMMON_GRAPH_H_
 
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/ids.h"
 
 namespace karousos {
@@ -34,11 +42,7 @@ struct NodeKey {
 
 struct NodeKeyHash {
   size_t operator()(const NodeKey& k) const {
-    uint64_t h = k.a * 0x9e3779b97f4a7c15ULL;
-    h = (h ^ k.b) * 0xff51afd7ed558ccdULL;
-    h = (h ^ k.c) * 0xc4ceb9fe1a85ec53ULL;
-    h ^= h >> 33;
-    return static_cast<size_t>(h);
+    return static_cast<size_t>(HashMix64(HashMix64(SplitMix64(k.a), k.b), k.c));
   }
 };
 
@@ -60,8 +64,13 @@ class DirectedGraph {
   void AddEdge(const NodeKey& from, const NodeKey& to);
   void AddEdge(NodeId from, NodeId to);
 
-  size_t node_count() const { return adjacency_.size(); }
-  size_t edge_count() const { return edge_count_; }
+  // Pre-size the intern table / edge list; callers that know the advice
+  // cardinalities (the verifier's Preprocess) avoid rehash and growth churn.
+  void ReserveNodes(size_t n);
+  void ReserveEdges(size_t m);
+
+  size_t node_count() const { return keys_.size(); }
+  size_t edge_count() const { return edges_.size(); }
 
   const NodeKey& KeyOf(NodeId id) const { return keys_[static_cast<size_t>(id)]; }
 
@@ -74,10 +83,19 @@ class DirectedGraph {
   std::vector<NodeKey> FindCycle() const;
 
  private:
-  std::unordered_map<NodeKey, NodeId, NodeKeyHash> intern_;
+  // Rebuilds the CSR arrays if edges were added since the last build.
+  void EnsureCsr() const;
+
+  FlatMap<NodeKey, NodeId, NodeKeyHash> intern_;
   std::vector<NodeKey> keys_;
-  std::vector<std::vector<NodeId>> adjacency_;
-  size_t edge_count_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+
+  // Lazily-built CSR adjacency: neighbors of node v are
+  // csr_targets_[csr_offsets_[v] .. csr_offsets_[v+1]).
+  mutable std::vector<size_t> csr_offsets_;
+  mutable std::vector<NodeId> csr_targets_;
+  mutable size_t csr_built_edges_ = 0;
+  mutable size_t csr_built_nodes_ = 0;
 };
 
 }  // namespace karousos

@@ -63,12 +63,26 @@ struct OpRef {
 
 inline constexpr OpRef kNilOp{};
 
+// splitmix64 finalizer (Steele et al.): a full-avalanche 64-bit mixer, so
+// sequential rids/opnums — the common case, since the collector assigns rids
+// in trace order — spread evenly over power-of-two hash tables. The previous
+// xor/shift chain here barely mixed the low bits and produced >4x bucket skew
+// on exactly those sequential keys.
+inline constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Chains splitmix over multiple words: mix each word, fold into the state.
+inline constexpr uint64_t HashMix64(uint64_t seed, uint64_t word) {
+  return SplitMix64(seed ^ SplitMix64(word));
+}
+
 struct OpRefHash {
   size_t operator()(const OpRef& o) const {
-    uint64_t h = o.rid * 0x9e3779b97f4a7c15ULL;
-    h ^= o.hid + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    h ^= static_cast<uint64_t>(o.opnum) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    return static_cast<size_t>(h);
+    return static_cast<size_t>(HashMix64(HashMix64(SplitMix64(o.rid), o.hid), o.opnum));
   }
 };
 
@@ -89,10 +103,7 @@ inline constexpr TxOpRef kNilTxOp{};
 
 struct TxOpRefHash {
   size_t operator()(const TxOpRef& o) const {
-    uint64_t h = o.rid * 0xff51afd7ed558ccdULL;
-    h ^= o.tid + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    h ^= static_cast<uint64_t>(o.index) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    return static_cast<size_t>(h);
+    return static_cast<size_t>(HashMix64(HashMix64(SplitMix64(o.rid), o.tid), o.index));
   }
 };
 

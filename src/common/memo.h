@@ -1,0 +1,57 @@
+// Thread-safe memo table for pure digest-keyed computations.
+//
+// The simulated application work (MvExpensive and friends) derives its result
+// from nothing but the operand's 64-bit digest and a unit count, so one audit
+// can share results across groups: different groups re-execute different
+// request sets, but the values flowing through them repeat heavily. The memo
+// is owned by the verifier (one per audit run), which keeps benchmark numbers
+// honest — every audit starts cold.
+//
+// Concurrency: parallel group re-execution probes the table from worker
+// threads. The compute runs outside the lock; a lost race recomputes the same
+// bytes (the function is pure), so the first insert simply wins.
+#ifndef SRC_COMMON_MEMO_H_
+#define SRC_COMMON_MEMO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "src/common/flat_map.h"
+
+namespace karousos {
+
+class DigestMemo {
+ public:
+  // Returns fn(digest, tag), computing it at most once per (digest, tag) in
+  // the common case. fn must be pure: its result fully determined by the key.
+  template <typename Fn>
+  std::string GetOrCompute(uint64_t digest, uint64_t tag, Fn&& fn) {
+    const std::pair<uint64_t, uint64_t> key{digest, tag};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = table_.find(key);
+      if (it != table_.end()) {
+        return it->second;
+      }
+    }
+    std::string result = fn(digest, tag);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = table_.emplace(key, std::move(result));
+    return it->second;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  FlatMap<std::pair<uint64_t, uint64_t>, std::string> table_;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_MEMO_H_

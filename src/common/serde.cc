@@ -96,14 +96,22 @@ std::optional<uint8_t> ByteReader::ReadByte() {
   return buf_[pos_++];
 }
 
-std::optional<std::string> ByteReader::ReadString() {
+std::optional<std::string_view> ByteReader::ReadStringView() {
   auto len = ReadVarint();
   if (!len || *len > remaining()) {
     return std::nullopt;
   }
-  std::string s(reinterpret_cast<const char*>(buf_ + pos_), *len);
+  std::string_view s(reinterpret_cast<const char*>(buf_ + pos_), *len);
   pos_ += *len;
   return s;
+}
+
+std::optional<std::string> ByteReader::ReadString() {
+  auto view = ReadStringView();
+  if (!view) {
+    return std::nullopt;
+  }
+  return std::string(*view);
 }
 
 std::optional<bool> ByteReader::ReadBool() {

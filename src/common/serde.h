@@ -47,6 +47,10 @@ class ByteReader {
   std::optional<uint64_t> ReadFixed64();
   std::optional<uint8_t> ReadByte();
   std::optional<std::string> ReadString();
+  // Zero-copy variant: the returned view aliases the reader's buffer and is
+  // valid only while that buffer outlives the view. Same validation as
+  // ReadString (rejects truncated buffers identically).
+  std::optional<std::string_view> ReadStringView();
   std::optional<Value> ReadValue();
   std::optional<bool> ReadBool();
 

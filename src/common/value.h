@@ -63,6 +63,10 @@ class Value {
   int64_t IntOr(int64_t def) const { return is_int() ? AsInt() : def; }
   bool BoolOr(bool def) const { return is_bool() ? AsBool() : def; }
   std::string StringOr(std::string def) const { return is_string() ? AsString() : def; }
+  // Lazy form of StringOr(v.ToString()): the common pattern evaluated
+  // ToString() — an allocation and a format — even when the value already was
+  // a string and the default got thrown away.
+  std::string StringOrToString() const { return is_string() ? AsString() : ToString(); }
 
   // Truthiness, JavaScript-style: null/false/0/""/[]/{} are falsy.
   bool Truthy() const;

@@ -87,7 +87,7 @@ MultiValue MvEq(const MultiValue& a, const MultiValue& b) {
 
 MultiValue MvConcat(const MultiValue& a, const MultiValue& b) {
   return MultiValue::Zip(a, b, [](const Value& x, const Value& y) {
-    return Value(x.StringOr(x.ToString()) + y.StringOr(y.ToString()));
+    return Value(x.StringOrToString() + y.StringOrToString());
   });
 }
 

@@ -216,7 +216,10 @@ std::optional<Advice> Advice::Deserialize(ByteReader* in) {
         return std::nullopt;
       }
       entry.prec = *prec;
-      log.emplace(*op, std::move(entry));
+      // Honest advice arrives key-sorted (serialized from a std::map), so the
+      // end hint makes each insert amortized O(1); duplicate keys still keep
+      // the first occurrence, exactly as plain emplace does.
+      log.emplace_hint(log.end(), *op, std::move(entry));
     }
     a.var_logs[*vid] = std::move(log);
   }
@@ -276,6 +279,7 @@ std::optional<Advice> Advice::Deserialize(ByteReader* in) {
   if (!n_wo || *n_wo > in->remaining()) {
     return std::nullopt;
   }
+  a.write_order.reserve(*n_wo);
   for (uint64_t i = 0; i < *n_wo; ++i) {
     auto w = DeserializeTxOpRef(in);
     if (!w) {

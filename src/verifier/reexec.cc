@@ -19,6 +19,7 @@
 #include <stdexcept>
 
 #include "src/apps/app_util.h"
+#include "src/common/arena.h"
 #include "src/common/pool.h"
 #include "src/kem/varid.h"
 #include "src/verifier/verifier.h"
@@ -33,9 +34,11 @@ struct PendingActivation {
   MultiValue input;
 };
 
+// The value points into the owning var_dict (group-local or base); callers
+// copy it out before mutating that dictionary's entry for the same handler.
 struct FoundWrite {
   OpRef op;
-  Value value;
+  const Value* value = nullptr;
 };
 
 }  // namespace
@@ -52,23 +55,23 @@ struct FoundWrite {
 class ReplayCtx : public Ctx {
  public:
   ReplayCtx(Verifier* verifier, Verifier::GroupState* gs, std::vector<RequestId> rids,
-            HandlerId hid, MultiValue input, bool is_init)
+            HandlerId hid, MultiValue input, bool is_init, Arena* arena)
       : v_(*verifier), gs_(*gs), rids_(std::move(rids)), hid_(hid), input_(std::move(input)),
-        is_init_(is_init) {
+        is_init_(is_init), arena_(arena) {
     if (!is_init_) {
       // Every enqueued handler was checked against opcounts before enqueue;
       // cache the per-lane bounds so NextOp avoids a map lookup per lane.
-      lane_opcounts_.reserve(rids_.size());
-      for (RequestId rid : rids_) {
-        auto it = v_.advice_->opcounts.find({rid, hid_});
-        lane_opcounts_.push_back(it == v_.advice_->opcounts.end() ? 0 : it->second);
+      lane_opcounts_ = arena_->AllocateArray<OpNum>(rids_.size());
+      for (size_t i = 0; i < rids_.size(); ++i) {
+        auto it = v_.opcount_idx_.find({rids_[i], hid_});
+        lane_opcounts_[i] = it == v_.opcount_idx_.end() ? 0 : it->second;
       }
     }
   }
 
   // Wired by ReExecGroup so emits can enqueue activations.
   std::deque<PendingActivation>* active = nullptr;
-  std::set<HandlerId>* enqueued_hids = nullptr;
+  FlatSet<HandlerId>* enqueued_hids = nullptr;
 
   const MultiValue& Input() const override { return input_; }
 
@@ -189,17 +192,16 @@ class ReplayCtx : public Ctx {
       Verifier::Reject("initialization used external state");
     }
     OpNum opnum = NextOp();
-    std::vector<TxId> tids;
-    tids.reserve(rids_.size());
-    for (RequestId rid : rids_) {
-      TxId tid = DigestOfInts(rid, hid_, opnum);
-      CheckStateOp(rid, opnum, TxOpType::kTxStart, tid, nullptr, nullptr);
-      tids.push_back(tid);
+    TxId* tids = arena_->AllocateArray<TxId>(rids_.size());
+    for (size_t i = 0; i < rids_.size(); ++i) {
+      TxId tid = DigestOfInts(rids_[i], hid_, opnum);
+      CheckStateOp(rids_[i], opnum, TxOpType::kTxStart, tid, nullptr, nullptr);
+      tids[i] = tid;
     }
     TxHandle handle;
     handle.slot = static_cast<uint32_t>(open_txns_.size());
     handle.valid = true;
-    open_txns_.push_back(std::move(tids));
+    open_txns_.push_back(tids);
     return handle;
   }
 
@@ -210,20 +212,20 @@ class ReplayCtx : public Ctx {
       out.conflict = true;
       return out;
     }
-    const std::vector<TxId>& tids = TidsOf(tx);
+    const TxId* tids = TidsOf(tx);
     std::vector<Value> values;
     std::vector<Value> found;
     values.reserve(rids_.size());
     found.reserve(rids_.size());
     for (size_t i = 0; i < rids_.size(); ++i) {
-      std::string key_str = key.Lane(i).StringOr(key.Lane(i).ToString());
+      std::string key_str = key.Lane(i).StringOrToString();
       const TxOperation& op =
           CheckStateOpReturning(rids_[i], opnum, TxOpType::kGet, tids[i], &key_str);
       if (op.get_found) {
         // Feed from the dictating PUT (validated by AnalyzeLogs).
         const TxOperation& writer =
-            v_.advice_->tx_logs.at(TxnKey{op.get_from.rid, op.get_from.tid})[op.get_from.index -
-                                                                             1];
+            (*v_.tx_log_idx_.find(TxnKey{op.get_from.rid, op.get_from.tid})
+                  ->second)[op.get_from.index - 1];
         values.push_back(writer.put_value);
         found.push_back(Value(true));
       } else {
@@ -241,9 +243,9 @@ class ReplayCtx : public Ctx {
     if (CheckConflictMarker(opnum)) {
       return false;
     }
-    const std::vector<TxId>& tids = TidsOf(tx);
+    const TxId* tids = TidsOf(tx);
     for (size_t i = 0; i < rids_.size(); ++i) {
-      std::string key_str = key.Lane(i).StringOr(key.Lane(i).ToString());
+      std::string key_str = key.Lane(i).StringOrToString();
       Value lane_value = value.Lane(i);
       CheckStateOp(rids_[i], opnum, TxOpType::kPut, tids[i], &key_str, &lane_value);
     }
@@ -252,7 +254,7 @@ class ReplayCtx : public Ctx {
 
   bool TxCommit(TxHandle tx) override {
     OpNum opnum = NextOp();
-    const std::vector<TxId>& tids = TidsOf(tx);
+    const TxId* tids = TidsOf(tx);
     bool committed = true;
     bool first = true;
     for (size_t i = 0; i < rids_.size(); ++i) {
@@ -271,40 +273,40 @@ class ReplayCtx : public Ctx {
 
   void TxAbort(TxHandle tx) override {
     OpNum opnum = NextOp();
-    const std::vector<TxId>& tids = TidsOf(tx);
+    const TxId* tids = TidsOf(tx);
     for (size_t i = 0; i < rids_.size(); ++i) {
       CheckStateOp(rids_[i], opnum, TxOpType::kTxAbort, tids[i], nullptr, nullptr);
     }
   }
 
   MultiValue TxIdValue(TxHandle tx) override {
-    const std::vector<TxId>& tids = TidsOf(tx);
+    const TxId* tids = TidsOf(tx);
     std::vector<Value> lanes;
-    lanes.reserve(tids.size());
-    for (TxId tid : tids) {
-      lanes.push_back(Value(static_cast<int64_t>(tid)));
+    lanes.reserve(rids_.size());
+    for (size_t i = 0; i < rids_.size(); ++i) {
+      lanes.push_back(Value(static_cast<int64_t>(tids[i])));
     }
     return MultiValue::Expanded(std::move(lanes));
   }
 
   TxHandle TxResume(const MultiValue& tid_value) override {
-    std::vector<TxId> tids;
-    tids.reserve(rids_.size());
+    TxId* tids = arena_->AllocateArray<TxId>(rids_.size());
     for (size_t i = 0; i < rids_.size(); ++i) {
-      tids.push_back(static_cast<TxId>(tid_value.Lane(i).IntOr(0)));
+      tids[i] = static_cast<TxId>(tid_value.Lane(i).IntOr(0));
     }
     TxHandle handle;
     handle.slot = static_cast<uint32_t>(open_txns_.size());
     handle.valid = true;
-    open_txns_.push_back(std::move(tids));
+    open_txns_.push_back(tids);
     return handle;
   }
 
   // ---- Application computation ---------------------------------------------
 
   MultiValue AppWork(const MultiValue& seed, uint32_t units) override {
-    // Plain work, deduplicated per distinct operand by MultiValue::Map.
-    return MvExpensive(seed, units);
+    // MultiValue::Map dedups within this call (SIMD-on-demand); the
+    // audit-scoped memo additionally dedups across groups and operations.
+    return MvExpensiveMemo(seed, units, &v_.work_memo_);
   }
 
   // ---- Non-determinism -----------------------------------------------------
@@ -315,11 +317,11 @@ class ReplayCtx : public Ctx {
     std::vector<Value> lanes;
     lanes.reserve(rids_.size());
     for (RequestId rid : rids_) {
-      auto it = v_.advice_->nondet.find(OpRef{rid, hid_, opnum});
-      if (it == v_.advice_->nondet.end() || it->second.kind != NondetRecord::Kind::kValue) {
+      auto it = v_.nondet_idx_.find(OpRef{rid, hid_, opnum});
+      if (it == v_.nondet_idx_.end() || it->second->kind != NondetRecord::Kind::kValue) {
         Verifier::Reject("non-deterministic operation has no recorded value");
       }
-      lanes.push_back(it->second.value);
+      lanes.push_back(it->second->value);
     }
     return MultiValue::Expanded(std::move(lanes));
   }
@@ -332,8 +334,8 @@ class ReplayCtx : public Ctx {
     }
     for (size_t i = 0; i < rids_.size(); ++i) {
       RequestId rid = rids_[i];
-      auto it = v_.advice_->response_emitted_by.find(rid);
-      if (it == v_.advice_->response_emitted_by.end() ||
+      auto it = v_.resp_idx_.find(rid);
+      if (it == v_.resp_idx_.end() ||
           it->second != std::make_pair(hid_, ops_issued_)) {
         Verifier::Reject("response delivered at a different operation than advice claims");
       }
@@ -354,8 +356,8 @@ class ReplayCtx : public Ctx {
     ++ops_issued_;
     ++gs_.stats.ops_executed;
     if (!is_init_) {
-      for (OpNum count : lane_opcounts_) {
-        if (ops_issued_ > count) {
+      for (size_t i = 0; i < rids_.size(); ++i) {
+        if (ops_issued_ > lane_opcounts_[i]) {
           Verifier::Reject("handler issued more operations than its opcount");
         }
       }
@@ -377,7 +379,8 @@ class ReplayCtx : public Ctx {
     }
   }
 
-  const std::vector<TxId>& TidsOf(TxHandle tx) const {
+  // One TxId per lane, arena-allocated (lifetime = this handler execution).
+  const TxId* TidsOf(TxHandle tx) const {
     if (!tx.valid || tx.slot >= open_txns_.size()) {
       Verifier::Reject("invalid transaction handle during re-execution");
     }
@@ -392,9 +395,9 @@ class ReplayCtx : public Ctx {
     bool conflict = false;
     bool first = true;
     for (RequestId rid : rids_) {
-      auto it = v_.advice_->nondet.find(OpRef{rid, hid_, opnum});
+      auto it = v_.nondet_idx_.find(OpRef{rid, hid_, opnum});
       bool lane_conflict =
-          it != v_.advice_->nondet.end() && it->second.kind == NondetRecord::Kind::kConflict;
+          it != v_.nondet_idx_.end() && it->second->kind == NondetRecord::Kind::kConflict;
       if (first) {
         conflict = lane_conflict;
         first = false;
@@ -416,7 +419,8 @@ class ReplayCtx : public Ctx {
         loc->second.rid != rid) {
       Verifier::Reject("handler operation missing from the handler log");
     }
-    const HandlerLogEntry& entry = v_.advice_->handler_logs.at(rid)[loc->second.index - 1];
+    const HandlerLogEntry& entry =
+        (*v_.handler_log_idx_.find(rid)->second)[loc->second.index - 1];
     if (entry.kind != kind || entry.event != event ||
         (kind != HandlerLogEntry::Kind::kEmit && entry.function != function)) {
       Verifier::Reject("handler operation does not match the handler log entry");
@@ -438,7 +442,7 @@ class ReplayCtx : public Ctx {
     if (loc->second.index != position) {
       Verifier::Reject("state operation out of order within its transaction log");
     }
-    const TxOperation& op = v_.advice_->tx_logs.at(txn)[loc->second.index - 1];
+    const TxOperation& op = (*v_.tx_log_idx_.find(txn)->second)[loc->second.index - 1];
     // A re-executed tx_commit may face a logged tx_abort: the online commit
     // failed (Figure 19 line 9). Every other type must match exactly.
     if (op.type != type && !(type == TxOpType::kTxCommit && op.type == TxOpType::kTxAbort)) {
@@ -533,9 +537,10 @@ class ReplayCtx : public Ctx {
   HandlerId hid_;
   MultiValue input_;
   bool is_init_;
+  Arena* arena_;
   OpNum ops_issued_ = 0;
-  std::vector<OpNum> lane_opcounts_;
-  std::vector<std::vector<TxId>> open_txns_;
+  OpNum* lane_opcounts_ = nullptr;     // Arena array, one bound per lane.
+  std::vector<TxId*> open_txns_;       // Arena arrays, one TxId per lane.
 };
 
 // Figure 20, OnRead.
@@ -544,24 +549,24 @@ Value ReplayCtx::ReadLane(VarId vid, const OpRef& cur) {
     Verifier::Reject("re-executed read of an undeclared variable");
   }
   if (!is_init_) {
-    auto log_it = v_.advice_->var_logs.find(vid);
-    if (log_it != v_.advice_->var_logs.end()) {
+    auto log_it = v_.var_log_idx_.find(vid);
+    if (log_it != v_.var_log_idx_.end()) {
       auto entry_it = log_it->second.find(cur);
       if (entry_it != log_it->second.end()) {
-        const VarLogEntry& entry = entry_it->second;
+        const VarLogEntry& entry = *entry_it->second;
         if (entry.kind != VarLogEntry::Kind::kRead || entry.prec.IsNil()) {
           Verifier::Reject("variable log entry for a read is malformed");
         }
         auto dict_it = log_it->second.find(entry.prec);
         if (dict_it == log_it->second.end() ||
-            dict_it->second.kind != VarLogEntry::Kind::kWrite) {
+            dict_it->second->kind != VarLogEntry::Kind::kWrite) {
           Verifier::Reject("logged read's dictating write is not a logged write");
         }
         if (!gs_.var_log_touched.insert({vid, cur}).second) {
           Verifier::Reject("variable log entry re-executed twice");
         }
         gs_.vars[vid].read_observers[entry.prec].push_back(cur);
-        return dict_it->second.value;
+        return dict_it->second->value;
       }
     }
   }
@@ -569,8 +574,13 @@ Value ReplayCtx::ReadLane(VarId vid, const OpRef& cur) {
   if (!found.has_value()) {
     return Value();  // Reads before any write observe the initial nil.
   }
+  // Copy the value before touching gs_.vars: rehash of the outer table moves
+  // the VerifierVar structs the pointer's vector lives behind (the vector's
+  // heap buffer survives a move, but keeping the copy first makes the
+  // lifetime obvious).
+  Value result = *found->value;
   gs_.vars[vid].read_observers[found->op].push_back(cur);
-  return found->value;
+  return result;
 }
 
 // Figure 21, OnWrite — with one recovery beyond the paper's pseudocode:
@@ -582,15 +592,16 @@ void ReplayCtx::WriteLane(VarId vid, const OpRef& cur, const Value& value) {
     Verifier::Reject("re-executed write of an undeclared variable");
   }
   // The variable's dictionary keeps every written version, keyed by handler
-  // and opnum (§4.2).
+  // and opnum (§4.2). `nearest` is consumed only for its OpRef below: the
+  // emplace may reallocate the very vector its value pointer aims into.
   std::optional<FoundWrite> nearest = FindNearestRPrecedingWrite(vid, cur);
   gs_.vars[vid].var_dict[{cur.rid, cur.hid}].emplace_back(cur.opnum, value);
   if (!is_init_) {
-    auto log_it = v_.advice_->var_logs.find(vid);
-    if (log_it != v_.advice_->var_logs.end()) {
+    auto log_it = v_.var_log_idx_.find(vid);
+    if (log_it != v_.var_log_idx_.end()) {
       auto entry_it = log_it->second.find(cur);
       if (entry_it != log_it->second.end()) {
-        const VarLogEntry& entry = entry_it->second;
+        const VarLogEntry& entry = *entry_it->second;
         if (entry.kind != VarLogEntry::Kind::kWrite) {
           Verifier::Reject("variable log entry for a write is marked as a read");
         }
@@ -603,7 +614,7 @@ void ReplayCtx::WriteLane(VarId vid, const OpRef& cur, const Value& value) {
         if (!entry.prec.IsNil()) {
           auto prec_it = log_it->second.find(entry.prec);
           if (prec_it == log_it->second.end() ||
-              prec_it->second.kind != VarLogEntry::Kind::kWrite) {
+              prec_it->second->kind != VarLogEntry::Kind::kWrite) {
             Verifier::Reject("logged write's predecessor is not a logged write");
           }
           LinkWrite(vid, entry.prec, cur);
@@ -668,10 +679,10 @@ std::optional<FoundWrite> ReplayCtx::FindNearestRPrecedingWrite(VarId vid, const
           }
         }
         if (best != nullptr) {
-          return FoundWrite{OpRef{rid, h, best->first}, best->second};
+          return FoundWrite{OpRef{rid, h, best->first}, &best->second};
         }
       } else {
-        return FoundWrite{OpRef{rid, h, writes.back().first}, writes.back().second};
+        return FoundWrite{OpRef{rid, h, writes.back().first}, &writes.back().second};
       }
     }
     if (rid == kInitRequestId) {
@@ -706,8 +717,11 @@ void Verifier::RunInitialization() {
   // program/advice mismatch surfaced before any group runs).
   GroupState gs;
   {
-    ReplayCtx ctx(this, &gs, {kInitRequestId}, kInitHandlerId, MultiValue(), /*is_init=*/true);
+    Arena arena;
+    ReplayCtx ctx(this, &gs, {kInitRequestId}, kInitHandlerId, MultiValue(), /*is_init=*/true,
+                  &arena);
     program_.init()(ctx);
+    gs.arena_bytes = arena.bytes_allocated();
   }
   MergeGroup(gs);
 }
@@ -836,6 +850,7 @@ void Verifier::MergeGroup(GroupState& gs) {
   responded_.insert(gs.responded.begin(), gs.responded.end());
   var_log_touched_.insert(gs.var_log_touched.begin(), gs.var_log_touched.end());
   stats_.Merge(gs.stats);
+  profile_.arena_bytes += gs.arena_bytes;
 
   // Shared-variable claims, replayed in the order the group issued them.
   // Each was pre-checked against base + the group's own state; re-checking
@@ -885,14 +900,14 @@ void Verifier::ReExecGroup(const std::vector<RequestId>& rids, GroupState* gs) {
   MultiValue group_input = MultiValue::Expanded(std::move(inputs));
 
   std::deque<PendingActivation> active;
-  std::set<HandlerId> enqueued;
+  FlatSet<HandlerId> enqueued;
   for (const auto& [event, function] : global_handlers_) {
     if (event != EventId(kRequestEventName)) {
       continue;
     }
     HandlerId hid = ComputeHandlerId(function, kNoHandler, 0);
     for (RequestId rid : rids) {
-      if (advice_->opcounts.count({rid, hid}) == 0) {
+      if (!opcount_idx_.contains({rid, hid})) {
         Reject("request handler missing from opcounts");
       }
       gs->parents[rid][hid] = kNoHandler;
@@ -902,6 +917,10 @@ void Verifier::ReExecGroup(const std::vector<RequestId>& rids, GroupState* gs) {
     }
     active.push_back(PendingActivation{hid, function, group_input});
   }
+  // One arena for the whole group, rewound between handler executions: the
+  // per-handler scratch (lane opcounts, open-transaction tid arrays) dies
+  // with its ReplayCtx, so Reset() reuses the same blocks with zero frees.
+  Arena arena;
   while (!active.empty()) {
     PendingActivation next = std::move(active.front());
     active.pop_front();
@@ -909,20 +928,22 @@ void Verifier::ReExecGroup(const std::vector<RequestId>& rids, GroupState* gs) {
     if (def == nullptr) {
       Reject("activation of an unknown function");
     }
-    ReplayCtx ctx(this, gs, rids, next.hid, std::move(next.input), /*is_init=*/false);
+    arena.Reset();
+    ReplayCtx ctx(this, gs, rids, next.hid, std::move(next.input), /*is_init=*/false, &arena);
     ctx.active = &active;
     ctx.enqueued_hids = &enqueued;
     ++gs->stats.handler_executions;
     gs->stats.handler_lanes += rids.size();
     def->fn(ctx);
     for (RequestId rid : rids) {
-      auto it = advice_->opcounts.find({rid, next.hid});
-      if (it == advice_->opcounts.end() || it->second != ctx.ops_issued()) {
+      auto it = opcount_idx_.find({rid, next.hid});
+      if (it == opcount_idx_.end() || it->second != ctx.ops_issued()) {
         Reject("handler issued fewer operations than its opcount");
       }
       gs->executed.insert({rid, next.hid});
     }
   }
+  gs->arena_bytes = arena.bytes_allocated();
 }
 
 }  // namespace karousos

@@ -47,10 +47,20 @@ AuditResult Verifier::Audit(const Trace& trace, const Advice& advice) {
   trace_ = &trace;
   advice_ = &advice;
   AuditResult result;
+  PhaseTimer total_timer(&profile_.total_seconds);
   try {
-    Preprocess();
-    ReExec();
-    Postprocess();
+    {
+      PhaseTimer t(&profile_.preprocess_seconds);
+      Preprocess();
+    }
+    {
+      PhaseTimer t(&profile_.reexec_seconds);
+      ReExec();
+    }
+    {
+      PhaseTimer t(&profile_.postprocess_seconds);
+      Postprocess();
+    }
     result.accepted = true;
   } catch (const RejectError& e) {
     result.reason = e.reason;
@@ -70,6 +80,9 @@ AuditResult Verifier::Audit(const Trace& trace, const Advice& advice) {
     }
   }
   result.stats = stats_;
+  total_timer.Stop();
+  profile_.ops_executed = stats_.ops_executed;
+  result.profile = profile_;
   return result;
 }
 
@@ -92,6 +105,7 @@ void Verifier::Preprocess() {
     }
   }
   RunAnalysisPasses();
+  BuildAdviceIndices();
   RunInitialization();  // Implemented with ReplayCtx in reexec.cc.
   AddTimePrecedenceEdges();
   AddProgramEdges();
@@ -123,6 +137,61 @@ void Verifier::RunAnalysisPasses() {
       throw RejectError(d.rule, "advice lint: " + d.Format());
     }
   }
+}
+
+void Verifier::BuildAdviceIndices() {
+  // One pass over the advice maps into flat hash tables: the re-execution
+  // inner loop does several lookups per operation, and O(log n) node-based
+  // probes there dominate the serial audit. Index entries hold pointers into
+  // the advice, which the caller keeps alive for the whole audit.
+  size_t total_ops = 0;
+  opcount_idx_.reserve(advice_->opcounts.size());
+  for (const auto& [key, count] : advice_->opcounts) {
+    opcount_idx_.emplace(key, count);
+    total_ops += count;
+  }
+  nondet_idx_.reserve(advice_->nondet.size());
+  for (const auto& [op, record] : advice_->nondet) {
+    nondet_idx_.emplace(op, &record);
+  }
+  var_log_idx_.reserve(advice_->var_logs.size());
+  size_t var_log_entries = 0;
+  for (const auto& [vid, log] : advice_->var_logs) {
+    FlatMap<OpRef, const VarLogEntry*>& idx = var_log_idx_[vid];
+    idx.reserve(log.size());
+    for (const auto& [op, entry] : log) {
+      idx.emplace(op, &entry);
+    }
+    var_log_entries += log.size();
+  }
+  tx_log_idx_.reserve(advice_->tx_logs.size());
+  size_t tx_ops = 0;
+  for (const auto& [txn, log] : advice_->tx_logs) {
+    tx_log_idx_.emplace(txn, &log);
+    tx_ops += log.size();
+  }
+  handler_log_idx_.reserve(advice_->handler_logs.size());
+  size_t handler_ops = 0;
+  for (const auto& [rid, log] : advice_->handler_logs) {
+    handler_log_idx_.emplace(rid, &log);
+    handler_ops += log.size();
+  }
+  resp_idx_.reserve(advice_->response_emitted_by.size());
+  for (const auto& [rid, by] : advice_->response_emitted_by) {
+    resp_idx_.emplace(rid, by);
+  }
+  profile_.advice_index_entries = advice_->opcounts.size() + advice_->nondet.size() +
+                                  var_log_entries + advice_->tx_logs.size() +
+                                  advice_->handler_logs.size() +
+                                  advice_->response_emitted_by.size();
+
+  // Pre-size the execution graph: the program chains alone contribute one
+  // node per operation plus the 0/inf pseudo-ops, and every log entry adds
+  // at most a handful of edges. Over-reserving slightly is fine.
+  graph_.ReserveNodes(total_ops + 2 * advice_->opcounts.size() + 2 * trace_rids_.size() + 16);
+  graph_.ReserveEdges(total_ops + 3 * advice_->opcounts.size() + 4 * trace_rids_.size() +
+                      handler_ops + tx_ops + 3 * var_log_entries + 16);
+  op_map_.reserve(handler_ops + tx_ops);
 }
 
 void Verifier::AddTimePrecedenceEdges() {
@@ -203,13 +272,13 @@ void Verifier::AddBoundaryEdges() {
     }
   }
   for (RequestId rid : trace_rids_) {
-    auto it = advice_->response_emitted_by.find(rid);
-    if (it == advice_->response_emitted_by.end()) {
+    auto it = resp_idx_.find(rid);
+    if (it == resp_idx_.end()) {
       Reject("responseEmittedBy missing for request " + std::to_string(rid));
     }
     const auto& [hid_r, opnum_r] = it->second;
-    auto count_it = advice_->opcounts.find({rid, hid_r});
-    if (count_it == advice_->opcounts.end() || opnum_r > count_it->second) {
+    auto count_it = opcount_idx_.find({rid, hid_r});
+    if (count_it == opcount_idx_.end() || opnum_r > count_it->second) {
       Reject("responseEmittedBy references a nonexistent operation");
     }
     graph_.AddEdge(NodeKey::ForOp(OpRef{rid, hid_r, opnum_r}), NodeKey::ForResponseDelivery(rid));
@@ -219,8 +288,8 @@ void Verifier::AddBoundaryEdges() {
 }
 
 void Verifier::CheckOpIsValid(RequestId rid, HandlerId hid, OpNum opnum) {
-  auto it = advice_->opcounts.find({rid, hid});
-  if (it == advice_->opcounts.end()) {
+  auto it = opcount_idx_.find({rid, hid});
+  if (it == opcount_idx_.end()) {
     Reject("log entry for handler with no opcount");
   }
   if (opnum < 1 || opnum > it->second) {
@@ -287,7 +356,7 @@ void Verifier::AddHandlerRelatedEdges() {
         case HandlerLogEntry::Kind::kEmit: {
           for (FunctionId fn : MatchHandlers(global_handlers_, registered, e.event)) {
             HandlerId child = ComputeHandlerId(fn, e.hid, e.opnum);
-            if (advice_->opcounts.count({rid, child}) == 0) {
+            if (!opcount_idx_.contains({rid, child})) {
               Reject("emitted event activates a handler missing from opcounts");
             }
             activated_handlers_[cur].push_back(Activation{child, fn});
@@ -321,9 +390,9 @@ void Verifier::AddExternalStateEdges() {
       if (op.type == TxOpType::kGet && op.get_found) {
         // Write-read edge from the dictating PUT to this GET (§4.4; footnote
         // 3 explains why no WW/RW edges are added for external state).
-        auto writer_log = advice_->tx_logs.find(TxnKey{op.get_from.rid, op.get_from.tid});
+        auto writer_log = tx_log_idx_.find(TxnKey{op.get_from.rid, op.get_from.tid});
         // AnalyzeLogs already validated the reference.
-        const TxOperation& writer = writer_log->second[op.get_from.index - 1];
+        const TxOperation& writer = (*writer_log->second)[op.get_from.index - 1];
         graph_.AddEdge(NodeKey::ForOp(OpRef{op.get_from.rid, writer.hid, writer.opnum}),
                        NodeKey::ForOp(cur));
       }
@@ -354,9 +423,19 @@ void Verifier::Postprocess() {
 }
 
 void Verifier::AddInternalStateEdges() {
+  // vars_ is a hash table whose iteration order is insertion order; the edges
+  // (and any cycle diagnostic they produce) must not depend on it, so walk
+  // the variables in sorted-vid order — the order the old std::map gave.
+  std::vector<VarId> vids;
+  vids.reserve(vars_.size());
   for (const auto& [vid, var] : vars_) {
+    vids.push_back(vid);
+  }
+  std::sort(vids.begin(), vids.end());
+  for (VarId vid : vids) {
+    const VerifierVar& var = vars_.find(vid)->second;
     OpRef cur = var.initializer;
-    std::set<OpRef> visited;
+    FlatSet<OpRef> visited;
     while (!cur.IsNil()) {
       if (!visited.insert(cur).second) {
         Reject("variable write chain is cyclic");

@@ -23,14 +23,24 @@
 #include "src/adya/checker.h"
 #include "src/analysis/access_log.h"
 #include "src/analysis/diagnostic.h"
+#include "src/common/flat_map.h"
 #include "src/common/graph.h"
 #include "src/common/ids.h"
+#include "src/common/memo.h"
+#include "src/common/prof.h"
 #include "src/kem/program.h"
 #include "src/multivalue/multivalue.h"
 #include "src/server/advice.h"
 #include "src/trace/trace.h"
 
 namespace karousos {
+
+template <>
+struct FlatHash<TxnKey> {
+  size_t operator()(const TxnKey& k) const {
+    return static_cast<size_t>(HashMix64(SplitMix64(k.rid), k.tid));
+  }
+};
 
 struct AuditStats {
   size_t groups = 0;
@@ -71,6 +81,9 @@ struct AuditResult {
   // log was supplied, happens-before race findings (warnings).
   std::vector<LintDiagnostic> diagnostics;
   AuditStats stats;
+  // Phase timings and allocation counters (src/common/prof.h). Wall-clock
+  // values vary run to run; everything else in the result is deterministic.
+  AuditProfile profile;
 };
 
 // Thrown by internal checks on server misbehavior; caught by Audit().
@@ -119,13 +132,17 @@ class Verifier {
     FunctionId function = 0;
   };
 
-  // Verifier-side tracked-variable state (Figures 20-21).
+  // Verifier-side tracked-variable state (Figures 20-21). All three tables
+  // are lookup-only on the hot path (FindNearestRPrecedingWrite, LinkWrite),
+  // so they live in flat hash containers; the one consumer that needs a
+  // canonical order — AddInternalStateEdges — walks explicit chains / sorted
+  // keys, never container iteration order.
   struct VerifierVar {
     // var_dict: per (rid, hid), the writes that handler performed, in opnum
     // order (value snapshots for FindNearestRPrecedingWrite).
-    std::map<std::pair<RequestId, HandlerId>, std::vector<std::pair<OpNum, Value>>> var_dict;
-    std::unordered_map<OpRef, std::vector<OpRef>, OpRefHash> read_observers;
-    std::unordered_map<OpRef, OpRef, OpRefHash> write_observer;
+    FlatMap<std::pair<RequestId, HandlerId>, std::vector<std::pair<OpNum, Value>>> var_dict;
+    FlatMap<OpRef, std::vector<OpRef>> read_observers;
+    FlatMap<OpRef, OpRef> write_observer;
     OpRef initializer;  // First write in the reconstructed history (nil until set).
     bool declared = false;
   };
@@ -157,15 +174,16 @@ class Verifier {
     // groups), plus write_observer/initializer/declared shadows used only
     // for this group's own visibility during execution (the authoritative
     // cross-group application happens through `claims`).
-    std::map<VarId, VerifierVar> vars;
-    std::map<VarId, Value> untracked;  // Overlay over the post-init snapshot.
-    std::map<RequestId, std::unordered_map<HandlerId, HandlerId>> parents;
-    std::map<TxnKey, uint32_t> tx_positions;
-    std::set<std::pair<RequestId, HandlerId>> executed;
-    std::set<RequestId> responded;
-    std::set<std::pair<VarId, OpRef>> var_log_touched;
+    FlatMap<VarId, VerifierVar> vars;
+    FlatMap<VarId, Value> untracked;  // Overlay over the post-init snapshot.
+    FlatMap<RequestId, FlatMap<HandlerId, HandlerId>> parents;
+    FlatMap<TxnKey, uint32_t> tx_positions;
+    FlatSet<std::pair<RequestId, HandlerId>> executed;
+    FlatSet<RequestId> responded;
+    FlatSet<std::pair<VarId, OpRef>> var_log_touched;
     std::vector<Claim> claims;
     AuditStats stats;  // Only the ReExec-phase counters are populated.
+    size_t arena_bytes = 0;  // Scratch bytes bump-allocated by this group.
 
     // Outcome of the isolated execution. A fault is a non-Reject exception
     // surfacing from re-executed application code.
@@ -177,6 +195,10 @@ class Verifier {
 
   // --- Preprocess (Figure 14) -------------------------------------------
   void Preprocess();
+  // Builds the hashed advice indices below and pre-sizes the execution graph
+  // from the advice cardinalities. Must run before anything consults the
+  // idx_ members (the graph passes and all of ReExec).
+  void BuildAdviceIndices();
   // Analysis-layer preprocess: structural advice lint (rejecting on the
   // first error, with its rule ID) plus the untracked-access race scan.
   void RunAnalysisPasses();
@@ -222,22 +244,35 @@ class Verifier {
   std::vector<LintDiagnostic> diagnostics_;
 
   DirectedGraph graph_;
-  std::unordered_map<OpRef, OpLocation, OpRefHash> op_map_;
-  std::unordered_map<OpRef, std::vector<Activation>, OpRefHash> activated_handlers_;
+  FlatMap<OpRef, OpLocation> op_map_;
+  FlatMap<OpRef, std::vector<Activation>> activated_handlers_;
   // Global handlers registered by the verifier's own initialization run.
   std::vector<std::pair<uint64_t, FunctionId>> global_handlers_;
   HistoryAnalysis history_;
 
+  // Hashed indices over the advice, built once by BuildAdviceIndices. The
+  // advice structures themselves stay std::map (their iteration order is the
+  // wire format's byte order); the pointers here alias the advice, which
+  // outlives the audit.
+  FlatMap<std::pair<RequestId, HandlerId>, OpNum> opcount_idx_;
+  FlatMap<OpRef, const NondetRecord*> nondet_idx_;
+  FlatMap<VarId, FlatMap<OpRef, const VarLogEntry*>> var_log_idx_;
+  FlatMap<TxnKey, const TransactionLog*> tx_log_idx_;
+  FlatMap<RequestId, const std::vector<HandlerLogEntry>*> handler_log_idx_;
+  FlatMap<RequestId, std::pair<HandlerId, OpNum>> resp_idx_;
+
+  // Stays std::set: its sorted iteration order feeds error messages and the
+  // group-formation order, which must be canonical.
   std::set<RequestId> trace_rids_;
-  std::map<VarId, VerifierVar> vars_;
+  FlatMap<VarId, VerifierVar> vars_;
   // Parent handler of each executed handler, per request (for the var-dict
   // ancestor climb). Request handlers map to kNoHandler.
-  std::map<RequestId, std::unordered_map<HandlerId, HandlerId>> parents_;
+  FlatMap<RequestId, FlatMap<HandlerId, HandlerId>> parents_;
   // Position counters per transaction during re-execution.
-  std::map<TxnKey, uint32_t> tx_positions_;
+  FlatMap<TxnKey, uint32_t> tx_positions_;
   // (rid, hid) pairs executed by ReExec (for the final opcounts check).
-  std::set<std::pair<RequestId, HandlerId>> executed_;
-  std::set<RequestId> responded_;
+  FlatSet<std::pair<RequestId, HandlerId>> executed_;
+  FlatSet<RequestId> responded_;
   // Request inputs / expected responses, indexed once from the trace.
   std::map<RequestId, Value> request_inputs_;
   std::map<RequestId, Value> responses_;
@@ -245,11 +280,17 @@ class Verifier {
   // ReExec every entry must have been produced, or the log smuggled values
   // ("the verifier ensures that all operations in the logs are produced
   // during re-execution", §4.4 — applied to variable logs as well).
-  std::set<std::pair<VarId, OpRef>> var_log_touched_;
+  FlatSet<std::pair<VarId, OpRef>> var_log_touched_;
   // Unannotated variables: a plain reconstructed copy, no version tracking.
-  std::map<VarId, Value> untracked_vars_;
+  FlatMap<VarId, Value> untracked_vars_;
+
+  // Audit-scoped memo for the simulated application work (MvExpensiveMemo):
+  // the per-lane result is a pure function of (lane digest, units), so groups
+  // share results. One per audit run — every audit starts cold.
+  DigestMemo work_memo_;
 
   AuditStats stats_;
+  AuditProfile profile_;
 };
 
 }  // namespace karousos

@@ -43,6 +43,46 @@ TEST(SerdeTest, StringRoundTripAndBounds) {
   EXPECT_FALSE(r2.ReadString().has_value());
 }
 
+TEST(SerdeTest, StringViewRoundTripMatchesString) {
+  ByteWriter w;
+  w.WriteString("zero-copy");
+  w.WriteString("");
+  ByteReader r(w.bytes());
+  auto v1 = r.ReadStringView();
+  auto v2 = r.ReadStringView();
+  ASSERT_TRUE(v1.has_value());
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(*v1, "zero-copy");
+  EXPECT_EQ(*v2, "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// Regression: the zero-copy reader must reject truncated buffers exactly
+// where ReadString does — same inputs, same nullopt, same final position.
+TEST(SerdeTest, StringViewRejectsTruncationLikeReadString) {
+  const std::vector<std::vector<uint8_t>> malformed = {
+      {},                    // No length prefix at all.
+      {0x80, 0x80},          // Unterminated varint length.
+      {0x05, 'a', 'b'},      // Length 5, only 2 payload bytes.
+      {0xe8, 0x07, 'x'},     // Length 1000, 1 payload byte.
+  };
+  for (const auto& bytes : malformed) {
+    ByteReader as_string(bytes);
+    ByteReader as_view(bytes);
+    auto s = as_string.ReadString();
+    auto v = as_view.ReadStringView();
+    EXPECT_FALSE(s.has_value());
+    EXPECT_FALSE(v.has_value());
+    EXPECT_EQ(as_string.remaining(), as_view.remaining());
+  }
+  // And a well-formed prefix must decode identically through both paths.
+  ByteWriter w;
+  w.WriteString("same bytes");
+  ByteReader as_string(w.bytes());
+  ByteReader as_view(w.bytes());
+  EXPECT_EQ(*as_string.ReadString(), std::string(*as_view.ReadStringView()));
+}
+
 TEST(SerdeTest, ValueRoundTripAllKinds) {
   Value original = MakeMap({
       {"null", Value()},

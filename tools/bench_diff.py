@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and report per-row regressions.
+
+Usage:
+  tools/bench_diff.py OLD.json NEW.json [--threshold PCT]
+
+Both files must come from the same benchmark binary (matching "benchmark"
+fields). Rows are matched on their identity fields (every key except the
+measured ones); for each match the measured fields are compared and rows whose
+time grew by more than --threshold percent (default 5) are flagged as
+regressions. Exit status is 1 if any regression was found, so the script can
+gate CI.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that carry measurements; everything else identifies the row.
+MEASURE_FIELDS = (
+    "seconds",
+    "preprocess_seconds",
+    "reexec_seconds",
+    "postprocess_seconds",
+    "ops_per_second",
+    "speedup",
+    "baseline_seconds",
+    "speedup_vs_baseline",
+)
+
+# Of the measured fields, the ones where bigger is worse.
+TIME_FIELDS = ("seconds", "preprocess_seconds", "reexec_seconds", "postprocess_seconds")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+
+def row_key(row):
+    return tuple(sorted((k, v) for k, v in row.items() if k not in MEASURE_FIELDS))
+
+
+def fmt_key(key):
+    return ", ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="regression threshold in percent (default: 5)",
+    )
+    args = parser.parse_args()
+
+    old = load(args.old)
+    new = load(args.new)
+    if old.get("benchmark") != new.get("benchmark"):
+        sys.exit(
+            f"error: benchmark mismatch: {old.get('benchmark')!r} vs {new.get('benchmark')!r}"
+        )
+
+    old_rows = {row_key(r): r for r in old.get("rows", [])}
+    new_rows = {row_key(r): r for r in new.get("rows", [])}
+
+    regressions = []
+    print(f"benchmark: {new.get('benchmark')}")
+    for key, new_row in new_rows.items():
+        old_row = old_rows.get(key)
+        if old_row is None:
+            print(f"  NEW ROW   {fmt_key(key)}")
+            continue
+        deltas = []
+        regressed = False
+        for field in TIME_FIELDS:
+            if field not in old_row or field not in new_row:
+                continue
+            before, after = old_row[field], new_row[field]
+            if not before:
+                continue
+            pct = (after - before) / before * 100.0
+            deltas.append(f"{field} {before:.4f}->{after:.4f} ({pct:+.1f}%)")
+            if pct > args.threshold:
+                regressed = True
+        line = f"{fmt_key(key)}: " + ("; ".join(deltas) if deltas else "no timed fields")
+        if regressed:
+            regressions.append(line)
+            print(f"  REGRESSED {line}")
+        else:
+            print(f"  ok        {line}")
+    for key in old_rows:
+        if key not in new_rows:
+            print(f"  DROPPED   {fmt_key(key)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above {args.threshold:.1f}%:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

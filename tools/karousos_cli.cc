@@ -35,9 +35,10 @@ int Usage() {
                "                  [--requests N] [--concurrency C] [--seed S] [--mode karousos|orochi]\n"
                "                  [--isolation ser|rc|ru] --out-trace FILE --out-advice FILE\n"
                "  karousos audit  --app <motd|stacks|wiki> --trace FILE --advice FILE\n"
-               "                  [--isolation ser|rc|ru] [--threads N]\n"
+               "                  [--isolation ser|rc|ru] [--threads N] [--profile]\n"
                "      --threads: audit-group parallelism (1 = serial, 0 = all hardware\n"
                "      threads); the verdict is identical for every value\n"
+               "      --profile: print phase-timing JSON (Preprocess/ReExec/Postprocess)\n"
                "  karousos tamper --trace FILE --out FILE\n"
                "  karousos inspect --advice FILE\n"
                "  karousos analyze --trace FILE --advice FILE\n"
@@ -82,6 +83,7 @@ struct Args {
   uint64_t seed = 1;
   unsigned threads = 1;
   bool races = false;
+  bool profile = false;
 };
 
 std::optional<Args> Parse(int argc, char** argv) {
@@ -94,6 +96,11 @@ std::optional<Args> Parse(int argc, char** argv) {
     std::string flag = argv[i];
     if (flag == "--races") {
       args.races = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--profile") {
+      args.profile = true;
       ++i;
       continue;
     }
@@ -261,6 +268,9 @@ int CmdAudit(const Args& args) {
   AppSpec app = MakeApp(args.app);
   AuditResult audit = AuditOnly(app, *trace, *advice,
                                 VerifierConfig{ParseIsolation(args.isolation), args.threads});
+  if (args.profile) {
+    std::printf("%s\n", AuditProfileToJson(audit.profile).c_str());
+  }
   if (audit.accepted) {
     std::printf("ACCEPTED: %zu requests in %zu groups, %zu handler executions, "
                 "G = %zu nodes / %zu edges\n",
