@@ -29,26 +29,47 @@ std::string Describe(const TxnKey& t) {
   return out.str();
 }
 
-const TxOperation* LookupOp(const TransactionLogs& logs, const TxOpRef& ref) {
-  auto it = logs.find(TxnKey{ref.rid, ref.tid});
-  if (it == logs.end()) {
-    return nullptr;
-  }
-  if (ref.index < 1 || ref.index > it->second.size()) {
-    return nullptr;
-  }
-  return &it->second[ref.index - 1];
-}
-
 }  // namespace
+
+TxOpResolverFn MakeLogResolver(const TransactionLogs& logs) {
+  return [&logs](const TxOpRef& ref) {
+    ResolvedTxOp out;
+    auto it = logs.find(TxnKey{ref.rid, ref.tid});
+    if (it == logs.end()) {
+      return out;
+    }
+    out.txn_present = true;
+    if (ref.index < 1 || ref.index > it->second.size()) {
+      return out;
+    }
+    const TxOperation& op = it->second[ref.index - 1];
+    out.op_present = true;
+    out.is_put = op.type == TxOpType::kPut;
+    out.key = op.key;
+    out.put_value = &op.put_value;
+    out.hid = op.hid;
+    out.opnum = op.opnum;
+    return out;
+  };
+}
 
 HistoryAnalysis AnalyzeLogs(const TransactionLogs& logs) {
   HistoryAnalysis out;
+  AnalyzeLogsInto(logs, MakeLogResolver(logs), &out);
+  return out;
+}
+
+void AnalyzeLogsInto(const TransactionLogs& logs, const TxOpResolverFn& resolve,
+                     HistoryAnalysis* into) {
+  HistoryAnalysis& out = *into;
+  if (!out.ok) {
+    return;
+  }
   for (const auto& [txn, log] : logs) {
     if (log.empty() || log.front().type != TxOpType::kTxStart) {
       out.ok = false;
       out.reason = "transaction log for " + Describe(txn) + " does not begin with tx_start";
-      return out;
+      return;
     }
     bool committed = !log.empty() && log.back().type == TxOpType::kTxCommit;
     if (committed) {
@@ -62,12 +83,12 @@ HistoryAnalysis AnalyzeLogs(const TransactionLogs& logs) {
       if (i > 1 && op.type == TxOpType::kTxStart) {
         out.ok = false;
         out.reason = "transaction " + Describe(txn) + " contains a second tx_start";
-        return out;
+        return;
       }
       if (terminal && i != log.size()) {
         out.ok = false;
         out.reason = "transaction " + Describe(txn) + " has operations after its terminal op";
-        return out;
+        return;
       }
       if (op.type == TxOpType::kPut) {
         my_writes[op.key] = i;
@@ -76,19 +97,18 @@ HistoryAnalysis AnalyzeLogs(const TransactionLogs& logs) {
         }
       } else if (op.type == TxOpType::kGet) {
         if (op.get_found) {
-          const TxOperation* dictating = LookupOp(logs, op.get_from);
-          if (dictating == nullptr || dictating->type != TxOpType::kPut ||
-              dictating->key != op.key) {
+          ResolvedTxOp dictating = resolve(op.get_from);
+          if (!dictating.op_present || !dictating.is_put || dictating.key != op.key) {
             out.ok = false;
             out.reason = "GET " + Describe(txn) + "#" + std::to_string(i) +
                          " has an invalid dictating write " + op.get_from.ToString();
-            return out;
+            return;
           }
           out.read_map[op.get_from].push_back(TxOpRef{txn.rid, txn.tid, i});
         } else if (!op.get_from.IsNil()) {
           out.ok = false;
           out.reason = "not-found GET in " + Describe(txn) + " claims a dictating write";
-          return out;
+          return;
         }
         // Transactions must observe their own writes (§4.4 check two).
         auto mine = my_writes.find(op.key);
@@ -98,13 +118,12 @@ HistoryAnalysis AnalyzeLogs(const TransactionLogs& logs) {
             out.ok = false;
             out.reason = "transaction " + Describe(txn) +
                          " does not observe its own last write to key '" + op.key + "'";
-            return out;
+            return;
           }
         }
       }
     }
   }
-  return out;
 }
 
 namespace {
@@ -117,7 +136,7 @@ struct TxOpRefLess {
 
 // Extraction per Figure 17: validates that the write order lists exactly the
 // last modifications of committed transactions, and splits it by key.
-bool ExtractWriteOrderPerKey(const TransactionLogs& logs, const WriteOrder& write_order,
+bool ExtractWriteOrderPerKey(const TxOpResolverFn& resolve, const WriteOrder& write_order,
                              const HistoryAnalysis& analysis,
                              std::map<std::string, std::vector<TxOpRef>>* per_key,
                              std::string* reason) {
@@ -129,22 +148,23 @@ bool ExtractWriteOrderPerKey(const TransactionLogs& logs, const WriteOrder& writ
   }
   std::set<TxOpRef, TxOpRefLess> seen;
   for (const TxOpRef& ref : write_order) {
-    const TxOperation* op = LookupOp(logs, ref);
-    if (op == nullptr || op->type != TxOpType::kPut) {
+    ResolvedTxOp op = resolve(ref);
+    if (!op.op_present || !op.is_put) {
       *reason = "write order entry " + ref.ToString() + " is not a PUT in the logs";
       return false;
     }
+    std::string key(op.key);
     if (!seen.insert(ref).second) {
       *reason = "write order repeats entry " + ref.ToString();
       return false;
     }
-    auto it = analysis.last_modification.find({ref.rid, ref.tid, op->key});
+    auto it = analysis.last_modification.find({ref.rid, ref.tid, key});
     if (it == analysis.last_modification.end() || it->second != ref.index) {
       *reason = "write order entry " + ref.ToString() +
                 " is not the last modification of a committed transaction";
       return false;
     }
-    (*per_key)[op->key].push_back(ref);
+    (*per_key)[key].push_back(ref);
   }
   return true;
 }
@@ -217,6 +237,12 @@ void AddAntiDependencyEdges(const std::map<std::string, std::vector<TxOpRef>>& p
 IsolationCheckResult CheckIsolation(IsolationLevel level, const TransactionLogs& logs,
                                     const WriteOrder& write_order,
                                     const HistoryAnalysis& analysis) {
+  return CheckIsolationIndexed(level, MakeLogResolver(logs), write_order, analysis);
+}
+
+IsolationCheckResult CheckIsolationIndexed(IsolationLevel level, const TxOpResolverFn& resolve,
+                                           const WriteOrder& write_order,
+                                           const HistoryAnalysis& analysis) {
   IsolationCheckResult result;
   if (!analysis.ok) {
     result.ok = false;
@@ -228,7 +254,7 @@ IsolationCheckResult CheckIsolation(IsolationLevel level, const TransactionLogs&
     dg.AddNode(NodeKey::ForTxn(txn.rid, txn.tid));
   }
   std::map<std::string, std::vector<TxOpRef>> per_key;
-  if (!ExtractWriteOrderPerKey(logs, write_order, analysis, &per_key, &result.reason)) {
+  if (!ExtractWriteOrderPerKey(resolve, write_order, analysis, &per_key, &result.reason)) {
     result.ok = false;
     return result;
   }

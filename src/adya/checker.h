@@ -12,9 +12,11 @@
 #ifndef SRC_ADYA_CHECKER_H_
 #define SRC_ADYA_CHECKER_H_
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -23,6 +25,29 @@
 #include "src/txkv/store.h"
 
 namespace karousos {
+
+// What lives at an alleged transaction-log coordinate. The epoch-streaming
+// audit resolves references against (current slice -> carried state ->
+// continuity imports), while the one-shot path resolves against the full
+// logs; both views collapse to this struct, so every consumer (log analysis,
+// write-order extraction, the lint, re-execution's GET feed) is agnostic to
+// where the answer came from.
+struct ResolvedTxOp {
+  bool txn_present = false;  // The referenced transaction exists.
+  bool op_present = false;   // ... and the index is within its log.
+  bool is_put = false;       // The referenced op is a PUT.
+  // PUT details, valid only when is_put (no consumer distinguishes the
+  // non-PUT types; they only ever ask "is this a PUT of key k").
+  std::string_view key;
+  const Value* put_value = nullptr;
+  HandlerId hid = 0;
+  OpNum opnum = 0;
+};
+
+using TxOpResolverFn = std::function<ResolvedTxOp(const TxOpRef&)>;
+
+// A resolver over a complete set of logs (the one-shot view).
+TxOpResolverFn MakeLogResolver(const TransactionLogs& logs);
 
 // Output of the log-shape analysis shared by the isolation checker and the
 // verifier's AddExternalStateEdges.
@@ -50,6 +75,16 @@ struct HistoryAnalysis {
 // On failure, `ok` is false and `reason` says why.
 HistoryAnalysis AnalyzeLogs(const TransactionLogs& logs);
 
+// Incremental form: appends the analysis of `logs` (one epoch's slice) into
+// `into`, resolving dictating-write references through `resolve` so that
+// cross-epoch references (earlier-epoch carries, later-epoch continuity
+// imports) validate exactly as the full-log lookup would. Iterating the
+// epoch slices in epoch order visits transactions in the same global sorted
+// order as AnalyzeLogs over the merged logs, so the first error — and hence
+// the audit verdict — is the same. No-op when `into->ok` is already false.
+void AnalyzeLogsInto(const TransactionLogs& logs, const TxOpResolverFn& resolve,
+                     HistoryAnalysis* into);
+
 struct IsolationCheckResult {
   bool ok = true;
   std::string reason;
@@ -67,6 +102,13 @@ struct IsolationCheckResult {
 IsolationCheckResult CheckIsolation(IsolationLevel level, const TransactionLogs& logs,
                                     const WriteOrder& write_order,
                                     const HistoryAnalysis& analysis);
+
+// Resolver-backed form for the streaming audit: identical checks, but
+// write-order entries resolve through `resolve` (carried PUT state) instead
+// of the full logs, which the session no longer holds at Finish time.
+IsolationCheckResult CheckIsolationIndexed(IsolationLevel level, const TxOpResolverFn& resolve,
+                                           const WriteOrder& write_order,
+                                           const HistoryAnalysis& analysis);
 
 // Convenience wrapper: analyze then check.
 IsolationCheckResult CheckHistory(IsolationLevel level, const TransactionLogs& logs,

@@ -38,15 +38,24 @@ bool HasLintErrors(const std::vector<LintDiagnostic>& diagnostics) {
 namespace {
 
 // Shared state for one lint run: the trace's request-id set and the advice
-// under scrutiny, plus the output sink.
+// under scrutiny, plus the output sink. One-shot runs own their request-id
+// set and resolve every reference inside the advice itself; epoch runs
+// (LintAdviceEpoch) borrow the session's accumulated id sets and fall back to
+// the session's resolvers for references that leave the slice.
 class Linter {
  public:
   Linter(const Trace& trace, const Advice& advice, std::vector<LintDiagnostic>* out)
       : advice_(advice), out_(*out) {
     for (RequestId rid : trace.RequestIds()) {
-      trace_rids_.insert(rid);
+      own_rids_.insert(rid);
     }
+    trace_rids_ = &own_rids_;
+    coverage_rids_ = &own_rids_;
   }
+
+  Linter(const Advice& slice, const LintEpochContext& ctx, std::vector<LintDiagnostic>* out)
+      : advice_(slice), out_(*out), trace_rids_(ctx.trace_rids), coverage_rids_(ctx.epoch_rids),
+        var_prec_hook_(ctx.var_prec), tx_op_hook_(ctx.tx_op), epoch_mode_(true) {}
 
   void Run() {
     // Rules run in catalogue order so that the first error — the one the
@@ -58,12 +67,21 @@ class Linter {
     CheckHandlerLogs();       // 005
     CheckDuplicateClaims();   // 006
     CheckResponseEmittedBy(); // 007, 008
-    CheckWriteOrderRefs();    // 009
-    CheckWriteOrderAcyclic(); // 010
+    if (!epoch_mode_) {
+      // The write order is global; epoch sessions lint the accumulated order
+      // once, at Finish, through RunWriteOrderRules.
+      CheckWriteOrderRefs(advice_.write_order);   // 009
+      CheckWriteOrderAcyclic(advice_.write_order);// 010
+    }
     CheckTxLogGets();         // 011
     CheckTxLogCoverage();     // 012
     CheckNondet();            // 013
     CheckTags();              // 014
+  }
+
+  void RunWriteOrderRules(const WriteOrder& order) {
+    CheckWriteOrderRefs(order);     // 009
+    CheckWriteOrderAcyclic(order);  // 010
   }
 
  private:
@@ -72,7 +90,32 @@ class Linter {
                                   std::move(message)});
   }
 
-  bool InTrace(RequestId rid) const { return trace_rids_.count(rid) > 0; }
+  bool InTrace(RequestId rid) const { return trace_rids_->count(rid) > 0; }
+
+  // Resolves a transaction-log coordinate: the advice under scrutiny first
+  // (the whole advice one-shot, the slice in epoch mode), then the epoch
+  // hook. One-shot behavior is exactly the old direct map lookup.
+  ResolvedTxOp LookupTxOp(const TxOpRef& ref) const {
+    auto log_it = advice_.tx_logs.find(TxnKey{ref.rid, ref.tid});
+    if (log_it != advice_.tx_logs.end()) {
+      ResolvedTxOp out;
+      out.txn_present = true;
+      if (ref.index >= 1 && ref.index <= log_it->second.size()) {
+        const TxOperation& op = log_it->second[ref.index - 1];
+        out.op_present = true;
+        out.is_put = op.type == TxOpType::kPut;
+        out.key = op.key;
+        out.put_value = &op.put_value;
+        out.hid = op.hid;
+        out.opnum = op.opnum;
+      }
+      return out;
+    }
+    if (tx_op_hook_) {
+      return tx_op_hook_(ref);
+    }
+    return ResolvedTxOp{};
+  }
 
   // True iff (rid, hid, opnum) is a real operation position: opcounts has the
   // handler and 1 <= opnum <= count.
@@ -175,12 +218,19 @@ class Linter {
           Emit(kRule003, loc(), "log entry names itself as its own predecessor");
           continue;
         }
+        VarPrecLookup prec;
         auto prec_it = log.find(entry.prec);
-        if (prec_it == log.end()) {
+        if (prec_it != log.end()) {
+          prec.present = true;
+          prec.is_write = prec_it->second.kind == VarLogEntry::Kind::kWrite;
+        } else if (var_prec_hook_) {
+          prec = var_prec_hook_(vid, entry.prec);
+        }
+        if (!prec.present) {
           Emit(kRule003, loc(),
                "dangling predecessor " + entry.prec.ToString() +
                    " (no such entry in this variable's log)");
-        } else if (prec_it->second.kind != VarLogEntry::Kind::kWrite) {
+        } else if (!prec.is_write) {
           Emit(kRule003, loc(),
                "predecessor " + entry.prec.ToString() + " is not a write entry");
         }
@@ -275,7 +325,7 @@ class Linter {
              "responseEmittedBy references unknown handler h" + std::to_string(hid));
       }
     }
-    for (RequestId rid : trace_rids_) {
+    for (RequestId rid : *coverage_rids_) {
       if (advice_.response_emitted_by.count(rid) == 0) {
         Emit(kRule008, "response_emitted_by[r" + std::to_string(rid) + "]",
              "responseEmittedBy missing for request " + std::to_string(rid));
@@ -285,22 +335,22 @@ class Linter {
 
   // KAR-ADV-009: every write-order entry must name an existing transaction-log
   // position holding a PUT.
-  void CheckWriteOrderRefs() {
-    for (size_t i = 0; i < advice_.write_order.size(); ++i) {
-      const TxOpRef& w = advice_.write_order[i];
+  void CheckWriteOrderRefs(const WriteOrder& write_order) {
+    for (size_t i = 0; i < write_order.size(); ++i) {
+      const TxOpRef& w = write_order[i];
       auto loc = [i] { return "write_order[" + std::to_string(i) + "]"; };
-      auto log_it = advice_.tx_logs.find(TxnKey{w.rid, w.tid});
-      if (log_it == advice_.tx_logs.end()) {
+      ResolvedTxOp op = LookupTxOp(w);
+      if (!op.txn_present) {
         Emit(kRule009, loc(),
              "write-order entry " + w.ToString() + " names a transaction absent from tx_logs");
         continue;
       }
-      if (w.index < 1 || w.index > log_it->second.size()) {
+      if (!op.op_present) {
         Emit(kRule009, loc(),
              "write-order entry " + w.ToString() + " index out of range");
         continue;
       }
-      if (log_it->second[w.index - 1].type != TxOpType::kPut) {
+      if (!op.is_put) {
         Emit(kRule009, loc(),
              "write-order entry " + w.ToString() + " does not name a PUT");
       }
@@ -310,14 +360,14 @@ class Linter {
   // KAR-ADV-010: the write order is an alleged *total order*; encode its
   // consecutive-pair precedences as a graph and demand acyclicity. A repeated
   // entry w at positions i < j yields w -> ... -> w, i.e. a cycle.
-  void CheckWriteOrderAcyclic() {
-    if (advice_.write_order.size() < 2) {
+  void CheckWriteOrderAcyclic(const WriteOrder& write_order) {
+    if (write_order.size() < 2) {
       return;
     }
     DirectedGraph order;
-    for (size_t i = 0; i + 1 < advice_.write_order.size(); ++i) {
-      const TxOpRef& from = advice_.write_order[i];
-      const TxOpRef& to = advice_.write_order[i + 1];
+    for (size_t i = 0; i + 1 < write_order.size(); ++i) {
+      const TxOpRef& from = write_order[i];
+      const TxOpRef& to = write_order[i + 1];
       order.AddEdge(NodeKey{from.rid, from.tid, from.index}, NodeKey{to.rid, to.tid, to.index});
     }
     if (!order.HasCycle()) {
@@ -353,26 +403,25 @@ class Linter {
           Emit(kRule011, loc(), "found GET carries no dictating-write reference");
           continue;
         }
-        auto writer_it = advice_.tx_logs.find(TxnKey{op.get_from.rid, op.get_from.tid});
-        if (writer_it == advice_.tx_logs.end()) {
+        ResolvedTxOp writer = LookupTxOp(op.get_from);
+        if (!writer.txn_present) {
           Emit(kRule011, loc(),
                "GET's dictating write " + op.get_from.ToString() +
                    " names a transaction absent from tx_logs");
           continue;
         }
-        if (op.get_from.index < 1 || op.get_from.index > writer_it->second.size()) {
+        if (!writer.op_present) {
           Emit(kRule011, loc(),
                "GET's dictating write " + op.get_from.ToString() + " index out of range");
           continue;
         }
-        const TxOperation& writer = writer_it->second[op.get_from.index - 1];
-        if (writer.type != TxOpType::kPut) {
+        if (!writer.is_put) {
           Emit(kRule011, loc(),
                "GET's dictating write " + op.get_from.ToString() + " is not a PUT");
         } else if (writer.key != op.key) {
           Emit(kRule011, loc(),
-               "GET's dictating write " + op.get_from.ToString() + " wrote key '" + writer.key +
-                   "', not '" + op.key + "'");
+               "GET's dictating write " + op.get_from.ToString() + " wrote key '" +
+                   std::string(writer.key) + "', not '" + op.key + "'");
         }
       }
     }
@@ -413,7 +462,7 @@ class Linter {
   // KAR-ADV-014: every trace request needs a grouping tag or re-execution
   // cannot place it in any group.
   void CheckTags() {
-    for (RequestId rid : trace_rids_) {
+    for (RequestId rid : *coverage_rids_) {
       if (advice_.tags.count(rid) == 0) {
         Emit(kRule014, "tags[r" + std::to_string(rid) + "]",
              "no re-execution tag for request " + std::to_string(rid));
@@ -438,7 +487,15 @@ class Linter {
 
   const Advice& advice_;
   std::vector<LintDiagnostic>& out_;
-  std::set<RequestId> trace_rids_;
+  // One-shot runs build own_rids_ from the trace and point both universes at
+  // it; epoch runs borrow the session's sets (all requests streamed so far vs
+  // this epoch's requests).
+  std::set<RequestId> own_rids_;
+  const std::set<RequestId>* trace_rids_ = nullptr;
+  const std::set<RequestId>* coverage_rids_ = nullptr;
+  std::function<VarPrecLookup(VarId, const OpRef&)> var_prec_hook_;
+  TxOpResolverFn tx_op_hook_;
+  bool epoch_mode_ = false;
 };
 
 }  // namespace
@@ -447,6 +504,22 @@ std::vector<LintDiagnostic> LintAdvice(const Trace& trace, const Advice& advice)
   std::vector<LintDiagnostic> diagnostics;
   Linter(trace, advice, &diagnostics).Run();
   return diagnostics;
+}
+
+std::vector<LintDiagnostic> LintAdviceEpoch(const Advice& slice, const LintEpochContext& ctx) {
+  std::vector<LintDiagnostic> diagnostics;
+  Linter(slice, ctx, &diagnostics).Run();
+  return diagnostics;
+}
+
+void LintWriteOrder(const WriteOrder& write_order, const TxOpResolverFn& tx_op,
+                    std::vector<LintDiagnostic>* out) {
+  // The accumulated order references transactions from every epoch; the
+  // session's carries (via tx_op) are the only surviving view of them.
+  static const Advice kEmptyAdvice;
+  LintEpochContext ctx;
+  ctx.tx_op = tx_op;
+  Linter(kEmptyAdvice, ctx, out).RunWriteOrderRules(write_order);
 }
 
 }  // namespace karousos

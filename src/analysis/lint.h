@@ -31,8 +31,11 @@
 #ifndef SRC_ANALYSIS_LINT_H_
 #define SRC_ANALYSIS_LINT_H_
 
+#include <functional>
+#include <set>
 #include <vector>
 
+#include "src/adya/checker.h"
 #include "src/analysis/diagnostic.h"
 #include "src/server/advice.h"
 #include "src/trace/trace.h"
@@ -43,6 +46,42 @@ namespace karousos {
 // deterministic advice-iteration order within a rule). Pure: no re-execution,
 // no program access, no mutation.
 std::vector<LintDiagnostic> LintAdvice(const Trace& trace, const Advice& advice);
+
+// --- Epoch-sliced linting (the streaming AuditSession) ----------------------
+//
+// The session lints each epoch's advice slice as it arrives. Rules that are
+// local to a slice run unchanged; the cross-slice references (a var-log prec
+// or a GET's dictating write living in another epoch) resolve through the
+// hooks below, and the write-order rules (009/010) — which are global by
+// definition — run once over the accumulated order via LintWriteOrder.
+
+// Whether a var-log predecessor reference resolves, and to a write entry.
+struct VarPrecLookup {
+  bool present = false;
+  bool is_write = false;
+};
+
+struct LintEpochContext {
+  // Request ids seen in the trace stream so far (rule 001's universe).
+  const std::set<RequestId>* trace_rids = nullptr;
+  // This epoch's request ids (rules 008/014 demand per-request coverage; the
+  // slice can only be expected to cover its own epoch's requests).
+  const std::set<RequestId>* epoch_rids = nullptr;
+  // Resolves a prec that is absent from the slice's own var log (earlier
+  // epochs' carried entries, later epochs' continuity imports).
+  std::function<VarPrecLookup(VarId, const OpRef&)> var_prec;
+  // Same, for transaction-log coordinates (rule 011).
+  TxOpResolverFn tx_op;
+};
+
+// Runs rules 001-008 and 011-014 over one epoch slice. Write-order rules are
+// deferred; run LintWriteOrder over the accumulated order at Finish.
+std::vector<LintDiagnostic> LintAdviceEpoch(const Advice& slice, const LintEpochContext& ctx);
+
+// Rules 009/010 over an assembled write order, resolving entries through
+// `tx_op` (the session's carries). Appends findings to `out`.
+void LintWriteOrder(const WriteOrder& write_order, const TxOpResolverFn& tx_op,
+                    std::vector<LintDiagnostic>* out);
 
 }  // namespace karousos
 

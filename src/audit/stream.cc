@@ -1,0 +1,37 @@
+#include "src/audit/stream.h"
+
+namespace karousos {
+
+void FeedRemaining(AuditSession* session, const EpochSlices& slices,
+                   const std::function<void(AuditSession&)>& after_epoch) {
+  for (const EpochSegment& segment : slices.segments) {
+    if (segment.epoch < session->next_epoch()) {
+      continue;  // Already covered by the restored checkpoint.
+    }
+    bool alive = session->FeedEpoch(segment);
+    if (after_epoch) {
+      after_epoch(*session);
+    }
+    if (!alive) {
+      break;  // Verdict fixed mid-stream; Finish() will report it.
+    }
+  }
+}
+
+StreamAuditResult AuditStreamed(const AppSpec& app, const Trace& trace, const Advice& advice,
+                                const VerifierConfig& config, uint64_t epoch_requests,
+                                const UntrackedAccessLog* untracked) {
+  EpochSlices slices = SliceRun(trace, advice, epoch_requests);
+  AuditSession session(*app.program, config, epoch_requests);
+  if (untracked != nullptr) {
+    session.set_untracked_accesses(untracked);
+  }
+  FeedRemaining(&session, slices);
+  StreamAuditResult result;
+  result.audit = session.Finish();
+  result.peak_resident_advice_bytes = session.peak_resident_advice_bytes();
+  result.epochs = slices.segments.size();
+  return result;
+}
+
+}  // namespace karousos

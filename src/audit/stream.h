@@ -1,0 +1,43 @@
+// Epoch-streamed audit drivers: slice a complete (trace, advice) pair and
+// feed it through an AuditSession. This is the path `karousos audit
+// --epoch-size N` takes, and the one the epoch bench measures — the verdict
+// matches the one-shot AuditOnly for every epoch size, but per-epoch advice
+// is dropped as soon as its epoch is re-executed.
+#ifndef SRC_AUDIT_STREAM_H_
+#define SRC_AUDIT_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/apps/app.h"
+#include "src/server/rollover.h"
+#include "src/trace/trace.h"
+#include "src/verifier/session.h"
+
+namespace karousos {
+
+struct StreamAuditResult {
+  AuditResult audit;
+  // High-water mark of resident advice-derived bytes (slice + imports +
+  // carries, serialized) across the whole stream.
+  size_t peak_resident_advice_bytes = 0;
+  uint64_t epochs = 0;
+};
+
+// Slices the run at epoch_requests (0 = one epoch holding everything) and
+// audits it epoch by epoch. Reaches the same verdict, reason, rule, and
+// diagnostics as AuditOnly over the unsliced inputs.
+StreamAuditResult AuditStreamed(const AppSpec& app, const Trace& trace, const Advice& advice,
+                                const VerifierConfig& config, uint64_t epoch_requests,
+                                const UntrackedAccessLog* untracked = nullptr);
+
+// Feeds every segment of `slices` at or beyond session->next_epoch() —
+// i.e. resumes cleanly from a restored checkpoint. When `after_epoch` is
+// set it runs after each FeedEpoch call (checkpoint writers hook in here).
+// Stops early once the session is decided.
+void FeedRemaining(AuditSession* session, const EpochSlices& slices,
+                   const std::function<void(AuditSession&)>& after_epoch = nullptr);
+
+}  // namespace karousos
+
+#endif  // SRC_AUDIT_STREAM_H_

@@ -8,9 +8,10 @@ SequentialReplayResult SequentialReplay(const AppSpec& app, const Trace& trace) 
   SequentialReplayResult result;
   std::vector<Value> inputs;
   std::vector<RequestId> rids = trace.RequestIds();
+  TraceIndex index(trace);
   inputs.reserve(rids.size());
   for (RequestId rid : rids) {
-    inputs.push_back(*trace.RequestInput(rid));
+    inputs.push_back(*index.RequestInput(rid));
   }
   ServerConfig config;
   config.mode = CollectMode::kOff;
@@ -18,10 +19,11 @@ SequentialReplayResult SequentialReplay(const AppSpec& app, const Trace& trace) 
   Server replayer(*app.program, config);
   ServerRunResult run = replayer.Run(inputs);
   result.requests = rids.size();
+  TraceIndex replayed_index(run.trace);
   for (size_t i = 0; i < rids.size(); ++i) {
     // The replayer assigned ids 1..N in order; map back to the trace's ids.
-    auto replayed = run.trace.Response(static_cast<RequestId>(i) + 1);
-    auto original = trace.Response(rids[i]);
+    auto replayed = replayed_index.Response(static_cast<RequestId>(i) + 1);
+    auto original = index.Response(rids[i]);
     if (!replayed.has_value() || !original.has_value() || !(*replayed == *original)) {
       ++result.mismatches;
     }

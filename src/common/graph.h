@@ -74,6 +74,11 @@ class DirectedGraph {
 
   const NodeKey& KeyOf(NodeId id) const { return keys_[static_cast<size_t>(id)]; }
 
+  // Raw edge list in insertion order. Exposed for checkpoint serialization:
+  // re-adding nodes in id order and edges in this order reconstructs a graph
+  // with identical ids, traversal order, and cycle diagnostics.
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const { return edges_; }
+
   // True iff the graph contains a directed cycle. Iterative three-color DFS;
   // safe for graphs with millions of nodes (no recursion).
   bool HasCycle() const;

@@ -1,0 +1,114 @@
+// Versioned, CRC-checked, length-framed segment container for epoch-sliced
+// audit inputs. The collector emits the trace and the advice as a sequence of
+// epoch segments instead of two monolithic blobs, and the verifier's
+// AuditSession consumes them one epoch at a time — the streaming reader holds
+// exactly one frame payload resident.
+//
+// File layout:
+//   magic "KSEG" (4 bytes) | format version (1 byte) | frame*
+// Frame layout:
+//   kind (1 byte) | epoch (varint) | payload length (varint)
+//   | payload CRC-32 (fixed32, little-endian) | payload bytes
+//
+// Every decode failure is a diagnostic string, never a crash: a corrupted or
+// truncated segment file is indistinguishable from server misbehavior and the
+// audit must reject it cleanly.
+#ifndef SRC_COMMON_SEGMENT_H_
+#define SRC_COMMON_SEGMENT_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace karousos {
+
+inline constexpr char kSegmentMagic[4] = {'K', 'S', 'E', 'G'};
+inline constexpr uint8_t kSegmentFormatVersion = 1;
+
+enum class SegmentKind : uint8_t {
+  kTrace = 1,       // One epoch's slice of the request/response trace.
+  kAdvice = 2,      // One epoch's advice slice + continuity imports.
+  kCheckpoint = 3,  // A serialized AuditSession CarryState.
+};
+
+const char* SegmentKindName(SegmentKind kind);
+
+struct SegmentRecord {
+  SegmentKind kind = SegmentKind::kTrace;
+  uint64_t epoch = 0;
+  uint32_t crc = 0;            // Stored CRC (always matches payload on success).
+  uint64_t offset = 0;         // Byte offset of the frame header in the file.
+  std::vector<uint8_t> payload;
+};
+
+// Appends frames to an in-memory buffer, and optionally streams each frame to
+// a file as it is appended (so an indefinitely-running collector never holds
+// more than the current epoch in memory).
+class SegmentWriter {
+ public:
+  // In-memory only.
+  SegmentWriter();
+  // Streams to `path`; check ok() after construction.
+  explicit SegmentWriter(const std::string& path);
+
+  void Append(SegmentKind kind, uint64_t epoch, const std::vector<uint8_t>& payload);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // The full container bytes (header + all frames). Only meaningful in
+  // in-memory mode; in file mode frames are flushed as they are appended and
+  // the buffer holds the same bytes unless `Append` is called after `Take`.
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+  std::ofstream file_;
+  bool to_file_ = false;
+  std::string error_;
+};
+
+// Streaming reader: validates the header eagerly, then yields one frame per
+// Next() call. Only the current frame's payload is resident.
+class SegmentReader {
+ public:
+  // Opens `path`; on failure returns nullptr and sets *error.
+  static std::unique_ptr<SegmentReader> OpenFile(const std::string& path, std::string* error);
+  // Reads from an in-memory buffer (the buffer must outlive the reader); on a
+  // malformed header returns nullptr and sets *error.
+  static std::unique_ptr<SegmentReader> FromBytes(const uint8_t* data, size_t size,
+                                                  std::string* error);
+
+  // True and fills *out when a frame was read. False at clean end-of-file or
+  // on error; distinguish with ok()/error().
+  bool Next(SegmentRecord* out);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  SegmentReader() = default;
+  bool ReadHeader(std::string* error);
+  bool Pull(uint8_t* dest, size_t n, size_t* got);
+  bool PullByte(uint8_t* b);
+  bool PullVarint(uint64_t* v, const char* what, uint64_t frame_offset);
+  void Fail(std::string msg) { error_ = std::move(msg); }
+
+  std::ifstream file_;
+  bool from_file_ = false;
+  const uint8_t* mem_ = nullptr;
+  size_t mem_size_ = 0;
+  size_t pos_ = 0;  // Bytes consumed so far (both modes).
+  std::string error_;
+};
+
+// True iff the buffer starts with the segment container magic — used by the
+// CLI to sniff segmented vs monolithic input files.
+bool LooksLikeSegmentFile(const std::vector<uint8_t>& bytes);
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_SEGMENT_H_

@@ -16,6 +16,12 @@ void ByteWriter::WriteFixed64(uint64_t v) {
   }
 }
 
+void ByteWriter::WriteFixed32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+  }
+}
+
 void ByteWriter::WriteString(std::string_view s) {
   WriteVarint(s.size());
   buf_.insert(buf_.end(), s.begin(), s.end());
@@ -61,6 +67,27 @@ void ByteWriter::WriteValue(const Value& v) {
   }
 }
 
+namespace {
+
+// Nibble-sliced CRC-32 table (16 entries) for the reflected IEEE polynomial
+// 0xEDB88320: small enough to keep in cache, fast enough for segment files.
+constexpr uint32_t kCrcNibble[16] = {
+    0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac, 0x76dc4190, 0x6b6b51f4,
+    0x4db26158, 0x5005713c, 0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c,
+    0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    crc = (crc >> 4) ^ kCrcNibble[crc & 0x0f];
+    crc = (crc >> 4) ^ kCrcNibble[crc & 0x0f];
+  }
+  return crc ^ 0xffffffffu;
+}
+
 std::optional<uint64_t> ByteReader::ReadVarint() {
   uint64_t v = 0;
   int shift = 0;
@@ -85,6 +112,17 @@ std::optional<uint64_t> ByteReader::ReadFixed64() {
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<uint64_t>(buf_[pos_++]) << (i * 8);
+  }
+  return v;
+}
+
+std::optional<uint32_t> ByteReader::ReadFixed32() {
+  if (size_ - pos_ < 4) {
+    return std::nullopt;
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(buf_[pos_++]) << (i * 8);
   }
   return v;
 }

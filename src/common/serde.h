@@ -23,6 +23,7 @@ class ByteWriter {
   // is where the encoding wins its compactness.
   void WriteVarint(uint64_t v);
   void WriteFixed64(uint64_t v);
+  void WriteFixed32(uint32_t v);
   void WriteByte(uint8_t b) { buf_.push_back(b); }
   void WriteString(std::string_view s);
   void WriteValue(const Value& v);
@@ -45,6 +46,7 @@ class ByteReader {
   // malformed advice stream as server misbehavior (REJECT), never a crash.
   std::optional<uint64_t> ReadVarint();
   std::optional<uint64_t> ReadFixed64();
+  std::optional<uint32_t> ReadFixed32();
   std::optional<uint8_t> ReadByte();
   std::optional<std::string> ReadString();
   // Zero-copy variant: the returned view aliases the reader's buffer and is
@@ -62,6 +64,12 @@ class ByteReader {
   size_t size_;
   size_t pos_ = 0;
 };
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used by the epoch segment
+// container to detect payload corruption; a bad checksum is a diagnostic,
+// never a crash or a silent accept.
+uint32_t Crc32(const uint8_t* data, size_t size);
+inline uint32_t Crc32(const std::vector<uint8_t>& buf) { return Crc32(buf.data(), buf.size()); }
 
 }  // namespace karousos
 

@@ -18,8 +18,6 @@ std::optional<OpRef> DeserializeOpRef(ByteReader* in) {
   return OpRef{*rid, *hid, static_cast<OpNum>(*opnum)};
 }
 
-namespace {
-
 void SerializeTxOpRef(const TxOpRef& op, ByteWriter* out) {
   out->WriteVarint(op.rid);
   out->WriteFixed64(op.tid);
@@ -35,6 +33,8 @@ std::optional<TxOpRef> DeserializeTxOpRef(ByteReader* in) {
   }
   return TxOpRef{*rid, *tid, static_cast<uint32_t>(*index)};
 }
+
+namespace {
 
 void SerializeTags(const std::map<RequestId, uint64_t>& tags, ByteWriter* out) {
   out->WriteVarint(tags.size());

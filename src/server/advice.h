@@ -89,6 +89,8 @@ struct Advice {
 
 void SerializeOpRef(const OpRef& op, ByteWriter* out);
 std::optional<OpRef> DeserializeOpRef(ByteReader* in);
+void SerializeTxOpRef(const TxOpRef& op, ByteWriter* out);
+std::optional<TxOpRef> DeserializeTxOpRef(ByteReader* in);
 
 }  // namespace karousos
 

@@ -1,0 +1,298 @@
+#include "src/server/rollover.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace karousos {
+
+uint64_t EpochOfRid(RequestId rid, uint64_t epoch_requests) {
+  if (epoch_requests == 0 || rid == 0) return 0;
+  return (rid - 1) / epoch_requests;
+}
+
+void ContinuityImports::Serialize(ByteWriter* out) const {
+  out->WriteVarint(tx_ops.size());
+  for (const TxOpImport& imp : tx_ops) {
+    SerializeTxOpRef(imp.ref, out);
+    out->WriteBool(imp.txn_present);
+    out->WriteBool(imp.op_present);
+    out->WriteByte(imp.type);
+    out->WriteString(imp.key);
+    out->WriteValue(imp.value);
+    out->WriteFixed64(imp.hid);
+    out->WriteVarint(imp.opnum);
+  }
+  out->WriteVarint(var_entries.size());
+  for (const VarImport& imp : var_entries) {
+    out->WriteFixed64(imp.vid);
+    SerializeOpRef(imp.op, out);
+    out->WriteBool(imp.present);
+    out->WriteByte(imp.kind);
+    out->WriteValue(imp.value);
+  }
+}
+
+std::optional<ContinuityImports> ContinuityImports::Deserialize(ByteReader* in) {
+  ContinuityImports imports;
+  auto tx_count = in->ReadVarint();
+  if (!tx_count) return std::nullopt;
+  imports.tx_ops.reserve(*tx_count);
+  for (uint64_t i = 0; i < *tx_count; ++i) {
+    TxOpImport imp;
+    auto ref = DeserializeTxOpRef(in);
+    auto txn_present = in->ReadBool();
+    auto op_present = in->ReadBool();
+    auto type = in->ReadByte();
+    auto key = in->ReadString();
+    auto value = in->ReadValue();
+    auto hid = in->ReadFixed64();
+    auto opnum = in->ReadVarint();
+    if (!ref || !txn_present || !op_present || !type || !key || !value || !hid || !opnum) {
+      return std::nullopt;
+    }
+    imp.ref = *ref;
+    imp.txn_present = *txn_present;
+    imp.op_present = *op_present;
+    imp.type = *type;
+    imp.key = std::move(*key);
+    imp.value = std::move(*value);
+    imp.hid = *hid;
+    imp.opnum = static_cast<OpNum>(*opnum);
+    imports.tx_ops.push_back(std::move(imp));
+  }
+  auto var_count = in->ReadVarint();
+  if (!var_count) return std::nullopt;
+  imports.var_entries.reserve(*var_count);
+  for (uint64_t i = 0; i < *var_count; ++i) {
+    VarImport imp;
+    auto vid = in->ReadFixed64();
+    auto op = DeserializeOpRef(in);
+    auto present = in->ReadBool();
+    auto kind = in->ReadByte();
+    auto value = in->ReadValue();
+    if (!vid || !op || !present || !kind || !value) return std::nullopt;
+    imp.vid = *vid;
+    imp.op = *op;
+    imp.present = *present;
+    imp.kind = *kind;
+    imp.value = std::move(*value);
+    imports.var_entries.push_back(std::move(imp));
+  }
+  return imports;
+}
+
+namespace {
+
+// Looks up what the full advice alleges at a cross-epoch transaction-log
+// coordinate. Mirrors defects faithfully (absent txn, out-of-range index,
+// wrong op type) so sliced validation rejects exactly where one-shot does.
+ContinuityImports::TxOpImport DescribeTxOp(const Advice& advice, const TxOpRef& ref) {
+  ContinuityImports::TxOpImport imp;
+  imp.ref = ref;
+  auto it = advice.tx_logs.find(TxnKey{ref.rid, ref.tid});
+  if (it == advice.tx_logs.end()) return imp;
+  imp.txn_present = true;
+  if (ref.index < 1 || ref.index > it->second.size()) return imp;
+  imp.op_present = true;
+  const TxOperation& op = it->second[ref.index - 1];
+  imp.type = static_cast<uint8_t>(op.type);
+  imp.key = op.key;
+  imp.value = op.put_value;
+  imp.hid = op.hid;
+  imp.opnum = op.opnum;
+  return imp;
+}
+
+ContinuityImports::VarImport DescribeVarEntry(const Advice& advice, VarId vid, const OpRef& op) {
+  ContinuityImports::VarImport imp;
+  imp.vid = vid;
+  imp.op = op;
+  auto vit = advice.var_logs.find(vid);
+  if (vit == advice.var_logs.end()) return imp;
+  auto eit = vit->second.find(op);
+  if (eit == vit->second.end()) return imp;
+  imp.present = true;
+  imp.kind = static_cast<uint8_t>(eit->second.kind);
+  imp.value = eit->second.value;
+  return imp;
+}
+
+}  // namespace
+
+EpochSlices SliceRun(const Trace& trace, const Advice& advice, uint64_t epoch_requests) {
+  EpochSlices out;
+  out.epoch_requests = epoch_requests;
+
+  // The trace's request ids fix the epoch count; advice content beyond the
+  // last trace epoch is clamped into the final slice.
+  struct RidSeen {
+    bool req = false;
+    bool resp = false;
+    size_t last = 0;
+  };
+  std::map<RequestId, RidSeen> seen;
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& ev = trace.events[i];
+    RidSeen& s = seen[ev.rid];
+    (ev.kind == TraceEvent::Kind::kRequest ? s.req : s.resp) = true;
+    s.last = i;
+  }
+  uint64_t max_epoch = 0;
+  for (const auto& [rid, s] : seen) {
+    max_epoch = std::max(max_epoch, EpochOfRid(rid, epoch_requests));
+  }
+  const size_t epochs = static_cast<size_t>(max_epoch) + 1;
+  const auto clamp_epoch = [&](RequestId rid) {
+    return std::min(EpochOfRid(rid, epoch_requests), max_epoch);
+  };
+
+  // Chronological cuts: window e ends at the earliest index past the last
+  // event of every completed request of epochs <= e. A request missing its
+  // arrival or response never completes, so its epoch's cut collapses to the
+  // end of the trace (the streaming balance check then rejects at Finish,
+  // exactly as the one-shot balance check would up front).
+  std::vector<size_t> completion(epochs, 0);  // One-past-last event index.
+  std::vector<bool> incomplete(epochs, false);
+  for (const auto& [rid, s] : seen) {
+    const size_t e = static_cast<size_t>(EpochOfRid(rid, epoch_requests));
+    if (!s.req || !s.resp) {
+      incomplete[e] = true;
+    } else {
+      completion[e] = std::max(completion[e], s.last + 1);
+    }
+  }
+  out.segments.resize(epochs);
+  size_t prev_cut = 0;
+  size_t running_completion = 0;
+  bool running_incomplete = false;
+  for (size_t e = 0; e < epochs; ++e) {
+    running_completion = std::max(running_completion, completion[e]);
+    running_incomplete = running_incomplete || incomplete[e];
+    size_t cut = running_incomplete ? trace.events.size() : running_completion;
+    if (e + 1 == epochs) cut = trace.events.size();
+    cut = std::max(cut, prev_cut);
+    out.segments[e].epoch = e;
+    out.segments[e].window.assign(trace.events.begin() + static_cast<ptrdiff_t>(prev_cut),
+                                  trace.events.begin() + static_cast<ptrdiff_t>(cut));
+    prev_cut = cut;
+  }
+
+  // Advice slices, by owning request id.
+  for (const auto& [rid, tag] : advice.tags) {
+    out.segments[clamp_epoch(rid)].advice.tags.emplace(rid, tag);
+  }
+  for (const auto& [rid, log] : advice.handler_logs) {
+    out.segments[clamp_epoch(rid)].advice.handler_logs.emplace(rid, log);
+  }
+  for (const auto& [vid, log] : advice.var_logs) {
+    for (const auto& [op, entry] : log) {
+      out.segments[clamp_epoch(op.rid)].advice.var_logs[vid].emplace(op, entry);
+    }
+  }
+  for (const auto& [txn, log] : advice.tx_logs) {
+    out.segments[clamp_epoch(txn.rid)].advice.tx_logs.emplace(txn, log);
+  }
+  for (const auto& [rid, emitter] : advice.response_emitted_by) {
+    out.segments[clamp_epoch(rid)].advice.response_emitted_by.emplace(rid, emitter);
+  }
+  for (const auto& [key, count] : advice.opcounts) {
+    out.segments[clamp_epoch(key.first)].advice.opcounts.emplace(key, count);
+  }
+  for (const auto& [op, record] : advice.nondet) {
+    out.segments[clamp_epoch(op.rid)].advice.nondet.emplace(op, record);
+  }
+
+  // Write order: positional prefix chunks. Chunk e extends while entries
+  // belong to epochs <= e; the first later-epoch entry ends the chunk, and
+  // earlier-epoch entries stranded behind it move to the later chunk. The
+  // chunks therefore concatenate to exactly the alleged global order.
+  size_t pos = 0;
+  for (size_t e = 0; e < epochs; ++e) {
+    WriteOrder& chunk = out.segments[e].advice.write_order;
+    if (e + 1 == epochs) {
+      chunk.assign(advice.write_order.begin() + static_cast<ptrdiff_t>(pos),
+                   advice.write_order.end());
+      pos = advice.write_order.size();
+      break;
+    }
+    while (pos < advice.write_order.size() &&
+           clamp_epoch(advice.write_order[pos].rid) <= e) {
+      chunk.push_back(advice.write_order[pos]);
+      ++pos;
+    }
+  }
+
+  // Continuity imports: allegations for every forward cross-epoch reference
+  // in each slice, deduplicated and emitted in sorted order so server-side
+  // and verifier-side slicing produce byte-identical segments.
+  for (size_t e = 0; e < epochs; ++e) {
+    EpochSegment& seg = out.segments[e];
+    std::map<TxOpRef, ContinuityImports::TxOpImport> tx_imports;
+    std::map<std::pair<VarId, OpRef>, ContinuityImports::VarImport> var_imports;
+    for (const auto& [txn, log] : seg.advice.tx_logs) {
+      for (const TxOperation& op : log) {
+        if (op.type != TxOpType::kGet || op.get_from.IsNil()) continue;
+        if (clamp_epoch(op.get_from.rid) <= e) continue;
+        tx_imports.emplace(op.get_from, DescribeTxOp(advice, op.get_from));
+      }
+    }
+    for (const auto& [vid, log] : seg.advice.var_logs) {
+      for (const auto& [op, entry] : log) {
+        if (entry.prec.IsNil()) continue;
+        if (clamp_epoch(entry.prec.rid) <= e) continue;
+        var_imports.emplace(std::make_pair(vid, entry.prec),
+                            DescribeVarEntry(advice, vid, entry.prec));
+      }
+    }
+    for (auto& [ref, imp] : tx_imports) seg.imports.tx_ops.push_back(std::move(imp));
+    for (auto& [key, imp] : var_imports) seg.imports.var_entries.push_back(std::move(imp));
+  }
+
+  return out;
+}
+
+std::vector<uint8_t> EncodeTraceSegments(const EpochSlices& slices) {
+  SegmentWriter writer;
+  for (const EpochSegment& seg : slices.segments) {
+    ByteWriter payload;
+    Trace window{seg.window};
+    window.Serialize(&payload);
+    writer.Append(SegmentKind::kTrace, seg.epoch, payload.bytes());
+  }
+  return writer.Take();
+}
+
+std::vector<uint8_t> EncodeAdviceSegments(const EpochSlices& slices) {
+  SegmentWriter writer;
+  for (const EpochSegment& seg : slices.segments) {
+    ByteWriter payload;
+    seg.advice.Serialize(&payload);
+    seg.imports.Serialize(&payload);
+    writer.Append(SegmentKind::kAdvice, seg.epoch, payload.bytes());
+  }
+  return writer.Take();
+}
+
+std::optional<std::vector<TraceEvent>> DecodeTraceSegmentPayload(
+    const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  auto window = Trace::Deserialize(&reader);
+  if (!window || !reader.AtEnd()) return std::nullopt;
+  return std::move(window->events);
+}
+
+std::optional<AdviceSegmentPayload> DecodeAdviceSegmentPayload(
+    const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  auto advice = Advice::Deserialize(&reader);
+  if (!advice) return std::nullopt;
+  auto imports = ContinuityImports::Deserialize(&reader);
+  if (!imports || !reader.AtEnd()) return std::nullopt;
+  AdviceSegmentPayload out;
+  out.advice = std::move(*advice);
+  out.imports = std::move(*imports);
+  return out;
+}
+
+}  // namespace karousos

@@ -1,0 +1,111 @@
+// Collector-side epoch rollover: slices one run's trace and advice into
+// epoch segments so the collector can ship them incrementally and the
+// verifier's AuditSession can consume them one epoch at a time.
+//
+// Epoch assignment is by request id: rid r belongs to epoch (r-1)/N for
+// ServerConfig::epoch_requests == N. The three slicing axes:
+//   * trace   — chronological windows. Window e extends the event stream to
+//     the earliest point where every request of epochs <= e has both arrived
+//     and responded (concurrency lets later-epoch events appear inside
+//     earlier windows; that is fine — the verifier ingests windows as a
+//     single continuous stream).
+//   * advice  — by the owning request id (tags, handler logs, var logs, tx
+//     logs, opcounts, responseEmittedBy, nondet), except the write order,
+//     which is cut positionally so the chunks concatenate to exactly the
+//     alleged global order.
+//   * continuity imports — for every reference that points *forward* across
+//     an epoch boundary (a GET's dictating PUT in a later epoch, a var-log
+//     prec in a later epoch), the slice carries what the collector alleges
+//     lives at the referenced coordinates. The verifier uses the allegation
+//     immediately and confirms it against the real slice when that epoch
+//     arrives: a wrong continuity record can only cause rejection.
+//
+// The same slicer runs server-side (emitting segment files) and
+// verifier-side (re-slicing monolithic inputs for `audit --epoch-size N`),
+// so both paths produce byte-identical segments.
+#ifndef SRC_SERVER_ROLLOVER_H_
+#define SRC_SERVER_ROLLOVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/segment.h"
+#include "src/server/advice.h"
+#include "src/trace/trace.h"
+
+namespace karousos {
+
+// Epoch of a request id (init/reserved rid 0 maps to epoch 0).
+uint64_t EpochOfRid(RequestId rid, uint64_t epoch_requests);
+
+// What the collector alleges lives at out-of-epoch coordinates that this
+// epoch's slice references. Allegations mirror whatever the full advice
+// holds — including its defects — so that epoch-sliced validation reaches
+// the same verdict as one-shot validation.
+struct ContinuityImports {
+  struct TxOpImport {
+    TxOpRef ref;
+    bool txn_present = false;  // The referenced transaction exists at all.
+    bool op_present = false;   // ... and ref.index is within its log.
+    uint8_t type = 0;          // TxOpType of the referenced op (when present).
+    std::string key;           // PUT/GET key (when present).
+    Value value;               // PUT value (when present and a PUT).
+    HandlerId hid = 0;         // Issuing handler op (when present).
+    OpNum opnum = 0;
+  };
+  struct VarImport {
+    VarId vid = 0;
+    OpRef op;
+    bool present = false;  // The referenced entry exists in vid's log.
+    uint8_t kind = 0;      // VarLogEntry::Kind (when present).
+    Value value;           // Entry value (when present).
+  };
+
+  std::vector<TxOpImport> tx_ops;
+  std::vector<VarImport> var_entries;
+
+  bool empty() const { return tx_ops.empty() && var_entries.empty(); }
+
+  void Serialize(ByteWriter* out) const;
+  static std::optional<ContinuityImports> Deserialize(ByteReader* in);
+};
+
+// One epoch's audit input: the trace window, the advice slice, and the
+// continuity imports for the slice's forward references.
+struct EpochSegment {
+  uint64_t epoch = 0;
+  std::vector<TraceEvent> window;
+  Advice advice;
+  ContinuityImports imports;
+};
+
+struct EpochSlices {
+  uint64_t epoch_requests = 0;
+  std::vector<EpochSegment> segments;  // One per epoch, in epoch order.
+};
+
+// Slices a complete run. epoch_requests == 0 means one epoch holding
+// everything. Advice content whose rid falls beyond the last trace epoch is
+// clamped into the final slice (where the lint's not-in-trace rule reports
+// it, exactly as the one-shot audit would).
+EpochSlices SliceRun(const Trace& trace, const Advice& advice, uint64_t epoch_requests);
+
+// Segment-container encode/decode. Trace and advice travel as two segment
+// streams (one kTrace frame per epoch; one kAdvice frame per epoch whose
+// payload is the advice slice followed by the imports).
+std::vector<uint8_t> EncodeTraceSegments(const EpochSlices& slices);
+std::vector<uint8_t> EncodeAdviceSegments(const EpochSlices& slices);
+
+// Decodes one frame payload. Returns nullopt on malformed payloads (the
+// caller turns that into a clean rejection).
+std::optional<std::vector<TraceEvent>> DecodeTraceSegmentPayload(const std::vector<uint8_t>& payload);
+struct AdviceSegmentPayload {
+  Advice advice;
+  ContinuityImports imports;
+};
+std::optional<AdviceSegmentPayload> DecodeAdviceSegmentPayload(const std::vector<uint8_t>& payload);
+
+}  // namespace karousos
+
+#endif  // SRC_SERVER_ROLLOVER_H_

@@ -8,6 +8,7 @@
 
 #include "src/apps/app_util.h"
 #include "src/kem/varid.h"
+#include "src/server/rollover.h"
 
 namespace karousos {
 
@@ -619,6 +620,11 @@ ServerRunResult Server::Run(const std::vector<Value>& request_inputs) {
   result.trace = std::move(trace_);
   result.advice = std::move(advice_);
   result.var_log_entries = result.advice.var_log_entry_count();
+  if (config_.epoch_requests > 0) {
+    EpochSlices slices = SliceRun(result.trace, result.advice, config_.epoch_requests);
+    result.trace_segments = EncodeTraceSegments(slices);
+    result.advice_segments = EncodeAdviceSegments(slices);
+  }
   trace_ = Trace{};
   advice_ = Advice{};
   current_result_ = nullptr;

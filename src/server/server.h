@@ -65,6 +65,11 @@ struct ServerConfig {
   // detector in src/analysis/race.h. Honest applications keep no mutable
   // untracked state, so the default-on recording costs nothing there.
   bool record_untracked_accesses = true;
+  // Epoch rollover (streaming audit): when nonzero, the collector slices the
+  // run into epochs of this many requests and emits the trace and advice as
+  // versioned segment streams (ServerRunResult::{trace,advice}_segments) in
+  // addition to the monolithic structures. 0 = rollover off.
+  uint64_t epoch_requests = 0;
 };
 
 struct ServerRunResult {
@@ -87,6 +92,11 @@ struct ServerRunResult {
   // Every untracked-variable access, in observation order (empty when
   // record_untracked_accesses is off or the mode is uninstrumented).
   UntrackedAccessLog untracked_accesses;
+  // Epoch segment streams (empty unless ServerConfig::epoch_requests > 0):
+  // the trace and advice as KSEG containers, one frame per epoch, with
+  // continuity imports for cross-epoch references.
+  std::vector<uint8_t> trace_segments;
+  std::vector<uint8_t> advice_segments;
 };
 
 class ServerCtx;

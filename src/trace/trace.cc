@@ -23,11 +23,18 @@ bool Trace::IsBalanced(std::string* reason) const {
       s = 2;
     }
   }
+  // Report the smallest unresponded rid: the message must not depend on hash
+  // order, because the streaming audit reproduces it at Finish and its verdict
+  // has to be bit-identical to the one-shot check here.
+  std::optional<RequestId> missing;
   for (const auto& [rid, s] : state) {
-    if (s != 2) {
-      *reason = "request " + std::to_string(rid) + " has no response";
-      return false;
+    if (s != 2 && (!missing || rid < *missing)) {
+      missing = rid;
     }
+  }
+  if (missing) {
+    *reason = "request " + std::to_string(*missing) + " has no response";
+    return false;
   }
   return true;
 }
@@ -42,22 +49,63 @@ std::vector<RequestId> Trace::RequestIds() const {
   return rids;
 }
 
-std::optional<Value> Trace::RequestInput(RequestId rid) const {
+namespace {
+
+// Single full scan so a duplicated event yields nullopt (the documented
+// contract) instead of silently returning the first occurrence.
+std::optional<Value> ScanUnique(const std::vector<TraceEvent>& events, TraceEvent::Kind kind,
+                                RequestId rid) {
+  const TraceEvent* found = nullptr;
   for (const TraceEvent& ev : events) {
-    if (ev.kind == TraceEvent::Kind::kRequest && ev.rid == rid) {
-      return ev.payload;
+    if (ev.kind == kind && ev.rid == rid) {
+      if (found != nullptr) {
+        return std::nullopt;
+      }
+      found = &ev;
     }
   }
-  return std::nullopt;
+  if (found == nullptr) {
+    return std::nullopt;
+  }
+  return found->payload;
+}
+
+}  // namespace
+
+std::optional<Value> Trace::RequestInput(RequestId rid) const {
+  return ScanUnique(events, TraceEvent::Kind::kRequest, rid);
 }
 
 std::optional<Value> Trace::Response(RequestId rid) const {
-  for (const TraceEvent& ev : events) {
-    if (ev.kind == TraceEvent::Kind::kResponse && ev.rid == rid) {
-      return ev.payload;
+  return ScanUnique(events, TraceEvent::Kind::kResponse, rid);
+}
+
+TraceIndex::TraceIndex(const Trace& trace) : trace_(trace) {
+  for (uint32_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& ev = trace.events[i];
+    auto& slots = ev.kind == TraceEvent::Kind::kRequest ? inputs_ : responses_;
+    auto [it, inserted] = slots.emplace(ev.rid, i);
+    if (!inserted) {
+      it->second = kDuplicate;
     }
   }
-  return std::nullopt;
+}
+
+std::optional<Value> TraceIndex::Lookup(const std::map<RequestId, uint32_t>& slots,
+                                        RequestId rid) const {
+  auto it = slots.find(rid);
+  if (it == slots.end() || it->second == kDuplicate) {
+    return std::nullopt;
+  }
+  return trace_.events[it->second].payload;
+}
+
+std::optional<Value> TraceIndex::RequestInput(RequestId rid) const {
+  return Lookup(inputs_, rid);
+}
+
+std::optional<Value> TraceIndex::Response(RequestId rid) const {
+  return Lookup(responses_, rid);
 }
 
 size_t Trace::request_count() const {

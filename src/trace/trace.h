@@ -44,6 +44,28 @@ struct Trace {
   static std::optional<Trace> Deserialize(ByteReader* in);
 };
 
+// Built-once lookup index over a trace. `Trace::RequestInput`/`Response` scan
+// the event list per call, which is fine for a single probe but quadratic for
+// callers that probe every request id; those call sites build one of these
+// instead. The trace must outlive the index and must not be mutated under it.
+// Same contract as the Trace methods: nullopt when the id is absent or the
+// event is duplicated.
+class TraceIndex {
+ public:
+  explicit TraceIndex(const Trace& trace);
+
+  std::optional<Value> RequestInput(RequestId rid) const;
+  std::optional<Value> Response(RequestId rid) const;
+
+ private:
+  static constexpr uint32_t kDuplicate = ~uint32_t{0};
+  std::optional<Value> Lookup(const std::map<RequestId, uint32_t>& slots, RequestId rid) const;
+
+  const Trace& trace_;
+  std::map<RequestId, uint32_t> inputs_;     // rid -> event index, kDuplicate on dup.
+  std::map<RequestId, uint32_t> responses_;  // rid -> event index, kDuplicate on dup.
+};
+
 }  // namespace karousos
 
 #endif  // SRC_TRACE_TRACE_H_

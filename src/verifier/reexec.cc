@@ -222,11 +222,11 @@ class ReplayCtx : public Ctx {
       const TxOperation& op =
           CheckStateOpReturning(rids_[i], opnum, TxOpType::kGet, tids[i], &key_str);
       if (op.get_found) {
-        // Feed from the dictating PUT (validated by AnalyzeLogs).
-        const TxOperation& writer =
-            (*v_.tx_log_idx_.find(TxnKey{op.get_from.rid, op.get_from.tid})
-                  ->second)[op.get_from.index - 1];
-        values.push_back(writer.put_value);
+        // Feed from the dictating PUT (validated by AnalyzeLogs; in the
+        // streaming audit the PUT may resolve from a carried epoch or a
+        // continuity import rather than the current slice).
+        ResolvedTxOp writer = v_.ResolveTxOp(op.get_from);
+        values.push_back(*writer.put_value);
         found.push_back(Value(true));
       } else {
         values.push_back(Value());
@@ -557,16 +557,15 @@ Value ReplayCtx::ReadLane(VarId vid, const OpRef& cur) {
         if (entry.kind != VarLogEntry::Kind::kRead || entry.prec.IsNil()) {
           Verifier::Reject("variable log entry for a read is malformed");
         }
-        auto dict_it = log_it->second.find(entry.prec);
-        if (dict_it == log_it->second.end() ||
-            dict_it->second->kind != VarLogEntry::Kind::kWrite) {
+        Verifier::ResolvedVarEntry dictating = v_.ResolveVarEntry(vid, entry.prec);
+        if (!dictating.present || !dictating.is_write || dictating.value == nullptr) {
           Verifier::Reject("logged read's dictating write is not a logged write");
         }
         if (!gs_.var_log_touched.insert({vid, cur}).second) {
           Verifier::Reject("variable log entry re-executed twice");
         }
         gs_.vars[vid].read_observers[entry.prec].push_back(cur);
-        return dict_it->second->value;
+        return *dictating.value;
       }
     }
   }
@@ -612,9 +611,8 @@ void ReplayCtx::WriteLane(VarId vid, const OpRef& cur, const Value& value) {
           Verifier::Reject("variable log entry re-executed twice");
         }
         if (!entry.prec.IsNil()) {
-          auto prec_it = log_it->second.find(entry.prec);
-          if (prec_it == log_it->second.end() ||
-              prec_it->second->kind != VarLogEntry::Kind::kWrite) {
+          Verifier::ResolvedVarEntry prec = v_.ResolveVarEntry(vid, entry.prec);
+          if (!prec.present || !prec.is_write) {
             Verifier::Reject("logged write's predecessor is not a logged write");
           }
           LinkWrite(vid, entry.prec, cur);
@@ -729,9 +727,13 @@ void Verifier::RunInitialization() {
 void Verifier::ReExec() {
   // Group requests by their (alleged) tag; groups merge in order of their
   // earliest request id, which is deterministic but otherwise arbitrary
-  // (Lemma 1: all well-formed orders are equivalent).
+  // (Lemma 1: all well-formed orders are equivalent). The streaming audit
+  // re-executes one epoch's requests at a time — its groups partition the
+  // epoch, not the whole trace (tags never span epochs; a tag that tried
+  // would leave its handler un-run and reject below).
+  const std::set<RequestId>& reexec_rids = streaming_ ? epoch_rids_ : trace_rids_;
   std::map<uint64_t, std::vector<RequestId>> by_tag;
-  for (RequestId rid : trace_rids_) {
+  for (RequestId rid : reexec_rids) {
     auto it = advice_->tags.find(rid);
     if (it == advice_->tags.end()) {
       Reject("no re-execution tag for request " + std::to_string(rid));
@@ -782,7 +784,7 @@ void Verifier::ReExec() {
       Reject("advice mentions a handler that re-execution never ran");
     }
   }
-  for (RequestId rid : trace_rids_) {
+  for (RequestId rid : reexec_rids) {
     if (responded_.count(rid) == 0) {
       Reject("request " + std::to_string(rid) + " produced no response during re-execution");
     }

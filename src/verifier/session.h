@@ -1,0 +1,78 @@
+// Resumable epoch-streaming audit: AuditSession consumes one EpochSegment at
+// a time (trace window + advice slice + continuity imports, as produced by
+// SliceRun or a collector's segment stream) and assembles the verdict at
+// Finish. Between epochs the session's entire cross-epoch state — the carry
+// state — serializes to a single checkpoint frame, so an interrupted audit
+// resumes from the last completed epoch instead of restarting.
+//
+// Contract with the one-shot Audit(): for the same complete (trace, advice)
+// pair, feeding the slices of any epoch size (including one epoch holding
+// everything) reaches the same verdict, reason, rule, and diagnostics as
+// Verifier::Audit — honest runs and single-fault adversarial runs alike.
+// What streaming buys is memory: per-epoch advice is dropped once its epoch
+// is re-executed, and only the compact carries (transaction shapes, PUT
+// payloads, var-log entry kinds plus write values) stay resident.
+#ifndef SRC_VERIFIER_SESSION_H_
+#define SRC_VERIFIER_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/server/rollover.h"
+#include "src/verifier/verifier.h"
+
+namespace karousos {
+
+class AuditSession {
+ public:
+  AuditSession(const Program& program, const VerifierConfig& config, uint64_t epoch_requests);
+
+  // As Verifier::set_untracked_accesses: attach the §5 race scan's findings
+  // (warnings) to the final result. The log must outlive Finish().
+  void set_untracked_accesses(const UntrackedAccessLog* log);
+
+  // Feeds the next epoch. Segments must arrive in epoch order starting at
+  // next_epoch(); an out-of-order segment rejects the audit (segment streams
+  // are part of the server's claim, so reordering is misbehavior). Returns
+  // false once the verdict is already determined — callers may stop feeding
+  // and jump to Finish(), or keep draining; both are safe.
+  bool FeedEpoch(const EpochSegment& segment);
+
+  // Runs the global end-of-stream checks (write-order lint, continuity
+  // import confirmation, isolation, internal-state edges, graph acyclicity)
+  // and assembles the verdict. Call exactly once, after the last epoch.
+  AuditResult Finish();
+
+  // Serializes the full carry state as one kCheckpoint segment frame. Valid
+  // between epochs (i.e. after any FeedEpoch call and before Finish).
+  std::vector<uint8_t> SaveCheckpoint() const;
+
+  // Reconstructs a session from SaveCheckpoint bytes. The program and the
+  // config must match the checkpointing session's (the isolation level is
+  // embedded and verified). Returns nullptr and sets *error on mismatch or
+  // malformed bytes.
+  static std::unique_ptr<AuditSession> Restore(const Program& program,
+                                               const VerifierConfig& config,
+                                               const std::vector<uint8_t>& bytes,
+                                               std::string* error);
+
+  // The epoch index the next FeedEpoch call must carry.
+  uint64_t next_epoch() const;
+  // Requests per epoch (0 = single epoch). After Restore this is the
+  // checkpointing session's value, so callers re-slice consistently.
+  uint64_t epoch_requests() const;
+  // True once a mid-stream rejection fixed the verdict.
+  bool decided() const;
+  // High-water mark of resident advice-derived bytes (current slice +
+  // imports + carries, serialized) — the epoch bench's y-axis.
+  size_t peak_resident_advice_bytes() const;
+
+ private:
+  Verifier v_;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_VERIFIER_SESSION_H_

@@ -271,7 +271,7 @@ void Verifier::AddBoundaryEdges() {
       Reject("responseEmittedBy entry for request not in trace");
     }
   }
-  for (RequestId rid : trace_rids_) {
+  for (RequestId rid : streaming_ ? epoch_rids_ : trace_rids_) {
     auto it = resp_idx_.find(rid);
     if (it == resp_idx_.end()) {
       Reject("responseEmittedBy missing for request " + std::to_string(rid));
@@ -370,7 +370,15 @@ void Verifier::AddHandlerRelatedEdges() {
 }
 
 void Verifier::AddExternalStateEdges() {
-  history_ = AnalyzeLogs(advice_->tx_logs);
+  if (streaming_) {
+    // Incremental analysis: epoch slices arrive in epoch order, which visits
+    // transactions in the same global sorted order AnalyzeLogs would, so the
+    // accumulated history_ — and the first rejection — are identical.
+    AnalyzeLogsInto(advice_->tx_logs, [this](const TxOpRef& ref) { return ResolveTxOp(ref); },
+                    &history_);
+  } else {
+    history_ = AnalyzeLogs(advice_->tx_logs);
+  }
   if (!history_.ok) {
     Reject(history_.reason);
   }
@@ -390,9 +398,11 @@ void Verifier::AddExternalStateEdges() {
       if (op.type == TxOpType::kGet && op.get_found) {
         // Write-read edge from the dictating PUT to this GET (§4.4; footnote
         // 3 explains why no WW/RW edges are added for external state).
-        auto writer_log = tx_log_idx_.find(TxnKey{op.get_from.rid, op.get_from.tid});
-        // AnalyzeLogs already validated the reference.
-        const TxOperation& writer = (*writer_log->second)[op.get_from.index - 1];
+        // AnalyzeLogs/AnalyzeLogsInto already validated the reference; in the
+        // streaming audit the dictating PUT may live in another epoch, in
+        // which case the edge endpoint is interned now and unified with the
+        // real operation node when (or because) its epoch contributes it.
+        ResolvedTxOp writer = ResolveTxOp(op.get_from);
         graph_.AddEdge(NodeKey::ForOp(OpRef{op.get_from.rid, writer.hid, writer.opnum}),
                        NodeKey::ForOp(cur));
       }
@@ -459,6 +469,447 @@ void Verifier::AddInternalStateEdges() {
       cur = next->second;
     }
   }
+}
+
+// --- Epoch-streaming implementation (driven by AuditSession) ----------------
+
+ResolvedTxOp Verifier::ResolveTxOp(const TxOpRef& ref) const {
+  auto it = tx_log_idx_.find(TxnKey{ref.rid, ref.tid});
+  if (it != tx_log_idx_.end()) {
+    ResolvedTxOp out;
+    out.txn_present = true;
+    const auto& log = *it->second;
+    if (ref.index >= 1 && ref.index <= log.size()) {
+      const TxOperation& op = log[ref.index - 1];
+      out.op_present = true;
+      out.is_put = op.type == TxOpType::kPut;
+      out.key = op.key;
+      out.put_value = &op.put_value;
+      out.hid = op.hid;
+      out.opnum = op.opnum;
+    }
+    return out;
+  }
+  if (!streaming_) {
+    return ResolvedTxOp{};
+  }
+  auto size_it = txn_size_carry_.find(TxnKey{ref.rid, ref.tid});
+  if (size_it != txn_size_carry_.end()) {
+    ResolvedTxOp out;
+    out.txn_present = true;
+    if (ref.index >= 1 && ref.index <= size_it->second) {
+      out.op_present = true;
+      auto put_it = put_carry_.find(ref);
+      if (put_it != put_carry_.end()) {
+        out.is_put = true;
+        out.key = put_it->second.key;
+        out.put_value = &put_it->second.value;
+        out.hid = put_it->second.hid;
+        out.opnum = put_it->second.opnum;
+      }
+    }
+    return out;
+  }
+  auto imp_it = pending_tx_imports_.find(ref);
+  if (imp_it != pending_tx_imports_.end()) {
+    const ContinuityImports::TxOpImport& imp = imp_it->second;
+    ResolvedTxOp out;
+    out.txn_present = imp.txn_present;
+    out.op_present = imp.op_present;
+    if (imp.op_present) {
+      out.is_put = static_cast<TxOpType>(imp.type) == TxOpType::kPut;
+      out.key = imp.key;
+      out.put_value = &imp.value;
+      out.hid = imp.hid;
+      out.opnum = imp.opnum;
+    }
+    return out;
+  }
+  return ResolvedTxOp{};
+}
+
+Verifier::ResolvedVarEntry Verifier::ResolveVarEntry(VarId vid, const OpRef& op) const {
+  auto log_it = var_log_idx_.find(vid);
+  if (log_it != var_log_idx_.end()) {
+    auto entry_it = log_it->second.find(op);
+    if (entry_it != log_it->second.end()) {
+      const VarLogEntry& entry = *entry_it->second;
+      return {true, entry.kind == VarLogEntry::Kind::kWrite, &entry.value};
+    }
+  }
+  if (!streaming_) {
+    return {};
+  }
+  auto carry_it = var_carry_.find({vid, op});
+  if (carry_it != var_carry_.end()) {
+    const VarCarry& carry = carry_it->second;
+    return {true, carry.is_write, carry.is_write ? &carry.value : nullptr};
+  }
+  auto imp_it = pending_var_imports_.find({vid, op});
+  if (imp_it != pending_var_imports_.end() && imp_it->second.present) {
+    const ContinuityImports::VarImport& imp = imp_it->second;
+    return {true, static_cast<VarLogEntry::Kind>(imp.kind) == VarLogEntry::Kind::kWrite,
+            &imp.value};
+  }
+  return {};
+}
+
+void Verifier::StreamBegin(uint64_t epoch_requests) {
+  streaming_ = true;
+  epoch_requests_ = epoch_requests;
+}
+
+void Verifier::StreamIngestWindow(const std::vector<TraceEvent>& window) {
+  // Balance transitions first, then the reserved-id check and input/response
+  // capture — the same fault order as the one-shot Preprocess (IsBalanced
+  // runs before the rid-0 scan), with the same reason strings.
+  for (const TraceEvent& ev : window) {
+    uint8_t& s = balance_[ev.rid];
+    if (ev.kind == TraceEvent::Kind::kRequest) {
+      if (s != 0) {
+        Reject("trace is not balanced: duplicate request id " + std::to_string(ev.rid));
+      }
+      s = 1;
+    } else {
+      if (s != 1) {
+        Reject("trace is not balanced: response for request " + std::to_string(ev.rid) +
+               (s == 0 ? " before its request" : " delivered twice"));
+      }
+      s = 2;
+    }
+  }
+  for (const TraceEvent& ev : window) {
+    if (ev.kind == TraceEvent::Kind::kRequest) {
+      if (ev.rid == kInitRequestId) {
+        Reject("trace contains the reserved init request id");
+      }
+      trace_rids_.insert(ev.rid);
+      request_inputs_[ev.rid] = ev.payload;
+    } else {
+      responses_[ev.rid] = ev.payload;
+    }
+  }
+}
+
+void Verifier::StreamTimePrecedence(const std::vector<TraceEvent>& window) {
+  // AddTimePrecedenceEdges over a window, with the chain state persisted
+  // across windows: concatenating every window replays the full trace event
+  // stream, so the streamed edge set is identical to the one-shot pass.
+  for (const TraceEvent& ev : window) {
+    if (ev.kind == TraceEvent::Kind::kResponse) {
+      tp_pending_responses_.push_back(ev.rid);
+      continue;
+    }
+    if (!tp_pending_responses_.empty()) {
+      NodeKey next{kEpochMarker, ++tp_epoch_count_, 0};
+      if (tp_have_epoch_) {
+        graph_.AddEdge(tp_current_epoch_, next);
+      }
+      for (RequestId resp_rid : tp_pending_responses_) {
+        graph_.AddEdge(NodeKey::ForResponseDelivery(resp_rid), next);
+      }
+      tp_pending_responses_.clear();
+      tp_current_epoch_ = next;
+      tp_have_epoch_ = true;
+    }
+    if (tp_have_epoch_) {
+      graph_.AddEdge(tp_current_epoch_, NodeKey::ForRequestArrival(ev.rid));
+    }
+  }
+}
+
+void Verifier::StreamEpoch(const EpochSegment& segment) {
+  if (decided_) {
+    return;  // Drain: the verdict is already determined.
+  }
+  PhaseTimer total_timer(&profile_.total_seconds);
+  try {
+    {
+      PhaseTimer t(&profile_.preprocess_seconds);
+      StreamIngestWindow(segment.window);
+      epoch_rids_.clear();
+      for (RequestId rid : trace_rids_) {
+        if (EpochOfRid(rid, epoch_requests_) == epochs_fed_) {
+          epoch_rids_.insert(rid);
+        }
+      }
+      // Epoch completeness: every request of this epoch must have both
+      // arrived and responded by the end of its window — the collector's
+      // rollover guarantees that, so a gap is misbehavior. The reason matches
+      // the one-shot balance check, keeping single-fault verdicts aligned.
+      for (RequestId rid : epoch_rids_) {
+        auto bal = balance_.find(rid);
+        if (bal == balance_.end() || bal->second != 2) {
+          Reject("trace is not balanced: request " + std::to_string(rid) + " has no response");
+        }
+      }
+      advice_ = &segment.advice;
+      for (const auto& imp : segment.imports.tx_ops) {
+        pending_tx_imports_.emplace(imp.ref, imp);
+      }
+      for (const auto& imp : segment.imports.var_entries) {
+        pending_var_imports_.emplace(std::make_pair(imp.vid, imp.op), imp);
+      }
+      // Slice-local lint; the global write-order rules run once at Finish.
+      LintEpochContext lint_ctx;
+      lint_ctx.trace_rids = &trace_rids_;
+      lint_ctx.epoch_rids = &epoch_rids_;
+      lint_ctx.var_prec = [this](VarId vid, const OpRef& op) {
+        ResolvedVarEntry entry = ResolveVarEntry(vid, op);
+        return VarPrecLookup{entry.present, entry.is_write};
+      };
+      lint_ctx.tx_op = [this](const TxOpRef& ref) { return ResolveTxOp(ref); };
+      size_t first_new = diagnostics_.size();
+      for (LintDiagnostic& d : LintAdviceEpoch(segment.advice, lint_ctx)) {
+        diagnostics_.push_back(std::move(d));
+      }
+      for (size_t i = first_new; i < diagnostics_.size(); ++i) {
+        if (diagnostics_[i].severity == LintSeverity::kError) {
+          throw RejectError(diagnostics_[i].rule, "advice lint: " + diagnostics_[i].Format());
+        }
+      }
+      BuildAdviceIndices();
+      if (!init_done_) {
+        RunInitialization();
+        init_done_ = true;
+      }
+      StreamTimePrecedence(segment.window);
+      AddProgramEdges();
+      AddBoundaryEdges();
+      AddHandlerRelatedEdges();
+      AddExternalStateEdges();
+      stream_write_order_.insert(stream_write_order_.end(), segment.advice.write_order.begin(),
+                                 segment.advice.write_order.end());
+    }
+    {
+      PhaseTimer t(&profile_.reexec_seconds);
+      ReExec();
+    }
+  } catch (const RejectError& e) {
+    decided_ = true;
+    decided_reason_ = e.reason;
+    decided_rule_ = e.rule;
+  } catch (const std::exception& e) {
+    decided_ = true;
+    decided_reason_ = std::string("re-execution fault: ") + e.what();
+  }
+  StreamEndEpoch(segment);
+  ++epochs_fed_;
+}
+
+size_t Verifier::MeasureResidentBytes(const EpochSegment& segment) const {
+  // What the session must hold to keep auditing: this epoch's slice and
+  // imports plus the carried state of every completed epoch, measured in
+  // serialized bytes (the same metric as the one-shot advice footprint).
+  ByteWriter w;
+  segment.advice.Serialize(&w);
+  segment.imports.Serialize(&w);
+  for (const auto& [txn, size] : txn_size_carry_) {
+    w.WriteVarint(txn.rid);
+    w.WriteVarint(txn.tid);
+    w.WriteVarint(size);
+  }
+  for (const auto& [ref, put] : put_carry_) {
+    SerializeTxOpRef(ref, &w);
+    w.WriteString(put.key);
+    w.WriteValue(put.value);
+    w.WriteVarint(put.hid);
+    w.WriteVarint(put.opnum);
+  }
+  for (const auto& [key, carry] : var_carry_) {
+    w.WriteVarint(key.first);
+    SerializeOpRef(key.second, &w);
+    w.WriteBool(carry.is_write);
+    if (carry.is_write) {
+      w.WriteValue(carry.value);
+    }
+  }
+  return w.size();
+}
+
+void Verifier::StreamEndEpoch(const EpochSegment& segment) {
+  peak_resident_ = std::max(peak_resident_, MeasureResidentBytes(segment));
+
+  // Fold the slice into the carries: transaction shapes + PUT payloads, and
+  // var-log entries (reads kind-only — nothing ever feeds from a read).
+  for (const auto& [txn, log] : segment.advice.tx_logs) {
+    txn_size_carry_[txn] = static_cast<uint32_t>(log.size());
+    for (uint32_t i = 1; i <= log.size(); ++i) {
+      const TxOperation& op = log[i - 1];
+      if (op.type == TxOpType::kPut) {
+        put_carry_[TxOpRef{txn.rid, txn.tid, i}] = PutCarry{op.key, op.put_value, op.hid, op.opnum};
+      }
+    }
+  }
+  for (const auto& [vid, log] : segment.advice.var_logs) {
+    for (const auto& [op, entry] : log) {
+      bool is_write = entry.kind == VarLogEntry::Kind::kWrite;
+      var_carry_[{vid, op}] = VarCarry{is_write, is_write ? entry.value : Value()};
+    }
+  }
+
+  // Drop everything scoped to the finished epoch. The graph, vars_ (minus
+  // pruned var_dict payloads), history_, balance, carried indices, and the
+  // accumulated write order are all that survive.
+  advice_ = nullptr;
+  op_map_.clear();
+  activated_handlers_.clear();
+  executed_.clear();
+  responded_.clear();
+  var_log_touched_.clear();
+  tx_positions_.clear();
+  parents_.clear();
+  opcount_idx_.clear();
+  nondet_idx_.clear();
+  var_log_idx_.clear();
+  tx_log_idx_.clear();
+  handler_log_idx_.clear();
+  resp_idx_.clear();
+  for (RequestId rid : epoch_rids_) {
+    request_inputs_.erase(rid);
+    responses_.erase(rid);
+  }
+  // var_dict payloads for this epoch's requests are dead weight: later
+  // epochs' dictionary climbs only visit their own requests plus init.
+  for (auto& [vid, var] : vars_) {
+    std::vector<std::pair<RequestId, HandlerId>> doomed;
+    for (const auto& [key, writes] : var.var_dict) {
+      if (key.first != kInitRequestId) {
+        var_dict_entries_pruned_ += writes.size();
+        doomed.push_back(key);
+      }
+    }
+    for (const auto& key : doomed) {
+      var.var_dict.erase(key);
+    }
+  }
+}
+
+void Verifier::StreamConfirmImports() {
+  // Every forward allegation the stream consumed must match what the real
+  // slice carried once its epoch arrived. Wrong continuity data can only
+  // cause rejection (§2.1's advice property, applied to the slicer).
+  for (const auto& [ref, imp] : pending_tx_imports_) {
+    bool real_txn = false;
+    bool real_op = false;
+    const PutCarry* real_put = nullptr;
+    auto size_it = txn_size_carry_.find(TxnKey{ref.rid, ref.tid});
+    if (size_it != txn_size_carry_.end()) {
+      real_txn = true;
+      if (ref.index >= 1 && ref.index <= size_it->second) {
+        real_op = true;
+        auto put_it = put_carry_.find(ref);
+        if (put_it != put_carry_.end()) {
+          real_put = &put_it->second;
+        }
+      }
+    }
+    bool ok = real_txn == imp.txn_present && real_op == imp.op_present;
+    if (ok && imp.op_present) {
+      // Only PUT-ness and PUT payloads can influence any consumer, so that is
+      // what the confirmation pins down.
+      bool imp_is_put = static_cast<TxOpType>(imp.type) == TxOpType::kPut;
+      ok = (real_put != nullptr) == imp_is_put;
+      if (ok && imp_is_put) {
+        ok = real_put->key == imp.key && real_put->value == imp.value &&
+             real_put->hid == imp.hid && real_put->opnum == imp.opnum;
+      }
+    }
+    if (!ok) {
+      Reject("continuity import for " + ref.ToString() + " does not match the advice it mirrors");
+    }
+  }
+  for (const auto& [key, imp] : pending_var_imports_) {
+    auto carry_it = var_carry_.find(key);
+    bool ok;
+    if (carry_it == var_carry_.end()) {
+      ok = !imp.present;
+    } else {
+      const VarCarry& carry = carry_it->second;
+      bool imp_is_write = static_cast<VarLogEntry::Kind>(imp.kind) == VarLogEntry::Kind::kWrite;
+      ok = imp.present && carry.is_write == imp_is_write &&
+           (!carry.is_write || carry.value == imp.value);
+    }
+    if (!ok) {
+      Reject("continuity import for variable log entry " + key.second.ToString() +
+             " does not match the advice it mirrors");
+    }
+  }
+}
+
+AuditResult Verifier::StreamFinish() {
+  AuditResult result;
+  PhaseTimer total_timer(&profile_.total_seconds);
+  if (decided_) {
+    result.reason = decided_reason_;
+    result.rule = decided_rule_;
+  } else {
+    try {
+      PhaseTimer t(&profile_.postprocess_seconds);
+      // The stream must have covered every epoch the trace mentions; a rid
+      // beyond the last fed epoch would otherwise silently skip re-execution.
+      for (RequestId rid : trace_rids_) {
+        if (EpochOfRid(rid, epoch_requests_) >= epochs_fed_) {
+          Reject("trace contains requests beyond the final advice epoch");
+        }
+      }
+      // Residual imbalance: responses the stream never delivered. balance_ is
+      // sorted, so the smallest rid reports — same as the one-shot check.
+      for (const auto& [rid, state] : balance_) {
+        if (state != 2) {
+          Reject("trace is not balanced: request " + std::to_string(rid) + " has no response");
+        }
+      }
+      // Global write-order lint over the concatenated order (rules 009/010).
+      size_t first_new = diagnostics_.size();
+      LintWriteOrder(stream_write_order_,
+                     [this](const TxOpRef& ref) { return ResolveTxOp(ref); }, &diagnostics_);
+      for (size_t i = first_new; i < diagnostics_.size(); ++i) {
+        if (diagnostics_[i].severity == LintSeverity::kError) {
+          throw RejectError(diagnostics_[i].rule, "advice lint: " + diagnostics_[i].Format());
+        }
+      }
+      StreamConfirmImports();
+      IsolationCheckResult iso = CheckIsolationIndexed(
+          config_.isolation, [this](const TxOpRef& ref) { return ResolveTxOp(ref); },
+          stream_write_order_, history_);
+      stats_.isolation_dg_nodes = iso.dg_nodes;
+      stats_.isolation_dg_edges = iso.dg_edges;
+      if (!iso.ok) {
+        Reject("isolation verification failed: " + iso.reason);
+      }
+      Postprocess();
+      result.accepted = true;
+    } catch (const RejectError& e) {
+      result.reason = e.reason;
+      result.rule = e.rule;
+    } catch (const std::exception& e) {
+      result.reason = std::string("re-execution fault: ") + e.what();
+    }
+  }
+  // Race findings sit after every lint diagnostic, matching their position in
+  // the one-shot result (RunAnalysisPasses appends them last).
+  if (untracked_accesses_ != nullptr) {
+    for (LintDiagnostic& d :
+         RaceFindingsToDiagnostics(DetectUntrackedRaces(*untracked_accesses_))) {
+      diagnostics_.push_back(std::move(d));
+    }
+  }
+  result.diagnostics = std::move(diagnostics_);
+  diagnostics_.clear();
+  stats_.graph_nodes = graph_.node_count();
+  stats_.graph_edges = graph_.edge_count();
+  stats_.var_dict_entries = var_dict_entries_pruned_;
+  for (const auto& [vid, var] : vars_) {
+    for (const auto& [key, writes] : var.var_dict) {
+      stats_.var_dict_entries += writes.size();
+    }
+  }
+  result.stats = stats_;
+  total_timer.Stop();
+  profile_.ops_executed = stats_.ops_executed;
+  result.profile = profile_;
+  return result;
 }
 
 }  // namespace karousos

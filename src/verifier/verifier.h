@@ -31,6 +31,7 @@
 #include "src/kem/program.h"
 #include "src/multivalue/multivalue.h"
 #include "src/server/advice.h"
+#include "src/server/rollover.h"
 #include "src/trace/trace.h"
 
 namespace karousos {
@@ -96,6 +97,7 @@ struct RejectError {
 };
 
 class ReplayCtx;
+class AuditSession;
 
 class Verifier {
  public:
@@ -117,6 +119,7 @@ class Verifier {
 
  private:
   friend class ReplayCtx;
+  friend class AuditSession;
 
   // Location of an operation in the advice logs (Figure 14's OpMap).
   struct OpLocation {
@@ -226,6 +229,55 @@ class Verifier {
   void Postprocess();
   void AddInternalStateEdges();
 
+  // --- Epoch-streaming support (driven by AuditSession) --------------------
+  //
+  // The streaming audit feeds one EpochSegment at a time. Each epoch runs the
+  // slice-local preprocess passes and re-executes the epoch's groups, then
+  // StreamEndEpoch folds the slice into compact carried state and drops the
+  // per-epoch structures. Globally-scoped checks (write-order lint, isolation,
+  // internal-state edges, the graph cycle check, import confirmation) run once
+  // at StreamFinish, which assembles the verdict. The one-shot Audit() path is
+  // untouched: streaming_ is false there and every ResolveTxOp/ResolveVarEntry
+  // call collapses to the original direct index lookup.
+
+  // Carried view of a completed epoch's PUT (everything any later consumer —
+  // GET feed, WR edge, write-order lint, isolation extraction — can ask for).
+  struct PutCarry {
+    std::string key;
+    Value value;
+    HandlerId hid = 0;
+    OpNum opnum = 0;
+  };
+  // Carried view of a var-log entry. Reads drop their value: no consumer ever
+  // feeds from a read entry, and keeping read values resident would make the
+  // carry as large as the advice itself.
+  struct VarCarry {
+    bool is_write = false;
+    Value value;
+  };
+  // Resolution of a variable-log coordinate across epoch boundaries. `value`
+  // is null for carried reads (see VarCarry); it is always set for writes.
+  struct ResolvedVarEntry {
+    bool present = false;
+    bool is_write = false;
+    const Value* value = nullptr;
+  };
+
+  // Resolve a transaction-log / var-log coordinate: current slice first (the
+  // one-shot lookup, and the only step taken when !streaming_), then carried
+  // state from completed epochs, then forward continuity imports.
+  ResolvedTxOp ResolveTxOp(const TxOpRef& ref) const;
+  ResolvedVarEntry ResolveVarEntry(VarId vid, const OpRef& op) const;
+
+  void StreamBegin(uint64_t epoch_requests);
+  void StreamEpoch(const EpochSegment& segment);
+  AuditResult StreamFinish();
+  void StreamIngestWindow(const std::vector<TraceEvent>& window);
+  void StreamTimePrecedence(const std::vector<TraceEvent>& window);
+  void StreamEndEpoch(const EpochSegment& segment);
+  void StreamConfirmImports();
+  size_t MeasureResidentBytes(const EpochSegment& segment) const;
+
   // The canonical handler-matching order shared with the server: global
   // handlers in registration order, then per-request registrations in
   // registration order.
@@ -291,6 +343,45 @@ class Verifier {
 
   AuditStats stats_;
   AuditProfile profile_;
+
+  // --- Streaming state (untouched on the one-shot path) --------------------
+  // All cross-epoch containers are std::map/std::set: their sorted iteration
+  // order is the checkpoint wire format, which must be canonical.
+  bool streaming_ = false;
+  bool init_done_ = false;
+  uint64_t epoch_requests_ = 0;
+  uint64_t epochs_fed_ = 0;
+  // A rejection raised mid-stream; the verdict is still only assembled at
+  // StreamFinish (later segments are drained without further work).
+  bool decided_ = false;
+  std::string decided_reason_;
+  std::string decided_rule_;
+  // Requests belonging to the epoch currently being fed.
+  std::set<RequestId> epoch_rids_;
+  // Request lifecycle over the whole stream: 1 arrived, 2 responded.
+  std::map<RequestId, uint8_t> balance_;
+  // Time-precedence chain state carried across trace windows.
+  uint64_t tp_epoch_count_ = 0;
+  bool tp_have_epoch_ = false;
+  NodeKey tp_current_epoch_{};
+  std::vector<RequestId> tp_pending_responses_;
+  // The alleged global write order, concatenated from per-epoch chunks.
+  WriteOrder stream_write_order_;
+  // Carried state from completed epochs (everything later epochs or the
+  // Finish-time global checks can reference).
+  std::map<TxnKey, uint32_t> txn_size_carry_;
+  std::map<TxOpRef, PutCarry> put_carry_;
+  std::map<std::pair<VarId, OpRef>, VarCarry> var_carry_;
+  // Forward continuity imports, trusted provisionally during the stream and
+  // confirmed against the carries at Finish.
+  std::map<TxOpRef, ContinuityImports::TxOpImport> pending_tx_imports_;
+  std::map<std::pair<VarId, OpRef>, ContinuityImports::VarImport> pending_var_imports_;
+  // var_dict entries dropped by per-epoch pruning, so the final
+  // stats.var_dict_entries matches the one-shot count.
+  size_t var_dict_entries_pruned_ = 0;
+  // High-water mark of serialized resident advice-derived bytes (slice +
+  // imports + carries), the quantity the epoch bench plots.
+  size_t peak_resident_ = 0;
 };
 
 }  // namespace karousos

@@ -1,0 +1,155 @@
+// Corruption hardening for the segment container: a truncated or bit-flipped
+// segment file is indistinguishable from server misbehavior, so decoding must
+// fail cleanly (an error string, never a crash or out-of-bounds read — this
+// test is part of the asan suite). Truncation is exercised at every byte
+// length; bit flips at every bit of every byte.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/segment.h"
+#include "src/common/serde.h"
+
+namespace karousos {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// A three-frame container exercising all kinds, a multi-byte epoch varint
+// (epoch 300), and an empty payload.
+std::vector<uint8_t> MakeContainer() {
+  SegmentWriter writer;
+  writer.Append(SegmentKind::kTrace, 0, Bytes("first window payload"));
+  writer.Append(SegmentKind::kAdvice, 300, Bytes("advice"));
+  writer.Append(SegmentKind::kCheckpoint, 1, {});
+  return writer.Take();
+}
+
+// Drains the reader; returns frame count, or -1 when the stream errored.
+int Drain(const std::vector<uint8_t>& bytes) {
+  std::string error;
+  auto reader = SegmentReader::FromBytes(bytes.data(), bytes.size(), &error);
+  if (reader == nullptr) {
+    EXPECT_FALSE(error.empty());
+    return -1;
+  }
+  SegmentRecord rec;
+  int frames = 0;
+  while (reader->Next(&rec)) {
+    // Whatever the reader yields must satisfy the container's own checksum
+    // contract: payload bytes match the stored CRC.
+    EXPECT_EQ(rec.crc, Crc32(rec.payload));
+    ++frames;
+  }
+  if (!reader->ok()) {
+    EXPECT_FALSE(reader->error().empty());
+    return -1;
+  }
+  return frames;
+}
+
+TEST(SegmentCorruptionTest, TruncationAtEveryByteFailsCleanly) {
+  std::vector<uint8_t> full = MakeContainer();
+  ASSERT_EQ(Drain(full), 3);
+
+  // Frame boundaries: byte offsets at which a cut leaves a well-formed
+  // (shorter) container. Everything else must error.
+  std::set<size_t> clean_cuts;
+  {
+    std::string error;
+    auto reader = SegmentReader::FromBytes(full.data(), full.size(), &error);
+    ASSERT_NE(reader, nullptr);
+    SegmentRecord rec;
+    while (reader->Next(&rec)) {
+      clean_cuts.insert(static_cast<size_t>(rec.offset));
+    }
+    clean_cuts.insert(full.size());
+  }
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<uint8_t> truncated(full.begin(), full.begin() + cut);
+    int frames = Drain(truncated);
+    if (clean_cuts.count(cut) != 0) {
+      EXPECT_GE(frames, 0) << "clean frame boundary at " << cut << " errored";
+    } else {
+      EXPECT_EQ(frames, -1) << "mid-frame truncation at " << cut << " not detected";
+    }
+  }
+}
+
+TEST(SegmentCorruptionTest, BitFlipAtEveryPositionFailsCleanlyOrIsCaught) {
+  std::vector<uint8_t> full = MakeContainer();
+  const size_t header = sizeof(kSegmentMagic) + 1;
+
+  // Payload and CRC byte ranges, where a flip MUST produce a hard error (the
+  // checksum seals them). Flips in kind/epoch/length bytes may instead
+  // re-frame the stream; there the requirement is only a clean outcome —
+  // either an error or frames that still satisfy the CRC contract (asserted
+  // inside Drain) — never a crash or overread.
+  // A frame is kind + epoch varint + length varint + crc(4) + payload, so
+  // each frame's sealed bytes are the last 4 + |payload| before the next
+  // frame's offset (or the file end).
+  std::set<size_t> sealed;
+  {
+    std::string error;
+    auto reader = SegmentReader::FromBytes(full.data(), full.size(), &error);
+    ASSERT_NE(reader, nullptr);
+    std::vector<size_t> offsets;
+    std::vector<size_t> payload_sizes;
+    SegmentRecord rec;
+    while (reader->Next(&rec)) {
+      offsets.push_back(static_cast<size_t>(rec.offset));
+      payload_sizes.push_back(rec.payload.size());
+    }
+    offsets.push_back(full.size());
+    for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+      size_t sealed_begin = offsets[i + 1] - payload_sizes[i] - 4;
+      for (size_t b = sealed_begin; b < offsets[i + 1]; ++b) {
+        sealed.insert(b);
+      }
+    }
+  }
+
+  for (size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> flipped = full;
+      flipped[byte] = static_cast<uint8_t>(flipped[byte] ^ (1u << bit));
+      int frames = Drain(flipped);
+      if (byte < header) {
+        EXPECT_EQ(frames, -1) << "header flip at byte " << byte << " bit " << bit
+                              << " not detected";
+      } else if (sealed.count(byte) != 0) {
+        EXPECT_EQ(frames, -1) << "sealed-region flip at byte " << byte << " bit " << bit
+                              << " survived the CRC";
+      }
+      // Framing-byte flips: Drain already asserted no crash and CRC-valid
+      // payloads for whatever was yielded.
+    }
+  }
+}
+
+TEST(SegmentCorruptionTest, EmptyAndHeaderOnlyInputs) {
+  EXPECT_EQ(Drain({}), -1);
+  std::vector<uint8_t> header = {'K', 'S', 'E', 'G', kSegmentFormatVersion};
+  EXPECT_EQ(Drain(header), 0);  // A container with zero frames is valid.
+  header.pop_back();
+  EXPECT_EQ(Drain(header), -1);  // Magic without a version byte is not.
+}
+
+TEST(SegmentCorruptionTest, DeclaredLengthBeyondFileIsRejected) {
+  SegmentWriter writer;
+  writer.Append(SegmentKind::kTrace, 0, Bytes("payload"));
+  std::vector<uint8_t> bytes = writer.Take();
+  // Frame layout after the 5-byte header: kind, epoch, length, crc, payload.
+  // Inflate the declared length far past the file size.
+  bytes[7] = 0x7f;
+  EXPECT_EQ(Drain(bytes), -1);
+}
+
+}  // namespace
+}  // namespace karousos

@@ -83,5 +83,29 @@ TEST(TraceTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(Trace::Deserialize(&r).has_value());
 }
 
+TEST(TraceIndexTest, MatchesTheLinearScanMethods) {
+  Trace trace = MakeBalanced();
+  TraceIndex index(trace);
+  for (RequestId rid = 0; rid <= 4; ++rid) {
+    EXPECT_EQ(index.RequestInput(rid), trace.RequestInput(rid)) << "rid " << rid;
+    EXPECT_EQ(index.Response(rid), trace.Response(rid)) << "rid " << rid;
+  }
+}
+
+TEST(TraceIndexTest, DuplicatesYieldNullopt) {
+  Trace trace;
+  trace.events.push_back({TraceEvent::Kind::kRequest, 1, Value("a")});
+  trace.events.push_back({TraceEvent::Kind::kRequest, 1, Value("b")});
+  trace.events.push_back({TraceEvent::Kind::kResponse, 1, Value("x")});
+  trace.events.push_back({TraceEvent::Kind::kResponse, 1, Value("y")});
+  TraceIndex index(trace);
+  // Same contract as the scan methods: a duplicated event makes the lookup
+  // report absence rather than picking a winner.
+  EXPECT_FALSE(index.RequestInput(1).has_value());
+  EXPECT_FALSE(index.Response(1).has_value());
+  EXPECT_EQ(index.RequestInput(1), trace.RequestInput(1));
+  EXPECT_EQ(index.Response(1), trace.Response(1));
+}
+
 }  // namespace
 }  // namespace karousos

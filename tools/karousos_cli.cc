@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,7 +23,9 @@
 #include "src/analysis/lint.h"
 #include "src/analysis/race.h"
 #include "src/audit/audit.h"
+#include "src/audit/stream.h"
 #include "src/common/json.h"
+#include "src/common/segment.h"
 #include "src/workload/workload.h"
 
 namespace karousos {
@@ -36,11 +39,19 @@ int Usage() {
                "                  [--isolation ser|rc|ru] --out-trace FILE --out-advice FILE\n"
                "  karousos audit  --app <motd|stacks|wiki> --trace FILE --advice FILE\n"
                "                  [--isolation ser|rc|ru] [--threads N] [--profile]\n"
+               "                  [--epoch-size N] [--checkpoint FILE] [--resume FILE]\n"
                "      --threads: audit-group parallelism (1 = serial, 0 = all hardware\n"
                "      threads); the verdict is identical for every value\n"
                "      --profile: print phase-timing JSON (Preprocess/ReExec/Postprocess)\n"
+               "      --epoch-size: stream the audit in epochs of N requests (0 = one\n"
+               "      epoch); same verdict as the one-shot audit, bounded advice memory\n"
+               "      --checkpoint: save the carry state to FILE after every epoch\n"
+               "      --resume: restore the carry state from FILE and continue from the\n"
+               "      first unaudited epoch\n"
                "  karousos tamper --trace FILE --out FILE\n"
-               "  karousos inspect --advice FILE\n"
+               "  karousos inspect --advice FILE | --trace FILE\n"
+               "      advice/trace files print composition; segment containers print\n"
+               "      per-epoch frame headers (kind, epoch, payload size, CRC)\n"
                "  karousos analyze --trace FILE --advice FILE\n"
                "      lint the advice against the trace; exit 1 on findings\n"
                "  karousos analyze --races --app <motd|stacks|wiki> [--workload ...]\n"
@@ -78,10 +89,14 @@ struct Args {
   std::string advice_path;
   std::string out_path;
   std::string inputs_path;  // JSON-lines request stream (overrides --workload).
+  std::string checkpoint_path;
+  std::string resume_path;
   size_t requests = 200;
   int concurrency = 8;
   uint64_t seed = 1;
   unsigned threads = 1;
+  uint64_t epoch_size = 0;
+  bool epoch_size_set = false;
   bool races = false;
   bool profile = false;
 };
@@ -138,6 +153,13 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.seed = std::stoull(value);
     } else if (flag == "--threads") {
       args.threads = static_cast<unsigned>(std::stoul(value));
+    } else if (flag == "--epoch-size") {
+      args.epoch_size = std::stoull(value);
+      args.epoch_size_set = true;
+    } else if (flag == "--checkpoint") {
+      args.checkpoint_path = value;
+    } else if (flag == "--resume") {
+      args.resume_path = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -266,8 +288,52 @@ int CmdAudit(const Args& args) {
     return 1;
   }
   AppSpec app = MakeApp(args.app);
-  AuditResult audit = AuditOnly(app, *trace, *advice,
-                                VerifierConfig{ParseIsolation(args.isolation), args.threads});
+  VerifierConfig config{ParseIsolation(args.isolation), args.threads};
+
+  AuditResult audit;
+  if (args.epoch_size_set || !args.resume_path.empty() || !args.checkpoint_path.empty()) {
+    // Epoch-streamed path: slice the inputs, feed one epoch at a time, and
+    // (optionally) persist the carry state after every epoch.
+    std::unique_ptr<AuditSession> session;
+    if (!args.resume_path.empty()) {
+      auto checkpoint = ReadFile(args.resume_path);
+      if (!checkpoint) {
+        std::fprintf(stderr, "failed to read %s\n", args.resume_path.c_str());
+        return 1;
+      }
+      std::string error;
+      session = AuditSession::Restore(*app.program, config, *checkpoint, &error);
+      if (session == nullptr) {
+        std::printf("REJECTED: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("resumed from %s at epoch %llu\n", args.resume_path.c_str(),
+                  static_cast<unsigned long long>(session->next_epoch()));
+    } else {
+      session = std::make_unique<AuditSession>(*app.program, config, args.epoch_size);
+    }
+    // Resume must re-slice at the checkpoint's epoch size, or epoch indices
+    // would not line up with the audited prefix.
+    EpochSlices slices = SliceRun(*trace, *advice, session->epoch_requests());
+    bool checkpoint_failed = false;
+    FeedRemaining(session.get(), slices, [&](AuditSession& s) {
+      if (!args.checkpoint_path.empty() &&
+          !WriteFile(args.checkpoint_path, s.SaveCheckpoint())) {
+        checkpoint_failed = true;
+      }
+    });
+    if (checkpoint_failed) {
+      std::fprintf(stderr, "failed to write %s\n", args.checkpoint_path.c_str());
+      return 1;
+    }
+    audit = session->Finish();
+    std::printf("streamed %zu epochs (epoch size %llu), peak resident advice %zu B\n",
+                slices.segments.size(),
+                static_cast<unsigned long long>(session->epoch_requests()),
+                session->peak_resident_advice_bytes());
+  } else {
+    audit = AuditOnly(app, *trace, *advice, config);
+  }
   if (args.profile) {
     std::printf("%s\n", AuditProfileToJson(audit.profile).c_str());
   }
@@ -315,14 +381,88 @@ int CmdTamper(const Args& args) {
   return 0;
 }
 
+// Walks a segment container and prints one line per frame: offset, kind,
+// epoch, payload size, CRC, and (for decodable kinds) the payload's counts.
+int InspectSegments(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::string error;
+  auto reader = SegmentReader::FromBytes(bytes.data(), bytes.size(), &error);
+  if (reader == nullptr) {
+    std::printf("malformed segment container: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: segment container, format v%u, %zu B\n", path.c_str(),
+              kSegmentFormatVersion, bytes.size());
+  SegmentRecord record;
+  size_t frames = 0;
+  while (reader->Next(&record)) {
+    ++frames;
+    std::printf("  @%-8llu %-10s epoch %-4llu payload %8zu B  crc 0x%08x",
+                static_cast<unsigned long long>(record.offset),
+                SegmentKindName(record.kind),
+                static_cast<unsigned long long>(record.epoch), record.payload.size(),
+                record.crc);
+    if (record.kind == SegmentKind::kTrace) {
+      auto window = DecodeTraceSegmentPayload(record.payload);
+      if (window) {
+        std::printf("  (%zu events)", window->size());
+      } else {
+        std::printf("  (undecodable payload)");
+      }
+    } else if (record.kind == SegmentKind::kAdvice) {
+      auto payload = DecodeAdviceSegmentPayload(record.payload);
+      if (payload) {
+        std::printf("  (%zu requests, %zu var-log entries, %zu txns, %zu imports)",
+                    payload->advice.tags.size(), payload->advice.var_log_entry_count(),
+                    payload->advice.tx_logs.size(),
+                    payload->imports.tx_ops.size() + payload->imports.var_entries.size());
+      } else {
+        std::printf("  (undecodable payload)");
+      }
+    }
+    std::printf("\n");
+  }
+  if (!reader->ok()) {
+    std::printf("  malformed after %zu frame(s): %s\n", frames, reader->error().c_str());
+    return 1;
+  }
+  std::printf("%zu frame(s)\n", frames);
+  return 0;
+}
+
 int CmdInspect(const Args& args) {
-  if (args.advice_path.empty()) {
+  const bool have_advice = !args.advice_path.empty();
+  const bool have_trace = !args.trace_path.empty();
+  if (have_advice == have_trace) {
     return Usage();
   }
-  auto bytes = ReadFile(args.advice_path);
+  const std::string& path = have_advice ? args.advice_path : args.trace_path;
+  auto bytes = ReadFile(path);
   if (!bytes) {
-    std::fprintf(stderr, "failed to read advice\n");
+    std::fprintf(stderr, "failed to read %s\n", path.c_str());
     return 1;
+  }
+  if (LooksLikeSegmentFile(*bytes)) {
+    return InspectSegments(path, *bytes);
+  }
+  if (have_trace) {
+    ByteReader trace_reader(*bytes);
+    auto trace = Trace::Deserialize(&trace_reader);
+    if (!trace) {
+      std::printf("malformed trace file\n");
+      return 1;
+    }
+    size_t requests = 0;
+    size_t responses = 0;
+    for (const TraceEvent& ev : trace->events) {
+      if (ev.kind == TraceEvent::Kind::kRequest) {
+        ++requests;
+      } else {
+        ++responses;
+      }
+    }
+    std::printf("trace: %zu events (%zu requests, %zu responses), %zu B\n",
+                trace->events.size(), requests, responses, bytes->size());
+    return 0;
   }
   ByteReader reader(*bytes);
   auto advice = Advice::Deserialize(&reader);
