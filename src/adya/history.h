@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/ids.h"
 #include "src/common/value.h"
 
@@ -44,6 +45,13 @@ struct TxnKey {
 
   friend bool operator==(const TxnKey&, const TxnKey&) = default;
   friend auto operator<=>(const TxnKey&, const TxnKey&) = default;
+};
+
+template <>
+struct FlatHash<TxnKey> {
+  size_t operator()(const TxnKey& k) const {
+    return static_cast<size_t>(HashMix64(SplitMix64(k.rid), k.tid));
+  }
 };
 
 // Map ordering keeps iteration deterministic (the verifier's behaviour, and

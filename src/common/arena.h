@@ -73,6 +73,46 @@ class Arena {
   size_t bytes_reserved_ = 0;
 };
 
+// Append-only log of trivially-destructible records whose storage comes from
+// an arena in fixed-size chunks. Growing never relocates existing records
+// (unlike std::vector, which re-copies everything on each doubling), and a
+// run's worth of per-request lanes is released wholesale by resetting the
+// arena. The owning arena must outlive every access.
+template <typename T, size_t kChunkEntries = 32>
+class ArenaLog {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena storage never runs destructors");
+
+ public:
+  void Append(Arena* arena, const T& record) {
+    if (size_ == chunks_.size() * kChunkEntries) {
+      chunks_.push_back(arena->AllocateArray<T>(kChunkEntries));
+    }
+    chunks_[size_ / kChunkEntries][size_ % kChunkEntries] = record;
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const { return chunks_[i / kChunkEntries][i % kChunkEntries]; }
+
+  // Flattens into a contiguous vector (the shape the advice wire format and
+  // the verifier expect).
+  std::vector<T> ToVector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back((*this)[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<T*> chunks_;
+  size_t size_ = 0;
+};
+
 }  // namespace karousos
 
 #endif  // SRC_COMMON_ARENA_H_

@@ -22,4 +22,16 @@ std::string TxOpRef::ToString() const {
   return out.str();
 }
 
+NameDigestCache::Slot& NameDigestCache::SlotFor(std::string_view name, uint64_t salt) {
+  // Slot selection only has to be cheap and spread the (few) hot names; the
+  // byte comparison in Get carries correctness. First/last characters and the
+  // length distinguish sibling names ("stack_count" vs "stack_total") without
+  // walking the whole string.
+  uint64_t h = salt * 0x9e3779b97f4a7c15ULL + name.size() * 131;
+  if (!name.empty()) {
+    h += static_cast<uint8_t>(name.front()) * 31 + static_cast<uint8_t>(name.back()) * 7;
+  }
+  return slots_[(h ^ (h >> 13)) & (kSlotCount - 1)];
+}
+
 }  // namespace karousos

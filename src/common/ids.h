@@ -107,6 +107,59 @@ struct TxOpRefHash {
   }
 };
 
+// Direct-mapped memo of (name, salt) -> 64-bit digest for the collector's
+// hot path, where the same handful of variable / event / function names are
+// digested once per operation. A hit validates the cached bytes with a plain
+// comparison (cheaper than the FNV multiply chain it replaces), so the cache
+// is sound for any argument storage — dynamic strings that reuse an address
+// with different contents simply miss. Names longer than kMaxNameLength
+// bypass the cache entirely.
+class NameDigestCache {
+ public:
+  static constexpr size_t kSlotCount = 256;  // Power of two.
+  static constexpr size_t kMaxNameLength = 40;
+
+  // Cached digest for (name, salt); `compute` supplies the value on a miss.
+  template <typename Fn>
+  uint64_t Get(std::string_view name, uint64_t salt, Fn&& compute) {
+    if (name.size() > kMaxNameLength) {
+      return compute();
+    }
+    Slot& slot = SlotFor(name, salt);
+    if (slot.used && slot.salt == salt && slot.length == name.size() &&
+        std::char_traits<char>::compare(slot.bytes, name.data(), name.size()) == 0) {
+      ++hits_;
+      return slot.digest;
+    }
+    ++misses_;
+    uint64_t digest = compute();
+    slot.used = true;
+    slot.salt = salt;
+    slot.length = static_cast<uint32_t>(name.size());
+    std::char_traits<char>::copy(slot.bytes, name.data(), name.size());
+    slot.digest = digest;
+    return digest;
+  }
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct Slot {
+    bool used = false;
+    uint32_t length = 0;
+    uint64_t salt = 0;
+    uint64_t digest = 0;
+    char bytes[kMaxNameLength] = {};
+  };
+
+  Slot& SlotFor(std::string_view name, uint64_t salt);
+
+  Slot slots_[kSlotCount];
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
 }  // namespace karousos
 
 #endif  // SRC_COMMON_IDS_H_

@@ -3,23 +3,32 @@
 namespace karousos {
 
 void ByteWriter::WriteVarint(uint64_t v) {
+  // Encode into a stack scratch first so the vector pays one growth check
+  // per varint instead of one per byte (10 bytes max for a 64-bit value).
+  uint8_t scratch[10];
+  size_t n = 0;
   while (v >= 0x80) {
-    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    scratch[n++] = static_cast<uint8_t>(v) | 0x80;
     v >>= 7;
   }
-  buf_.push_back(static_cast<uint8_t>(v));
+  scratch[n++] = static_cast<uint8_t>(v);
+  buf_.insert(buf_.end(), scratch, scratch + n);
 }
 
 void ByteWriter::WriteFixed64(uint64_t v) {
+  uint8_t scratch[8];
   for (int i = 0; i < 8; ++i) {
-    buf_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+    scratch[i] = static_cast<uint8_t>(v >> (i * 8));
   }
+  buf_.insert(buf_.end(), scratch, scratch + 8);
 }
 
 void ByteWriter::WriteFixed32(uint32_t v) {
+  uint8_t scratch[4];
   for (int i = 0; i < 4; ++i) {
-    buf_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+    scratch[i] = static_cast<uint8_t>(v >> (i * 8));
   }
+  buf_.insert(buf_.end(), scratch, scratch + 4);
 }
 
 void ByteWriter::WriteString(std::string_view s) {

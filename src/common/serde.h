@@ -29,6 +29,14 @@ class ByteWriter {
   void WriteValue(const Value& v);
   void WriteBool(bool b) { WriteByte(b ? 1 : 0); }
 
+  // Pre-sizes the backing buffer so a burst of writes (one advice component,
+  // one epoch payload) appends without reallocating.
+  void Reserve(size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+  // Rewinds to empty while keeping the allocation, so one writer can be
+  // reused across epochs / components instead of reallocating per use.
+  void Clear() { buf_.clear(); }
+  size_t capacity() const { return buf_.capacity(); }
+
   const std::vector<uint8_t>& bytes() const { return buf_; }
   size_t size() const { return buf_.size(); }
   std::vector<uint8_t> Take() { return std::move(buf_); }

@@ -16,4 +16,16 @@ std::string LabelToString(const HandlerLabel& label) {
   return out.str();
 }
 
+LabelStore::Ref LabelStore::AppendChild(Ref parent, uint32_t num) {
+  // Build the child from the parent in place: reserve exact size so the one
+  // copy this label ever needs happens here, not per variable write.
+  const HandlerLabel& parent_label = labels_[parent];
+  HandlerLabel child;
+  child.reserve(parent_label.size() + 1);
+  child.assign(parent_label.begin(), parent_label.end());
+  child.push_back(num);
+  labels_.push_back(std::move(child));
+  return static_cast<Ref>(labels_.size() - 1);
+}
+
 }  // namespace karousos

@@ -59,6 +59,29 @@ inline bool RConcurrent(const OpRef& a, const HandlerLabel& label_a, const OpRef
   return !RPrecedes(a, label_a, b, label_b) && !RPrecedes(b, label_b, a, label_a);
 }
 
+// Interning store for handler labels. The collector's hot path used to copy a
+// HandlerLabel vector into every tracked variable on every write (the
+// variable's last-write label, consulted by the R-concurrency test); the
+// store keeps each activation's label exactly once and hands out dense
+// 32-bit refs instead. Ref 0 is always the empty label (the init
+// pseudo-handler / per-request root), so value-initialized refs are valid.
+class LabelStore {
+ public:
+  using Ref = uint32_t;
+  static constexpr Ref kEmpty = 0;
+
+  LabelStore() { labels_.emplace_back(); }
+
+  // Interns parent/num (§5's label construction) and returns its ref.
+  Ref AppendChild(Ref parent, uint32_t num);
+
+  const HandlerLabel& Get(Ref ref) const { return labels_[ref]; }
+  size_t size() const { return labels_.size(); }
+
+ private:
+  std::vector<HandlerLabel> labels_;
+};
+
 }  // namespace karousos
 
 #endif  // SRC_KEM_LABEL_H_

@@ -30,6 +30,27 @@ inline VarId ResolveVarId(std::string_view name, VarScope scope, RequestId rid) 
   return d.Finish();
 }
 
+// Memoized ResolveVarId for the collector's per-access hot path. Handlers
+// name the same few variables over and over; the digest is recomputed only
+// when (name, scope, rid-for-request-scope) misses the cache. Produces
+// bit-identical VarIds to ResolveVarId — the ids are shared with the
+// verifier, so this must never diverge.
+class VarIdCache {
+ public:
+  VarId Resolve(std::string_view name, VarScope scope, RequestId rid) {
+    // Request-scoped names salt with the rid (their ids differ per request);
+    // the other scopes ignore it.
+    uint64_t salt = static_cast<uint64_t>(scope) + 1;
+    if (scope == VarScope::kRequest) {
+      salt = HashMix64(salt, rid);
+    }
+    return cache_.Get(name, salt, [&] { return ResolveVarId(name, scope, rid); });
+  }
+
+ private:
+  NameDigestCache cache_;
+};
+
 }  // namespace karousos
 
 #endif  // SRC_KEM_VARID_H_

@@ -102,37 +102,59 @@ void SerializeTxLogs(const TransactionLogs& logs, ByteWriter* out) {
   }
 }
 
-}  // namespace
-
-void Advice::Serialize(ByteWriter* out) const {
-  SerializeTags(tags, out);
-  SerializeHandlerLogs(handler_logs, out);
-  SerializeVarLogs(var_logs, out);
-  SerializeTxLogs(tx_logs, out);
-  out->WriteVarint(write_order.size());
-  for (const TxOpRef& w : write_order) {
+// Single serialization pass shared by Serialize and MeasureSize: the
+// component boundaries are noted as writer offsets while encoding, so
+// measuring the breakdown no longer costs a second (or sixth) full encode.
+void SerializeWithBreakdown(const Advice& a, ByteWriter* out, Advice::SizeBreakdown* breakdown) {
+  const size_t start = out->size();
+  SerializeTags(a.tags, out);
+  const size_t after_tags = out->size();
+  SerializeHandlerLogs(a.handler_logs, out);
+  const size_t after_hls = out->size();
+  SerializeVarLogs(a.var_logs, out);
+  const size_t after_vls = out->size();
+  SerializeTxLogs(a.tx_logs, out);
+  const size_t after_txls = out->size();
+  out->WriteVarint(a.write_order.size());
+  for (const TxOpRef& w : a.write_order) {
     SerializeTxOpRef(w, out);
   }
-  out->WriteVarint(response_emitted_by.size());
-  for (const auto& [rid, by] : response_emitted_by) {
+  const size_t after_wo = out->size();
+  out->WriteVarint(a.response_emitted_by.size());
+  for (const auto& [rid, by] : a.response_emitted_by) {
     out->WriteVarint(rid);
     out->WriteFixed64(by.first);
     out->WriteVarint(by.second);
   }
-  out->WriteVarint(opcounts.size());
-  for (const auto& [key, count] : opcounts) {
+  out->WriteVarint(a.opcounts.size());
+  for (const auto& [key, count] : a.opcounts) {
     out->WriteVarint(key.first);
     out->WriteFixed64(key.second);
     out->WriteVarint(count);
   }
-  out->WriteVarint(nondet.size());
-  for (const auto& [op, record] : nondet) {
+  out->WriteVarint(a.nondet.size());
+  for (const auto& [op, record] : a.nondet) {
     SerializeOpRef(op, out);
     out->WriteByte(static_cast<uint8_t>(record.kind));
     if (record.kind == NondetRecord::Kind::kValue) {
       out->WriteValue(record.value);
     }
   }
+  if (breakdown != nullptr) {
+    breakdown->tags = after_tags - start;
+    breakdown->handler_logs = after_hls - after_tags;
+    breakdown->var_logs = after_vls - after_hls;
+    breakdown->tx_logs = after_txls - after_vls;
+    breakdown->write_order = after_wo - after_txls;
+    breakdown->other = out->size() - after_wo;
+    breakdown->total = out->size() - start;
+  }
+}
+
+}  // namespace
+
+void Advice::Serialize(ByteWriter* out) const {
+  SerializeWithBreakdown(*this, out, nullptr);
 }
 
 std::optional<Advice> Advice::Deserialize(ByteReader* in) {
@@ -339,40 +361,8 @@ std::optional<Advice> Advice::Deserialize(ByteReader* in) {
 
 Advice::SizeBreakdown Advice::MeasureSize() const {
   SizeBreakdown b;
-  {
-    ByteWriter w;
-    SerializeTags(tags, &w);
-    b.tags = w.size();
-  }
-  {
-    ByteWriter w;
-    SerializeHandlerLogs(handler_logs, &w);
-    b.handler_logs = w.size();
-  }
-  {
-    ByteWriter w;
-    SerializeVarLogs(var_logs, &w);
-    b.var_logs = w.size();
-  }
-  {
-    ByteWriter w;
-    SerializeTxLogs(tx_logs, &w);
-    b.tx_logs = w.size();
-  }
-  {
-    ByteWriter w;
-    w.WriteVarint(write_order.size());
-    for (const TxOpRef& wo : write_order) {
-      SerializeTxOpRef(wo, &w);
-    }
-    b.write_order = w.size();
-  }
-  {
-    ByteWriter w;
-    Serialize(&w);
-    b.total = w.size();
-  }
-  b.other = b.total - b.tags - b.handler_logs - b.var_logs - b.tx_logs - b.write_order;
+  ByteWriter w;
+  SerializeWithBreakdown(*this, &w, &b);
   return b;
 }
 

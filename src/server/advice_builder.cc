@@ -1,0 +1,125 @@
+#include "src/server/advice_builder.h"
+
+#include <algorithm>
+
+namespace karousos {
+
+void AdviceBuilder::AddVarEntry(VarId vid, const OpRef& op, VarLogEntry entry) {
+  auto it = var_index_.find(vid);
+  uint32_t lane;
+  if (it == var_index_.end()) {
+    lane = static_cast<uint32_t>(var_lanes_.size());
+    var_index_.emplace(vid, lane);
+    var_lanes_.push_back(VarLane{vid, {}});
+  } else {
+    lane = it->second;
+  }
+  var_lanes_[lane].entries.emplace_back(op, std::move(entry));
+  ++var_entry_count_;
+}
+
+TransactionLog& AdviceBuilder::TxLog(const TxnKey& txn) {
+  auto it = tx_index_.find(txn);
+  if (it != tx_index_.end()) {
+    return tx_lanes_[it->second].log;
+  }
+  uint32_t lane = static_cast<uint32_t>(tx_lanes_.size());
+  tx_index_.emplace(txn, lane);
+  tx_lanes_.push_back(TxLane{txn, {}});
+  return tx_lanes_[lane].log;
+}
+
+void AdviceBuilder::AddNondet(const OpRef& op, NondetRecord record) {
+  nondet_.emplace_back(op, std::move(record));
+}
+
+void AdviceBuilder::AddOpcount(RequestId rid, HandlerId hid, OpNum count) {
+  opcounts_.emplace_back(std::make_pair(rid, hid), count);
+}
+
+void AdviceBuilder::AddResponse(RequestId rid, HandlerId hid, OpNum opnum) {
+  responses_.emplace_back(rid, std::make_pair(hid, opnum));
+}
+
+void AdviceBuilder::AddRequest(RequestId rid, uint64_t tag, std::vector<HandlerLogEntry>&& log) {
+  requests_.push_back(RequestRow{rid, tag, std::move(log)});
+}
+
+Advice AdviceBuilder::Finalize() {
+  Advice out;
+
+  // Requests: unique rids, so a plain sort then hinted inserts rebuild both
+  // rid-keyed maps in one pass each.
+  std::sort(requests_.begin(), requests_.end(),
+            [](const RequestRow& a, const RequestRow& b) { return a.rid < b.rid; });
+  for (RequestRow& row : requests_) {
+    out.tags.emplace_hint(out.tags.end(), row.rid, row.tag);
+    out.handler_logs.emplace_hint(out.handler_logs.end(), row.rid, std::move(row.log));
+  }
+
+  // Variable logs: lanes sort by vid, entries within a lane by access
+  // coordinates (unique — see AddVarEntry's contract).
+  std::sort(var_lanes_.begin(), var_lanes_.end(),
+            [](const VarLane& a, const VarLane& b) { return a.vid < b.vid; });
+  for (VarLane& lane : var_lanes_) {
+    std::sort(lane.entries.begin(), lane.entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    VarLog log;
+    for (auto& [op, entry] : lane.entries) {
+      log.emplace_hint(log.end(), op, std::move(entry));
+    }
+    out.var_logs.emplace_hint(out.var_logs.end(), lane.vid, std::move(log));
+  }
+
+  // Transaction logs: unique keys, append order within a lane already final.
+  std::sort(tx_lanes_.begin(), tx_lanes_.end(),
+            [](const TxLane& a, const TxLane& b) { return a.txn < b.txn; });
+  for (TxLane& lane : tx_lanes_) {
+    out.tx_logs.emplace_hint(out.tx_logs.end(), lane.txn, std::move(lane.log));
+  }
+
+  // Opcounts and nondet used assignment semantics in the map they replace:
+  // stable sort keeps append order within equal keys, and taking the last of
+  // each equal-key run reproduces last-assignment-wins.
+  std::stable_sort(opcounts_.begin(), opcounts_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < opcounts_.size(); ++i) {
+    if (i + 1 < opcounts_.size() && opcounts_[i + 1].first == opcounts_[i].first) {
+      continue;
+    }
+    out.opcounts.emplace_hint(out.opcounts.end(), opcounts_[i].first, opcounts_[i].second);
+  }
+  std::stable_sort(nondet_.begin(), nondet_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < nondet_.size(); ++i) {
+    if (i + 1 < nondet_.size() && nondet_[i + 1].first == nondet_[i].first) {
+      continue;
+    }
+    out.nondet.emplace_hint(out.nondet.end(), nondet_[i].first, std::move(nondet_[i].second));
+  }
+
+  std::sort(responses_.begin(), responses_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [rid, by] : responses_) {
+    out.response_emitted_by.emplace_hint(out.response_emitted_by.end(), rid, by);
+  }
+
+  out.write_order = std::move(write_order_);
+  Reset();
+  return out;
+}
+
+void AdviceBuilder::Reset() {
+  var_index_.clear();
+  var_lanes_.clear();
+  tx_index_.clear();
+  tx_lanes_.clear();
+  nondet_.clear();
+  opcounts_.clear();
+  responses_.clear();
+  requests_.clear();
+  write_order_.clear();
+  var_entry_count_ = 0;
+}
+
+}  // namespace karousos

@@ -1,0 +1,94 @@
+// Streaming advice accumulator for the record path (collector side).
+//
+// The server used to build its Advice directly in the ordered std::maps the
+// wire format is defined over, paying a node allocation plus an O(log n)
+// rebalance on every logged access — on the request hot path, while handlers
+// run. The builder moves all ordering off that path: appends go into flat
+// per-key lanes (open-addressed index + contiguous vectors), and ONE
+// deterministic sort per component at Finalize() reproduces exactly the key
+// order std::map iteration would have produced. Serialization therefore
+// emits byte-identical advice; golden tests in tests/advice_golden_test.cc
+// enforce that against pre-builder fixtures.
+//
+// Duplicate-key semantics mirror the maps they replace:
+//   * var-log entries and responses — callers guarantee unique keys (fresh
+//     opnums; the server's last_write_logged flag replaces log.count());
+//   * opcounts and nondet — assignment semantics (`map[k] = v`), reproduced
+//     by a stable sort plus last-occurrence-wins dedup;
+//   * tx logs — get-or-create append, reproduced by keyed lanes.
+#ifndef SRC_SERVER_ADVICE_BUILDER_H_
+#define SRC_SERVER_ADVICE_BUILDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/adya/history.h"
+#include "src/common/flat_map.h"
+#include "src/common/ids.h"
+#include "src/server/advice.h"
+
+namespace karousos {
+
+class AdviceBuilder {
+ public:
+  // Appends an entry to vid's variable log. The caller guarantees `op` is not
+  // already in the lane (the map this replaces used emplace, which would have
+  // silently dropped a duplicate; the server never produces one).
+  void AddVarEntry(VarId vid, const OpRef& op, VarLogEntry entry);
+
+  // Number of var-log entries appended so far (the logging-ablation counter).
+  size_t var_log_entries() const { return var_entry_count_; }
+
+  // Get-or-create the transaction log for `txn`. The reference stays valid
+  // until the next TxLog call (lane storage may grow).
+  TransactionLog& TxLog(const TxnKey& txn);
+
+  // Assignment semantics: a later record for the same key wins.
+  void AddNondet(const OpRef& op, NondetRecord record);
+  void AddOpcount(RequestId rid, HandlerId hid, OpNum count);
+  void AddResponse(RequestId rid, HandlerId hid, OpNum opnum);
+
+  // One call per served request (any order; rids must be unique): the
+  // request's grouping tag and its complete handler log.
+  void AddRequest(RequestId rid, uint64_t tag, std::vector<HandlerLogEntry>&& log);
+
+  void SetWriteOrder(WriteOrder order) { write_order_ = std::move(order); }
+
+  // Sorts every lane into canonical key order and materializes the Advice
+  // the wire format (and every existing consumer) expects. The builder is
+  // empty afterwards.
+  Advice Finalize();
+
+  void Reset();
+
+ private:
+  struct VarLane {
+    VarId vid = 0;
+    std::vector<std::pair<OpRef, VarLogEntry>> entries;
+  };
+  struct TxLane {
+    TxnKey txn;
+    TransactionLog log;
+  };
+  struct RequestRow {
+    RequestId rid = 0;
+    uint64_t tag = 0;
+    std::vector<HandlerLogEntry> log;
+  };
+
+  FlatMap<VarId, uint32_t> var_index_;
+  std::vector<VarLane> var_lanes_;
+  FlatMap<TxnKey, uint32_t> tx_index_;
+  std::vector<TxLane> tx_lanes_;
+  std::vector<std::pair<OpRef, NondetRecord>> nondet_;
+  std::vector<std::pair<std::pair<RequestId, HandlerId>, OpNum>> opcounts_;
+  std::vector<std::pair<RequestId, std::pair<HandlerId, OpNum>>> responses_;
+  std::vector<RequestRow> requests_;
+  WriteOrder write_order_;
+  size_t var_entry_count_ = 0;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_SERVER_ADVICE_BUILDER_H_

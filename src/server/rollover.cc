@@ -121,6 +121,14 @@ ContinuityImports::VarImport DescribeVarEntry(const Advice& advice, VarId vid, c
 }  // namespace
 
 EpochSlices SliceRun(const Trace& trace, const Advice& advice, uint64_t epoch_requests) {
+  // One up-front copy, then the owned slicer: a single slicing implementation
+  // keeps server-side and verifier-side segments byte-identical by
+  // construction.
+  Advice copy = advice;
+  return SliceRunOwned(trace, std::move(copy), epoch_requests);
+}
+
+EpochSlices SliceRunOwned(const Trace& trace, Advice&& advice, uint64_t epoch_requests) {
   EpochSlices out;
   out.epoch_requests = epoch_requests;
 
@@ -178,29 +186,70 @@ EpochSlices SliceRun(const Trace& trace, const Advice& advice, uint64_t epoch_re
     prev_cut = cut;
   }
 
-  // Advice slices, by owning request id.
-  for (const auto& [rid, tag] : advice.tags) {
-    out.segments[clamp_epoch(rid)].advice.tags.emplace(rid, tag);
-  }
-  for (const auto& [rid, log] : advice.handler_logs) {
-    out.segments[clamp_epoch(rid)].advice.handler_logs.emplace(rid, log);
-  }
-  for (const auto& [vid, log] : advice.var_logs) {
-    for (const auto& [op, entry] : log) {
-      out.segments[clamp_epoch(op.rid)].advice.var_logs[vid].emplace(op, entry);
+  // Continuity imports: allegations for every forward cross-epoch reference,
+  // deduplicated and emitted in sorted order so server-side and
+  // verifier-side slicing produce byte-identical segments. Computed *before*
+  // the slicing below moves the referenced content out of the full advice.
+  {
+    std::vector<std::map<TxOpRef, ContinuityImports::TxOpImport>> tx_imports(epochs);
+    std::vector<std::map<std::pair<VarId, OpRef>, ContinuityImports::VarImport>> var_imports(
+        epochs);
+    for (const auto& [txn, log] : advice.tx_logs) {
+      const size_t e = static_cast<size_t>(clamp_epoch(txn.rid));
+      for (const TxOperation& op : log) {
+        if (op.type != TxOpType::kGet || op.get_from.IsNil()) continue;
+        if (clamp_epoch(op.get_from.rid) <= e) continue;
+        tx_imports[e].emplace(op.get_from, DescribeTxOp(advice, op.get_from));
+      }
+    }
+    for (const auto& [vid, log] : advice.var_logs) {
+      for (const auto& [op, entry] : log) {
+        const size_t e = static_cast<size_t>(clamp_epoch(op.rid));
+        if (entry.prec.IsNil()) continue;
+        if (clamp_epoch(entry.prec.rid) <= e) continue;
+        var_imports[e].emplace(std::make_pair(vid, entry.prec),
+                               DescribeVarEntry(advice, vid, entry.prec));
+      }
+    }
+    for (size_t e = 0; e < epochs; ++e) {
+      EpochSegment& seg = out.segments[e];
+      for (auto& [ref, imp] : tx_imports[e]) seg.imports.tx_ops.push_back(std::move(imp));
+      for (auto& [key, imp] : var_imports[e]) seg.imports.var_entries.push_back(std::move(imp));
     }
   }
-  for (const auto& [txn, log] : advice.tx_logs) {
-    out.segments[clamp_epoch(txn.rid)].advice.tx_logs.emplace(txn, log);
+
+  // Advice slices, by owning request id — content moves out of the full
+  // advice (per-epoch key sequences are ascending subsequences of the
+  // source maps, so end-hinted inserts rebuild each slice in one pass).
+  for (const auto& [rid, tag] : advice.tags) {
+    Advice& target = out.segments[clamp_epoch(rid)].advice;
+    target.tags.emplace_hint(target.tags.end(), rid, tag);
+  }
+  for (auto& [rid, log] : advice.handler_logs) {
+    Advice& target = out.segments[clamp_epoch(rid)].advice;
+    target.handler_logs.emplace_hint(target.handler_logs.end(), rid, std::move(log));
+  }
+  for (auto& [vid, log] : advice.var_logs) {
+    for (auto& [op, entry] : log) {
+      VarLog& target = out.segments[clamp_epoch(op.rid)].advice.var_logs[vid];
+      target.emplace_hint(target.end(), op, std::move(entry));
+    }
+  }
+  for (auto& [txn, log] : advice.tx_logs) {
+    Advice& target = out.segments[clamp_epoch(txn.rid)].advice;
+    target.tx_logs.emplace_hint(target.tx_logs.end(), txn, std::move(log));
   }
   for (const auto& [rid, emitter] : advice.response_emitted_by) {
-    out.segments[clamp_epoch(rid)].advice.response_emitted_by.emplace(rid, emitter);
+    Advice& target = out.segments[clamp_epoch(rid)].advice;
+    target.response_emitted_by.emplace_hint(target.response_emitted_by.end(), rid, emitter);
   }
   for (const auto& [key, count] : advice.opcounts) {
-    out.segments[clamp_epoch(key.first)].advice.opcounts.emplace(key, count);
+    Advice& target = out.segments[clamp_epoch(key.first)].advice;
+    target.opcounts.emplace_hint(target.opcounts.end(), key, count);
   }
-  for (const auto& [op, record] : advice.nondet) {
-    out.segments[clamp_epoch(op.rid)].advice.nondet.emplace(op, record);
+  for (auto& [op, record] : advice.nondet) {
+    Advice& target = out.segments[clamp_epoch(op.rid)].advice;
+    target.nondet.emplace_hint(target.nondet.end(), op, std::move(record));
   }
 
   // Write order: positional prefix chunks. Chunk e extends while entries
@@ -223,41 +272,54 @@ EpochSlices SliceRun(const Trace& trace, const Advice& advice, uint64_t epoch_re
     }
   }
 
-  // Continuity imports: allegations for every forward cross-epoch reference
-  // in each slice, deduplicated and emitted in sorted order so server-side
-  // and verifier-side slicing produce byte-identical segments.
-  for (size_t e = 0; e < epochs; ++e) {
-    EpochSegment& seg = out.segments[e];
-    std::map<TxOpRef, ContinuityImports::TxOpImport> tx_imports;
-    std::map<std::pair<VarId, OpRef>, ContinuityImports::VarImport> var_imports;
-    for (const auto& [txn, log] : seg.advice.tx_logs) {
-      for (const TxOperation& op : log) {
-        if (op.type != TxOpType::kGet || op.get_from.IsNil()) continue;
-        if (clamp_epoch(op.get_from.rid) <= e) continue;
-        tx_imports.emplace(op.get_from, DescribeTxOp(advice, op.get_from));
-      }
-    }
-    for (const auto& [vid, log] : seg.advice.var_logs) {
-      for (const auto& [op, entry] : log) {
-        if (entry.prec.IsNil()) continue;
-        if (clamp_epoch(entry.prec.rid) <= e) continue;
-        var_imports.emplace(std::make_pair(vid, entry.prec),
-                            DescribeVarEntry(advice, vid, entry.prec));
-      }
-    }
-    for (auto& [ref, imp] : tx_imports) seg.imports.tx_ops.push_back(std::move(imp));
-    for (auto& [key, imp] : var_imports) seg.imports.var_entries.push_back(std::move(imp));
-  }
+  return out;
+}
 
+Advice MergeSlices(EpochSlices&& slices) {
+  Advice out;
+  // Epochs partition request ids into ascending ranges (rid 0 in epoch 0,
+  // clamped high rids in the final epoch), so concatenating the per-epoch
+  // maps in epoch order yields every component's keys in ascending order —
+  // end-hinted inserts rebuild the monolithic maps in one pass.
+  for (EpochSegment& seg : slices.segments) {
+    Advice& a = seg.advice;
+    for (const auto& [rid, tag] : a.tags) {
+      out.tags.emplace_hint(out.tags.end(), rid, tag);
+    }
+    for (auto& [rid, log] : a.handler_logs) {
+      out.handler_logs.emplace_hint(out.handler_logs.end(), rid, std::move(log));
+    }
+    for (auto& [vid, log] : a.var_logs) {
+      VarLog& target = out.var_logs[vid];
+      for (auto& [op, entry] : log) {
+        target.emplace_hint(target.end(), op, std::move(entry));
+      }
+    }
+    for (auto& [txn, log] : a.tx_logs) {
+      out.tx_logs.emplace_hint(out.tx_logs.end(), txn, std::move(log));
+    }
+    for (const auto& [rid, emitter] : a.response_emitted_by) {
+      out.response_emitted_by.emplace_hint(out.response_emitted_by.end(), rid, emitter);
+    }
+    for (const auto& [key, count] : a.opcounts) {
+      out.opcounts.emplace_hint(out.opcounts.end(), key, count);
+    }
+    for (auto& [op, record] : a.nondet) {
+      out.nondet.emplace_hint(out.nondet.end(), op, std::move(record));
+    }
+    out.write_order.insert(out.write_order.end(), a.write_order.begin(), a.write_order.end());
+  }
   return out;
 }
 
 std::vector<uint8_t> EncodeTraceSegments(const EpochSlices& slices) {
   SegmentWriter writer;
+  // One scratch payload buffer across frames: Clear keeps the capacity, so
+  // only the largest epoch ever allocates.
+  ByteWriter payload;
   for (const EpochSegment& seg : slices.segments) {
-    ByteWriter payload;
-    Trace window{seg.window};
-    window.Serialize(&payload);
+    payload.Clear();
+    SerializeTraceEvents(seg.window, &payload);
     writer.Append(SegmentKind::kTrace, seg.epoch, payload.bytes());
   }
   return writer.Take();
@@ -265,8 +327,9 @@ std::vector<uint8_t> EncodeTraceSegments(const EpochSlices& slices) {
 
 std::vector<uint8_t> EncodeAdviceSegments(const EpochSlices& slices) {
   SegmentWriter writer;
+  ByteWriter payload;
   for (const EpochSegment& seg : slices.segments) {
-    ByteWriter payload;
+    payload.Clear();
     seg.advice.Serialize(&payload);
     seg.imports.Serialize(&payload);
     writer.Append(SegmentKind::kAdvice, seg.epoch, payload.bytes());

@@ -91,6 +91,18 @@ struct EpochSlices {
 // it, exactly as the one-shot audit would).
 EpochSlices SliceRun(const Trace& trace, const Advice& advice, uint64_t epoch_requests);
 
+// Move-based slicer for the collector's own emission path: consumes the
+// advice instead of copying every log and value into the slices (continuity
+// imports are computed from the full advice before any content moves).
+// Produces slices byte-identical to SliceRun's for the same inputs.
+EpochSlices SliceRunOwned(const Trace& trace, Advice&& advice, uint64_t epoch_requests);
+
+// Rebuilds the monolithic advice from a run's slices, consuming them. For
+// slices produced by SliceRun/SliceRunOwned this is an exact inverse: epochs
+// partition the key space in ascending rid ranges, so concatenating the
+// per-epoch maps in epoch order restores every component's key order.
+Advice MergeSlices(EpochSlices&& slices);
+
 // Segment-container encode/decode. Trace and advice travel as two segment
 // streams (one kTrace frame per epoch; one kAdvice frame per epoch whose
 // payload is the advice slice followed by the imports).

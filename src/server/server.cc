@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 #include "src/apps/app_util.h"
-#include "src/kem/varid.h"
 #include "src/server/rollover.h"
 
 namespace karousos {
@@ -31,6 +31,10 @@ namespace {
   std::abort();
 }
 
+// Salt for the event/function name-digest memo (EventId and function ids are
+// both DigestOf(name), so one lane serves both).
+constexpr uint64_t kNameSalt = 1;
+
 }  // namespace
 
 // The Ctx implementation for online execution (lane width 1). One instance
@@ -39,19 +43,19 @@ namespace {
 // advice — the verifier re-runs initialization itself (Figure 14 line 20).
 class ServerCtx : public Ctx {
  public:
-  ServerCtx(Server* server, RequestId rid, HandlerId hid, const HandlerLabel& label,
+  ServerCtx(Server* server, RequestId rid, HandlerId hid, LabelStore::Ref label,
             const Value& payload, ServerRunResult* result)
       : server_(*server),
         rid_(rid),
         hid_(hid),
-        label_(label),
+        label_ref_(label),
         input_(MultiValue(payload)),
         result_(result) {}
 
   const MultiValue& Input() const override { return input_; }
 
   void DeclareVar(std::string_view name, VarScope scope) override {
-    VarId vid = ResolveVarId(name, scope, rid_);
+    VarId vid = server_.varid_cache_.Resolve(name, scope, rid_);
     if (scope == VarScope::kUntracked) {
       Server::UntrackedVar& var = server_.untracked_vars_[vid];
       var.value = Value();
@@ -66,15 +70,16 @@ class ServerCtx : public Ctx {
     }
     var.declared = true;
     var.last_is_declaration = true;
+    var.last_write_logged = false;
     var.value = Value();
     if (instrumented()) {
       var.last_write = OpRef{rid_, hid_, opnum};
-      var.last_write_label = label_;
+      var.last_write_label = label_ref_;
     }
   }
 
   MultiValue ReadVar(std::string_view name, VarScope scope) override {
-    VarId vid = ResolveVarId(name, scope, rid_);
+    VarId vid = server_.varid_cache_.Resolve(name, scope, rid_);
     if (scope == VarScope::kUntracked) {
       Server::UntrackedVar& var = server_.untracked_vars_[vid];
       RecordUntrackedAccess(UntrackedAccess::Kind::kRead, vid, var);
@@ -99,25 +104,24 @@ class ServerCtx : public Ctx {
     // definition (I precedes everything) and are never logged — even in
     // Orochi log-all mode, where a log entry could not reference the init
     // write (init operations are re-created by the verifier, not logged).
-    bool log_read = (server_.config_.mode == CollectMode::kOrochi ||
-                     RConcurrent(cur, label_, var.last_write, var.last_write_label)) &&
-                    var.last_write.rid != kInitRequestId && !var.last_is_declaration;
+    bool log_read =
+        (server_.config_.mode == CollectMode::kOrochi ||
+         RConcurrent(cur, label(), var.last_write, server_.label_store_.Get(var.last_write_label))) &&
+        var.last_write.rid != kInitRequestId && !var.last_is_declaration;
     if (log_read && rid_ != kInitRequestId) {
-      VarLog& log = server_.advice_.var_logs[vid];
-      EnsureWriteLogged(log, var);
+      EnsureWriteLogged(vid, var);
       VarLogEntry entry;
       entry.kind = VarLogEntry::Kind::kRead;
       entry.prec = var.last_write;
       SerializeOpRef(cur, &server_.advice_spool_);
       SerializeOpRef(entry.prec, &server_.advice_spool_);
-      log.emplace(cur, std::move(entry));
-      ++result_->var_log_entries;
+      server_.builder_.AddVarEntry(vid, cur, std::move(entry));
     }
     return MultiValue(var.value);
   }
 
   void WriteVar(std::string_view name, VarScope scope, const MultiValue& value) override {
-    VarId vid = ResolveVarId(name, scope, rid_);
+    VarId vid = server_.varid_cache_.Resolve(name, scope, rid_);
     if (!value.collapsed()) {
       AppBug("expanded multivalue written at width-1 server");
     }
@@ -129,7 +133,7 @@ class ServerCtx : public Ctx {
       if (server_.config_.annotation_lint && instrumented()) {
         var.written = true;
         var.last_write = OpRef{rid_, hid_, ++lint_opnum_};
-        var.last_write_label = label_;
+        var.last_write_label = label_ref_;
       }
       return;
     }
@@ -146,11 +150,12 @@ class ServerCtx : public Ctx {
     OpNum opnum = NextOp();
     OpRef cur{rid_, hid_, opnum};
     // Figure 13, OnWrite: log iff R-concurrent with the preceding write.
-    bool log_write = server_.config_.mode == CollectMode::kOrochi ||
-                     RConcurrent(cur, label_, var.last_write, var.last_write_label);
-    if (log_write && rid_ != kInitRequestId) {
-      VarLog& log = server_.advice_.var_logs[vid];
-      EnsureWriteLogged(log, var);
+    bool log_write =
+        server_.config_.mode == CollectMode::kOrochi ||
+        RConcurrent(cur, label(), var.last_write, server_.label_store_.Get(var.last_write_label));
+    bool logged = log_write && rid_ != kInitRequestId;
+    if (logged) {
+      EnsureWriteLogged(vid, var);
       VarLogEntry entry;
       entry.kind = VarLogEntry::Kind::kWrite;
       entry.value = value.CollapsedValue();
@@ -162,13 +167,13 @@ class ServerCtx : public Ctx {
                        : var.last_write;
       SerializeOpRef(cur, &server_.advice_spool_);
       server_.advice_spool_.WriteValue(entry.value);
-      log.emplace(cur, std::move(entry));
-      ++result_->var_log_entries;
+      server_.builder_.AddVarEntry(vid, cur, std::move(entry));
     }
     var.value = value.CollapsedValue();
     var.last_is_declaration = false;
     var.last_write = cur;
-    var.last_write_label = label_;
+    var.last_write_label = label_ref_;
+    var.last_write_logged = logged;
   }
 
   bool Branch(const MultiValue& condition) override {
@@ -184,27 +189,28 @@ class ServerCtx : public Ctx {
       AppBug("initialization function may not emit events");
     }
     OpNum opnum = NextOp();
-    uint64_t event_id = EventId(event);
+    uint64_t event_id = server_.NameDigest(event);
+    Server::RequestState& req = server_.requests_[rid_];
     if (instrumented()) {
       HandlerLogEntry e;
       e.kind = HandlerLogEntry::Kind::kEmit;
       e.hid = hid_;
       e.opnum = opnum;
       e.event = event_id;
-      server_.requests_[rid_].handler_log.push_back(e);
+      req.handler_log.Append(&server_.arena_, e);
     }
     Server::PendingEvent pending;
     pending.event = event_id;
     pending.payload = payload.CollapsedValue();
     pending.activator_hid = hid_;
     pending.activator_opnum = opnum;
-    server_.requests_[rid_].pending.push_back(std::move(pending));
+    req.pending.push_back(std::move(pending));
   }
 
   void RegisterHandler(std::string_view event, std::string_view function) override {
     OpNum opnum = NextOp();
-    uint64_t event_id = EventId(event);
-    FunctionId function_id = DigestOf(function);
+    uint64_t event_id = server_.NameDigest(event);
+    FunctionId function_id = server_.NameDigest(function);
     if (server_.program_.FindFunction(function_id) == nullptr) {
       AppBug("registration of unknown function");
     }
@@ -212,6 +218,7 @@ class ServerCtx : public Ctx {
       server_.global_handlers_.push_back({event_id, function_id});
       return;
     }
+    Server::RequestState& req = server_.requests_[rid_];
     if (instrumented()) {
       HandlerLogEntry e;
       e.kind = HandlerLogEntry::Kind::kRegister;
@@ -219,9 +226,9 @@ class ServerCtx : public Ctx {
       e.opnum = opnum;
       e.event = event_id;
       e.function = function_id;
-      server_.requests_[rid_].handler_log.push_back(e);
+      req.handler_log.Append(&server_.arena_, e);
     }
-    server_.requests_[rid_].registered.push_back({event_id, function_id});
+    req.registered.push_back({event_id, function_id});
   }
 
   void UnregisterHandler(std::string_view event, std::string_view function) override {
@@ -229,8 +236,9 @@ class ServerCtx : public Ctx {
       AppBug("initialization function may not unregister handlers");
     }
     OpNum opnum = NextOp();
-    uint64_t event_id = EventId(event);
-    FunctionId function_id = DigestOf(function);
+    uint64_t event_id = server_.NameDigest(event);
+    FunctionId function_id = server_.NameDigest(function);
+    Server::RequestState& req = server_.requests_[rid_];
     if (instrumented()) {
       HandlerLogEntry e;
       e.kind = HandlerLogEntry::Kind::kUnregister;
@@ -238,9 +246,9 @@ class ServerCtx : public Ctx {
       e.opnum = opnum;
       e.event = event_id;
       e.function = function_id;
-      server_.requests_[rid_].handler_log.push_back(e);
+      req.handler_log.Append(&server_.arena_, e);
     }
-    auto& regs = server_.requests_[rid_].registered;
+    auto& regs = req.registered;
     for (auto it = regs.begin(); it != regs.end(); ++it) {
       if (it->event == event_id && it->function == function_id) {
         regs.erase(it);
@@ -261,7 +269,7 @@ class ServerCtx : public Ctx {
       op.type = TxOpType::kTxStart;
       op.hid = hid_;
       op.opnum = opnum;
-      server_.advice_.tx_logs[TxnKey{rid_, tid}].push_back(std::move(op));
+      server_.builder_.TxLog(TxnKey{rid_, tid}).push_back(std::move(op));
     }
     TxHandle handle;
     handle.slot = static_cast<uint32_t>(open_txns_.size());
@@ -280,8 +288,8 @@ class ServerCtx : public Ctx {
     if (got.status == TxStatus::kConflict) {
       ++result_->conflicts;
       if (instrumented()) {
-        server_.advice_.nondet[OpRef{rid_, hid_, opnum}] =
-            NondetRecord{NondetRecord::Kind::kConflict, Value()};
+        server_.builder_.AddNondet(OpRef{rid_, hid_, opnum},
+                                   NondetRecord{NondetRecord::Kind::kConflict, Value()});
       }
       out.conflict = true;
       return out;
@@ -297,7 +305,7 @@ class ServerCtx : public Ctx {
       op.key = key_str;
       op.get_found = got.found;
       op.get_from = got.found ? got.dictating_write : kNilTxOp;
-      server_.advice_.tx_logs[TxnKey{rid_, tid}].push_back(std::move(op));
+      server_.builder_.TxLog(TxnKey{rid_, tid}).push_back(std::move(op));
     }
     out.value = MultiValue(got.value);
     out.found = MultiValue(Value(got.found));
@@ -312,15 +320,15 @@ class ServerCtx : public Ctx {
     // The PUT's index within the transaction log identifies it as a version;
     // it must be computed before appending (1-based position).
     TxnKey txn{rid_, tid};
-    uint32_t index =
-        instrumented() ? static_cast<uint32_t>(server_.advice_.tx_logs[txn].size()) + 1
-                       : server_.NextUninstrumentedPutIndex(txn);
+    uint32_t index = instrumented()
+                         ? static_cast<uint32_t>(server_.builder_.TxLog(txn).size()) + 1
+                         : server_.NextUninstrumentedPutIndex(txn);
     TxStatus status = server_.store_.Put(rid_, tid, index, key_str, value.CollapsedValue());
     if (status == TxStatus::kConflict) {
       ++result_->conflicts;
       if (instrumented()) {
-        server_.advice_.nondet[OpRef{rid_, hid_, opnum}] =
-            NondetRecord{NondetRecord::Kind::kConflict, Value()};
+        server_.builder_.AddNondet(OpRef{rid_, hid_, opnum},
+                                   NondetRecord{NondetRecord::Kind::kConflict, Value()});
       }
       return false;
     }
@@ -336,7 +344,7 @@ class ServerCtx : public Ctx {
       op.put_value = value.CollapsedValue();
       server_.advice_spool_.WriteString(op.key);
       server_.advice_spool_.WriteValue(op.put_value);
-      server_.advice_.tx_logs[txn].push_back(std::move(op));
+      server_.builder_.TxLog(txn).push_back(std::move(op));
     }
     return true;
   }
@@ -351,7 +359,7 @@ class ServerCtx : public Ctx {
       op.type = status == TxStatus::kOk ? TxOpType::kTxCommit : TxOpType::kTxAbort;
       op.hid = hid_;
       op.opnum = opnum;
-      server_.advice_.tx_logs[TxnKey{rid_, tid}].push_back(std::move(op));
+      server_.builder_.TxLog(TxnKey{rid_, tid}).push_back(std::move(op));
     }
     return status == TxStatus::kOk;
   }
@@ -366,7 +374,7 @@ class ServerCtx : public Ctx {
       op.type = TxOpType::kTxAbort;
       op.hid = hid_;
       op.opnum = opnum;
-      server_.advice_.tx_logs[TxnKey{rid_, tid}].push_back(std::move(op));
+      server_.builder_.TxLog(TxnKey{rid_, tid}).push_back(std::move(op));
     }
   }
 
@@ -376,30 +384,41 @@ class ServerCtx : public Ctx {
     }
     // Instrumented app code must pass the activator's id to every function it
     // calls and keep the control-flow digest current (§5); the tax applies
-    // per simulated call. The produced value is identical to the plain run.
+    // per simulated call. The low-overhead instrumentation threads the
+    // activator id through each call as an argument — one context mix per
+    // simulated call — instead of saving and restoring the activation context
+    // around it, and flushes the context to memory once per activation rather
+    // than per call. The produced value is identical to the plain run (the
+    // h chain never touches the context).
     HandlerId hid = hid_;
     uint64_t context_slot = hid;
-    return MultiValue::Map(seed, [units, hid, &context_slot, this](const Value& v) {
+    MultiValue result = MultiValue::Map(seed, [units, hid, &context_slot](const Value& v) {
       uint64_t h = v.DigestValue();
+      uint64_t context = context_slot;
       for (uint32_t i = 0; i < units; ++i) {
         h = Avalanche(h + i);
-        // Save/restore the activation context around the simulated call.
-        context_slot = Avalanche(context_slot ^ h);
-        context_slot = Avalanche(context_slot + hid);
-        server_.instrumentation_sink_ = context_slot;
+        // One full mix threads the call result through the context; the
+        // activator id rides along as a half-round fold instead of the
+        // second full mix the save/restore pair paid.
+        context = Avalanche(context ^ h);
+        context ^= context >> 30;
+        context = context * 0x94d049bb133111ebULL + hid;
       }
-      std::ostringstream out;
-      out << std::hex << h;
-      return Value(out.str());
+      context_slot = context;
+      char buf[17];
+      int n = std::snprintf(buf, sizeof(buf), "%" PRIx64, h);
+      return Value(std::string(buf, static_cast<size_t>(n)));
     });
+    server_.instrumentation_sink_ = context_slot;
+    return result;
   }
 
   MultiValue Random() override {
     OpNum opnum = NextOp();
     Value v(static_cast<int64_t>(server_.value_rng_->Below(1000000000)));
     if (instrumented()) {
-      server_.advice_.nondet[OpRef{rid_, hid_, opnum}] =
-          NondetRecord{NondetRecord::Kind::kValue, v};
+      server_.builder_.AddNondet(OpRef{rid_, hid_, opnum},
+                                 NondetRecord{NondetRecord::Kind::kValue, v});
     }
     return MultiValue(v);
   }
@@ -416,7 +435,7 @@ class ServerCtx : public Ctx {
     server_.trace_.events.push_back(
         TraceEvent{TraceEvent::Kind::kResponse, rid_, body.CollapsedValue()});
     if (instrumented()) {
-      server_.advice_.response_emitted_by[rid_] = {hid_, ops_issued_};
+      server_.builder_.AddResponse(rid_, hid_, ops_issued_);
     }
   }
 
@@ -438,6 +457,10 @@ class ServerCtx : public Ctx {
 
  private:
   bool instrumented() const { return server_.config_.mode != CollectMode::kOff; }
+
+  // This activation's interned label. The reference is only used transiently
+  // (no labels are interned while an activation runs, so it cannot dangle).
+  const HandlerLabel& label() const { return server_.label_store_.Get(label_ref_); }
 
   OpNum NextOp() {
     ++result_->ops_executed;
@@ -464,7 +487,7 @@ class ServerCtx : public Ctx {
     rec.name = var.name;
     rec.rid = rid_;
     rec.hid = hid_;
-    rec.label = label_;
+    rec.label = label();
     rec.seq = ++untracked_seq_;
     result_->untracked_accesses.push_back(std::move(rec));
   }
@@ -478,7 +501,8 @@ class ServerCtx : public Ctx {
       return;
     }
     OpRef cur{rid_, hid_, lint_opnum_ + 1};
-    if (RConcurrent(cur, label_, var.last_write, var.last_write_label) &&
+    if (RConcurrent(cur, label(), var.last_write,
+                    server_.label_store_.Get(var.last_write_label)) &&
         var.last_write.rid != kInitRequestId) {
       ++result_->lint_violations[var.name];
     }
@@ -486,7 +510,9 @@ class ServerCtx : public Ctx {
 
   // Back-fills the log entry for the variable's most recent write, per
   // Figure 13 lines 14-15 / 21-22 (the write predates the decision to log).
-  void EnsureWriteLogged(VarLog& log, const Server::TrackedVar& var) {
+  // The last_write_logged flag stands in for the membership test the ordered
+  // map used to answer (the builder's append lanes have no keyed lookup).
+  void EnsureWriteLogged(VarId vid, Server::TrackedVar& var) {
     if (var.last_is_declaration) {
       return;  // Declarations are not writes; nothing to back-fill.
     }
@@ -496,7 +522,7 @@ class ServerCtx : public Ctx {
                // so an honest Karousos server wouldn't reach here, but the
                // Orochi log-all mode does).
     }
-    if (log.count(var.last_write) > 0) {
+    if (var.last_write_logged) {
       return;
     }
     VarLogEntry entry;
@@ -505,13 +531,14 @@ class ServerCtx : public Ctx {
     entry.prec = kNilOp;
     SerializeOpRef(var.last_write, &server_.advice_spool_);
     server_.advice_spool_.WriteValue(entry.value);
-    log.emplace(var.last_write, std::move(entry));
+    server_.builder_.AddVarEntry(vid, var.last_write, std::move(entry));
+    var.last_write_logged = true;
   }
 
   Server& server_;
   RequestId rid_;
   HandlerId hid_;
-  HandlerLabel label_;
+  LabelStore::Ref label_ref_;
   MultiValue input_;
   ServerRunResult* result_;
   OpNum ops_issued_ = 0;
@@ -533,14 +560,20 @@ Server::Server(const Program& program, const ServerConfig& config)
 
 Server::~Server() = default;
 
+uint64_t Server::NameDigest(std::string_view name) {
+  return name_cache_.Get(name, kNameSalt, [&] { return DigestOf(name); });
+}
+
 ServerRunResult Server::Run(const std::vector<Value>& request_inputs) {
   ServerRunResult result;
   current_result_ = &result;
+  requests_.clear();
+  requests_.resize(request_inputs.size() + 1);  // Slot 0 unused; rids 1..N.
 
   // Initialization: runs as pseudo-handler I. Its registrations become the
   // global handlers; its variable writes seed the tracked variables.
   {
-    ServerCtx init_ctx(this, kInitRequestId, kInitHandlerId, HandlerLabel{}, Value(), &result);
+    ServerCtx init_ctx(this, kInitRequestId, kInitHandlerId, LabelStore::kEmpty, Value(), &result);
     if (program_.init()) {
       program_.init()(init_ctx);
     }
@@ -560,6 +593,9 @@ ServerRunResult Server::Run(const std::vector<Value>& request_inputs) {
       trace_.events.push_back(TraceEvent{TraceEvent::Kind::kRequest, rid, request_inputs[rid - 1]});
       RequestState& req = requests_[rid];
       req.input = request_inputs[rid - 1];
+      if (config_.measure_request_latencies) {
+        req.arrival = std::chrono::steady_clock::now();
+      }
       PendingEvent arrival;
       arrival.event = request_event;
       arrival.payload = req.input;
@@ -597,6 +633,11 @@ ServerRunResult Server::Run(const std::vector<Value>& request_inputs) {
     if (req.pending.empty() && req.responded) {
       in_flight.erase(in_flight.begin() + static_cast<long>(pick));
       ++responses_delivered;
+      if (config_.measure_request_latencies) {
+        result.request_latencies.push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - req.arrival)
+                .count());
+      }
       if (!warm && responses_delivered >= config_.warmup_requests) {
         warm = true;
         serve_start = std::chrono::steady_clock::now();
@@ -607,26 +648,31 @@ ServerRunResult Server::Run(const std::vector<Value>& request_inputs) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - serve_start).count();
 
   if (instrumented()) {
-    for (auto& [rid, req] : requests_) {
-      advice_.handler_logs[rid] = std::move(req.handler_log);
-      advice_.tags[rid] = config_.mode == CollectMode::kKarousos
-                              ? DigestOfInts(req.tree_tag_acc)
-                              : req.seq_tag.Finish();
+    for (RequestId rid = 1; rid < requests_.size(); ++rid) {
+      RequestState& req = requests_[rid];
+      uint64_t tag = config_.mode == CollectMode::kKarousos ? DigestOfInts(req.tree_tag_acc)
+                                                            : req.seq_tag.Finish();
+      builder_.AddRequest(rid, tag, req.handler_log.ToVector());
     }
-    advice_.write_order = store_.binlog();
+    builder_.SetWriteOrder(store_.binlog());
   }
 
   result.advice_spool_bytes = advice_spool_.size();
   result.trace = std::move(trace_);
-  result.advice = std::move(advice_);
+  result.advice = builder_.Finalize();
   result.var_log_entries = result.advice.var_log_entry_count();
   if (config_.epoch_requests > 0) {
-    EpochSlices slices = SliceRun(result.trace, result.advice, config_.epoch_requests);
+    // Slicing takes the advice by move (no re-copy of logs or values) and
+    // the merge hands the identical monolithic advice back.
+    EpochSlices slices =
+        SliceRunOwned(result.trace, std::move(result.advice), config_.epoch_requests);
     result.trace_segments = EncodeTraceSegments(slices);
     result.advice_segments = EncodeAdviceSegments(slices);
+    result.advice = MergeSlices(std::move(slices));
   }
   trace_ = Trace{};
-  advice_ = Advice{};
+  requests_.clear();
+  arena_.Reset();
   current_result_ = nullptr;
   return result;
 }
@@ -635,7 +681,10 @@ void Server::DispatchEvent(RequestId rid, const PendingEvent& event, ServerRunRe
   // Canonical activation order: global handlers in registration order, then
   // the request's own registrations in registration order. The verifier's
   // AddHandlerRelatedEdges iterates the same way; the orders must agree.
-  std::vector<FunctionId> matched;
+  // DispatchEvent never nests (handlers queue events; they don't dispatch),
+  // so one scratch list serves the whole run.
+  std::vector<FunctionId>& matched = matched_scratch_;
+  matched.clear();
   for (const Registration& reg : global_handlers_) {
     if (reg.event == event.event) {
       matched.push_back(reg.function);
@@ -663,14 +712,13 @@ void Server::RunActivation(RequestId rid, FunctionId function, HandlerId hid,
                            const Value& payload, HandlerId activator, ServerRunResult* result) {
   ++result->handler_activations;
   RequestState& req = requests_[rid];
-  HandlerLabel label;
+  LabelStore::Ref label = LabelStore::kEmpty;
   if (instrumented()) {
     // label = parent_label / num (§5). Request handlers hang off the
-    // per-request root (the init pseudo-handler's slot for this request).
-    HandlerLabel parent_label =
-        activator == kNoHandler ? HandlerLabel{} : req.labels[activator];
-    label = parent_label;
-    label.push_back(req.child_counts[activator]++);
+    // per-request root (ref 0, the empty label — same slot the init
+    // pseudo-handler uses).
+    LabelStore::Ref parent = activator == kNoHandler ? LabelStore::kEmpty : req.labels[activator];
+    label = label_store_.AppendChild(parent, req.child_counts[activator]++);
     req.labels[hid] = label;
     ++req.handler_count;
   }
@@ -681,7 +729,7 @@ void Server::RunActivation(RequestId rid, FunctionId function, HandlerId hid,
   ServerCtx ctx(this, rid, hid, label, payload, result);
   def->fn(ctx);
   if (instrumented()) {
-    advice_.opcounts[{rid, hid}] = ctx.ops_issued();
+    builder_.AddOpcount(rid, hid, ctx.ops_issued());
     uint64_t handler_digest = DigestOfInts(hid, ctx.cf_digest());
     req.tree_tag_acc = CombineUnordered(req.tree_tag_acc, handler_digest);
     req.seq_tag.Update(handler_digest);

@@ -18,9 +18,17 @@
 //   * kOrochi   — the Orochi-JS baseline (§6, "Baselines"): every tracked
 //                 variable access is logged, and the grouping tag is a digest
 //                 of the handler *sequence* rather than the handler tree.
+//
+// Record-path layout (DESIGN.md "Record path"): per-request state lives in a
+// rid-indexed vector, handler logs append into arena-backed chunk lists,
+// handler labels are interned in a LabelStore, variable/name digests are
+// memoized, and all advice accumulation goes through AdviceBuilder — the
+// ordered maps of the wire format are only materialized once, at the end of
+// the run.
 #ifndef SRC_SERVER_SERVER_H_
 #define SRC_SERVER_SERVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -29,11 +37,15 @@
 #include <vector>
 
 #include "src/analysis/access_log.h"
+#include "src/common/arena.h"
 #include "src/common/digest.h"
+#include "src/common/flat_map.h"
 #include "src/common/rng.h"
 #include "src/kem/label.h"
 #include "src/kem/program.h"
+#include "src/kem/varid.h"
 #include "src/server/advice.h"
+#include "src/server/advice_builder.h"
 #include "src/trace/trace.h"
 #include "src/txkv/store.h"
 
@@ -70,6 +82,10 @@ struct ServerConfig {
   // versioned segment streams (ServerRunResult::{trace,advice}_segments) in
   // addition to the monolithic structures. 0 = rollover off.
   uint64_t epoch_requests = 0;
+  // Per-request latency capture (Figure 6 latency columns): when set, each
+  // request's arrival-to-response-drain time is appended (in completion
+  // order) to ServerRunResult::request_latencies.
+  bool measure_request_latencies = false;
 };
 
 struct ServerRunResult {
@@ -97,6 +113,10 @@ struct ServerRunResult {
   // continuity imports for cross-epoch references.
   std::vector<uint8_t> trace_segments;
   std::vector<uint8_t> advice_segments;
+  // Per-request wall-clock latencies in seconds, completion order (empty
+  // unless ServerConfig::measure_request_latencies). The first
+  // warmup_requests entries belong to warmup.
+  std::vector<double> request_latencies;
 };
 
 class ServerCtx;
@@ -135,13 +155,16 @@ class Server {
     std::deque<PendingEvent> pending;
     // Per-request handler registrations, in registration order.
     std::vector<Registration> registered;
-    // Instrumented-only state:
-    std::map<HandlerId, HandlerLabel> labels;
-    std::map<HandlerId, uint32_t> child_counts;
-    std::vector<HandlerLogEntry> handler_log;
+    // Instrumented-only state. Labels are interned in the server's
+    // LabelStore; the handler log appends into the server's arena.
+    FlatMap<HandlerId, LabelStore::Ref> labels;
+    FlatMap<HandlerId, uint32_t> child_counts;
+    ArenaLog<HandlerLogEntry> handler_log;
     uint64_t tree_tag_acc = 0;  // Karousos tag: unordered combine over handlers.
     Digest seq_tag;             // Orochi tag: order-sensitive over handlers.
     size_t handler_count = 0;
+    // Arrival timestamp (measure_request_latencies only).
+    std::chrono::steady_clock::time_point arrival;
   };
 
   struct TrackedVar {
@@ -149,9 +172,12 @@ class Server {
     // True while no write has happened since OnInitialize: the declaration
     // itself is not a loggable write, so log entries may not reference it.
     bool last_is_declaration = true;
+    // Whether last_write already has a var-log entry — the O(1) stand-in for
+    // the log.count() membership test the builder's lanes can't answer.
+    bool last_write_logged = false;
     Value value;
     OpRef last_write;  // Most recent write or the OnInitialize coordinates.
-    HandlerLabel last_write_label;
+    LabelStore::Ref last_write_label = LabelStore::kEmpty;
   };
 
   // Runs the handlers registered for one event of one request.
@@ -162,6 +188,9 @@ class Server {
                      HandlerId activator, ServerRunResult* result);
 
   bool instrumented() const { return config_.mode != CollectMode::kOff; }
+
+  // Memoized DigestOf for event/function names (EventId shares the mapping).
+  uint64_t NameDigest(std::string_view name);
 
   // Uninstrumented runs still need monotone PUT indexes per transaction for
   // the store's last-writer bookkeeping (the values are discarded).
@@ -175,22 +204,32 @@ class Server {
 
   // Global handlers registered by the initialization function (§3).
   std::vector<Registration> global_handlers_;
-  std::map<RequestId, RequestState> requests_;
+  // Request state, indexed by rid (slot 0 unused; rids run 1..N).
+  std::vector<RequestState> requests_;
   struct UntrackedVar {
     Value value;
     // Lint-mode shadow tracking.
     std::string name;
     bool written = false;
     OpRef last_write;
-    HandlerLabel last_write_label;
+    LabelStore::Ref last_write_label = LabelStore::kEmpty;
   };
 
-  std::map<VarId, TrackedVar> tracked_vars_;
-  std::map<VarId, UntrackedVar> untracked_vars_;
-  std::map<TxnKey, uint32_t> put_counters_;
+  FlatMap<VarId, TrackedVar> tracked_vars_;
+  FlatMap<VarId, UntrackedVar> untracked_vars_;
+  FlatMap<TxnKey, uint32_t> put_counters_;
 
   Trace trace_;
-  Advice advice_;
+  // Streaming advice accumulator; Finalize() at the end of Run materializes
+  // the ordered Advice (identical bytes to the map-built path).
+  AdviceBuilder builder_;
+  // Interning / memoization shared by every activation of the run.
+  LabelStore label_store_;
+  Arena arena_;
+  VarIdCache varid_cache_;
+  NameDigestCache name_cache_;  // Event and function name digests.
+  // Scratch for DispatchEvent's matched-handler list (never nested).
+  std::vector<FunctionId> matched_scratch_;
   // Advice spool: logged entries are serialized as they are produced, the
   // way a deployed server streams advice out (§2.1 requires keeping the
   // verifier fed without buffering the whole run). Its cost is part of the

@@ -118,7 +118,10 @@ size_t Trace::request_count() const {
   return n;
 }
 
-void Trace::Serialize(ByteWriter* out) const {
+void SerializeTraceEvents(const std::vector<TraceEvent>& events, ByteWriter* out) {
+  // Reserve the fixed per-event floor (kind byte + 1-byte rid varint + value
+  // header) up front; payload bytes still grow as needed.
+  out->Reserve(1 + events.size() * 3);
   out->WriteVarint(events.size());
   for (const TraceEvent& ev : events) {
     out->WriteByte(static_cast<uint8_t>(ev.kind));
@@ -126,6 +129,8 @@ void Trace::Serialize(ByteWriter* out) const {
     out->WriteValue(ev.payload);
   }
 }
+
+void Trace::Serialize(ByteWriter* out) const { SerializeTraceEvents(events, out); }
 
 std::optional<Trace> Trace::Deserialize(ByteReader* in) {
   auto n = in->ReadVarint();

@@ -44,6 +44,11 @@ struct Trace {
   static std::optional<Trace> Deserialize(ByteReader* in);
 };
 
+// Serializes a bare event list in the Trace wire format (identical bytes to
+// Trace{events}.Serialize) — lets callers holding a window of events encode
+// it without copying into a temporary Trace.
+void SerializeTraceEvents(const std::vector<TraceEvent>& events, ByteWriter* out);
+
 // Built-once lookup index over a trace. `Trace::RequestInput`/`Response` scan
 // the event list per call, which is fine for a single probe but quadratic for
 // callers that probe every request id; those call sites build one of these

@@ -36,13 +36,6 @@
 
 namespace karousos {
 
-template <>
-struct FlatHash<TxnKey> {
-  size_t operator()(const TxnKey& k) const {
-    return static_cast<size_t>(HashMix64(SplitMix64(k.rid), k.tid));
-  }
-};
-
 struct AuditStats {
   size_t groups = 0;
   size_t group_lane_total = 0;       // Sum of group widths == #requests.

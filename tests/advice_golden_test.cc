@@ -1,0 +1,143 @@
+// Wire-format pinning for the record path: the streaming AdviceBuilder (and
+// the move-based epoch slicer) must produce byte-identical advice, trace, and
+// segment streams to the committed pre-rewrite fixtures
+// (tests/fixtures/record_golden/, regenerated only intentionally via
+// tools/make_record_golden).
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/app.h"
+#include "src/server/rollover.h"
+#include "src/server/server.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+std::vector<uint8_t> ReadFixture(const std::string& name) {
+  const std::string path = std::string(KAROUSOS_FIXTURE_DIR) + "/record_golden/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+struct FixtureSpec {
+  const char* name;
+  const char* app;
+  WorkloadKind kind;
+  size_t requests;
+  int concurrency;
+  uint64_t epoch_requests;
+};
+
+// Must match tools/make_record_golden.cc exactly.
+constexpr FixtureSpec kFixtures[] = {
+    {"stacks120", "stacks", WorkloadKind::kMixed, 120, 10, 7},
+    {"motd60", "motd", WorkloadKind::kWriteHeavy, 60, 6, 13},
+};
+
+AppSpec MakeApp(const std::string& name) {
+  if (name == "motd") {
+    return MakeMotdApp();
+  }
+  if (name == "stacks") {
+    return MakeStacksApp();
+  }
+  return MakeWikiApp();
+}
+
+ServerRunResult RunFixtureWorkload(const FixtureSpec& spec) {
+  WorkloadConfig wl;
+  wl.app = spec.app;
+  wl.kind = spec.kind;
+  wl.requests = spec.requests;
+  wl.seed = 7;
+  wl.connections = spec.concurrency;
+  std::vector<Value> inputs = GenerateWorkload(wl);
+
+  AppSpec app = MakeApp(spec.app);
+  ServerConfig config;
+  config.concurrency = spec.concurrency;
+  config.seed = 7;
+  config.epoch_requests = spec.epoch_requests;
+  Server server(*app.program, config);
+  return server.Run(inputs);
+}
+
+class AdviceGoldenTest : public ::testing::TestWithParam<FixtureSpec> {};
+
+TEST_P(AdviceGoldenTest, LiveRunMatchesGoldenBytes) {
+  const FixtureSpec& spec = GetParam();
+  ServerRunResult run = RunFixtureWorkload(spec);
+
+  ByteWriter advice_bytes;
+  run.advice.Serialize(&advice_bytes);
+  EXPECT_EQ(advice_bytes.bytes(), ReadFixture(std::string(spec.name) + ".advice"))
+      << "advice wire bytes drifted from the pre-builder record path";
+
+  ByteWriter trace_bytes;
+  run.trace.Serialize(&trace_bytes);
+  EXPECT_EQ(trace_bytes.bytes(), ReadFixture(std::string(spec.name) + ".trace"));
+
+  EXPECT_EQ(run.advice_segments, ReadFixture(std::string(spec.name) + ".advice_segments"))
+      << "epoch advice segments drifted (SliceRunOwned vs golden)";
+  EXPECT_EQ(run.trace_segments, ReadFixture(std::string(spec.name) + ".trace_segments"));
+}
+
+TEST_P(AdviceGoldenTest, GoldenAdviceRoundTripsThroughDeserialize) {
+  const FixtureSpec& spec = GetParam();
+  std::vector<uint8_t> bytes = ReadFixture(std::string(spec.name) + ".advice");
+  ByteReader reader(bytes);
+  auto advice = Advice::Deserialize(&reader);
+  ASSERT_TRUE(advice.has_value());
+  EXPECT_TRUE(reader.AtEnd());
+
+  ByteWriter rewritten;
+  advice->Serialize(&rewritten);
+  EXPECT_EQ(rewritten.bytes(), bytes);
+}
+
+TEST_P(AdviceGoldenTest, MeasureSizeMatchesSerializedLength) {
+  const FixtureSpec& spec = GetParam();
+  ServerRunResult run = RunFixtureWorkload(spec);
+
+  Advice::SizeBreakdown b = run.advice.MeasureSize();
+  ByteWriter encoded;
+  run.advice.Serialize(&encoded);
+  EXPECT_EQ(b.total, encoded.size());
+  EXPECT_EQ(b.total, b.tags + b.handler_logs + b.var_logs + b.tx_logs + b.write_order + b.other);
+  EXPECT_GT(b.var_logs, 0u);
+  EXPECT_GT(b.tx_logs, 0u);
+}
+
+// The verifier-side copying slicer and the collector's owned slicer must
+// stay byte-interchangeable: segments encoded from SliceRun(trace, advice)
+// equal the server-emitted streams, and MergeSlices restores the monolithic
+// advice exactly.
+TEST_P(AdviceGoldenTest, CopyingSlicerAndMergeMatchServerStreams) {
+  const FixtureSpec& spec = GetParam();
+  ServerRunResult run = RunFixtureWorkload(spec);
+
+  EpochSlices slices = SliceRun(run.trace, run.advice, spec.epoch_requests);
+  EXPECT_EQ(EncodeTraceSegments(slices), run.trace_segments);
+  EXPECT_EQ(EncodeAdviceSegments(slices), run.advice_segments);
+
+  Advice merged = MergeSlices(std::move(slices));
+  ByteWriter merged_bytes;
+  merged.Serialize(&merged_bytes);
+  ByteWriter original_bytes;
+  run.advice.Serialize(&original_bytes);
+  EXPECT_EQ(merged_bytes.bytes(), original_bytes.bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(RecordGolden, AdviceGoldenTest, ::testing::ValuesIn(kFixtures),
+                         [](const ::testing::TestParamInfo<FixtureSpec>& param) {
+                           return std::string(param.param.name);
+                         });
+
+}  // namespace
+}  // namespace karousos

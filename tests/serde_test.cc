@@ -22,6 +22,49 @@ TEST(SerdeTest, VarintRoundTrip) {
   EXPECT_TRUE(r.AtEnd());
 }
 
+TEST(SerdeTest, ReserveGrowsCapacityWithoutChangingContents) {
+  ByteWriter w;
+  w.WriteVarint(300);
+  const std::vector<uint8_t> before = w.bytes();
+  w.Reserve(4096);
+  EXPECT_EQ(w.bytes(), before);
+  EXPECT_GE(w.capacity(), before.size() + 4096);
+
+  // Writes within the reserved headroom must not reallocate.
+  const uint8_t* data = w.bytes().data();
+  for (int i = 0; i < 100; ++i) {
+    w.WriteVarint(static_cast<uint64_t>(i) * 1234567);
+  }
+  EXPECT_EQ(w.bytes().data(), data);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.ReadVarint(), 300u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*r.ReadVarint(), static_cast<uint64_t>(i) * 1234567);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, ClearEmptiesButKeepsCapacityForReuse) {
+  ByteWriter w;
+  for (int i = 0; i < 256; ++i) {
+    w.WriteFixed32(static_cast<uint32_t>(i));
+  }
+  const size_t cap = w.capacity();
+  ASSERT_GT(cap, 0u);
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+  // Clear is the scratch-buffer reuse primitive: capacity must survive so a
+  // per-frame encoder doesn't re-grow from zero each frame.
+  EXPECT_EQ(w.capacity(), cap);
+
+  w.WriteString("after clear");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.ReadString(), "after clear");
+  EXPECT_TRUE(r.AtEnd());
+}
+
 TEST(SerdeTest, TruncatedVarintFails) {
   std::vector<uint8_t> bytes = {0x80, 0x80};  // Continuation bits, no terminator.
   ByteReader r(bytes);

@@ -1,0 +1,146 @@
+// Record-path stress: stacks at 600 requests pushed through epoch rollover at
+// extreme epoch sizes. The monolithic advice must be invariant across epoch
+// configurations (slicing happens after the run, off the hot path), the
+// server-emitted segment streams must byte-match what the verifier-side
+// copying slicer produces for the same run, and every frame must decode.
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/app.h"
+#include "src/common/segment.h"
+#include "src/server/rollover.h"
+#include "src/server/server.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+constexpr size_t kRequests = 600;
+constexpr int kConcurrency = 15;
+
+std::vector<Value> StacksWorkload() {
+  WorkloadConfig wl;
+  wl.app = "stacks";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = kRequests;
+  wl.seed = 7;
+  wl.connections = kConcurrency;
+  return GenerateWorkload(wl);
+}
+
+ServerRunResult RunStacks(uint64_t epoch_requests) {
+  AppSpec app = MakeStacksApp();
+  ServerConfig config;
+  config.concurrency = kConcurrency;
+  config.seed = 7;
+  config.epoch_requests = epoch_requests;
+  Server server(*app.program, config);
+  return server.Run(StacksWorkload());
+}
+
+std::vector<uint8_t> AdviceBytes(const Advice& advice) {
+  ByteWriter w;
+  advice.Serialize(&w);
+  return w.bytes();
+}
+
+// Decodes every frame of a segment container, checking kind and ascending
+// epoch numbering, and that each payload parses.
+void CheckStreamDecodes(const std::vector<uint8_t>& bytes, SegmentKind want_kind,
+                        size_t* frames_out) {
+  std::string error;
+  auto reader = SegmentReader::FromBytes(bytes.data(), bytes.size(), &error);
+  ASSERT_NE(reader, nullptr) << error;
+  SegmentRecord rec;
+  size_t frames = 0;
+  while (reader->Next(&rec)) {
+    EXPECT_EQ(rec.kind, want_kind);
+    EXPECT_EQ(rec.epoch, frames);
+    if (want_kind == SegmentKind::kTrace) {
+      EXPECT_TRUE(DecodeTraceSegmentPayload(rec.payload).has_value())
+          << "trace frame " << frames << " payload failed to decode";
+    } else {
+      EXPECT_TRUE(DecodeAdviceSegmentPayload(rec.payload).has_value())
+          << "advice frame " << frames << " payload failed to decode";
+    }
+    ++frames;
+  }
+  EXPECT_TRUE(reader->ok()) << reader->error();
+  *frames_out = frames;
+}
+
+class ServerRecordStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServerRecordStressTest, RolloverMatchesReferenceSlicerAndDecodes) {
+  const uint64_t epoch_requests = GetParam();
+  ServerRunResult run = RunStacks(epoch_requests);
+
+  // The streams the server emitted (built by the owned move-based slicer)
+  // must equal a from-scratch re-slice of the merged outputs through the
+  // verifier-side copying path — the pre-rewrite reference.
+  EpochSlices reference = SliceRun(run.trace, run.advice, epoch_requests);
+  EXPECT_EQ(run.trace_segments, EncodeTraceSegments(reference));
+  EXPECT_EQ(run.advice_segments, EncodeAdviceSegments(reference));
+
+  const uint64_t expected_epochs =
+      epoch_requests == 0 ? 1 : (kRequests + epoch_requests - 1) / epoch_requests;
+  size_t trace_frames = 0;
+  size_t advice_frames = 0;
+  CheckStreamDecodes(run.trace_segments, SegmentKind::kTrace, &trace_frames);
+  CheckStreamDecodes(run.advice_segments, SegmentKind::kAdvice, &advice_frames);
+  EXPECT_EQ(trace_frames, expected_epochs);
+  EXPECT_EQ(advice_frames, expected_epochs);
+
+  // Reassembling the decoded frames must restore the monolithic advice.
+  std::string error;
+  auto reader =
+      SegmentReader::FromBytes(run.advice_segments.data(), run.advice_segments.size(), &error);
+  ASSERT_NE(reader, nullptr) << error;
+  EpochSlices decoded;
+  decoded.epoch_requests = epoch_requests;
+  SegmentRecord rec;
+  while (reader->Next(&rec)) {
+    auto payload = DecodeAdviceSegmentPayload(rec.payload);
+    ASSERT_TRUE(payload.has_value());
+    EpochSegment seg;
+    seg.epoch = rec.epoch;
+    seg.advice = std::move(payload->advice);
+    seg.imports = std::move(payload->imports);
+    decoded.segments.push_back(std::move(seg));
+  }
+  ASSERT_TRUE(reader->ok()) << reader->error();
+  Advice merged = MergeSlices(std::move(decoded));
+  EXPECT_EQ(AdviceBytes(merged), AdviceBytes(run.advice));
+}
+
+INSTANTIATE_TEST_SUITE_P(EpochSizes, ServerRecordStressTest,
+                         ::testing::Values<uint64_t>(1, 50, kRequests),
+                         [](const ::testing::TestParamInfo<uint64_t>& param) {
+                           return "epoch" + std::to_string(param.param);
+                         });
+
+// The run itself (schedule, trace, monolithic advice) must not depend on the
+// epoch configuration: slicing is post-run repackaging.
+TEST(ServerRecordStressTest, MonolithicAdviceInvariantAcrossEpochSizes) {
+  ServerRunResult whole = RunStacks(0);
+  std::vector<uint8_t> want = AdviceBytes(whole.advice);
+
+  ByteWriter trace_bytes;
+  whole.trace.Serialize(&trace_bytes);
+
+  for (uint64_t epoch_requests : {uint64_t{1}, uint64_t{50}, uint64_t{kRequests}}) {
+    ServerRunResult run = RunStacks(epoch_requests);
+    EXPECT_EQ(AdviceBytes(run.advice), want)
+        << "advice changed at epoch size " << epoch_requests;
+    ByteWriter t;
+    run.trace.Serialize(&t);
+    EXPECT_EQ(t.bytes(), trace_bytes.bytes())
+        << "trace changed at epoch size " << epoch_requests;
+  }
+}
+
+}  // namespace
+}  // namespace karousos

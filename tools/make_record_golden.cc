@@ -1,0 +1,104 @@
+// Regenerates the record-path wire-format golden fixtures
+// (tests/fixtures/record_golden/). Run manually ONLY on an intentional wire
+// format change; the committed fixtures pin the advice and segment bytes the
+// collector produced before the streaming AdviceBuilder rewrite, and
+// tests/advice_golden_test.cc fails if the rewritten record path ever drifts
+// from them.
+//
+// Usage: make_record_golden <output-dir>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/server/rollover.h"
+#include "src/server/server.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("  %s: %zu bytes\n", path.c_str(), bytes.size());
+  return true;
+}
+
+AppSpec MakeApp(const std::string& name) {
+  if (name == "motd") {
+    return MakeMotdApp();
+  }
+  if (name == "stacks") {
+    return MakeStacksApp();
+  }
+  return MakeWikiApp();
+}
+
+// One fixture workload per app family; small enough to commit, concurrent
+// enough (connections > 1) that the advice contains R-concurrent log entries,
+// back-filled writes, nondeterminism records, and multi-epoch references.
+struct FixtureSpec {
+  const char* name;
+  const char* app;
+  WorkloadKind kind;
+  size_t requests;
+  int concurrency;
+  uint64_t epoch_requests;  // For the segment-stream fixtures.
+};
+
+constexpr FixtureSpec kFixtures[] = {
+    {"stacks120", "stacks", WorkloadKind::kMixed, 120, 10, 7},
+    {"motd60", "motd", WorkloadKind::kWriteHeavy, 60, 6, 13},
+};
+
+int Main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (const FixtureSpec& spec : kFixtures) {
+    WorkloadConfig wl;
+    wl.app = spec.app;
+    wl.kind = spec.kind;
+    wl.requests = spec.requests;
+    wl.seed = 7;
+    wl.connections = spec.concurrency;
+    std::vector<Value> inputs = GenerateWorkload(wl);
+
+    AppSpec app = MakeApp(spec.app);
+    ServerConfig config;
+    config.concurrency = spec.concurrency;
+    config.seed = 7;
+    config.epoch_requests = spec.epoch_requests;
+    Server server(*app.program, config);
+    ServerRunResult run = server.Run(inputs);
+
+    std::printf("[%s] %zu requests, %zu var log entries\n", spec.name, inputs.size(),
+                run.var_log_entries);
+    ByteWriter advice_bytes;
+    run.advice.Serialize(&advice_bytes);
+    ByteWriter trace_bytes;
+    run.trace.Serialize(&trace_bytes);
+    const std::string base = dir + "/" + spec.name;
+    if (!WriteFile(base + ".advice", advice_bytes.bytes()) ||
+        !WriteFile(base + ".trace", trace_bytes.bytes()) ||
+        !WriteFile(base + ".advice_segments", run.advice_segments) ||
+        !WriteFile(base + ".trace_segments", run.trace_segments)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace karousos
+
+int main(int argc, char** argv) { return karousos::Main(argc, argv); }
