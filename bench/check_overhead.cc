@@ -1,0 +1,210 @@
+// Static-check overhead benchmark: what does the streaming model checker
+// cost, standalone and as the audit's fast-reject pre-screen?
+//
+// Serves stacks at 600 requests, then at epoch sizes {1, 50, 0=∞} measures
+// (median of 3): the standalone checker pass (CheckRun), the full streamed
+// audit with the pre-screen on, and the same audit with it off. The verdict,
+// reason, rule, and diagnostics must be identical with the pre-screen on and
+// off, and on a clean run the pre-screen must add under 10% end-to-end.
+// A final row replays the KSEG mutation corpus through the standalone
+// checker alone and reports the fraction rejected without any re-execution.
+//
+// Usage: check_overhead [output.json] [--quick]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/analysis/check.h"
+#include "src/analysis/kseg_mutate.h"
+#include "src/audit/stream.h"
+#include "src/server/server.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+struct Row {
+  uint64_t epoch_size = 0;
+  uint64_t epochs = 0;
+  double check_seconds = 0;
+  double check_per_epoch_ms = 0;
+  double audit_seconds = 0;
+  double audit_no_prescreen_seconds = 0;
+  double prescreen_overhead_pct = 0;
+  bool accepted = false;
+};
+
+double Now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double MedianOf(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+ServerRunResult Serve(const AppSpec& app, size_t requests) {
+  WorkloadConfig wl;
+  wl.app = "stacks";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = requests;
+  wl.seed = 7;
+  wl.connections = 15;
+  ServerConfig config;
+  config.concurrency = 15;
+  config.seed = 7;
+  Server server(*app.program, config);
+  return server.Run(GenerateWorkload(wl));
+}
+
+bool SameOutcome(const AuditResult& a, const AuditResult& b) {
+  if (a.accepted != b.accepted || a.reason != b.reason || a.rule != b.rule ||
+      a.diagnostics.size() != b.diagnostics.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.diagnostics.size(); ++i) {
+    if (a.diagnostics[i].Format() != b.diagnostics[i].Format()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_check_overhead.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const size_t kRequests = quick ? 120 : 600;
+  const int kReps = quick ? 1 : 3;
+
+  AppSpec app = MakeStacksApp();
+  ServerRunResult run = Serve(app, kRequests);
+
+  std::printf("=== Static model check: cost per epoch vs full audit ===\n");
+  std::printf("(stacks, %zu requests)\n", kRequests);
+  std::printf("%-10s %7s %11s %13s %11s %14s %10s\n", "epoch size", "epochs", "check (s)",
+              "per-epoch ms", "audit (s)", "no-screen (s)", "overhead");
+
+  std::vector<Row> rows;
+  for (uint64_t epoch_size : {uint64_t{1}, uint64_t{50}, uint64_t{0}}) {
+    std::vector<double> check_times, on_times, off_times;
+    CheckResult check;
+    StreamAuditResult on, off;
+    for (int rep = 0; rep < kReps; ++rep) {
+      double t0 = Now();
+      check = CheckRun(run.trace, run.advice, epoch_size);
+      check_times.push_back(Now() - t0);
+
+      VerifierConfig cfg{IsolationLevel::kSerializable, 1};
+      t0 = Now();
+      on = AuditStreamed(app, run.trace, run.advice, cfg, epoch_size);
+      on_times.push_back(Now() - t0);
+
+      cfg.prescreen = false;
+      t0 = Now();
+      off = AuditStreamed(app, run.trace, run.advice, cfg, epoch_size);
+      off_times.push_back(Now() - t0);
+    }
+    if (!check.ok) {
+      std::fprintf(stderr, "BUG: honest run failed the model check: %s\n", check.reason.c_str());
+      return 1;
+    }
+    if (!on.audit.accepted) {
+      std::fprintf(stderr, "BUG: audit rejected the honest run: %s\n", on.audit.reason.c_str());
+      return 1;
+    }
+    if (!SameOutcome(on.audit, off.audit)) {
+      std::fprintf(stderr,
+                   "BUG: prescreen changed the verdict at epoch size %llu "
+                   "(on: %s/%s, off: %s/%s)\n",
+                   static_cast<unsigned long long>(epoch_size), on.audit.rule.c_str(),
+                   on.audit.reason.c_str(), off.audit.rule.c_str(), off.audit.reason.c_str());
+      return 1;
+    }
+
+    Row row;
+    row.epoch_size = epoch_size;
+    row.epochs = check.epochs;
+    row.check_seconds = MedianOf(check_times);
+    row.check_per_epoch_ms = 1e3 * row.check_seconds / static_cast<double>(check.epochs);
+    row.audit_seconds = MedianOf(on_times);
+    row.audit_no_prescreen_seconds = MedianOf(off_times);
+    row.prescreen_overhead_pct =
+        100.0 * (row.audit_seconds - row.audit_no_prescreen_seconds) /
+        row.audit_no_prescreen_seconds;
+    row.accepted = on.audit.accepted;
+    rows.push_back(row);
+    std::printf("%-10llu %7llu %11.4f %13.4f %11.4f %14.4f %9.1f%%\n",
+                static_cast<unsigned long long>(epoch_size),
+                static_cast<unsigned long long>(row.epochs), row.check_seconds,
+                row.check_per_epoch_ms, row.audit_seconds, row.audit_no_prescreen_seconds,
+                row.prescreen_overhead_pct);
+    if (row.prescreen_overhead_pct >= 10.0) {
+      std::fprintf(stderr, "BUG: prescreen overhead %.1f%% >= 10%% at epoch size %llu\n",
+                   row.prescreen_overhead_pct, static_cast<unsigned long long>(epoch_size));
+      return 1;
+    }
+  }
+
+  // Static-catch fraction over the mutation corpus (checker alone, no replay);
+  // sized like tools/kseg_fuzz.cc so the corpus matches the fuzzer's.
+  ServerRunResult fuzz_run = quick ? std::move(run) : Serve(app, 63);
+  const uint64_t kFuzzEpochSize = 7;
+  std::vector<KsegMutation> corpus =
+      BuildMutationCorpus(fuzz_run.trace, fuzz_run.advice, kFuzzEpochSize);
+  size_t caught = 0;
+  for (const KsegMutation& m : corpus) {
+    if (!CheckSegmentStreams(m.trace_bytes, m.advice_bytes, kFuzzEpochSize).ok) {
+      ++caught;
+    }
+  }
+  double fraction =
+      corpus.empty() ? 0.0 : static_cast<double>(caught) / static_cast<double>(corpus.size());
+  std::printf("\nfuzz corpus: %zu mutations, %zu caught statically (%.1f%%)\n", corpus.size(),
+              caught, 100.0 * fraction);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "failed to open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"check_overhead\",\n  \"app\": \"stacks\",\n"
+               "  \"requests\": %zu,\n  \"rows\": [\n",
+               kRequests);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"epoch_size\": %llu, \"epochs\": %llu, \"check_seconds\": %.6f, "
+                 "\"check_per_epoch_ms\": %.6f, \"audit_seconds\": %.6f, "
+                 "\"audit_no_prescreen_seconds\": %.6f, \"prescreen_overhead_pct\": %.3f, "
+                 "\"accepted\": %s}%s\n",
+                 static_cast<unsigned long long>(r.epoch_size),
+                 static_cast<unsigned long long>(r.epochs), r.check_seconds,
+                 r.check_per_epoch_ms, r.audit_seconds, r.audit_no_prescreen_seconds,
+                 r.prescreen_overhead_pct, r.accepted ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"fuzz_static_catch\": {\"mutations_total\": %zu, "
+               "\"mutations_caught_static\": %zu, \"static_catch_fraction\": %.4f}\n}\n",
+               corpus.size(), caught, fraction);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace karousos
+
+int main(int argc, char** argv) { return karousos::Main(argc, argv); }

@@ -1,0 +1,811 @@
+#include "src/analysis/carry_lint.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/server/advice.h"
+
+namespace karousos {
+
+namespace {
+
+std::string VarLogLoc(VarId vid, const OpRef& op) {
+  std::ostringstream out;
+  out << "var_logs[0x" << std::hex << vid << std::dec << "][" << op.ToString() << "]";
+  return out.str();
+}
+
+std::string TxImportLoc(const TxOpRef& ref) { return "imports[" + ref.ToString() + "]"; }
+
+std::string VarImportLoc(VarId vid, const OpRef& op) {
+  std::ostringstream out;
+  out << "imports[var 0x" << std::hex << vid << std::dec << " " << op.ToString() << "]";
+  return out.str();
+}
+
+}  // namespace
+
+void CarryLint::Begin(uint64_t epoch_requests, bool standalone) {
+  *this = CarryLint();
+  epoch_requests_ = epoch_requests;
+  standalone_ = standalone;
+}
+
+void CarryLint::Emit(const char* rule, std::string location, std::string message,
+                     std::vector<LintDiagnostic>* out) const {
+  out->push_back(
+      LintDiagnostic{rule, LintSeverity::kError, std::move(location), std::move(message)});
+}
+
+void CarryLint::RegisterImports(const EpochSegment& segment) {
+  // Mirror of the session's registration: every allegation is recorded
+  // (first one wins on a duplicate coordinate), direction checked later in
+  // CheckImports so the per-epoch diagnostics keep catalogue order.
+  for (const auto& imp : segment.imports.tx_ops) {
+    pending_tx_imports_.emplace(imp.ref, PendingTxImport{imp, epochs_});
+  }
+  for (const auto& imp : segment.imports.var_entries) {
+    pending_var_imports_.emplace(std::make_pair(imp.vid, imp.op),
+                                 PendingVarImport{imp, epochs_});
+  }
+}
+
+void CarryLint::CheckEpoch(const EpochSegment& segment, const std::set<RequestId>& trace_rids,
+                           std::vector<LintDiagnostic>* out) {
+  CheckDuplicateClaims(segment, out);      // 004
+  CheckOpcountEpochs(segment, out);        // 005
+  CheckWriteOrderRecurrence(segment, out); // 006
+  // 007 needs the trace universe: misplacement is only meaningful for real
+  // requests, phantom rids are KAR-ADV-001's finding.
+  {
+    const Advice& advice = segment.advice;
+    auto place = [&](RequestId rid, auto&& loc) {
+      if (trace_rids.count(rid) == 0) {
+        return;
+      }
+      uint64_t owner = EpochOfRid(rid, epoch_requests_);
+      if (owner < epochs_) {
+        Emit(kKarSeg007, loc(),
+             "advice content for request " + std::to_string(rid) + " (epoch " +
+                 std::to_string(owner) + ") appears in epoch " + std::to_string(epochs_) +
+                 "'s slice",
+             out);
+      } else if (owner > epochs_) {
+        // Forward content is only legal as the final slice's clamped tail;
+        // judged at Finish once the last epoch is known.
+        early_content_.push_back(EarlyContent{epochs_, owner, loc()});
+      }
+    };
+    for (const auto& [rid, tag] : advice.tags) {
+      place(rid, [rid = rid] { return "tags[r" + std::to_string(rid) + "]"; });
+    }
+    for (const auto& [rid, log] : advice.handler_logs) {
+      place(rid, [rid = rid] { return "handler_logs[r" + std::to_string(rid) + "]"; });
+    }
+    for (const auto& [vid, log] : advice.var_logs) {
+      for (const auto& [op, entry] : log) {
+        place(op.rid, [vid = vid, &op] { return VarLogLoc(vid, op); });
+      }
+    }
+    for (const auto& [txn, log] : advice.tx_logs) {
+      place(txn.rid, [&txn] { return "tx_logs[r" + std::to_string(txn.rid) + "]"; });
+    }
+    for (const auto& [rid, by] : advice.response_emitted_by) {
+      place(rid, [rid = rid] { return "response_emitted_by[r" + std::to_string(rid) + "]"; });
+    }
+    for (const auto& [key, count] : advice.opcounts) {
+      place(key.first, [rid = key.first, hid = key.second] {
+        return "opcounts[(r" + std::to_string(rid) + ",h" + std::to_string(hid) + ")]";
+      });
+    }
+    for (const auto& [op, record] : advice.nondet) {
+      place(op.rid, [&op] { return "nondet[" + op.ToString() + "]"; });
+    }
+  }
+  CheckImports(segment, out);              // 008
+}
+
+// KAR-SEG-004: an operation executes in exactly one epoch, so coordinates
+// already claimed by a completed epoch's log entry cannot recur. The slice's
+// own duplicates are KAR-ADV-006's finding; only the cross-epoch probe lives
+// here (claimed_ops_ holds strictly earlier epochs until EndEpoch folds).
+void CarryLint::CheckDuplicateClaims(const EpochSegment& segment,
+                                     std::vector<LintDiagnostic>* out) {
+  auto claim = [&](const OpRef& op, auto&& loc) {
+    auto it = claimed_ops_.find(op);
+    if (it != claimed_ops_.end()) {
+      Emit(kKarSeg004, loc(),
+           "operation " + op.ToString() + " was already claimed by a log entry in epoch " +
+               std::to_string(it->second),
+           out);
+    }
+  };
+  const Advice& advice = segment.advice;
+  for (const auto& [rid, log] : advice.handler_logs) {
+    for (size_t i = 0; i < log.size(); ++i) {
+      claim(OpRef{rid, log[i].hid, log[i].opnum}, [rid = rid, i] {
+        return "handler_logs[r" + std::to_string(rid) + "][" + std::to_string(i) + "]";
+      });
+    }
+  }
+  for (const auto& [txn, log] : advice.tx_logs) {
+    for (size_t i = 0; i < log.size(); ++i) {
+      claim(OpRef{txn.rid, log[i].hid, log[i].opnum}, [&txn, i] {
+        return "tx_logs[" + TxOpRef{txn.rid, txn.tid, static_cast<uint32_t>(i) + 1}.ToString() +
+               "]";
+      });
+    }
+  }
+  for (const auto& [vid, log] : advice.var_logs) {
+    for (const auto& [op, entry] : log) {
+      claim(op, [vid = vid, &op] { return VarLogLoc(vid, op); });
+    }
+  }
+}
+
+// KAR-SEG-005: a handler's opcount is declared once, in its owning epoch; a
+// second declaration could silently widen the operation space re-execution
+// trusts.
+void CarryLint::CheckOpcountEpochs(const EpochSegment& segment,
+                                   std::vector<LintDiagnostic>* out) {
+  for (const auto& [key, count] : segment.advice.opcounts) {
+    auto it = opcount_epochs_.find(key);
+    if (it != opcount_epochs_.end()) {
+      Emit(kKarSeg005,
+           "opcounts[(r" + std::to_string(key.first) + ",h" + std::to_string(key.second) + ")]",
+           "opcount for handler h" + std::to_string(key.second) + " of request " +
+               std::to_string(key.first) + " was already declared in epoch " +
+               std::to_string(it->second),
+           out);
+    }
+  }
+}
+
+// KAR-SEG-006: the chunks concatenate to one alleged total order, so an entry
+// recurring in a later chunk is the cross-epoch form of KAR-ADV-010's cycle —
+// caught here per epoch instead of at Finish.
+void CarryLint::CheckWriteOrderRecurrence(const EpochSegment& segment,
+                                          std::vector<LintDiagnostic>* out) {
+  const WriteOrder& order = segment.advice.write_order;
+  for (size_t i = 0; i < order.size(); ++i) {
+    auto it = write_order_epochs_.find(order[i]);
+    if (it != write_order_epochs_.end()) {
+      Emit(kKarSeg006, "write_order[" + std::to_string(i) + "]",
+           "write-order entry " + order[i].ToString() + " already appeared in epoch " +
+               std::to_string(it->second) + "'s chunk",
+           out);
+    }
+  }
+}
+
+// KAR-SEG-008, per-epoch half: direction of this epoch's allegations, and
+// confirmation of earlier allegations whose target epoch just arrived. The
+// comparison semantics mirror the session's StreamConfirmImports exactly,
+// with the carry replaced by the live slice.
+void CarryLint::CheckImports(const EpochSegment& segment, std::vector<LintDiagnostic>* out) {
+  for (const auto& imp : segment.imports.tx_ops) {
+    uint64_t target = EpochOfRid(imp.ref.rid, epoch_requests_);
+    if (target <= epochs_) {
+      Emit(kKarSeg008, TxImportLoc(imp.ref),
+           "continuity import does not point forward (registered in epoch " +
+               std::to_string(epochs_) + ", target epoch " + std::to_string(target) + ")",
+           out);
+    }
+  }
+  for (const auto& imp : segment.imports.var_entries) {
+    uint64_t target = EpochOfRid(imp.op.rid, epoch_requests_);
+    if (target <= epochs_) {
+      Emit(kKarSeg008, VarImportLoc(imp.vid, imp.op),
+           "continuity import does not point forward (registered in epoch " +
+               std::to_string(epochs_) + ", target epoch " + std::to_string(target) + ")",
+           out);
+    }
+  }
+
+  const Advice& advice = segment.advice;
+  for (auto it = pending_tx_imports_.begin(); it != pending_tx_imports_.end();) {
+    const TxOpRef& ref = it->first;
+    if (it->second.registered_epoch >= epochs_ ||
+        EpochOfRid(ref.rid, epoch_requests_) != epochs_) {
+      ++it;
+      continue;
+    }
+    const ContinuityImports::TxOpImport& imp = it->second.imp;
+    bool real_txn = false;
+    bool real_op = false;
+    const TxOperation* real = nullptr;
+    auto log_it = advice.tx_logs.find(TxnKey{ref.rid, ref.tid});
+    if (log_it != advice.tx_logs.end()) {
+      real_txn = true;
+      if (ref.index >= 1 && ref.index <= log_it->second.size()) {
+        real_op = true;
+        real = &log_it->second[ref.index - 1];
+      }
+    }
+    bool ok = real_txn == imp.txn_present && real_op == imp.op_present;
+    if (ok && imp.op_present) {
+      bool real_is_put = real != nullptr && real->type == TxOpType::kPut;
+      bool imp_is_put = static_cast<TxOpType>(imp.type) == TxOpType::kPut;
+      ok = real_is_put == imp_is_put;
+      if (ok && imp_is_put) {
+        ok = real->key == imp.key && real->put_value == imp.value && real->hid == imp.hid &&
+             real->opnum == imp.opnum;
+      }
+    }
+    if (!ok) {
+      Emit(kKarSeg008, TxImportLoc(ref),
+           "continuity import does not match the advice it mirrors (epoch " +
+               std::to_string(epochs_) + " arrived)",
+           out);
+    }
+    it = pending_tx_imports_.erase(it);
+  }
+  for (auto it = pending_var_imports_.begin(); it != pending_var_imports_.end();) {
+    const auto& [vid, op] = it->first;
+    if (it->second.registered_epoch >= epochs_ ||
+        EpochOfRid(op.rid, epoch_requests_) != epochs_) {
+      ++it;
+      continue;
+    }
+    const ContinuityImports::VarImport& imp = it->second.imp;
+    const VarLogEntry* real = nullptr;
+    auto log_it = advice.var_logs.find(vid);
+    if (log_it != advice.var_logs.end()) {
+      auto entry_it = log_it->second.find(op);
+      if (entry_it != log_it->second.end()) {
+        real = &entry_it->second;
+      }
+    }
+    bool ok;
+    if (real == nullptr) {
+      ok = !imp.present;
+    } else {
+      bool real_is_write = real->kind == VarLogEntry::Kind::kWrite;
+      bool imp_is_write = static_cast<VarLogEntry::Kind>(imp.kind) == VarLogEntry::Kind::kWrite;
+      ok = imp.present && real_is_write == imp_is_write &&
+           (!real_is_write || real->value == imp.value);
+    }
+    if (!ok) {
+      Emit(kKarSeg008, VarImportLoc(vid, op),
+           "continuity import does not match the advice it mirrors (epoch " +
+               std::to_string(epochs_) + " arrived)",
+           out);
+    }
+    it = pending_var_imports_.erase(it);
+  }
+}
+
+void CarryLint::EndEpoch(const EpochSegment& segment) {
+  const Advice& advice = segment.advice;
+  for (const auto& [rid, log] : advice.handler_logs) {
+    for (const HandlerLogEntry& e : log) {
+      claimed_ops_.emplace(OpRef{rid, e.hid, e.opnum}, epochs_);
+    }
+  }
+  for (const auto& [txn, log] : advice.tx_logs) {
+    for (const TxOperation& op : log) {
+      claimed_ops_.emplace(OpRef{txn.rid, op.hid, op.opnum}, epochs_);
+    }
+    if (standalone_) {
+      txn_sizes_[txn] = static_cast<uint32_t>(log.size());
+      for (uint32_t i = 1; i <= log.size(); ++i) {
+        if (log[i - 1].type == TxOpType::kPut) {
+          put_keys_[TxOpRef{txn.rid, txn.tid, i}] = log[i - 1].key;
+        }
+      }
+    }
+  }
+  for (const auto& [vid, log] : advice.var_logs) {
+    for (const auto& [op, entry] : log) {
+      claimed_ops_.emplace(op, epochs_);
+      if (!entry.prec.IsNil() && entry.prec != op) {
+        prec_edges_.emplace(std::make_pair(vid, op), PrecEdge{entry.prec, epochs_});
+      }
+      if (standalone_) {
+        var_kinds_[{vid, op}] = entry.kind == VarLogEntry::Kind::kWrite;
+      }
+    }
+  }
+  for (const auto& [key, count] : advice.opcounts) {
+    opcount_epochs_.emplace(key, epochs_);
+  }
+  for (const TxOpRef& w : advice.write_order) {
+    write_order_epochs_.emplace(w, epochs_);
+  }
+  if (standalone_) {
+    order_.insert(order_.end(), advice.write_order.begin(), advice.write_order.end());
+  }
+  ++epochs_;
+}
+
+void CarryLint::Finish(std::vector<LintDiagnostic>* out) {
+  if (standalone_) {
+    // The accumulated write-order lint holds the same position it has in the
+    // session's StreamFinish: before any KAR-SEG finish rule (whose pass is
+    // skipped if the order lint errors, as the session's throw would skip it).
+    size_t first_new = out->size();
+    LintWriteOrder(order_, [this](const TxOpRef& ref) { return ResolveTxOp(ref); }, out);
+    for (size_t i = first_new; i < out->size(); ++i) {
+      if ((*out)[i].severity == LintSeverity::kError) {
+        return;
+      }
+    }
+  }
+  FinishEarlyContent(out);  // 007, forward half
+  FinishImports(out);       // 008, residual closure
+  FinishPrecChains(out);    // 009
+}
+
+// KAR-SEG-007, forward half: content ahead of its epoch is legal only as the
+// final slice's clamped tail (rids beyond the last trace epoch land there, so
+// the not-in-trace rule reports them as the one-shot audit would).
+void CarryLint::FinishEarlyContent(std::vector<LintDiagnostic>* out) {
+  uint64_t last = epochs_ == 0 ? 0 : epochs_ - 1;
+  for (const EarlyContent& e : early_content_) {
+    if (e.owner_epoch <= last || e.seen_epoch != last) {
+      Emit(kKarSeg007, e.location,
+           "advice content for epoch " + std::to_string(e.owner_epoch) +
+               " appeared early in epoch " + std::to_string(e.seen_epoch) + "'s slice",
+           out);
+    }
+  }
+}
+
+// KAR-SEG-008, residual half: allegations whose target epoch never arrived
+// mirror nothing, so they may only claim absence.
+void CarryLint::FinishImports(std::vector<LintDiagnostic>* out) {
+  for (const auto& [ref, pending] : pending_tx_imports_) {
+    if (EpochOfRid(ref.rid, epoch_requests_) < epochs_) {
+      continue;  // Non-forward; already reported at registration.
+    }
+    if (pending.imp.txn_present || pending.imp.op_present) {
+      Emit(kKarSeg008, TxImportLoc(ref), "continuity import claims content beyond the final epoch",
+           out);
+    }
+  }
+  for (const auto& [key, pending] : pending_var_imports_) {
+    if (EpochOfRid(key.second.rid, epoch_requests_) < epochs_) {
+      continue;
+    }
+    if (pending.imp.present) {
+      Emit(kKarSeg008, VarImportLoc(key.first, key.second),
+           "continuity import claims content beyond the final epoch", out);
+    }
+  }
+}
+
+// KAR-SEG-009: each var-log entry names at most one predecessor, so the prec
+// relation is a functional graph per variable — one forward walk with path
+// marking finds every cycle in linear time. Cycles confined to a single epoch
+// are left to the dynamic chain checks (a one-shot audit could never fire a
+// KAR-SEG rule); only cycles spanning epochs report here.
+void CarryLint::FinishPrecChains(std::vector<LintDiagnostic>* out) {
+  FlatMap<std::pair<VarId, OpRef>, uint8_t> color;  // 0 new, 1 on path, 2 done.
+  for (const auto& [start, start_edge] : prec_edges_) {
+    if (color[start] != 0) {
+      continue;
+    }
+    std::vector<std::pair<VarId, OpRef>> path;
+    std::pair<VarId, OpRef> cur = start;
+    while (true) {
+      uint8_t& c = color[cur];
+      if (c == 2) {
+        break;
+      }
+      if (c == 1) {
+        // Found a cycle: the tail of `path` from the first occurrence of cur.
+        size_t first = 0;
+        while (path[first] != cur) {
+          ++first;
+        }
+        std::set<uint64_t> epochs_in_cycle;
+        std::ostringstream cycle;
+        for (size_t i = first; i < path.size(); ++i) {
+          const PrecEdge& edge = prec_edges_.find(path[i])->second;
+          epochs_in_cycle.insert(edge.epoch);
+          cycle << " " << path[i].second.ToString() << "@e" << edge.epoch;
+        }
+        if (epochs_in_cycle.size() >= 2) {
+          std::ostringstream loc;
+          loc << "var_logs[0x" << std::hex << cur.first << std::dec << "]";
+          Emit(kKarSeg009, loc.str(),
+               "variable prec chain is cyclic across epochs:" + cycle.str(), out);
+        }
+        break;
+      }
+      c = 1;
+      path.push_back(cur);
+      auto edge_it = prec_edges_.find(cur);
+      if (edge_it == prec_edges_.end()) {
+        break;
+      }
+      cur = {cur.first, edge_it->second.prec};
+    }
+    for (const auto& node : path) {
+      color[node] = 2;
+    }
+  }
+}
+
+ResolvedTxOp CarryLint::ResolveTxOp(const TxOpRef& ref) const {
+  auto size_it = txn_sizes_.find(TxnKey{ref.rid, ref.tid});
+  if (size_it != txn_sizes_.end()) {
+    ResolvedTxOp out;
+    out.txn_present = true;
+    if (ref.index >= 1 && ref.index <= size_it->second) {
+      out.op_present = true;
+      auto put_it = put_keys_.find(ref);
+      if (put_it != put_keys_.end()) {
+        out.is_put = true;
+        out.key = put_it->second;
+      }
+    }
+    return out;
+  }
+  auto imp_it = pending_tx_imports_.find(ref);
+  if (imp_it != pending_tx_imports_.end()) {
+    const ContinuityImports::TxOpImport& imp = imp_it->second.imp;
+    ResolvedTxOp out;
+    out.txn_present = imp.txn_present;
+    out.op_present = imp.op_present;
+    if (imp.op_present) {
+      out.is_put = static_cast<TxOpType>(imp.type) == TxOpType::kPut;
+      out.key = imp.key;
+      out.put_value = &imp.value;
+      out.hid = imp.hid;
+      out.opnum = imp.opnum;
+    }
+    return out;
+  }
+  return ResolvedTxOp{};
+}
+
+VarPrecLookup CarryLint::ResolveVarPrec(VarId vid, const OpRef& op) const {
+  auto kind_it = var_kinds_.find({vid, op});
+  if (kind_it != var_kinds_.end()) {
+    return VarPrecLookup{true, kind_it->second};
+  }
+  auto imp_it = pending_var_imports_.find({vid, op});
+  if (imp_it != pending_var_imports_.end() && imp_it->second.imp.present) {
+    return VarPrecLookup{
+        true, static_cast<VarLogEntry::Kind>(imp_it->second.imp.kind) == VarLogEntry::Kind::kWrite};
+  }
+  return VarPrecLookup{};
+}
+
+void CarryLint::Serialize(ByteWriter* out) const {
+  out->WriteVarint(epoch_requests_);
+  out->WriteBool(standalone_);
+  out->WriteVarint(epochs_);
+
+  std::vector<OpRef> claimed;
+  claimed.reserve(claimed_ops_.size());
+  for (const auto& [op, epoch] : claimed_ops_) {
+    claimed.push_back(op);
+  }
+  std::sort(claimed.begin(), claimed.end());
+  out->WriteVarint(claimed.size());
+  for (const OpRef& op : claimed) {
+    SerializeOpRef(op, out);
+    out->WriteVarint(claimed_ops_.find(op)->second);
+  }
+
+  std::vector<std::pair<RequestId, HandlerId>> opcount_keys;
+  opcount_keys.reserve(opcount_epochs_.size());
+  for (const auto& [key, epoch] : opcount_epochs_) {
+    opcount_keys.push_back(key);
+  }
+  std::sort(opcount_keys.begin(), opcount_keys.end());
+  out->WriteVarint(opcount_keys.size());
+  for (const auto& key : opcount_keys) {
+    out->WriteVarint(key.first);
+    out->WriteVarint(key.second);
+    out->WriteVarint(opcount_epochs_.find(key)->second);
+  }
+
+  std::vector<TxOpRef> wo_keys;
+  wo_keys.reserve(write_order_epochs_.size());
+  for (const auto& [ref, epoch] : write_order_epochs_) {
+    wo_keys.push_back(ref);
+  }
+  std::sort(wo_keys.begin(), wo_keys.end());
+  out->WriteVarint(wo_keys.size());
+  for (const TxOpRef& ref : wo_keys) {
+    SerializeTxOpRef(ref, out);
+    out->WriteVarint(write_order_epochs_.find(ref)->second);
+  }
+
+  std::vector<std::pair<VarId, OpRef>> prec_keys;
+  prec_keys.reserve(prec_edges_.size());
+  for (const auto& [key, edge] : prec_edges_) {
+    prec_keys.push_back(key);
+  }
+  std::sort(prec_keys.begin(), prec_keys.end());
+  out->WriteVarint(prec_keys.size());
+  for (const auto& key : prec_keys) {
+    const PrecEdge& edge = prec_edges_.find(key)->second;
+    out->WriteVarint(key.first);
+    SerializeOpRef(key.second, out);
+    SerializeOpRef(edge.prec, out);
+    out->WriteVarint(edge.epoch);
+  }
+
+  out->WriteVarint(early_content_.size());
+  for (const EarlyContent& e : early_content_) {
+    out->WriteVarint(e.seen_epoch);
+    out->WriteVarint(e.owner_epoch);
+    out->WriteString(e.location);
+  }
+
+  out->WriteVarint(pending_tx_imports_.size());
+  for (const auto& [ref, pending] : pending_tx_imports_) {
+    SerializeTxOpRef(ref, out);
+    const ContinuityImports::TxOpImport& imp = pending.imp;
+    out->WriteBool(imp.txn_present);
+    out->WriteBool(imp.op_present);
+    out->WriteByte(imp.type);
+    out->WriteString(imp.key);
+    out->WriteValue(imp.value);
+    out->WriteVarint(imp.hid);
+    out->WriteVarint(imp.opnum);
+    out->WriteVarint(pending.registered_epoch);
+  }
+
+  out->WriteVarint(pending_var_imports_.size());
+  for (const auto& [key, pending] : pending_var_imports_) {
+    out->WriteVarint(key.first);
+    SerializeOpRef(key.second, out);
+    const ContinuityImports::VarImport& imp = pending.imp;
+    out->WriteBool(imp.present);
+    out->WriteByte(imp.kind);
+    out->WriteValue(imp.value);
+    out->WriteVarint(pending.registered_epoch);
+  }
+
+  if (!standalone_) {
+    return;  // The session's checkpoint never carries the resolution mirror.
+  }
+  std::vector<TxnKey> txn_keys;
+  txn_keys.reserve(txn_sizes_.size());
+  for (const auto& [key, size] : txn_sizes_) {
+    txn_keys.push_back(key);
+  }
+  std::sort(txn_keys.begin(), txn_keys.end());
+  out->WriteVarint(txn_keys.size());
+  for (const TxnKey& key : txn_keys) {
+    out->WriteVarint(key.rid);
+    out->WriteVarint(key.tid);
+    out->WriteVarint(txn_sizes_.find(key)->second);
+  }
+  out->WriteVarint(put_keys_.size());
+  for (const auto& [ref, key] : put_keys_) {
+    SerializeTxOpRef(ref, out);
+    out->WriteString(key);
+  }
+  std::vector<std::pair<VarId, OpRef>> kind_keys;
+  kind_keys.reserve(var_kinds_.size());
+  for (const auto& [key, is_write] : var_kinds_) {
+    kind_keys.push_back(key);
+  }
+  std::sort(kind_keys.begin(), kind_keys.end());
+  out->WriteVarint(kind_keys.size());
+  for (const auto& key : kind_keys) {
+    out->WriteVarint(key.first);
+    SerializeOpRef(key.second, out);
+    out->WriteBool(var_kinds_.find(key)->second);
+  }
+  out->WriteVarint(order_.size());
+  for (const TxOpRef& ref : order_) {
+    SerializeTxOpRef(ref, out);
+  }
+}
+
+bool CarryLint::Deserialize(ByteReader* in) {
+  *this = CarryLint();
+  auto epoch_requests = in->ReadVarint();
+  auto standalone = in->ReadBool();
+  auto epochs = in->ReadVarint();
+  if (!epoch_requests || !standalone || !epochs) {
+    return false;
+  }
+  epoch_requests_ = *epoch_requests;
+  standalone_ = *standalone;
+  epochs_ = *epochs;
+
+  // Every element costs at least one byte, so a count beyond the remaining
+  // bytes is malformed — the bound keeps a hostile checkpoint from forcing a
+  // huge allocation before the truncation surfaces.
+  auto bounded = [in](std::optional<uint64_t> n) -> std::optional<uint64_t> {
+    if (!n || *n > in->remaining()) {
+      return std::nullopt;
+    }
+    return n;
+  };
+
+  auto n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  claimed_ops_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto op = DeserializeOpRef(in);
+    auto epoch = in->ReadVarint();
+    if (!op || !epoch) {
+      return false;
+    }
+    claimed_ops_.emplace(*op, *epoch);
+  }
+
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  opcount_epochs_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto rid = in->ReadVarint();
+    auto hid = in->ReadVarint();
+    auto epoch = in->ReadVarint();
+    if (!rid || !hid || !epoch) {
+      return false;
+    }
+    opcount_epochs_.emplace(std::make_pair(*rid, *hid), *epoch);
+  }
+
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  write_order_epochs_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto ref = DeserializeTxOpRef(in);
+    auto epoch = in->ReadVarint();
+    if (!ref || !epoch) {
+      return false;
+    }
+    write_order_epochs_.emplace(*ref, *epoch);
+  }
+
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  prec_edges_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto vid = in->ReadVarint();
+    auto op = DeserializeOpRef(in);
+    auto prec = DeserializeOpRef(in);
+    auto epoch = in->ReadVarint();
+    if (!vid || !op || !prec || !epoch) {
+      return false;
+    }
+    prec_edges_.emplace(std::make_pair(*vid, *op), PrecEdge{*prec, *epoch});
+  }
+
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  early_content_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto seen = in->ReadVarint();
+    auto owner = in->ReadVarint();
+    auto location = in->ReadString();
+    if (!seen || !owner || !location) {
+      return false;
+    }
+    early_content_.push_back(EarlyContent{*seen, *owner, std::move(*location)});
+  }
+
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto ref = DeserializeTxOpRef(in);
+    auto txn_present = in->ReadBool();
+    auto op_present = in->ReadBool();
+    auto type = in->ReadByte();
+    auto key = in->ReadString();
+    auto value = in->ReadValue();
+    auto hid = in->ReadVarint();
+    auto opnum = in->ReadVarint();
+    auto registered = in->ReadVarint();
+    if (!ref || !txn_present || !op_present || !type || !key || !value || !hid || !opnum ||
+        !registered) {
+      return false;
+    }
+    ContinuityImports::TxOpImport imp;
+    imp.ref = *ref;
+    imp.txn_present = *txn_present;
+    imp.op_present = *op_present;
+    imp.type = *type;
+    imp.key = std::move(*key);
+    imp.value = std::move(*value);
+    imp.hid = *hid;
+    imp.opnum = static_cast<OpNum>(*opnum);
+    pending_tx_imports_.emplace(*ref, PendingTxImport{std::move(imp), *registered});
+  }
+
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto vid = in->ReadVarint();
+    auto op = DeserializeOpRef(in);
+    auto present = in->ReadBool();
+    auto kind = in->ReadByte();
+    auto value = in->ReadValue();
+    auto registered = in->ReadVarint();
+    if (!vid || !op || !present || !kind || !value || !registered) {
+      return false;
+    }
+    ContinuityImports::VarImport imp;
+    imp.vid = *vid;
+    imp.op = *op;
+    imp.present = *present;
+    imp.kind = *kind;
+    imp.value = std::move(*value);
+    pending_var_imports_.emplace(std::make_pair(*vid, *op),
+                                 PendingVarImport{std::move(imp), *registered});
+  }
+
+  if (!standalone_) {
+    return true;
+  }
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  txn_sizes_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto rid = in->ReadVarint();
+    auto tid = in->ReadVarint();
+    auto size = in->ReadVarint();
+    if (!rid || !tid || !size) {
+      return false;
+    }
+    txn_sizes_.emplace(TxnKey{*rid, static_cast<TxId>(*tid)}, static_cast<uint32_t>(*size));
+  }
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto ref = DeserializeTxOpRef(in);
+    auto key = in->ReadString();
+    if (!ref || !key) {
+      return false;
+    }
+    put_keys_.emplace(*ref, std::move(*key));
+  }
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  var_kinds_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto vid = in->ReadVarint();
+    auto op = DeserializeOpRef(in);
+    auto is_write = in->ReadBool();
+    if (!vid || !op || !is_write) {
+      return false;
+    }
+    var_kinds_.emplace(std::make_pair(*vid, *op), *is_write);
+  }
+  n = bounded(in->ReadVarint());
+  if (!n) {
+    return false;
+  }
+  order_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto ref = DeserializeTxOpRef(in);
+    if (!ref) {
+      return false;
+    }
+    order_.push_back(*ref);
+  }
+  return true;
+}
+
+}  // namespace karousos

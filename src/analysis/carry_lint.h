@@ -1,0 +1,164 @@
+// Cross-epoch static model checking over KSEG advice streams.
+//
+// The per-epoch linter (src/analysis/lint.h) validates one slice at a time;
+// everything that spans segment boundaries — claim uniqueness across epochs,
+// opcount stability, write-order totality over the concatenated chunks,
+// continuity-import closure, prec-chain acyclicity over the whole run — needs
+// state carried from every completed epoch. CarryLint is that state: a static
+// mirror of the AuditSession's CarryState that costs no re-execution and whose
+// pass runs both inside the session (the fast-reject pre-screen before
+// Preprocess/ReExec) and standalone (`karousos check`), emitting identical
+// diagnostics wherever both run.
+//
+// Rule catalogue (stable IDs; KAR-SEG-001..003 and 010 are container-layer and
+// fire in the stream loader, 004..009 fire here):
+//   KAR-SEG-001  segment container unreadable (magic/version, CRC, truncation)
+//   KAR-SEG-002  frame schema violation (unexpected kind, undecodable payload)
+//   KAR-SEG-003  epoch sequencing violation (duplicate, out of order, gap)
+//   KAR-SEG-004  operation coordinates claimed by log entries in two epochs
+//   KAR-SEG-005  opcounts entry for one (rid, hid) declared in two epochs
+//   KAR-SEG-006  write-order entry recurs across epoch chunks
+//   KAR-SEG-007  advice content outside its owning epoch's slice
+//   KAR-SEG-008  continuity import broken (non-forward, contradicts the slice
+//                it mirrors once that epoch arrives, or dangles past the end)
+//   KAR-SEG-009  var-log prec chain cyclic across epochs
+//   KAR-SEG-010  trace and advice streams disagree on the epoch set
+//
+// Every KAR-SEG advice rule fires only on genuinely cross-epoch phenomena: a
+// single-epoch stream (epoch_requests == 0) can never trip 004..009, which is
+// what keeps the streamed-with-pre-screen verdict bit-identical to the
+// one-shot audit on honest slicings.
+#ifndef SRC_ANALYSIS_CARRY_LINT_H_
+#define SRC_ANALYSIS_CARRY_LINT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/adya/checker.h"
+#include "src/analysis/diagnostic.h"
+#include "src/analysis/lint.h"
+#include "src/common/flat_map.h"
+#include "src/common/serde.h"
+#include "src/server/rollover.h"
+
+namespace karousos {
+
+inline constexpr const char* kKarSeg001 = "KAR-SEG-001";
+inline constexpr const char* kKarSeg002 = "KAR-SEG-002";
+inline constexpr const char* kKarSeg003 = "KAR-SEG-003";
+inline constexpr const char* kKarSeg004 = "KAR-SEG-004";
+inline constexpr const char* kKarSeg005 = "KAR-SEG-005";
+inline constexpr const char* kKarSeg006 = "KAR-SEG-006";
+inline constexpr const char* kKarSeg007 = "KAR-SEG-007";
+inline constexpr const char* kKarSeg008 = "KAR-SEG-008";
+inline constexpr const char* kKarSeg009 = "KAR-SEG-009";
+inline constexpr const char* kKarSeg010 = "KAR-SEG-010";
+
+// Incremental cross-epoch checker. Drive it like the session drives its own
+// carries: RegisterImports + CheckEpoch as each epoch arrives (after the
+// slice-local KAR-ADV lint, so per-epoch diagnostics keep catalogue order),
+// EndEpoch to fold the slice in, Finish once the stream ends.
+class CarryLint {
+ public:
+  CarryLint() = default;
+
+  // `standalone` additionally tracks the resolution carries (transaction
+  // shapes, PUT keys, var-entry kinds, the concatenated write order) that the
+  // standalone checker needs to mirror the session's reference resolution and
+  // finish-time write-order lint. The in-session instance leaves them off:
+  // the verifier already holds the real carries.
+  void Begin(uint64_t epoch_requests, bool standalone);
+
+  // Registers this epoch's forward allegations. Runs before the slice lint so
+  // that (in standalone mode) the lint hooks can resolve through them —
+  // mirroring the session, which registers imports before LintAdviceEpoch.
+  void RegisterImports(const EpochSegment& segment);
+
+  // The per-epoch KAR-SEG pass (rules 004..008). `trace_rids` is the stream's
+  // accumulated request-id universe (rids outside it are KAR-ADV-001's to
+  // report, not ours). Appends findings to `out`.
+  void CheckEpoch(const EpochSegment& segment, const std::set<RequestId>& trace_rids,
+                  std::vector<LintDiagnostic>* out);
+
+  // Folds the slice into the carried claim/opcount/write-order/prec state.
+  void EndEpoch(const EpochSegment& segment);
+
+  // Finish-time rules. In standalone mode the accumulated write-order lint
+  // (KAR-ADV-009/010) runs first — the same position it holds in the
+  // session's StreamFinish — then rule 007's early-content verdicts, 008's
+  // residual import closure, and 009's cross-epoch prec acyclicity.
+  void Finish(std::vector<LintDiagnostic>* out);
+
+  // Standalone resolvers: the static mirror of Verifier::ResolveTxOp /
+  // ResolveVarEntry minus the live slice (the lint checks its own slice
+  // before falling back to these).
+  ResolvedTxOp ResolveTxOp(const TxOpRef& ref) const;
+  VarPrecLookup ResolveVarPrec(VarId vid, const OpRef& op) const;
+
+  uint64_t epochs_folded() const { return epochs_; }
+
+  // Checkpoint round-trip (canonical sorted encoding, the session checkpoint
+  // discipline). Deserialize returns false on malformed or truncated input.
+  void Serialize(ByteWriter* out) const;
+  bool Deserialize(ByteReader* in);
+
+ private:
+  struct PrecEdge {
+    OpRef prec;
+    uint64_t epoch = 0;  // Epoch of the entry holding the prec.
+  };
+  struct EarlyContent {
+    uint64_t seen_epoch = 0;   // Slice the content appeared in.
+    uint64_t owner_epoch = 0;  // Epoch its rid belongs to (> seen_epoch).
+    std::string location;
+  };
+  struct PendingTxImport {
+    ContinuityImports::TxOpImport imp;
+    uint64_t registered_epoch = 0;
+  };
+  struct PendingVarImport {
+    ContinuityImports::VarImport imp;
+    uint64_t registered_epoch = 0;
+  };
+
+  void Emit(const char* rule, std::string location, std::string message,
+            std::vector<LintDiagnostic>* out) const;
+  void CheckDuplicateClaims(const EpochSegment& segment, std::vector<LintDiagnostic>* out);
+  void CheckOpcountEpochs(const EpochSegment& segment, std::vector<LintDiagnostic>* out);
+  void CheckWriteOrderRecurrence(const EpochSegment& segment, std::vector<LintDiagnostic>* out);
+  void CheckContentOwnership(const EpochSegment& segment, std::vector<LintDiagnostic>* out);
+  void CheckImports(const EpochSegment& segment, std::vector<LintDiagnostic>* out);
+  void FinishEarlyContent(std::vector<LintDiagnostic>* out);
+  void FinishImports(std::vector<LintDiagnostic>* out);
+  void FinishPrecChains(std::vector<LintDiagnostic>* out);
+
+  uint64_t epoch_requests_ = 0;
+  bool standalone_ = false;
+  uint64_t epochs_ = 0;  // Epochs folded so far == index of the current epoch.
+
+  // Cross-epoch bookkeeping (both modes). Values are the first epoch that
+  // owned the key; probes against the current epoch detect recurrence.
+  FlatMap<OpRef, uint64_t> claimed_ops_;
+  FlatMap<std::pair<RequestId, HandlerId>, uint64_t> opcount_epochs_;
+  FlatMap<TxOpRef, uint64_t> write_order_epochs_;
+  FlatMap<std::pair<VarId, OpRef>, PrecEdge> prec_edges_;
+  std::vector<EarlyContent> early_content_;
+  // node-keyed maps stay std::map: resolvers hand out pointers into them and
+  // the checkpoint wants their sorted order anyway.
+  std::map<TxOpRef, PendingTxImport> pending_tx_imports_;
+  std::map<std::pair<VarId, OpRef>, PendingVarImport> pending_var_imports_;
+
+  // Standalone-only resolution carries.
+  FlatMap<TxnKey, uint32_t> txn_sizes_;
+  std::map<TxOpRef, std::string> put_keys_;
+  FlatMap<std::pair<VarId, OpRef>, bool> var_kinds_;  // true == write entry.
+  WriteOrder order_;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_ANALYSIS_CARRY_LINT_H_

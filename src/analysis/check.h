@@ -1,0 +1,91 @@
+// Standalone streaming model check over KSEG segment streams — the static
+// half of the audit, runnable without a program, a store, or re-execution.
+//
+// Layering: SegmentChecker replays exactly the static prefix of the
+// AuditSession's per-epoch work (trace-window ingestion, the slice-local
+// KAR-ADV lint with carry-backed resolution, the KAR-SEG cross-epoch rules of
+// src/analysis/carry_lint.h), so any stream the checker rejects is rejected
+// by the full audit with the same first rule — and the session's fast-reject
+// pre-screen is this same pass, so statically-rejectable advice never reaches
+// ReExec. The container walk (PairedSegmentCursor inside check.cc) owns the
+// file-layer rules KAR-SEG-001..003 and 010 and is shared with
+// LoadSegmentStreams, the audit path's segment-container front end.
+#ifndef SRC_ANALYSIS_CHECK_H_
+#define SRC_ANALYSIS_CHECK_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/carry_lint.h"
+#include "src/analysis/diagnostic.h"
+#include "src/server/rollover.h"
+#include "src/trace/trace.h"
+
+namespace karousos {
+
+// Outcome of a standalone model check. `reason`/`rule` describe the first
+// error (the verdict the session's RejectError would carry); `diagnostics`
+// holds every finding up to and including the epoch that produced it.
+struct CheckResult {
+  bool ok = true;
+  std::string reason;
+  std::string rule;
+  std::vector<LintDiagnostic> diagnostics;
+  uint64_t epochs = 0;
+  uint64_t frames = 0;  // Frames consumed across both containers.
+};
+
+// Per-epoch driver over already-decoded segments. Feed epochs in order; stop
+// feeding once CheckEpoch returns false (an error-severity finding exists).
+class SegmentChecker {
+ public:
+  explicit SegmentChecker(uint64_t epoch_requests);
+
+  bool CheckEpoch(const EpochSegment& segment);
+  CheckResult Finish();
+  // Result so far without the finish-time rules — for callers whose container
+  // walk failed (a truncated stream has no meaningful end-of-stream state).
+  CheckResult Abandon();
+
+ private:
+  void NoteVerdict();
+
+  uint64_t epoch_requests_;
+  uint64_t epochs_fed_ = 0;
+  std::set<RequestId> trace_rids_;
+  std::set<RequestId> epoch_rids_;
+  CarryLint carry_;
+  CheckResult result_;
+};
+
+// Streaming check of a (trace, advice) container pair: walks both KSEG
+// streams in lockstep (file-layer rules 001..003/010), then runs the
+// SegmentChecker over each decoded epoch.
+CheckResult CheckSegmentStreams(const std::vector<uint8_t>& trace_bytes,
+                                const std::vector<uint8_t>& advice_bytes,
+                                uint64_t epoch_requests);
+
+// Slices a monolithic pair (the same SliceRun the session uses) and checks
+// the slices. epoch_requests == 0 checks the run as a single epoch.
+CheckResult CheckRun(const Trace& trace, const Advice& advice, uint64_t epoch_requests);
+
+// Container front end for the audit path: decodes a (trace, advice) container
+// pair into EpochSlices. File-layer findings become a not-ok result with the
+// same reason/rule `karousos check` reports, so a corrupt container rejects
+// identically whether checked or audited.
+struct SegmentLoadResult {
+  bool ok = true;
+  std::string reason;
+  std::string rule;
+  std::vector<LintDiagnostic> diagnostics;
+  EpochSlices slices;
+};
+SegmentLoadResult LoadSegmentStreams(const std::vector<uint8_t>& trace_bytes,
+                                     const std::vector<uint8_t>& advice_bytes,
+                                     uint64_t epoch_requests);
+
+}  // namespace karousos
+
+#endif  // SRC_ANALYSIS_CHECK_H_

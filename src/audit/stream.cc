@@ -1,5 +1,9 @@
 #include "src/audit/stream.h"
 
+#include <utility>
+
+#include "src/analysis/check.h"
+
 namespace karousos {
 
 void FeedRemaining(AuditSession* session, const EpochSlices& slices,
@@ -16,6 +20,31 @@ void FeedRemaining(AuditSession* session, const EpochSlices& slices,
       break;  // Verdict fixed mid-stream; Finish() will report it.
     }
   }
+}
+
+StreamAuditResult AuditSegments(const AppSpec& app, const std::vector<uint8_t>& trace_bytes,
+                                const std::vector<uint8_t>& advice_bytes,
+                                const VerifierConfig& config, uint64_t epoch_requests,
+                                const UntrackedAccessLog* untracked) {
+  SegmentLoadResult load = LoadSegmentStreams(trace_bytes, advice_bytes, epoch_requests);
+  StreamAuditResult result;
+  if (!load.ok) {
+    result.audit.accepted = false;
+    result.audit.reason = std::move(load.reason);
+    result.audit.rule = std::move(load.rule);
+    result.audit.diagnostics = std::move(load.diagnostics);
+    result.epochs = load.slices.segments.size();
+    return result;
+  }
+  AuditSession session(*app.program, config, epoch_requests);
+  if (untracked != nullptr) {
+    session.set_untracked_accesses(untracked);
+  }
+  FeedRemaining(&session, load.slices);
+  result.audit = session.Finish();
+  result.peak_resident_advice_bytes = session.peak_resident_advice_bytes();
+  result.epochs = load.slices.segments.size();
+  return result;
 }
 
 StreamAuditResult AuditStreamed(const AppSpec& app, const Trace& trace, const Advice& advice,

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/apps/app.h"
 #include "src/server/rollover.h"
@@ -37,6 +38,16 @@ StreamAuditResult AuditStreamed(const AppSpec& app, const Trace& trace, const Ad
 // Stops early once the session is decided.
 void FeedRemaining(AuditSession* session, const EpochSlices& slices,
                    const std::function<void(AuditSession&)>& after_epoch = nullptr);
+
+// Audits directly from KSEG container bytes (the production artifact): the
+// container front end (src/analysis/check.h's LoadSegmentStreams) decodes and
+// file-checks both streams, then the decoded slices run through an
+// AuditSession. A corrupt container rejects with the same reason/rule
+// `karousos check` reports; it never reaches the session.
+StreamAuditResult AuditSegments(const AppSpec& app, const std::vector<uint8_t>& trace_bytes,
+                                const std::vector<uint8_t>& advice_bytes,
+                                const VerifierConfig& config, uint64_t epoch_requests,
+                                const UntrackedAccessLog* untracked = nullptr);
 
 }  // namespace karousos
 

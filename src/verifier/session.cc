@@ -12,7 +12,7 @@ namespace {
 
 // Bumped whenever the checkpoint payload layout changes; Restore refuses
 // other versions (a stale checkpoint must fail loudly, not misparse).
-constexpr uint64_t kCheckpointVersion = 1;
+constexpr uint64_t kCheckpointVersion = 2;
 
 void WriteTxnKey(const TxnKey& t, ByteWriter* w) {
   w->WriteVarint(t.rid);
@@ -330,6 +330,10 @@ std::vector<uint8_t> AuditSession::SaveCheckpoint() const {
   w.WriteVarint(v_.var_dict_entries_pruned_);
   w.WriteVarint(v_.peak_resident_);
 
+  // v2: the fast-reject pre-screen's cross-epoch state (empty when the
+  // session runs with prescreen off — the encoding is the same either way).
+  v_.carry_lint_.Serialize(&w);
+
   SegmentWriter out;
   out.Append(SegmentKind::kCheckpoint, v_.epochs_fed_, w.bytes());
   return out.Take();
@@ -548,6 +552,10 @@ std::unique_ptr<AuditSession> AuditSession::Restore(const Program& program,
   v.stats_.isolation_dg_edges = c.V();
   v.var_dict_entries_pruned_ = c.V();
   v.peak_resident_ = c.V();
+
+  if (c.ok && !v.carry_lint_.Deserialize(&c.r)) {
+    c.ok = false;
+  }
 
   if (!c.ok || !c.r.AtEnd()) {
     *error = "checkpoint: payload is malformed or truncated";

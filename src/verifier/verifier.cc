@@ -557,6 +557,9 @@ Verifier::ResolvedVarEntry Verifier::ResolveVarEntry(VarId vid, const OpRef& op)
 void Verifier::StreamBegin(uint64_t epoch_requests) {
   streaming_ = true;
   epoch_requests_ = epoch_requests;
+  if (config_.prescreen) {
+    carry_lint_.Begin(epoch_requests, /*standalone=*/false);
+  }
 }
 
 void Verifier::StreamIngestWindow(const std::vector<TraceEvent>& window) {
@@ -650,6 +653,9 @@ void Verifier::StreamEpoch(const EpochSegment& segment) {
       for (const auto& imp : segment.imports.var_entries) {
         pending_var_imports_.emplace(std::make_pair(imp.vid, imp.op), imp);
       }
+      if (config_.prescreen) {
+        carry_lint_.RegisterImports(segment);
+      }
       // Slice-local lint; the global write-order rules run once at Finish.
       LintEpochContext lint_ctx;
       lint_ctx.trace_rids = &trace_rids_;
@@ -666,6 +672,17 @@ void Verifier::StreamEpoch(const EpochSegment& segment) {
       for (size_t i = first_new; i < diagnostics_.size(); ++i) {
         if (diagnostics_[i].severity == LintSeverity::kError) {
           throw RejectError(diagnostics_[i].rule, "advice lint: " + diagnostics_[i].Format());
+        }
+      }
+      if (config_.prescreen) {
+        // Fast-reject pre-screen: the cross-epoch static rules, before any of
+        // this epoch's graph building or re-execution.
+        size_t first_seg = diagnostics_.size();
+        carry_lint_.CheckEpoch(segment, trace_rids_, &diagnostics_);
+        for (size_t i = first_seg; i < diagnostics_.size(); ++i) {
+          if (diagnostics_[i].severity == LintSeverity::kError) {
+            throw RejectError(diagnostics_[i].rule, "model check: " + diagnostics_[i].Format());
+          }
         }
       }
       BuildAdviceIndices();
@@ -729,6 +746,9 @@ size_t Verifier::MeasureResidentBytes(const EpochSegment& segment) const {
 
 void Verifier::StreamEndEpoch(const EpochSegment& segment) {
   peak_resident_ = std::max(peak_resident_, MeasureResidentBytes(segment));
+  if (config_.prescreen && !decided_) {
+    carry_lint_.EndEpoch(segment);
+  }
 
   // Fold the slice into the carries: transaction shapes + PUT payloads, and
   // var-log entries (reads kind-only — nothing ever feeds from a read).
@@ -867,6 +887,17 @@ AuditResult Verifier::StreamFinish() {
       for (size_t i = first_new; i < diagnostics_.size(); ++i) {
         if (diagnostics_[i].severity == LintSeverity::kError) {
           throw RejectError(diagnostics_[i].rule, "advice lint: " + diagnostics_[i].Format());
+        }
+      }
+      if (config_.prescreen) {
+        // Finish-time static rules (early content, residual imports, prec
+        // acyclicity), in the same slot the standalone checker runs them.
+        size_t first_seg = diagnostics_.size();
+        carry_lint_.Finish(&diagnostics_);
+        for (size_t i = first_seg; i < diagnostics_.size(); ++i) {
+          if (diagnostics_[i].severity == LintSeverity::kError) {
+            throw RejectError(diagnostics_[i].rule, "model check: " + diagnostics_[i].Format());
+          }
         }
       }
       StreamConfirmImports();

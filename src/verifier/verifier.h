@@ -22,6 +22,7 @@
 
 #include "src/adya/checker.h"
 #include "src/analysis/access_log.h"
+#include "src/analysis/carry_lint.h"
 #include "src/analysis/diagnostic.h"
 #include "src/common/flat_map.h"
 #include "src/common/graph.h"
@@ -62,6 +63,12 @@ struct VerifierConfig {
   // Audit-group parallelism for ReExec: 0 = one thread per hardware thread,
   // 1 = the serial path (the determinism oracle), N = N worker threads.
   unsigned threads = 1;
+  // Streaming-only: run the cross-epoch static model check (KAR-SEG rules,
+  // src/analysis/carry_lint.h) as a fast-reject pre-screen inside each epoch,
+  // before that epoch's re-execution. Off switches to the purely dynamic
+  // path; the verdict is identical either way (the pre-screen only ever
+  // rejects advice the dynamic checks would also reject).
+  bool prescreen = true;
 };
 
 struct AuditResult {
@@ -369,6 +376,9 @@ class Verifier {
   // confirmed against the carries at Finish.
   std::map<TxOpRef, ContinuityImports::TxOpImport> pending_tx_imports_;
   std::map<std::pair<VarId, OpRef>, ContinuityImports::VarImport> pending_var_imports_;
+  // The fast-reject pre-screen (config_.prescreen): cross-epoch static rules
+  // run per epoch before re-execution, sharing the session checkpoint.
+  CarryLint carry_lint_;
   // var_dict entries dropped by per-epoch pruning, so the final
   // stats.var_dict_entries matches the one-shot count.
   size_t var_dict_entries_pruned_ = 0;

@@ -39,6 +39,12 @@ MEASURE_FIELDS = (
     "karousos_rps",
     "baseline_overhead_seconds",
     "overhead_speedup",
+    # check_overhead static model-check fields.
+    "check_seconds",
+    "check_per_epoch_ms",
+    "audit_seconds",
+    "audit_no_prescreen_seconds",
+    "prescreen_overhead_pct",
 )
 
 # Of the measured fields, the ones where bigger is worse. off_seconds is the
@@ -51,6 +57,10 @@ TIME_FIELDS = (
     "postprocess_seconds",
     "karousos_seconds",
     "overhead_seconds",
+    # check_overhead: gate the checker pass and the screened audit; the
+    # per-epoch and percentage columns are derived from these two.
+    "check_seconds",
+    "audit_seconds",
 )
 
 

@@ -1,6 +1,6 @@
 // karousos — command-line front end for the audit pipeline.
 //
-//   karousos serve  --app wiki --workload mixed --requests 600 --concurrency 15 \
+//   karousos serve  --app wiki --workload mixed --requests 600 --concurrency 15
 //                   --out-trace trace.bin --out-advice advice.bin
 //   karousos audit  --app wiki --trace trace.bin --advice advice.bin [--isolation rc]
 //   karousos tamper --trace trace.bin --out trace_forged.bin
@@ -14,18 +14,21 @@
 // §5 happens-before race detector over a fresh in-process serve.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/analysis/check.h"
 #include "src/analysis/lint.h"
 #include "src/analysis/race.h"
 #include "src/audit/audit.h"
 #include "src/audit/stream.h"
 #include "src/common/json.h"
 #include "src/common/segment.h"
+#include "src/server/rollover.h"
 #include "src/workload/workload.h"
 
 namespace karousos {
@@ -37,9 +40,17 @@ int Usage() {
                "  karousos serve  --app <motd|stacks|wiki> [--workload <reads|writes|mixed>]\n"
                "                  [--requests N] [--concurrency C] [--seed S] [--mode karousos|orochi]\n"
                "                  [--isolation ser|rc|ru] --out-trace FILE --out-advice FILE\n"
+               "                  [--out-segments DIR --epoch-size N]\n"
+               "      --out-segments: also (or instead) write the epoch-segmented KSEG\n"
+               "      containers DIR/trace.kseg and DIR/advice.kseg\n"
                "  karousos audit  --app <motd|stacks|wiki> --trace FILE --advice FILE\n"
+               "                  [--segments DIR] [--no-prescreen]\n"
                "                  [--isolation ser|rc|ru] [--threads N] [--profile]\n"
                "                  [--epoch-size N] [--checkpoint FILE] [--resume FILE]\n"
+               "      --segments: audit DIR/trace.kseg + DIR/advice.kseg (KSEG containers\n"
+               "      are also auto-detected on --trace/--advice; --epoch-size required)\n"
+               "      --no-prescreen: disable the static fast-reject pre-screen (same\n"
+               "      verdict, purely dynamic rejection path)\n"
                "      --threads: audit-group parallelism (1 = serial, 0 = all hardware\n"
                "      threads); the verdict is identical for every value\n"
                "      --profile: print phase-timing JSON (Preprocess/ReExec/Postprocess)\n"
@@ -52,8 +63,14 @@ int Usage() {
                "  karousos inspect --advice FILE | --trace FILE\n"
                "      advice/trace files print composition; segment containers print\n"
                "      per-epoch frame headers (kind, epoch, payload size, CRC)\n"
-               "  karousos analyze --trace FILE --advice FILE\n"
-               "      lint the advice against the trace; exit 1 on findings\n"
+               "  karousos check  --segments DIR | --trace FILE --advice FILE\n"
+               "                  [--epoch-size N]\n"
+               "      streaming static model check (KAR-ADV + KAR-SEG rules), no\n"
+               "      re-execution: KSEG containers need --epoch-size; monolithic files\n"
+               "      are sliced at --epoch-size (default 0 = one epoch); exit 1 on reject\n"
+               "  karousos analyze --trace FILE --advice FILE [--epoch-size N]\n"
+               "      lint the advice against the trace; segment containers run the\n"
+               "      streaming model check instead; exit 1 on findings\n"
                "  karousos analyze --races --app <motd|stacks|wiki> [--workload ...]\n"
                "                  [--requests N] [--concurrency C] [--seed S]\n"
                "      serve in-process and race-check untracked accesses; exit 1 on findings\n");
@@ -91,6 +108,8 @@ struct Args {
   std::string inputs_path;  // JSON-lines request stream (overrides --workload).
   std::string checkpoint_path;
   std::string resume_path;
+  std::string segments_dir;
+  std::string out_segments_dir;
   size_t requests = 200;
   int concurrency = 8;
   uint64_t seed = 1;
@@ -99,6 +118,7 @@ struct Args {
   bool epoch_size_set = false;
   bool races = false;
   bool profile = false;
+  bool no_prescreen = false;
 };
 
 std::optional<Args> Parse(int argc, char** argv) {
@@ -116,6 +136,11 @@ std::optional<Args> Parse(int argc, char** argv) {
     }
     if (flag == "--profile") {
       args.profile = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--no-prescreen") {
+      args.no_prescreen = true;
       ++i;
       continue;
     }
@@ -160,6 +185,10 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.checkpoint_path = value;
     } else if (flag == "--resume") {
       args.resume_path = value;
+    } else if (flag == "--segments") {
+      args.segments_dir = value;
+    } else if (flag == "--out-segments") {
+      args.out_segments_dir = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -197,8 +226,16 @@ IsolationLevel ParseIsolation(const std::string& s) {
 }
 
 int CmdServe(const Args& args) {
-  if (args.trace_path.empty() || args.advice_path.empty()) {
+  const bool want_monolith = !args.trace_path.empty() || !args.advice_path.empty();
+  if (want_monolith && (args.trace_path.empty() || args.advice_path.empty())) {
     return Usage();
+  }
+  if (!want_monolith && args.out_segments_dir.empty()) {
+    return Usage();
+  }
+  if (!args.out_segments_dir.empty() && !args.epoch_size_set) {
+    std::fprintf(stderr, "--out-segments needs --epoch-size\n");
+    return 2;
   }
   std::vector<Value> inputs;
   if (!args.inputs_path.empty()) {
@@ -246,33 +283,88 @@ int CmdServe(const Args& args) {
   Server server(*app.program, config);
   ServerRunResult run = server.Run(inputs);
 
-  ByteWriter trace_bytes;
-  run.trace.Serialize(&trace_bytes);
-  ByteWriter advice_bytes;
-  run.advice.Serialize(&advice_bytes);
-  if (!WriteFile(args.trace_path, trace_bytes.bytes()) ||
-      !WriteFile(args.advice_path, advice_bytes.bytes())) {
-    std::fprintf(stderr, "failed to write outputs\n");
-    return 1;
-  }
   std::printf("served %zu requests (%s, concurrency %d) in %.3fs\n", inputs.size(),
               CollectModeName(config.mode), args.concurrency, run.serve_seconds);
-  std::printf("trace: %zu events -> %s (%zu B)\n", run.trace.events.size(),
-              args.trace_path.c_str(), trace_bytes.size());
-  std::printf("advice: %zu var-log entries, %zu txns -> %s (%zu B)\n",
-              run.advice.var_log_entry_count(), run.advice.tx_logs.size(),
-              args.advice_path.c_str(), advice_bytes.size());
+  if (want_monolith) {
+    ByteWriter trace_bytes;
+    run.trace.Serialize(&trace_bytes);
+    ByteWriter advice_bytes;
+    run.advice.Serialize(&advice_bytes);
+    if (!WriteFile(args.trace_path, trace_bytes.bytes()) ||
+        !WriteFile(args.advice_path, advice_bytes.bytes())) {
+      std::fprintf(stderr, "failed to write outputs\n");
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (%zu B)\n", run.trace.events.size(),
+                args.trace_path.c_str(), trace_bytes.size());
+    std::printf("advice: %zu var-log entries, %zu txns -> %s (%zu B)\n",
+                run.advice.var_log_entry_count(), run.advice.tx_logs.size(),
+                args.advice_path.c_str(), advice_bytes.size());
+  }
+  if (!args.out_segments_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.out_segments_dir, ec);
+    EpochSlices slices = SliceRun(run.trace, run.advice, args.epoch_size);
+    std::string trace_out = args.out_segments_dir + "/trace.kseg";
+    std::string advice_out = args.out_segments_dir + "/advice.kseg";
+    std::vector<uint8_t> trace_seg = EncodeTraceSegments(slices);
+    std::vector<uint8_t> advice_seg = EncodeAdviceSegments(slices);
+    if (!WriteFile(trace_out, trace_seg) || !WriteFile(advice_out, advice_seg)) {
+      std::fprintf(stderr, "failed to write segment containers in %s\n",
+                   args.out_segments_dir.c_str());
+      return 1;
+    }
+    std::printf("segments: %zu epochs (epoch size %llu) -> %s (%zu B), %s (%zu B)\n",
+                slices.segments.size(), static_cast<unsigned long long>(args.epoch_size),
+                trace_out.c_str(), trace_seg.size(), advice_out.c_str(), advice_seg.size());
+  }
   return 0;
 }
 
 int CmdAudit(const Args& args) {
-  if (args.trace_path.empty() || args.advice_path.empty()) {
+  std::string trace_path = args.trace_path;
+  std::string advice_path = args.advice_path;
+  if (!args.segments_dir.empty()) {
+    trace_path = args.segments_dir + "/trace.kseg";
+    advice_path = args.segments_dir + "/advice.kseg";
+  }
+  if (trace_path.empty() || advice_path.empty()) {
     return Usage();
   }
-  auto trace_bytes = ReadFile(args.trace_path);
-  auto advice_bytes = ReadFile(args.advice_path);
+  auto trace_bytes = ReadFile(trace_path);
+  auto advice_bytes = ReadFile(advice_path);
   if (!trace_bytes || !advice_bytes) {
     std::fprintf(stderr, "failed to read inputs\n");
+    return 1;
+  }
+  if (LooksLikeSegmentFile(*trace_bytes) || LooksLikeSegmentFile(*advice_bytes)) {
+    // Segment containers: the container front end file-checks and decodes the
+    // streams, then the session audits epoch by epoch.
+    if (!args.epoch_size_set) {
+      std::fprintf(stderr, "--epoch-size is required for segment containers\n");
+      return 2;
+    }
+    AppSpec app = MakeApp(args.app);
+    VerifierConfig config{ParseIsolation(args.isolation), args.threads};
+    config.prescreen = !args.no_prescreen;
+    StreamAuditResult streamed =
+        AuditSegments(app, *trace_bytes, *advice_bytes, config, args.epoch_size);
+    std::printf("streamed %llu epochs (epoch size %llu), peak resident advice %zu B\n",
+                static_cast<unsigned long long>(streamed.epochs),
+                static_cast<unsigned long long>(args.epoch_size),
+                streamed.peak_resident_advice_bytes);
+    if (args.profile) {
+      std::printf("%s\n", AuditProfileToJson(streamed.audit.profile).c_str());
+    }
+    if (streamed.audit.accepted) {
+      std::printf("ACCEPTED: %zu requests in %zu groups, %zu handler executions, "
+                  "G = %zu nodes / %zu edges\n",
+                  streamed.audit.stats.group_lane_total, streamed.audit.stats.groups,
+                  streamed.audit.stats.handler_executions, streamed.audit.stats.graph_nodes,
+                  streamed.audit.stats.graph_edges);
+      return 0;
+    }
+    std::printf("REJECTED: %s\n", streamed.audit.reason.c_str());
     return 1;
   }
   ByteReader trace_reader(*trace_bytes);
@@ -289,6 +381,7 @@ int CmdAudit(const Args& args) {
   }
   AppSpec app = MakeApp(args.app);
   VerifierConfig config{ParseIsolation(args.isolation), args.threads};
+  config.prescreen = !args.no_prescreen;
 
   AuditResult audit;
   if (args.epoch_size_set || !args.resume_path.empty() || !args.checkpoint_path.empty()) {
@@ -486,9 +579,80 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
+// The streaming static model check: file-layer walk + per-epoch KAR-ADV lint
+// + cross-epoch KAR-SEG rules, no re-execution. Shared by `check` and by
+// `analyze` when it is handed segment containers.
+int RunSegmentCheck(const std::vector<uint8_t>& trace_bytes,
+                    const std::vector<uint8_t>& advice_bytes, uint64_t epoch_requests) {
+  CheckResult result = CheckSegmentStreams(trace_bytes, advice_bytes, epoch_requests);
+  for (const LintDiagnostic& d : result.diagnostics) {
+    std::printf("%s\n", d.Format().c_str());
+  }
+  if (result.ok) {
+    std::printf("model check: clean (%llu epochs, %llu frames)\n",
+                static_cast<unsigned long long>(result.epochs),
+                static_cast<unsigned long long>(result.frames));
+    return 0;
+  }
+  std::printf("REJECTED: %s\n", result.reason.c_str());
+  return 1;
+}
+
+// `karousos check`: the static half of the audit, standalone. Accepts the
+// segmented production artifact (--segments DIR or KSEG --trace/--advice) or
+// a monolithic pair, which it slices at --epoch-size first.
+int CmdCheck(const Args& args) {
+  std::string trace_path = args.trace_path;
+  std::string advice_path = args.advice_path;
+  if (!args.segments_dir.empty()) {
+    trace_path = args.segments_dir + "/trace.kseg";
+    advice_path = args.segments_dir + "/advice.kseg";
+  }
+  if (trace_path.empty() || advice_path.empty()) {
+    return Usage();
+  }
+  auto trace_bytes = ReadFile(trace_path);
+  auto advice_bytes = ReadFile(advice_path);
+  if (!trace_bytes || !advice_bytes) {
+    std::fprintf(stderr, "failed to read inputs\n");
+    return 1;
+  }
+  if (LooksLikeSegmentFile(*trace_bytes) || LooksLikeSegmentFile(*advice_bytes)) {
+    if (!args.epoch_size_set) {
+      std::fprintf(stderr, "--epoch-size is required for segment containers\n");
+      return 2;
+    }
+    return RunSegmentCheck(*trace_bytes, *advice_bytes, args.epoch_size);
+  }
+  ByteReader trace_reader(*trace_bytes);
+  auto trace = Trace::Deserialize(&trace_reader);
+  if (!trace) {
+    std::printf("malformed trace file\n");
+    return 1;
+  }
+  ByteReader advice_reader(*advice_bytes);
+  auto advice = Advice::Deserialize(&advice_reader);
+  if (!advice) {
+    std::printf("malformed advice file\n");
+    return 1;
+  }
+  CheckResult result = CheckRun(*trace, *advice, args.epoch_size);
+  for (const LintDiagnostic& d : result.diagnostics) {
+    std::printf("%s\n", d.Format().c_str());
+  }
+  if (result.ok) {
+    std::printf("model check: clean (%llu epochs)\n",
+                static_cast<unsigned long long>(result.epochs));
+    return 0;
+  }
+  std::printf("REJECTED: %s\n", result.reason.c_str());
+  return 1;
+}
+
 // Runs the structural advice linter over (trace, advice) files — the same
 // pass Verifier::Audit runs as its preprocess stage, standalone and without
 // re-execution. Prints every diagnostic; exits 1 iff there are findings.
+// Segment containers divert to the streaming model check.
 int CmdAnalyzeLint(const Args& args) {
   if (args.trace_path.empty() || args.advice_path.empty()) {
     return Usage();
@@ -498,6 +662,13 @@ int CmdAnalyzeLint(const Args& args) {
   if (!trace_bytes || !advice_bytes) {
     std::fprintf(stderr, "failed to read inputs\n");
     return 1;
+  }
+  if (LooksLikeSegmentFile(*trace_bytes) || LooksLikeSegmentFile(*advice_bytes)) {
+    if (!args.epoch_size_set) {
+      std::fprintf(stderr, "--epoch-size is required for segment containers\n");
+      return 2;
+    }
+    return RunSegmentCheck(*trace_bytes, *advice_bytes, args.epoch_size);
   }
   ByteReader trace_reader(*trace_bytes);
   auto trace = Trace::Deserialize(&trace_reader);
@@ -583,6 +754,9 @@ int Main(int argc, char** argv) {
   }
   if (args->command == "analyze") {
     return CmdAnalyze(*args);
+  }
+  if (args->command == "check") {
+    return CmdCheck(*args);
   }
   return Usage();
 }

@@ -1,0 +1,127 @@
+// KSEG mutation fuzzer: every semantic mutation of a segment stream must be
+// rejected — by the static model checker or by the full audit — and neither
+// may crash on any of them. Where both the checker and the audit name a rule,
+// they must name the same one (the pre-screen *is* the audit's static half).
+//
+// Corpus: src/analysis/kseg_mutate.h over one honest stacks run — the nine
+// adversarial seeds from tests/epoch_audit_test.cc, cross-epoch slice
+// defects, and byte-level frame damage against every frame of both streams.
+//
+// Prints one summary line plus a JSON blob with the static-catch fraction
+// (consumed by bench/check_overhead.cc's fuzz row). Exits nonzero with a
+// "BUG:" line on any violated invariant.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/analysis/check.h"
+#include "src/analysis/kseg_mutate.h"
+#include "src/apps/app.h"
+#include "src/audit/stream.h"
+#include "src/server/server.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+constexpr size_t kRequests = 63;
+constexpr uint64_t kEpochSize = 7;
+constexpr size_t kMinMutations = 200;
+
+int Run() {
+  AppSpec app = MakeStacksApp();
+  WorkloadConfig wl;
+  wl.app = "stacks";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = kRequests;
+  wl.seed = 7;
+  ServerConfig server_config;
+  server_config.concurrency = 6;
+  Server server(*app.program, server_config);
+  ServerRunResult run = server.Run(GenerateWorkload(wl));
+
+  VerifierConfig audit_config{IsolationLevel::kSerializable, 1};
+
+  // Control: the unmutated stream must be statically clean and audit-accepted,
+  // or every "rejected" result below would be meaningless.
+  EpochSlices honest = SliceRun(run.trace, run.advice, kEpochSize);
+  std::vector<uint8_t> honest_trace = EncodeTraceSegments(honest);
+  std::vector<uint8_t> honest_advice = EncodeAdviceSegments(honest);
+  CheckResult honest_check = CheckSegmentStreams(honest_trace, honest_advice, kEpochSize);
+  if (!honest_check.ok) {
+    std::printf("BUG: honest stream fails the model check: %s\n", honest_check.reason.c_str());
+    return 1;
+  }
+  StreamAuditResult honest_audit =
+      AuditSegments(app, honest_trace, honest_advice, audit_config, kEpochSize);
+  if (!honest_audit.audit.accepted) {
+    std::printf("BUG: honest stream rejected by the audit: %s\n",
+                honest_audit.audit.reason.c_str());
+    return 1;
+  }
+
+  std::vector<KsegMutation> corpus = BuildMutationCorpus(run.trace, run.advice, kEpochSize);
+  if (corpus.size() < kMinMutations) {
+    std::printf("BUG: corpus holds only %zu mutations (need >= %zu)\n", corpus.size(),
+                kMinMutations);
+    return 1;
+  }
+
+  size_t caught_static = 0;
+  size_t rule_matched = 0;
+  size_t bugs = 0;
+  for (const KsegMutation& m : corpus) {
+    CheckResult check;
+    try {
+      check = CheckSegmentStreams(m.trace_bytes, m.advice_bytes, kEpochSize);
+    } catch (const std::exception& e) {
+      std::printf("BUG: %s: model check crashed: %s\n", m.name.c_str(), e.what());
+      ++bugs;
+      continue;
+    }
+    StreamAuditResult audited;
+    try {
+      audited = AuditSegments(app, m.trace_bytes, m.advice_bytes, audit_config, kEpochSize);
+    } catch (const std::exception& e) {
+      std::printf("BUG: %s: audit crashed: %s\n", m.name.c_str(), e.what());
+      ++bugs;
+      continue;
+    }
+    if (audited.audit.accepted) {
+      std::printf("BUG: %s: audit ACCEPTED a mutated stream\n", m.name.c_str());
+      ++bugs;
+      continue;
+    }
+    if (!check.ok) {
+      ++caught_static;
+      // The fast-reject contract: where both sides name a rule, the static
+      // verdict is the one the audit reports — the pre-screen fired before
+      // any replay could.
+      if (!check.rule.empty() && !audited.audit.rule.empty()) {
+        if (check.rule != audited.audit.rule) {
+          std::printf("BUG: %s: rule mismatch (check %s vs audit %s)\n", m.name.c_str(),
+                      check.rule.c_str(), audited.audit.rule.c_str());
+          ++bugs;
+          continue;
+        }
+        ++rule_matched;
+      }
+    }
+  }
+
+  double fraction =
+      corpus.empty() ? 0.0 : static_cast<double>(caught_static) / static_cast<double>(corpus.size());
+  std::printf("kseg_fuzz: %zu mutations, %zu rejected statically (%.1f%%), %zu rule-matched, "
+              "%zu bugs\n",
+              corpus.size(), caught_static, 100.0 * fraction, rule_matched, bugs);
+  std::printf("{\"mutations_total\": %zu, \"mutations_caught_static\": %zu, "
+              "\"static_catch_fraction\": %.4f}\n",
+              corpus.size(), caught_static, fraction);
+  return bugs == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace karousos
+
+int main() { return karousos::Run(); }
