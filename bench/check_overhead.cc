@@ -6,8 +6,9 @@
 // audit with the pre-screen on, and the same audit with it off. The verdict,
 // reason, rule, and diagnostics must be identical with the pre-screen on and
 // off, and on a clean run the pre-screen must add under 10% end-to-end.
-// A final row replays the KSEG mutation corpus through the standalone
-// checker alone and reports the fraction rejected without any re-execution.
+// Final rows replay the KSEG mutation corpora (the fuzzer's stacks and
+// auction seed families) through the standalone checker alone and report the
+// fraction rejected without any re-execution.
 //
 // Usage: check_overhead [output.json] [--quick]
 #include <algorithm>
@@ -47,18 +48,41 @@ double MedianOf(std::vector<double> v) {
   return v[v.size() / 2];
 }
 
-ServerRunResult Serve(const AppSpec& app, size_t requests) {
+ServerRunResult Serve(const AppSpec& app, const char* name, WorkloadKind kind, size_t requests,
+                      int concurrency) {
   WorkloadConfig wl;
-  wl.app = "stacks";
-  wl.kind = WorkloadKind::kMixed;
+  wl.app = name;
+  wl.kind = kind;
   wl.requests = requests;
   wl.seed = 7;
-  wl.connections = 15;
+  wl.connections = concurrency;
   ServerConfig config;
-  config.concurrency = 15;
+  config.concurrency = concurrency;
   config.seed = 7;
   Server server(*app.program, config);
   return server.Run(GenerateWorkload(wl));
+}
+
+struct FuzzCatch {
+  size_t mutations = 0;
+  size_t caught = 0;
+  double fraction = 0;
+};
+
+// Static-catch fraction over a mutation corpus (checker alone, no replay).
+FuzzCatch MeasureStaticCatch(const ServerRunResult& run, uint64_t epoch_size) {
+  std::vector<KsegMutation> corpus = BuildMutationCorpus(run.trace, run.advice, epoch_size);
+  FuzzCatch result;
+  result.mutations = corpus.size();
+  for (const KsegMutation& m : corpus) {
+    if (!CheckSegmentStreams(m.trace_bytes, m.advice_bytes, epoch_size).ok) {
+      ++result.caught;
+    }
+  }
+  result.fraction = corpus.empty()
+                        ? 0.0
+                        : static_cast<double>(result.caught) / static_cast<double>(corpus.size());
+  return result;
 }
 
 bool SameOutcome(const AuditResult& a, const AuditResult& b) {
@@ -88,7 +112,7 @@ int Main(int argc, char** argv) {
   const int kReps = quick ? 1 : 3;
 
   AppSpec app = MakeStacksApp();
-  ServerRunResult run = Serve(app, kRequests);
+  ServerRunResult run = Serve(app, "stacks", WorkloadKind::kMixed, kRequests, 15);
 
   std::printf("=== Static model check: cost per epoch vs full audit ===\n");
   std::printf("(stacks, %zu requests)\n", kRequests);
@@ -156,22 +180,21 @@ int Main(int argc, char** argv) {
     }
   }
 
-  // Static-catch fraction over the mutation corpus (checker alone, no replay);
-  // sized like tools/kseg_fuzz.cc so the corpus matches the fuzzer's.
-  ServerRunResult fuzz_run = quick ? std::move(run) : Serve(app, 63);
-  const uint64_t kFuzzEpochSize = 7;
-  std::vector<KsegMutation> corpus =
-      BuildMutationCorpus(fuzz_run.trace, fuzz_run.advice, kFuzzEpochSize);
-  size_t caught = 0;
-  for (const KsegMutation& m : corpus) {
-    if (!CheckSegmentStreams(m.trace_bytes, m.advice_bytes, kFuzzEpochSize).ok) {
-      ++caught;
-    }
-  }
-  double fraction =
-      corpus.empty() ? 0.0 : static_cast<double>(caught) / static_cast<double>(corpus.size());
-  std::printf("\nfuzz corpus: %zu mutations, %zu caught statically (%.1f%%)\n", corpus.size(),
-              caught, 100.0 * fraction);
+  // Static-catch fractions over the two fuzz corpora (checker alone, no
+  // replay); sized like tools/kseg_fuzz.cc so the corpora match the fuzzer's
+  // seed families.
+  ServerRunResult fuzz_run =
+      quick ? std::move(run) : Serve(app, "stacks", WorkloadKind::kMixed, 63, 6);
+  FuzzCatch stacks_catch = MeasureStaticCatch(fuzz_run, 7);
+  std::printf("\nfuzz corpus [stacks]: %zu mutations, %zu caught statically (%.1f%%)\n",
+              stacks_catch.mutations, stacks_catch.caught, 100.0 * stacks_catch.fraction);
+
+  AppSpec auction_app = MakeAuctionApp();
+  ServerRunResult auction_run =
+      Serve(auction_app, "auction", WorkloadKind::kAuctionMix, 72, 12);
+  FuzzCatch auction_catch = MeasureStaticCatch(auction_run, 8);
+  std::printf("fuzz corpus [auction]: %zu mutations, %zu caught statically (%.1f%%)\n",
+              auction_catch.mutations, auction_catch.caught, 100.0 * auction_catch.fraction);
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -197,8 +220,11 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(out,
                "  ],\n  \"fuzz_static_catch\": {\"mutations_total\": %zu, "
+               "\"mutations_caught_static\": %zu, \"static_catch_fraction\": %.4f},\n"
+               "  \"fuzz_static_catch_auction\": {\"mutations_total\": %zu, "
                "\"mutations_caught_static\": %zu, \"static_catch_fraction\": %.4f}\n}\n",
-               corpus.size(), caught, fraction);
+               stacks_catch.mutations, stacks_catch.caught, stacks_catch.fraction,
+               auction_catch.mutations, auction_catch.caught, auction_catch.fraction);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -22,6 +22,12 @@ AppSpec MakeApp(const std::string& name) {
   if (name == "wiki") {
     return MakeWikiApp();
   }
+  if (name == "auction") {
+    return MakeAuctionApp();
+  }
+  if (name == "mixed") {
+    return MakeMixedApp();
+  }
   std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
   std::abort();
 }

@@ -1,12 +1,16 @@
 // The evaluation applications (§6): two model applications designed to
 // exercise Karousos's algorithms (message-of-the-day and stack-dump logging)
-// and a wiki application standing in for Wiki.js. Each returns a KEM Program
-// whose handlers the server executes online and the verifier re-executes.
+// and a wiki application standing in for Wiki.js, plus two apps beyond the
+// paper's evaluation — an auction app that maximizes hot-key transaction
+// contention, and a mixed-mode router that serves all apps in one run. Each
+// factory returns a KEM Program whose handlers the server executes online and
+// the verifier re-executes.
 #ifndef SRC_APPS_APP_H_
 #define SRC_APPS_APP_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/kem/program.h"
 
@@ -47,10 +51,49 @@ AppSpec MakeStacksApp();
 //           {"op":"render","page","conn"}                      -> {"html":..}
 AppSpec MakeWikiApp();
 
+// Auction: listings and bids over the transactional store, built to stress
+// the regime the three paper apps never reach — many concurrent clients
+// racing read-modify-write transactions on a tiny set of hot rows, with the
+// transaction held open across an event boundary. This maximizes no-wait
+// lock conflicts and app-level retries (serializable), writer-writer
+// exclusion (read committed), and dirty reads (read uncommitted); the
+// verify op's double-read makes the weaker levels' anomalies observable to
+// the isolation verifier.
+//
+// Requests: {"op":"open","item":<i>}                          -> {"ok":<b>}
+//           {"op":"bid","item":<i>,"amount":<n>,"bidder":<s>} -> {"accepted":<b>,"high":<n>} | {"retry":true}
+//           {"op":"query","item":<i>}                         -> {"high":<n>,"bids":<n>,"open":<b>}
+//           {"op":"verify","item":<i>}                        -> {"stable":<b>,...} | {"retry":true}
+//           {"op":"close","item":<i>}                         -> {"winner":<s>,"high":<n>} | {"retry":true}
+//           {"op":"list"}                                     -> {"items":[{item,high,bids}...]}
+AppSpec MakeAuctionApp();
+
 // Pingpong: a minimal two-handler app used by unit tests (not part of the
 // paper's evaluation): the request handler emits an event whose child handler
 // responds with a transformed payload.
 AppSpec MakePingpongApp();
+
+// Mixed-mode composition. Each Install*App contributes the app's two halves:
+// its DefineFunction calls into `program`, and one init step (appended to
+// `init_steps`) that declares the app's globals and registers its handlers —
+// with the request handler bound to `request_event` instead of
+// kRequestEventName. The Make*App factories above are thin wrappers
+// (request_event == kRequestEventName, one init step).
+void InstallMotdApp(Program& program, std::string request_event,
+                    std::vector<HandlerFn>* init_steps);
+void InstallStacksApp(Program& program, std::string request_event,
+                      std::vector<HandlerFn>* init_steps);
+void InstallWikiApp(Program& program, std::string request_event,
+                    std::vector<HandlerFn>* init_steps);
+void InstallAuctionApp(Program& program, std::string request_event,
+                       std::vector<HandlerFn>* init_steps);
+
+// Mixed: all four apps installed into one Program behind a router request
+// handler. Requests are {"app":<motd|stacks|wiki|auction>,"req":<payload>}
+// envelopes; the router re-emits the inner payload on a per-app event, so
+// each app keeps its own handler trees (and therefore its own re-execution
+// groups) while sharing one server, one store, and one advice stream.
+AppSpec MakeMixedApp();
 
 }  // namespace karousos
 

@@ -1,0 +1,351 @@
+// Auction: the hot-key contention app (ROADMAP item 5). Every bid is a
+// read-modify-write transaction on one of a handful of item rows, held open
+// across an event boundary (read in the request handler, write + commit in
+// the bid-finish child). With N clients racing on a Zipf-popular item this
+// drives the store's no-wait lock conflicts, app-level retries, and
+// uncommitted-write windows far harder than motd/stacks/wiki ever do — the
+// regime where grouped re-execution's advantage over sequential replay is
+// largest, and where the three isolation levels become distinguishable:
+//
+//   * serializable    — bid readers take shared locks, so racing bids abort
+//                       and retry instead of interleaving;
+//   * read committed  — readers never block, only writer-writer exclusion
+//                       remains: two bids can both read high=X and the slower
+//                       one silently loses its precondition (lost update);
+//   * read uncommitted— bid reads observe in-flight dirty rows.
+//
+// The verify op reads the same row twice in one transaction, across an event
+// boundary. Under serializable its shared lock makes the double read
+// repeatable by construction; under the weaker levels a concurrent bid can
+// commit between the two reads, which is exactly the anti-dependency cycle
+// the isolation verifier convicts when asked to certify serializability.
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+#include "src/kem/ctx.h"
+#include "src/multivalue/multivalue.h"
+
+namespace karousos {
+
+namespace {
+
+// Global index of opened items, in open-commit order (list fan-out reads it).
+constexpr std::string_view kIndexVar = "auction_index";
+// Hot shared statistics object: every bid outcome is a read-modify-write on
+// this one global map, so concurrent bids produce R-concurrent accesses that
+// Karousos must log — the variable-log analogue of the row contention below.
+constexpr std::string_view kStatsVar = "auction_stats";
+// Parent-written context for the bid / verify / list handler trees.
+constexpr std::string_view kBidCtxVar = "auction_bid_ctx";
+constexpr std::string_view kVerifyCtxVar = "auction_verify_ctx";
+constexpr std::string_view kListCtxVar = "auction_list_ctx";
+constexpr std::string_view kListAccVar = "auction_list_acc";
+constexpr std::string_view kListRemainingVar = "auction_list_remaining";
+
+// Simulated per-request computation: fraud screening on a bid, formatting a
+// listing row / receipt. Sized between motd (8k) and stacks (25k).
+constexpr uint32_t kScreenWork = 15000;
+constexpr uint32_t kFormatWork = 9000;
+
+MultiValue ItemKey(const MultiValue& item) { return MvPrefix("item:", item); }
+
+void RespondRetry(Ctx& ctx) { ctx.Respond(MvMakeMap({{"retry", MultiValue(true)}})); }
+
+// Read-modify-write on the shared stats map: counts[item][field] += 1.
+// Concurrent handler activations hit this from bid, retry, and close paths,
+// so these accesses are the app's R-concurrent variable-log pressure.
+void BumpStat(Ctx& ctx, const MultiValue& item, std::string_view field) {
+  MultiValue stats = ctx.ReadVar(kStatsVar, VarScope::kGlobal);
+  MultiValue entry = MvMapGet(stats, item);
+  MultiValue count = MvAdd(MvField(entry, field), MultiValue(1));
+  entry = MvZip3(entry, MultiValue(std::string(field)), count,
+                 [](const Value& e, const Value& f, const Value& c) {
+                   ValueMap out = e.is_map() ? e.AsMap() : ValueMap{};
+                   out[f.StringOrToString()] = c;
+                   return Value(std::move(out));
+                 });
+  ctx.WriteVar(kStatsVar, VarScope::kGlobal, MvMapSet(stats, item, entry));
+}
+
+// Request handler: dispatches open / bid / query / verify / close / list.
+void HandleAuction(Ctx& ctx) {
+  MultiValue in = ctx.Input();
+  MultiValue op = MvField(in, "op");
+  if (ctx.Branch(MvEq(op, MultiValue("open")))) {
+    MultiValue item = MvField(in, "item");
+    TxHandle tx = ctx.TxStart();
+    TxGetResult got = ctx.TxGet(tx, ItemKey(item));
+    if (ctx.Branch(MultiValue(got.conflict))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    if (ctx.Branch(got.found)) {
+      ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+      ctx.Respond(MvMakeMap({{"ok", MultiValue(false)}, {"error", MultiValue("exists")}}));
+      return;
+    }
+    bool ok = ctx.TxPut(tx, ItemKey(item),
+                        MvMakeMap({{"open", MultiValue(true)},
+                                   {"high", MultiValue(0)},
+                                   {"bids", MultiValue(0)},
+                                   {"bidder", MultiValue("")}}));
+    if (!ctx.Branch(MultiValue(ok))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+    MultiValue index = ctx.ReadVar(kIndexVar, VarScope::kGlobal);
+    ctx.WriteVar(kIndexVar, VarScope::kGlobal, MvListAppend(index, item));
+    ctx.Respond(MvMakeMap({{"ok", MultiValue(true)}}));
+  } else if (ctx.Branch(MvEq(op, MultiValue("bid")))) {
+    // The hot path. Screen the bid (collapses across a group bidding the
+    // same amount), read the row, and finish in a child handler so the
+    // transaction — and under serializable its shared lock — spans an event
+    // boundary: the window in which racing bids conflict.
+    MultiValue item = MvField(in, "item");
+    MultiValue amount = MvField(in, "amount");
+    MultiValue screened = ctx.AppWork(amount, kScreenWork);
+    (void)screened;
+    TxHandle tx = ctx.TxStart();
+    TxGetResult got = ctx.TxGet(tx, ItemKey(item));
+    if (ctx.Branch(MultiValue(got.conflict))) {
+      ctx.TxAbort(tx);
+      BumpStat(ctx, item, "retries");
+      RespondRetry(ctx);
+      return;
+    }
+    if (!ctx.Branch(MvAnd(got.found, MvField(got.value, "open")))) {
+      ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+      ctx.Respond(
+          MvMakeMap({{"accepted", MultiValue(false)}, {"error", MultiValue("closed")}}));
+      return;
+    }
+    ctx.DeclareVar(kBidCtxVar, VarScope::kRequest);
+    ctx.WriteVar(kBidCtxVar, VarScope::kRequest,
+                 MvMakeMap({{"item", item},
+                            {"amount", amount},
+                            {"bidder", MvField(in, "bidder")},
+                            {"high", MvField(got.value, "high")},
+                            {"bids", MvField(got.value, "bids")},
+                            {"holder", MvField(got.value, "bidder")}}));
+    ctx.Emit("auction_bid_finish", MvMakeMap({{"tid", ctx.TxIdValue(tx)}}));
+  } else if (ctx.Branch(MvEq(op, MultiValue("query")))) {
+    MultiValue item = MvField(in, "item");
+    TxHandle tx = ctx.TxStart();
+    TxGetResult got = ctx.TxGet(tx, ItemKey(item));
+    if (ctx.Branch(MultiValue(got.conflict))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+    MultiValue board = ctx.AppWork(MvField(got.value, "high"), kFormatWork);
+    ctx.Respond(MvMakeMap({{"high", MvField(got.value, "high")},
+                           {"bids", MvField(got.value, "bids")},
+                           {"open", MvField(got.value, "open")},
+                           {"board", board}}));
+  } else if (ctx.Branch(MvEq(op, MultiValue("verify")))) {
+    // Double read of one row in one transaction, split across an event
+    // boundary. "stable" reports whether the two reads agreed.
+    MultiValue item = MvField(in, "item");
+    TxHandle tx = ctx.TxStart();
+    TxGetResult first = ctx.TxGet(tx, ItemKey(item));
+    if (ctx.Branch(MultiValue(first.conflict))) {
+      ctx.TxAbort(tx);
+      RespondRetry(ctx);
+      return;
+    }
+    ctx.DeclareVar(kVerifyCtxVar, VarScope::kRequest);
+    ctx.WriteVar(kVerifyCtxVar, VarScope::kRequest,
+                 MvMakeMap({{"item", item},
+                            {"first_high", MvField(first.value, "high")},
+                            {"first_bids", MvField(first.value, "bids")}}));
+    ctx.Emit("auction_verify_finish", MvMakeMap({{"tid", ctx.TxIdValue(tx)}}));
+  } else if (ctx.Branch(MvEq(op, MultiValue("close")))) {
+    MultiValue item = MvField(in, "item");
+    TxHandle tx = ctx.TxStart();
+    TxGetResult got = ctx.TxGet(tx, ItemKey(item));
+    if (ctx.Branch(MultiValue(got.conflict))) {
+      ctx.TxAbort(tx);
+      BumpStat(ctx, item, "retries");
+      RespondRetry(ctx);
+      return;
+    }
+    if (!ctx.Branch(MvAnd(got.found, MvField(got.value, "open")))) {
+      ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+      ctx.Respond(MvMakeMap({{"ok", MultiValue(false)}, {"error", MultiValue("closed")}}));
+      return;
+    }
+    bool ok = ctx.TxPut(tx, ItemKey(item),
+                        MvMakeMap({{"open", MultiValue(false)},
+                                   {"high", MvField(got.value, "high")},
+                                   {"bids", MvField(got.value, "bids")},
+                                   {"bidder", MvField(got.value, "bidder")}}));
+    if (!ctx.Branch(MultiValue(ok))) {
+      ctx.TxAbort(tx);
+      BumpStat(ctx, item, "retries");
+      RespondRetry(ctx);
+      return;
+    }
+    ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+    BumpStat(ctx, item, "closes");
+    ctx.Respond(MvMakeMap({{"winner", MvField(got.value, "bidder")},
+                           {"high", MvField(got.value, "high")}}));
+  } else {
+    // list: one child per opened item, sharing a per-request accumulator —
+    // the sibling R-concurrent pattern, over the auction index.
+    MultiValue index = ctx.ReadVar(kIndexVar, VarScope::kGlobal);
+    MultiValue len = MvListLen(index);
+    if (!ctx.Branch(len)) {
+      ctx.Respond(MvMakeMap({{"items", MultiValue(Value(ValueList{}))}}));
+      return;
+    }
+    ctx.DeclareVar(kListAccVar, VarScope::kRequest);
+    ctx.WriteVar(kListAccVar, VarScope::kRequest, MultiValue(Value(ValueList{})));
+    ctx.DeclareVar(kListRemainingVar, VarScope::kRequest);
+    ctx.WriteVar(kListRemainingVar, VarScope::kRequest, len);
+    ctx.DeclareVar(kListCtxVar, VarScope::kRequest);
+    ctx.WriteVar(kListCtxVar, VarScope::kRequest, index);
+    int64_t i = 0;
+    while (ctx.Branch(MvLtScalar(i, len))) {
+      ctx.Emit("auction_list_one", MvMakeMap({{"idx", MultiValue(i)}}));
+      ++i;
+    }
+  }
+}
+
+// Continuation of bid: applies the row update and commits. The precondition
+// (the row state captured by the parent's read) rides in the request-scoped
+// context, so under weak isolation a racing bid that committed in between
+// silently overwrites — the lost update the isolation verifier must judge.
+void HandleBidFinish(Ctx& ctx) {
+  MultiValue bctx = ctx.ReadVar(kBidCtxVar, VarScope::kRequest);
+  MultiValue item = MvField(bctx, "item");
+  MultiValue amount = MvField(bctx, "amount");
+  MultiValue high = MvField(bctx, "high");
+  TxHandle tx = ctx.TxResume(MvField(ctx.Input(), "tid"));
+  MultiValue leads = MultiValue::Zip(amount, high, [](const Value& a, const Value& h) {
+    return Value(a.IntOr(0) > h.IntOr(0));
+  });
+  MultiValue new_high = MvZip3(leads, amount, high,
+                               [](const Value& l, const Value& a, const Value& h) {
+                                 return l.Truthy() ? a : h;
+                               });
+  MultiValue new_holder = MvZip3(leads, MvField(bctx, "bidder"), MvField(bctx, "holder"),
+                                 [](const Value& l, const Value& b, const Value& p) {
+                                   return l.Truthy() ? b : p;
+                                 });
+  bool ok = ctx.TxPut(tx, ItemKey(item),
+                      MvMakeMap({{"open", MultiValue(true)},
+                                 {"high", new_high},
+                                 {"bids", MvAdd(MvField(bctx, "bids"), MultiValue(1))},
+                                 {"bidder", new_holder}}));
+  if (!ctx.Branch(MultiValue(ok))) {
+    ctx.TxAbort(tx);
+    BumpStat(ctx, item, "retries");
+    RespondRetry(ctx);
+    return;
+  }
+  ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+  BumpStat(ctx, item, "bids");
+  MultiValue receipt = ctx.AppWork(new_high, kFormatWork);
+  ctx.Branch(leads);
+  ctx.Respond(
+      MvMakeMap({{"accepted", leads}, {"high", new_high}, {"receipt", receipt}}));
+}
+
+// Continuation of verify: the second read of the same row, then commit.
+void HandleVerifyFinish(Ctx& ctx) {
+  MultiValue vctx = ctx.ReadVar(kVerifyCtxVar, VarScope::kRequest);
+  MultiValue item = MvField(vctx, "item");
+  TxHandle tx = ctx.TxResume(MvField(ctx.Input(), "tid"));
+  TxGetResult second = ctx.TxGet(tx, ItemKey(item));
+  if (ctx.Branch(MultiValue(second.conflict))) {
+    ctx.TxAbort(tx);
+    RespondRetry(ctx);
+    return;
+  }
+  ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+  MultiValue first_high = MvField(vctx, "first_high");
+  MultiValue second_high = MvField(second.value, "high");
+  MultiValue stable = MvEq(first_high, second_high);
+  ctx.Branch(stable);
+  ctx.Respond(MvMakeMap({{"stable", stable},
+                         {"first_high", first_high},
+                         {"second_high", second_high},
+                         {"bids", MvField(second.value, "bids")}}));
+}
+
+// Child of list: reads one item row and folds a formatted line into the
+// accumulator; the last sibling delivers the response.
+void HandleListOne(Ctx& ctx) {
+  MultiValue index = ctx.ReadVar(kListCtxVar, VarScope::kRequest);
+  MultiValue item = MultiValue::Zip(index, MvField(ctx.Input(), "idx"),
+                                    [](const Value& list, const Value& idx) {
+                                      int64_t i = idx.IntOr(-1);
+                                      if (!list.is_list() || i < 0 ||
+                                          static_cast<size_t>(i) >= list.AsList().size()) {
+                                        return Value();
+                                      }
+                                      return list.AsList()[static_cast<size_t>(i)];
+                                    });
+  TxHandle tx = ctx.TxStart();
+  TxGetResult got = ctx.TxGet(tx, ItemKey(item));
+  MultiValue high;
+  MultiValue bids;
+  if (ctx.Branch(MultiValue(got.conflict))) {
+    ctx.TxAbort(tx);
+    high = MultiValue(-1);  // Retry marker for this row.
+    bids = MultiValue(-1);
+  } else {
+    ctx.Branch(MultiValue(ctx.TxCommit(tx)));
+    high = MvField(got.value, "high");
+    bids = MvField(got.value, "bids");
+  }
+  MultiValue line = ctx.AppWork(high, kFormatWork);
+  MultiValue acc = ctx.ReadVar(kListAccVar, VarScope::kRequest);
+  acc = MvListAppend(
+      acc, MvMakeMap({{"item", item}, {"high", high}, {"bids", bids}, {"line", line}}));
+  ctx.WriteVar(kListAccVar, VarScope::kRequest, acc);
+  MultiValue remaining =
+      MvAdd(ctx.ReadVar(kListRemainingVar, VarScope::kRequest), MultiValue(-1));
+  ctx.WriteVar(kListRemainingVar, VarScope::kRequest, remaining);
+  if (!ctx.Branch(remaining)) {
+    ctx.Respond(MvMakeMap({{"items", acc}}));
+  }
+}
+
+}  // namespace
+
+void InstallAuctionApp(Program& program, std::string request_event,
+                       std::vector<HandlerFn>* init_steps) {
+  program.DefineFunction("auction_handle", HandleAuction);
+  program.DefineFunction("auction_bid_finish", HandleBidFinish);
+  program.DefineFunction("auction_verify_finish", HandleVerifyFinish);
+  program.DefineFunction("auction_list_one", HandleListOne);
+  init_steps->push_back([request_event = std::move(request_event)](Ctx& ctx) {
+    ctx.DeclareVar(kIndexVar, VarScope::kGlobal);
+    ctx.WriteVar(kIndexVar, VarScope::kGlobal, MultiValue(Value(ValueList{})));
+    ctx.DeclareVar(kStatsVar, VarScope::kGlobal);
+    ctx.WriteVar(kStatsVar, VarScope::kGlobal, MultiValue(Value(ValueMap{})));
+    ctx.RegisterHandler(request_event, "auction_handle");
+    ctx.RegisterHandler("auction_bid_finish", "auction_bid_finish");
+    ctx.RegisterHandler("auction_verify_finish", "auction_verify_finish");
+    ctx.RegisterHandler("auction_list_one", "auction_list_one");
+  });
+}
+
+AppSpec MakeAuctionApp() {
+  auto program = std::make_shared<Program>();
+  std::vector<HandlerFn> steps;
+  InstallAuctionApp(*program, std::string(kRequestEventName), &steps);
+  program->SetInit([steps = std::move(steps)](Ctx& ctx) {
+    for (const HandlerFn& step : steps) {
+      step(ctx);
+    }
+  });
+  return AppSpec{"auction", std::move(program)};
+}
+
+}  // namespace karousos

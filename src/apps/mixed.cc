@@ -1,0 +1,55 @@
+// Mixed-mode composition: all four apps installed into one Program, served by
+// one router request handler. The router unwraps {"app","req"} envelopes and
+// re-emits the inner request on a per-app event, so each app's real request
+// handler runs as a child activation. Routing by app name is a Branch, so the
+// control-flow digest separates the apps into distinct re-execution groups —
+// a motd burst still collapses into one group even with auction traffic
+// interleaved between its requests.
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+#include "src/kem/ctx.h"
+#include "src/multivalue/multivalue.h"
+
+namespace karousos {
+
+namespace {
+
+void HandleRoute(Ctx& ctx) {
+  MultiValue in = ctx.Input();
+  MultiValue app = MvField(in, "app");
+  MultiValue req = MvField(in, "req");
+  if (ctx.Branch(MvEq(app, MultiValue("motd")))) {
+    ctx.Emit("route_motd", req);
+  } else if (ctx.Branch(MvEq(app, MultiValue("stacks")))) {
+    ctx.Emit("route_stacks", req);
+  } else if (ctx.Branch(MvEq(app, MultiValue("wiki")))) {
+    ctx.Emit("route_wiki", req);
+  } else if (ctx.Branch(MvEq(app, MultiValue("auction")))) {
+    ctx.Emit("route_auction", req);
+  } else {
+    ctx.Respond(MvMakeMap({{"error", MultiValue("unknown app")}}));
+  }
+}
+
+}  // namespace
+
+AppSpec MakeMixedApp() {
+  auto program = std::make_shared<Program>();
+  std::vector<HandlerFn> steps;
+  // Install order is fixed: it determines the order of init-time DeclareVar /
+  // RegisterHandler ops in the trace, which golden fixtures pin byte-for-byte.
+  InstallMotdApp(*program, "route_motd", &steps);
+  InstallStacksApp(*program, "route_stacks", &steps);
+  InstallWikiApp(*program, "route_wiki", &steps);
+  InstallAuctionApp(*program, "route_auction", &steps);
+  program->DefineFunction("mixed_route", HandleRoute);
+  program->SetInit([steps = std::move(steps)](Ctx& ctx) {
+    for (const HandlerFn& step : steps) {
+      step(ctx);
+    }
+    ctx.RegisterHandler(kRequestEventName, "mixed_route");
+  });
+  return AppSpec{"mixed", std::move(program)};
+}
+
+}  // namespace karousos

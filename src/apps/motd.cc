@@ -47,13 +47,24 @@ void HandleMotd(Ctx& ctx) {
 
 }  // namespace
 
-AppSpec MakeMotdApp() {
-  auto program = std::make_shared<Program>();
-  program->DefineFunction("motd_handle", HandleMotd);
-  program->SetInit([](Ctx& ctx) {
+void InstallMotdApp(Program& program, std::string request_event,
+                    std::vector<HandlerFn>* init_steps) {
+  program.DefineFunction("motd_handle", HandleMotd);
+  init_steps->push_back([request_event = std::move(request_event)](Ctx& ctx) {
     ctx.DeclareVar(kMotdVar, VarScope::kGlobal);
     ctx.WriteVar(kMotdVar, VarScope::kGlobal, MultiValue(Value(ValueMap{})));
-    ctx.RegisterHandler(kRequestEventName, "motd_handle");
+    ctx.RegisterHandler(request_event, "motd_handle");
+  });
+}
+
+AppSpec MakeMotdApp() {
+  auto program = std::make_shared<Program>();
+  std::vector<HandlerFn> steps;
+  InstallMotdApp(*program, std::string(kRequestEventName), &steps);
+  program->SetInit([steps = std::move(steps)](Ctx& ctx) {
+    for (const HandlerFn& step : steps) {
+      step(ctx);
+    }
   });
   return AppSpec{"motd", std::move(program)};
 }

@@ -174,19 +174,30 @@ void HandleFetchOne(Ctx& ctx) {
 
 }  // namespace
 
-AppSpec MakeStacksApp() {
-  auto program = std::make_shared<Program>();
-  program->DefineFunction("stacks_handle", HandleStacks);
-  program->DefineFunction("stacks_submit_finish", HandleSubmitFinish);
-  program->DefineFunction("stacks_fetch_one", HandleFetchOne);
-  program->SetInit([](Ctx& ctx) {
+void InstallStacksApp(Program& program, std::string request_event,
+                      std::vector<HandlerFn>* init_steps) {
+  program.DefineFunction("stacks_handle", HandleStacks);
+  program.DefineFunction("stacks_submit_finish", HandleSubmitFinish);
+  program.DefineFunction("stacks_fetch_one", HandleFetchOne);
+  init_steps->push_back([request_event = std::move(request_event)](Ctx& ctx) {
     ctx.DeclareVar(kAllDigestsVar, VarScope::kGlobal);
     ctx.WriteVar(kAllDigestsVar, VarScope::kGlobal, MultiValue(Value(ValueList{})));
     ctx.DeclareVar(kInflightVar, VarScope::kGlobal);
     ctx.WriteVar(kInflightVar, VarScope::kGlobal, MultiValue(Value(ValueMap{})));
-    ctx.RegisterHandler(kRequestEventName, "stacks_handle");
+    ctx.RegisterHandler(request_event, "stacks_handle");
     ctx.RegisterHandler("stacks_submit_finish", "stacks_submit_finish");
     ctx.RegisterHandler("stacks_fetch_one", "stacks_fetch_one");
+  });
+}
+
+AppSpec MakeStacksApp() {
+  auto program = std::make_shared<Program>();
+  std::vector<HandlerFn> steps;
+  InstallStacksApp(*program, std::string(kRequestEventName), &steps);
+  program->SetInit([steps = std::move(steps)](Ctx& ctx) {
+    for (const HandlerFn& step : steps) {
+      step(ctx);
+    }
   });
   return AppSpec{"stacks", std::move(program)};
 }

@@ -249,25 +249,36 @@ void HandleRenderFinish(Ctx& ctx) {
 
 }  // namespace
 
-AppSpec MakeWikiApp() {
-  auto program = std::make_shared<Program>();
-  program->DefineFunction("wiki_handle", HandleWiki);
-  program->DefineFunction("wiki_fetch", HandleFetch);
-  program->DefineFunction("wiki_create_finish", HandleCreateFinish);
-  program->DefineFunction("wiki_comment_finish", HandleCommentFinish);
-  program->DefineFunction("wiki_render_finish", HandleRenderFinish);
-  program->SetInit([](Ctx& ctx) {
+void InstallWikiApp(Program& program, std::string request_event,
+                    std::vector<HandlerFn>* init_steps) {
+  program.DefineFunction("wiki_handle", HandleWiki);
+  program.DefineFunction("wiki_fetch", HandleFetch);
+  program.DefineFunction("wiki_create_finish", HandleCreateFinish);
+  program.DefineFunction("wiki_comment_finish", HandleCommentFinish);
+  program.DefineFunction("wiki_render_finish", HandleRenderFinish);
+  init_steps->push_back([request_event = std::move(request_event)](Ctx& ctx) {
     ctx.DeclareVar(kPageIndexVar, VarScope::kGlobal);
     ctx.WriteVar(kPageIndexVar, VarScope::kGlobal, MultiValue(Value(ValueList{})));
     ctx.DeclareVar(kRenderCacheVar, VarScope::kGlobal);
     ctx.WriteVar(kRenderCacheVar, VarScope::kGlobal, MultiValue(Value(ValueMap{})));
     ctx.DeclareVar(kPoolStatsVar, VarScope::kGlobal);
     ctx.WriteVar(kPoolStatsVar, VarScope::kGlobal, MultiValue(Value(ValueMap{})));
-    ctx.RegisterHandler(kRequestEventName, "wiki_handle");
+    ctx.RegisterHandler(request_event, "wiki_handle");
     ctx.RegisterHandler("wiki_fetch", "wiki_fetch");
     ctx.RegisterHandler("wiki_create_finish", "wiki_create_finish");
     ctx.RegisterHandler("wiki_comment_finish", "wiki_comment_finish");
     ctx.RegisterHandler("wiki_render_finish", "wiki_render_finish");
+  });
+}
+
+AppSpec MakeWikiApp() {
+  auto program = std::make_shared<Program>();
+  std::vector<HandlerFn> steps;
+  InstallWikiApp(*program, std::string(kRequestEventName), &steps);
+  program->SetInit([steps = std::move(steps)](Ctx& ctx) {
+    for (const HandlerFn& step : steps) {
+      step(ctx);
+    }
   });
   return AppSpec{"wiki", std::move(program)};
 }

@@ -1,9 +1,9 @@
 #include "src/workload/workload.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-
-#include "src/common/rng.h"
 
 namespace karousos {
 
@@ -91,7 +91,138 @@ std::vector<Value> GenerateWiki(const WorkloadConfig& config) {
   return out;
 }
 
+// Auction: opens every item up front, closes each at the end, and in between
+// races bids on Zipf-popular items. The bid share follows the workload kind
+// (bids are the writes), so read-heavy vs write-heavy sweeps apply here too.
+std::vector<Value> GenerateAuction(const WorkloadConfig& config, uint64_t bid_percent) {
+  Rng rng(config.seed ^ 0x61756374696f6e);
+  std::vector<Value> out;
+  out.reserve(config.requests);
+  size_t items = config.hot_items > 0 ? static_cast<size_t>(config.hot_items) : 1;
+  ZipfSampler zipf(items, config.zipf_theta);
+  int bidders = config.connections > 0 ? config.connections : 1;
+  // Every item is opened first and closed last so the contended middle of the
+  // stream always targets live rows.
+  size_t opens = std::min(items, config.requests);
+  for (size_t i = 0; i < opens; ++i) {
+    out.push_back(MakeMap({{"op", "open"}, {"item", Value(static_cast<int64_t>(i))}}));
+  }
+  size_t closes = config.requests > opens ? std::min(items, config.requests - opens) : 0;
+  size_t middle = config.requests - opens - closes;
+  for (size_t i = 0; i < middle; ++i) {
+    Value item(static_cast<int64_t>(zipf.Sample(rng)));
+    if (rng.Percent(bid_percent)) {
+      out.push_back(
+          MakeMap({{"op", "bid"},
+                   {"item", item},
+                   {"amount", Value(rng.Range(1, 1000))},
+                   {"bidder", Value("c" + std::to_string(rng.Below(
+                                              static_cast<uint64_t>(bidders))))}}));
+    } else {
+      // Split the read share: mostly queries, then verifies (the isolation
+      // probe), then full listings.
+      uint64_t roll = rng.Below(100);
+      if (roll < 48) {
+        out.push_back(MakeMap({{"op", "query"}, {"item", item}}));
+      } else if (roll < 79) {
+        out.push_back(MakeMap({{"op", "verify"}, {"item", item}}));
+      } else {
+        out.push_back(MakeMap({{"op", "list"}}));
+      }
+    }
+  }
+  for (size_t i = 0; i < closes; ++i) {
+    out.push_back(MakeMap({{"op", "close"}, {"item", Value(static_cast<int64_t>(i))}}));
+  }
+  return out;
+}
+
+// Mixed-apps: per-app sub-streams (auction-heavy, since it is the contention
+// driver) wrapped in {"app","req"} envelopes and interleaved by weighted
+// lottery over the apps' remaining requests — deterministic given the seed,
+// and each sub-stream keeps its own generator's shape.
+std::vector<Value> GenerateMixedApps(const WorkloadConfig& config) {
+  size_t n = config.requests;
+  size_t n_auction = n * 40 / 100;
+  size_t n_stacks = n * 25 / 100;
+  size_t n_wiki = n * 20 / 100;
+  size_t n_motd = n - n_auction - n_stacks - n_wiki;
+  WorkloadConfig sub = config;
+  struct Stream {
+    const char* app;
+    std::vector<Value> reqs;
+    size_t next = 0;
+  };
+  Stream streams[4];
+  sub.app = "auction";
+  sub.kind = WorkloadKind::kAuctionMix;
+  sub.requests = n_auction;
+  sub.seed = config.seed ^ 0xa1;
+  streams[0] = Stream{"auction", GenerateWorkload(sub)};
+  sub.app = "stacks";
+  sub.kind = WorkloadKind::kMixed;
+  sub.requests = n_stacks;
+  sub.seed = config.seed ^ 0xa2;
+  streams[1] = Stream{"stacks", GenerateWorkload(sub)};
+  sub.app = "wiki";
+  sub.kind = WorkloadKind::kWikiMix;
+  sub.requests = n_wiki;
+  sub.seed = config.seed ^ 0xa3;
+  streams[2] = Stream{"wiki", GenerateWorkload(sub)};
+  sub.app = "motd";
+  sub.kind = WorkloadKind::kMixed;
+  sub.requests = n_motd;
+  sub.seed = config.seed ^ 0xa4;
+  streams[3] = Stream{"motd", GenerateWorkload(sub)};
+
+  Rng rng(config.seed ^ 0x6d6978);
+  std::vector<Value> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    size_t remaining = 0;
+    for (const Stream& s : streams) {
+      remaining += s.reqs.size() - s.next;
+    }
+    if (remaining == 0) {
+      break;
+    }
+    uint64_t pick = rng.Below(remaining);
+    for (Stream& s : streams) {
+      size_t left = s.reqs.size() - s.next;
+      if (pick < left) {
+        out.push_back(
+            MakeMap({{"app", Value(s.app)}, {"req", std::move(s.reqs[s.next])}}));
+        ++s.next;
+        break;
+      }
+      pick -= left;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  cdf_.reserve(n == 0 ? 1 : n);
+  double total = 0.0;
+  for (size_t k = 0; k < std::max<size_t>(n, 1); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
 
 const char* WorkloadKindName(WorkloadKind kind) {
   switch (kind) {
@@ -103,6 +234,24 @@ const char* WorkloadKindName(WorkloadKind kind) {
       return "mixed";
     case WorkloadKind::kWikiMix:
       return "wiki mix";
+    case WorkloadKind::kAuctionMix:
+      return "auction mix";
+    case WorkloadKind::kMixedApps:
+      return "mixed apps";
+  }
+  return "?";
+}
+
+const char* ArrivalPatternName(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kClosed:
+      return "closed";
+    case ArrivalPattern::kUniform:
+      return "uniform";
+    case ArrivalPattern::kBursty:
+      return "bursty";
+    case ArrivalPattern::kDiurnal:
+      return "diurnal";
   }
   return "?";
 }
@@ -121,6 +270,11 @@ std::vector<Value> GenerateWorkload(const WorkloadConfig& config) {
       break;
     case WorkloadKind::kWikiMix:
       break;
+    case WorkloadKind::kAuctionMix:
+      write_percent = 62;
+      break;
+    case WorkloadKind::kMixedApps:
+      break;
   }
   if (config.app == "motd") {
     return GenerateMotd(config, write_percent);
@@ -131,8 +285,59 @@ std::vector<Value> GenerateWorkload(const WorkloadConfig& config) {
   if (config.app == "wiki") {
     return GenerateWiki(config);
   }
+  if (config.app == "auction") {
+    return GenerateAuction(config, write_percent);
+  }
+  if (config.app == "mixed") {
+    return GenerateMixedApps(config);
+  }
   std::fprintf(stderr, "unknown workload app '%s'\n", config.app.c_str());
   std::abort();
+}
+
+OpenLoopWorkload GenerateOpenLoop(const WorkloadConfig& config) {
+  OpenLoopWorkload out;
+  out.inputs = GenerateWorkload(config);
+  if (config.arrival == ArrivalPattern::kClosed) {
+    return out;
+  }
+  Rng rng(config.seed ^ 0x6172726976);
+  out.arrival_seconds.reserve(out.inputs.size());
+  double rate = config.mean_rate > 0 ? config.mean_rate : 1.0;
+  double factor = config.burst_factor > 1.0 ? config.burst_factor : 1.0;
+  size_t phase = config.phase_requests > 0 ? config.phase_requests : 1;
+  double t = 0.0;
+  for (size_t i = 0; i < out.inputs.size(); ++i) {
+    double r = rate;
+    switch (config.arrival) {
+      case ArrivalPattern::kClosed:
+      case ArrivalPattern::kUniform:
+        break;
+      case ArrivalPattern::kBursty:
+        // On/off phases: bursts at rate*f, troughs at rate/f.
+        r = ((i / phase) % 2 == 0) ? rate * factor : rate / factor;
+        break;
+      case ArrivalPattern::kDiurnal: {
+        // One "day" spans four phases; rate swings ±80% around the mean.
+        double cycle = static_cast<double>(phase) * 4.0;
+        double angle = 2.0 * M_PI * static_cast<double>(i) / cycle;
+        r = rate * (1.0 + 0.8 * std::sin(angle));
+        if (r < rate * 0.05) {
+          r = rate * 0.05;
+        }
+        break;
+      }
+    }
+    // Exponential interarrival at the current instantaneous rate (clamp the
+    // uniform away from 0 so log() stays finite).
+    double u = rng.NextDouble();
+    if (u < 1e-12) {
+      u = 1e-12;
+    }
+    t += -std::log(u) / r;
+    out.arrival_seconds.push_back(t);
+  }
+  return out;
 }
 
 }  // namespace karousos

@@ -4,6 +4,12 @@
 // (loosely derived from a Wikipedia trace) for the wiki application. Write
 // requests to the stacks application are split 10% new dump / 90% previously
 // reported, as in the paper.
+//
+// Beyond the paper's closed-loop streams, this layer also generates
+// contention-shaped traffic: Zipf-skewed key popularity for the auction app
+// (a handful of hot items soak up most bids), and open-loop arrival
+// timestamps — steady Poisson, bursty on/off phases, or a diurnal sinusoid —
+// so benchmarks can drive the server at a rate instead of in lockstep.
 #ifndef SRC_WORKLOAD_WORKLOAD_H_
 #define SRC_WORKLOAD_WORKLOAD_H_
 
@@ -11,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/value.h"
 
 namespace karousos {
@@ -20,21 +27,68 @@ enum class WorkloadKind : uint8_t {
   kWriteHeavy,  // 10% reads / 90% writes.
   kMixed,       // 50% / 50%.
   kWikiMix,     // 25% create-page, 15% create-comment, 60% render.
+  kAuctionMix,  // 62% bid, 18% query, 12% verify, 8% list over Zipf items.
+  kMixedApps,   // All four apps interleaved in one {"app","req"} stream.
 };
 
 const char* WorkloadKindName(WorkloadKind kind);
 
+// How request arrival timestamps are generated (open-loop clients fire at
+// these times regardless of completions; kClosed generates none).
+enum class ArrivalPattern : uint8_t {
+  kClosed,   // No timestamps: back-to-back closed-loop issue.
+  kUniform,  // Poisson arrivals at mean_rate req/s.
+  kBursty,   // Alternating high/low-rate phases of phase_requests each.
+  kDiurnal,  // Sinusoidal rate around mean_rate (a compressed day cycle).
+};
+
+const char* ArrivalPatternName(ArrivalPattern pattern);
+
 struct WorkloadConfig {
-  std::string app;  // "motd", "stacks", or "wiki".
+  std::string app;  // "motd", "stacks", "wiki", "auction", or "mixed".
   WorkloadKind kind = WorkloadKind::kMixed;
   size_t requests = 600;
   uint64_t seed = 1;
   // Number of simulated client connections; stamped into wiki requests as
-  // the connection-pool slot.
+  // the connection-pool slot and used as the auction bidder-name pool.
   int connections = 1;
+
+  // Auction shape: bids target `hot_items` items with Zipf(zipf_theta)
+  // popularity. theta = 0 is uniform; 0.9 is the YCSB default; >1 means the
+  // hottest item takes most of the traffic.
+  int hot_items = 4;
+  double zipf_theta = 0.9;
+
+  // Open-loop arrival shape (used by GenerateOpenLoop).
+  ArrivalPattern arrival = ArrivalPattern::kClosed;
+  double mean_rate = 2000.0;   // Requests per second.
+  double burst_factor = 8.0;   // Bursty: high phase = rate*f, low = rate/f.
+  size_t phase_requests = 64;  // Requests per bursty phase / diurnal quarter.
+};
+
+// Zipf(theta) over {0..n-1} by CDF inversion: P(k) proportional to
+// 1/(k+1)^theta. theta = 0 degenerates to uniform. Deterministic given the
+// caller's Rng stream.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+  size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
 };
 
 std::vector<Value> GenerateWorkload(const WorkloadConfig& config);
+
+// An open-loop request stream: inputs[i] should be issued at
+// arrival_seconds[i] (non-decreasing, starting near 0). With
+// ArrivalPattern::kClosed, arrival_seconds is empty.
+struct OpenLoopWorkload {
+  std::vector<Value> inputs;
+  std::vector<double> arrival_seconds;
+};
+
+OpenLoopWorkload GenerateOpenLoop(const WorkloadConfig& config);
 
 }  // namespace karousos
 

@@ -113,5 +113,201 @@ TEST(TxKvConcurrencyTest, ManyConcurrentReadersThenUpgradeConflicts) {
   EXPECT_EQ(store.Put(1, 10, 2, "k", Value(1)), TxStatus::kOk);
 }
 
+// --- Hot-key bid races: deterministic interleavings per isolation level ----
+//
+// These mirror the auction app's bid loop at the store level: each "bidder"
+// runs Begin → Get(hot) → Put(hot, max) → Commit, aborting and retrying from
+// scratch whenever the no-wait store reports a conflict. The scripts are
+// lock-step round-robin, so every retry count is a deterministic function of
+// the isolation level's locking rules.
+
+struct Bidder {
+  int64_t amount;
+  // 0 = begin, 1 = get, 2 = put, 3 = commit, 4 = done.
+  int phase = 0;
+  uint64_t attempt = 0;
+  int64_t seen = 0;
+  size_t retries = 0;
+};
+
+// Round-robin one op per bidder per turn until all commit; *total_retries
+// counts the aborts forced by conflicts. (void so ASSERT_* may be used.)
+void RunBidRace(TxKvStore& store, std::vector<Bidder>& bidders, const char* key,
+                size_t* total_retries) {
+  size_t done = 0;
+  size_t guard = 0;
+  while (done < bidders.size()) {
+    ASSERT_LT(++guard, 1000u) << "bid race failed to converge";
+    for (size_t i = 0; i < bidders.size(); ++i) {
+      Bidder& b = bidders[i];
+      RequestId rid = static_cast<RequestId>(i + 1);
+      uint64_t tid = (i + 1) * 1000 + b.attempt;
+      auto restart = [&] {
+        store.Abort(rid, tid);
+        ++b.attempt;
+        ++b.retries;
+        ++*total_retries;
+        b.phase = 0;
+      };
+      switch (b.phase) {
+        case 0:
+          store.Begin(rid, tid);
+          b.phase = 1;
+          break;
+        case 1: {
+          KvGetResult got = store.Get(rid, tid, key);
+          if (got.status == TxStatus::kConflict) {
+            restart();
+            break;
+          }
+          b.seen = got.found ? got.value.IntOr(0) : 0;
+          b.phase = 2;
+          break;
+        }
+        case 2: {
+          if (b.amount <= b.seen) {
+            b.phase = 3;  // Trailing bid: nothing to write.
+            break;
+          }
+          if (store.Put(rid, tid, 2, key, Value(b.amount)) == TxStatus::kConflict) {
+            restart();
+            break;
+          }
+          b.phase = 3;
+          break;
+        }
+        case 3:
+          if (store.Commit(rid, tid) == TxStatus::kConflict) {
+            restart();
+            break;
+          }
+          b.phase = 4;
+          ++done;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+size_t BidRace(TxKvStore& store, std::vector<Bidder>& bidders, const char* key) {
+  size_t retries = 0;
+  RunBidRace(store, bidders, key, &retries);
+  return retries;
+}
+
+int64_t CommittedValue(TxKvStore& store, const char* key) {
+  store.Begin(99, 9900);
+  KvGetResult got = store.Get(99, 9900, key);
+  EXPECT_EQ(got.status, TxStatus::kOk);
+  store.Commit(99, 9900);
+  return got.found ? got.value.IntOr(0) : -1;
+}
+
+TEST(TxKvHotKeyRaceTest, AllLevelsConvergeToTheMaxWhenRetriesRecompute) {
+  // The retry loop re-reads before re-deciding, so every level converges to
+  // the same final value; what differs is how much retrying it took.
+  size_t retries_by_level[3] = {};
+  size_t idx = 0;
+  for (IsolationLevel iso : {IsolationLevel::kSerializable, IsolationLevel::kReadCommitted,
+                             IsolationLevel::kReadUncommitted}) {
+    TxKvStore store(iso);
+    std::vector<Bidder> bidders = {{300}, {500}, {400}, {450}};
+    retries_by_level[idx++] = BidRace(store, bidders, "item:0");
+    EXPECT_EQ(CommittedValue(store, "item:0"), 500)
+        << "level " << static_cast<int>(iso);
+  }
+  // The lock-step script makes the retry counts a deterministic fingerprint
+  // of each level's locking rules. Serializable conflicts at the S→X upgrade
+  // (every sibling holds a read lock); read committed conflicts only on
+  // writer-writer exclusion — but because its gets never block, bidders keep
+  // reaching the contended put and aborting there, which costs one extra
+  // retry in this schedule. Read uncommitted additionally reads dirty
+  // values, so trailing bidders observe the in-flight leader and skip their
+  // put entirely.
+  EXPECT_EQ(retries_by_level[0], 4u);  // serializable
+  EXPECT_EQ(retries_by_level[1], 5u);  // read committed
+  EXPECT_EQ(retries_by_level[2], 5u);  // read uncommitted
+}
+
+TEST(TxKvHotKeyRaceTest, SerializablePreventsTheLostUpdateReadCommittedAllows) {
+  // The fixed anomaly script: both bidders read high=0, the big bid commits,
+  // then the small bid — whose precondition is stale — writes over it.
+  //
+  // Read committed: gets take no locks, so every step succeeds and the final
+  // value is the SMALL bid: B1's update is lost.
+  {
+    TxKvStore store(IsolationLevel::kReadCommitted);
+    store.Begin(1, 100);
+    store.Begin(2, 200);
+    EXPECT_EQ(store.Get(1, 100, "item:0").status, TxStatus::kOk);
+    EXPECT_EQ(store.Get(2, 200, "item:0").status, TxStatus::kOk);
+    ASSERT_EQ(store.Put(1, 100, 2, "item:0", Value(500)), TxStatus::kOk);
+    ASSERT_EQ(store.Commit(1, 100), TxStatus::kOk);
+    // B2 still believes high = 0, so 300 "leads"; the lock is free again.
+    ASSERT_EQ(store.Put(2, 200, 2, "item:0", Value(300)), TxStatus::kOk);
+    ASSERT_EQ(store.Commit(2, 200), TxStatus::kOk);
+    EXPECT_EQ(CommittedValue(store, "item:0"), 300) << "the lost update";
+  }
+  // Serializable: the same script cannot run — B2's shared lock from its get
+  // makes B1's upgrade conflict, so no committed state is ever overwritten
+  // on a stale precondition.
+  {
+    TxKvStore store(IsolationLevel::kSerializable);
+    store.Begin(1, 100);
+    store.Begin(2, 200);
+    EXPECT_EQ(store.Get(1, 100, "item:0").status, TxStatus::kOk);
+    EXPECT_EQ(store.Get(2, 200, "item:0").status, TxStatus::kOk);
+    EXPECT_EQ(store.Put(1, 100, 2, "item:0", Value(500)), TxStatus::kConflict);
+    store.Abort(1, 100);
+    ASSERT_EQ(store.Put(2, 200, 2, "item:0", Value(300)), TxStatus::kOk);
+    ASSERT_EQ(store.Commit(2, 200), TxStatus::kOk);
+    // B1 retries with a fresh read: 500 > 300 stands, nothing is lost.
+    store.Begin(1, 101);
+    KvGetResult got = store.Get(1, 101, "item:0");
+    ASSERT_EQ(got.status, TxStatus::kOk);
+    EXPECT_EQ(got.value, Value(300));
+    ASSERT_EQ(store.Put(1, 101, 2, "item:0", Value(500)), TxStatus::kOk);
+    ASSERT_EQ(store.Commit(1, 101), TxStatus::kOk);
+    EXPECT_EQ(CommittedValue(store, "item:0"), 500);
+  }
+}
+
+TEST(TxKvHotKeyRaceTest, ReadUncommittedBidderChasesAPhantomLeader) {
+  // Under read uncommitted a bidder can observe an in-flight bid, decide it
+  // is outbid, and walk away — then the "leader" aborts, and the auction
+  // ends with no bid at all. Both reads succeed; the anomaly is in the
+  // values, which is why only the audit-level isolation check catches it.
+  TxKvStore store(IsolationLevel::kReadUncommitted);
+  store.Begin(1, 100);
+  ASSERT_EQ(store.Put(1, 100, 2, "item:0", Value(999)), TxStatus::kOk);
+  store.Begin(2, 200);
+  KvGetResult dirty = store.Get(2, 200, "item:0");
+  ASSERT_EQ(dirty.status, TxStatus::kOk);
+  EXPECT_EQ(dirty.value, Value(999)) << "dirty read of the in-flight bid";
+  // B2's 300 trails the phantom 999: no put.
+  ASSERT_EQ(store.Commit(2, 200), TxStatus::kOk);
+  store.Abort(1, 100);
+  EXPECT_EQ(CommittedValue(store, "item:0"), -1) << "no bid committed at all";
+
+  // The same schedule under read committed: B2 sees the committed state
+  // (nothing), bids, and wins.
+  TxKvStore rc(IsolationLevel::kReadCommitted);
+  rc.Begin(1, 100);
+  ASSERT_EQ(rc.Put(1, 100, 2, "item:0", Value(999)), TxStatus::kOk);
+  rc.Begin(2, 200);
+  KvGetResult clean = rc.Get(2, 200, "item:0");
+  ASSERT_EQ(clean.status, TxStatus::kOk);
+  EXPECT_FALSE(clean.found);
+  // The leader aborts (writer-writer exclusion would block B2's put while
+  // B1's X lock is live — that guard exists at every level); afterwards B2's
+  // 300 leads the truly-empty board and wins.
+  rc.Abort(1, 100);
+  ASSERT_EQ(rc.Put(2, 200, 2, "item:0", Value(300)), TxStatus::kOk);
+  ASSERT_EQ(rc.Commit(2, 200), TxStatus::kOk);
+  EXPECT_EQ(CommittedValue(rc, "item:0"), 300);
+}
+
 }  // namespace
 }  // namespace karousos

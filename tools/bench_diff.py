@@ -45,6 +45,13 @@ MEASURE_FIELDS = (
     "audit_seconds",
     "audit_no_prescreen_seconds",
     "prescreen_overhead_pct",
+    # auction_contention hot-key fields. conflicts/abort_rate are workload
+    # shape, not speed — reported in the diff but never gated on time.
+    "conflicts",
+    "abort_rate",
+    "serve_off_seconds",
+    "serve_karousos_seconds",
+    "record_overhead_ratio",
 )
 
 # Of the measured fields, the ones where bigger is worse. off_seconds is the
@@ -61,6 +68,9 @@ TIME_FIELDS = (
     # per-epoch and percentage columns are derived from these two.
     "check_seconds",
     "audit_seconds",
+    # auction_contention: gate the instrumented serve time (audit_seconds
+    # above already covers its audit column).
+    "serve_karousos_seconds",
 )
 
 

@@ -37,13 +37,13 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  karousos serve  --app <motd|stacks|wiki> [--workload <reads|writes|mixed>]\n"
+               "  karousos serve  --app <motd|stacks|wiki|auction|mixed> [--workload <reads|writes|mixed>]\n"
                "                  [--requests N] [--concurrency C] [--seed S] [--mode karousos|orochi]\n"
                "                  [--isolation ser|rc|ru] --out-trace FILE --out-advice FILE\n"
                "                  [--out-segments DIR --epoch-size N]\n"
                "      --out-segments: also (or instead) write the epoch-segmented KSEG\n"
                "      containers DIR/trace.kseg and DIR/advice.kseg\n"
-               "  karousos audit  --app <motd|stacks|wiki> --trace FILE --advice FILE\n"
+               "  karousos audit  --app <motd|stacks|wiki|auction|mixed> --trace FILE --advice FILE\n"
                "                  [--segments DIR] [--no-prescreen]\n"
                "                  [--isolation ser|rc|ru] [--threads N] [--profile]\n"
                "                  [--epoch-size N] [--checkpoint FILE] [--resume FILE]\n"
@@ -71,7 +71,7 @@ int Usage() {
                "  karousos analyze --trace FILE --advice FILE [--epoch-size N]\n"
                "      lint the advice against the trace; segment containers run the\n"
                "      streaming model check instead; exit 1 on findings\n"
-               "  karousos analyze --races --app <motd|stacks|wiki> [--workload ...]\n"
+               "  karousos analyze --races --app <motd|stacks|wiki|auction|mixed> [--workload ...]\n"
                "                  [--requests N] [--concurrency C] [--seed S]\n"
                "      serve in-process and race-check untracked accesses; exit 1 on findings\n");
   return 2;
@@ -207,6 +207,12 @@ AppSpec MakeApp(const std::string& name) {
   if (name == "wiki") {
     return MakeWikiApp();
   }
+  if (name == "auction") {
+    return MakeAuctionApp();
+  }
+  if (name == "mixed") {
+    return MakeMixedApp();
+  }
   std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
   std::exit(2);
 }
@@ -267,6 +273,8 @@ int CmdServe(const Args& args) {
     wl.kind = args.workload == "reads"    ? WorkloadKind::kReadHeavy
               : args.workload == "writes" ? WorkloadKind::kWriteHeavy
               : args.app == "wiki"        ? WorkloadKind::kWikiMix
+              : args.app == "auction"     ? WorkloadKind::kAuctionMix
+              : args.app == "mixed"       ? WorkloadKind::kMixedApps
                                           : WorkloadKind::kMixed;
     wl.requests = args.requests;
     wl.seed = args.seed;
@@ -703,6 +711,8 @@ int CmdAnalyzeRaces(const Args& args) {
   wl.kind = args.workload == "reads"    ? WorkloadKind::kReadHeavy
             : args.workload == "writes" ? WorkloadKind::kWriteHeavy
             : args.app == "wiki"        ? WorkloadKind::kWikiMix
+            : args.app == "auction"     ? WorkloadKind::kAuctionMix
+            : args.app == "mixed"       ? WorkloadKind::kMixedApps
                                         : WorkloadKind::kMixed;
   wl.requests = args.requests;
   wl.seed = args.seed;

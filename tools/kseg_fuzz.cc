@@ -3,13 +3,20 @@
 // may crash on any of them. Where both the checker and the audit name a rule,
 // they must name the same one (the pre-screen *is* the audit's static half).
 //
-// Corpus: src/analysis/kseg_mutate.h over one honest stacks run — the nine
-// adversarial seeds from tests/epoch_audit_test.cc, cross-epoch slice
-// defects, and byte-level frame damage against every frame of both streams.
+// Corpus: src/analysis/kseg_mutate.h over one honest run per seed family —
+// the nine adversarial seeds from tests/epoch_audit_test.cc, cross-epoch
+// slice defects, and byte-level frame damage against every frame of both
+// streams. Two families:
 //
-// Prints one summary line plus a JSON blob with the static-catch fraction
-// (consumed by bench/check_overhead.cc's fuzz row). Exits nonzero with a
-// "BUG:" line on any violated invariant.
+//   * stacks  — the original handler-tree/KV workload;
+//   * auction — hot-key contention: aborted transactions, retries, and
+//               transactions spanning event (and epoch) boundaries give the
+//               advice a different shape, so frame- and slice-level damage
+//               lands on different structures.
+//
+// Prints one summary line per family plus a JSON blob with per-family and
+// total static-catch fractions (consumed by bench/check_overhead.cc's fuzz
+// row). Exits nonzero with a "BUG:" line on any violated invariant.
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -25,19 +32,53 @@
 namespace karousos {
 namespace {
 
-constexpr size_t kRequests = 63;
-constexpr uint64_t kEpochSize = 7;
-constexpr size_t kMinMutations = 200;
+struct Family {
+  const char* name;
+  WorkloadKind kind;
+  size_t requests;
+  int concurrency;
+  uint64_t epoch_size;
+  size_t min_mutations;
+  // Floor on the static-catch fraction; the acceptance bar for the family.
+  double min_static_fraction;
+};
 
-int Run() {
-  AppSpec app = MakeStacksApp();
+constexpr Family kFamilies[] = {
+    {"stacks", WorkloadKind::kMixed, 63, 6, 7, 200, 0.90},
+    {"auction", WorkloadKind::kAuctionMix, 72, 12, 8, 200, 0.90},
+};
+
+struct FamilyStats {
+  std::string name;
+  size_t mutations = 0;
+  size_t caught_static = 0;
+  size_t rule_matched = 0;
+  size_t bugs = 0;
+
+  double fraction() const {
+    return mutations == 0 ? 0.0
+                          : static_cast<double>(caught_static) / static_cast<double>(mutations);
+  }
+};
+
+AppSpec MakeApp(const std::string& name) {
+  return name == "stacks" ? MakeStacksApp() : MakeAuctionApp();
+}
+
+FamilyStats RunFamily(const Family& family) {
+  FamilyStats stats;
+  stats.name = family.name;
+
+  AppSpec app = MakeApp(family.name);
   WorkloadConfig wl;
-  wl.app = "stacks";
-  wl.kind = WorkloadKind::kMixed;
-  wl.requests = kRequests;
+  wl.app = family.name;
+  wl.kind = family.kind;
+  wl.requests = family.requests;
   wl.seed = 7;
+  wl.connections = family.concurrency;
   ServerConfig server_config;
-  server_config.concurrency = 6;
+  server_config.concurrency = family.concurrency;
+  server_config.seed = 7;
   Server server(*app.program, server_config);
   ServerRunResult run = server.Run(GenerateWorkload(wl));
 
@@ -45,80 +86,116 @@ int Run() {
 
   // Control: the unmutated stream must be statically clean and audit-accepted,
   // or every "rejected" result below would be meaningless.
-  EpochSlices honest = SliceRun(run.trace, run.advice, kEpochSize);
+  EpochSlices honest = SliceRun(run.trace, run.advice, family.epoch_size);
   std::vector<uint8_t> honest_trace = EncodeTraceSegments(honest);
   std::vector<uint8_t> honest_advice = EncodeAdviceSegments(honest);
-  CheckResult honest_check = CheckSegmentStreams(honest_trace, honest_advice, kEpochSize);
+  CheckResult honest_check =
+      CheckSegmentStreams(honest_trace, honest_advice, family.epoch_size);
   if (!honest_check.ok) {
-    std::printf("BUG: honest stream fails the model check: %s\n", honest_check.reason.c_str());
-    return 1;
+    std::printf("BUG: [%s] honest stream fails the model check: %s\n", family.name,
+                honest_check.reason.c_str());
+    ++stats.bugs;
+    return stats;
   }
   StreamAuditResult honest_audit =
-      AuditSegments(app, honest_trace, honest_advice, audit_config, kEpochSize);
+      AuditSegments(app, honest_trace, honest_advice, audit_config, family.epoch_size);
   if (!honest_audit.audit.accepted) {
-    std::printf("BUG: honest stream rejected by the audit: %s\n",
+    std::printf("BUG: [%s] honest stream rejected by the audit: %s\n", family.name,
                 honest_audit.audit.reason.c_str());
-    return 1;
+    ++stats.bugs;
+    return stats;
   }
 
-  std::vector<KsegMutation> corpus = BuildMutationCorpus(run.trace, run.advice, kEpochSize);
-  if (corpus.size() < kMinMutations) {
-    std::printf("BUG: corpus holds only %zu mutations (need >= %zu)\n", corpus.size(),
-                kMinMutations);
-    return 1;
+  std::vector<KsegMutation> corpus =
+      BuildMutationCorpus(run.trace, run.advice, family.epoch_size);
+  if (corpus.size() < family.min_mutations) {
+    std::printf("BUG: [%s] corpus holds only %zu mutations (need >= %zu)\n", family.name,
+                corpus.size(), family.min_mutations);
+    ++stats.bugs;
+    return stats;
   }
+  stats.mutations = corpus.size();
 
-  size_t caught_static = 0;
-  size_t rule_matched = 0;
-  size_t bugs = 0;
   for (const KsegMutation& m : corpus) {
     CheckResult check;
     try {
-      check = CheckSegmentStreams(m.trace_bytes, m.advice_bytes, kEpochSize);
+      check = CheckSegmentStreams(m.trace_bytes, m.advice_bytes, family.epoch_size);
     } catch (const std::exception& e) {
-      std::printf("BUG: %s: model check crashed: %s\n", m.name.c_str(), e.what());
-      ++bugs;
+      std::printf("BUG: [%s] %s: model check crashed: %s\n", family.name, m.name.c_str(),
+                  e.what());
+      ++stats.bugs;
       continue;
     }
     StreamAuditResult audited;
     try {
-      audited = AuditSegments(app, m.trace_bytes, m.advice_bytes, audit_config, kEpochSize);
+      audited =
+          AuditSegments(app, m.trace_bytes, m.advice_bytes, audit_config, family.epoch_size);
     } catch (const std::exception& e) {
-      std::printf("BUG: %s: audit crashed: %s\n", m.name.c_str(), e.what());
-      ++bugs;
+      std::printf("BUG: [%s] %s: audit crashed: %s\n", family.name, m.name.c_str(), e.what());
+      ++stats.bugs;
       continue;
     }
     if (audited.audit.accepted) {
-      std::printf("BUG: %s: audit ACCEPTED a mutated stream\n", m.name.c_str());
-      ++bugs;
+      std::printf("BUG: [%s] %s: audit ACCEPTED a mutated stream\n", family.name,
+                  m.name.c_str());
+      ++stats.bugs;
       continue;
     }
     if (!check.ok) {
-      ++caught_static;
+      ++stats.caught_static;
       // The fast-reject contract: where both sides name a rule, the static
       // verdict is the one the audit reports — the pre-screen fired before
       // any replay could.
       if (!check.rule.empty() && !audited.audit.rule.empty()) {
         if (check.rule != audited.audit.rule) {
-          std::printf("BUG: %s: rule mismatch (check %s vs audit %s)\n", m.name.c_str(),
-                      check.rule.c_str(), audited.audit.rule.c_str());
-          ++bugs;
+          std::printf("BUG: [%s] %s: rule mismatch (check %s vs audit %s)\n", family.name,
+                      m.name.c_str(), check.rule.c_str(), audited.audit.rule.c_str());
+          ++stats.bugs;
           continue;
         }
-        ++rule_matched;
+        ++stats.rule_matched;
       }
     }
   }
 
-  double fraction =
-      corpus.empty() ? 0.0 : static_cast<double>(caught_static) / static_cast<double>(corpus.size());
-  std::printf("kseg_fuzz: %zu mutations, %zu rejected statically (%.1f%%), %zu rule-matched, "
-              "%zu bugs\n",
-              corpus.size(), caught_static, 100.0 * fraction, rule_matched, bugs);
+  if (stats.fraction() < family.min_static_fraction) {
+    std::printf("BUG: [%s] static catch %.1f%% below the %.0f%% floor\n", family.name,
+                100.0 * stats.fraction(), 100.0 * family.min_static_fraction);
+    ++stats.bugs;
+  }
+  std::printf("kseg_fuzz[%s]: %zu mutations, %zu rejected statically (%.1f%%), "
+              "%zu rule-matched, %zu bugs\n",
+              family.name, stats.mutations, stats.caught_static, 100.0 * stats.fraction(),
+              stats.rule_matched, stats.bugs);
+  return stats;
+}
+
+int Run() {
+  std::vector<FamilyStats> all;
+  size_t total_mutations = 0;
+  size_t total_caught = 0;
+  size_t total_bugs = 0;
+  for (const Family& family : kFamilies) {
+    all.push_back(RunFamily(family));
+    total_mutations += all.back().mutations;
+    total_caught += all.back().caught_static;
+    total_bugs += all.back().bugs;
+  }
+
+  double fraction = total_mutations == 0
+                        ? 0.0
+                        : static_cast<double>(total_caught) / static_cast<double>(total_mutations);
   std::printf("{\"mutations_total\": %zu, \"mutations_caught_static\": %zu, "
-              "\"static_catch_fraction\": %.4f}\n",
-              corpus.size(), caught_static, fraction);
-  return bugs == 0 ? 0 : 1;
+              "\"static_catch_fraction\": %.4f, \"families\": {",
+              total_mutations, total_caught, fraction);
+  for (size_t i = 0; i < all.size(); ++i) {
+    std::printf("%s\"%s\": {\"mutations_total\": %zu, \"mutations_caught_static\": %zu, "
+                "\"static_catch_fraction\": %.4f}",
+                i == 0 ? "" : ", ", all[i].name.c_str(), all[i].mutations,
+                all[i].caught_static, all[i].fraction());
+  }
+  std::printf("}}\n");
+  return total_bugs == 0 ? 0 : 1;
 }
 
 }  // namespace

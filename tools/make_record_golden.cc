@@ -38,6 +38,9 @@ AppSpec MakeApp(const std::string& name) {
   if (name == "stacks") {
     return MakeStacksApp();
   }
+  if (name == "auction") {
+    return MakeAuctionApp();
+  }
   return MakeWikiApp();
 }
 
@@ -56,6 +59,9 @@ struct FixtureSpec {
 constexpr FixtureSpec kFixtures[] = {
     {"stacks120", "stacks", WorkloadKind::kMixed, 120, 10, 7},
     {"motd60", "motd", WorkloadKind::kWriteHeavy, 60, 6, 13},
+    // Hot-key contention: aborted transactions, retries, and cross-epoch
+    // transaction windows in the advice bytes.
+    {"auction90", "auction", WorkloadKind::kAuctionMix, 90, 12, 9},
 };
 
 int Main(int argc, char** argv) {
