@@ -7,6 +7,8 @@
 
 #include "src/audit/audit.h"
 #include "src/baseline/sequential.h"
+#include "src/common/kcodec.h"
+#include "src/server/rollover.h"
 
 namespace karousos {
 
@@ -164,21 +166,31 @@ void PrintVerification(const FigureSpec& spec, const FigureOptions& options) {
 void PrintAdviceSize(const FigureSpec& spec, const FigureOptions& options) {
   std::printf("\n[advice size] app=%s workload=\"%s\" requests=%zu\n", spec.app.c_str(),
               WorkloadKindName(spec.kind), options.requests);
-  std::printf("%12s %14s %14s %12s %14s %14s\n", "concurrency", "karousos (B)", "orochi-js (B)",
-              "k/o ratio", "k varlog (B)", "k varlog frac");
+  std::printf("%12s %14s %14s %12s %14s %14s %14s %10s\n", "concurrency", "karousos (B)",
+              "orochi-js (B)", "k/o ratio", "k varlog (B)", "k varlog frac", "k packed (B)",
+              "pack ratio");
+  // Storage-class stored size: the run sliced at 50-request epochs and
+  // encoded with every codec stage (lanes + dict + block), i.e. the bytes a
+  // Karousos server actually ships under --compress all.
+  constexpr uint64_t kPackEpochSize = 50;
   for (int concurrency : options.concurrencies) {
     ServerRunResult karousos_run =
         RunServer(spec, options, concurrency, CollectMode::kKarousos, 0);
     ServerRunResult orochi_run = RunServer(spec, options, concurrency, CollectMode::kOrochi, 0);
     Advice::SizeBreakdown k = karousos_run.advice.MeasureSize();
     Advice::SizeBreakdown o = orochi_run.advice.MeasureSize();
-    std::printf("%12d %14zu %14zu %11.2f%% %14zu %13.1f%%\n", concurrency, k.total, o.total,
+    EpochSlices slices = SliceRun(karousos_run.trace, karousos_run.advice, kPackEpochSize);
+    const size_t packed = EncodeAdviceSegments(slices, KsegCompression::All()).size();
+    std::printf("%12d %14zu %14zu %11.2f%% %14zu %13.1f%% %14zu %9.2fx\n", concurrency, k.total,
+                o.total,
                 o.total > 0 ? 100.0 * static_cast<double>(k.total) / static_cast<double>(o.total)
                             : 0.0,
                 k.var_logs,
                 k.total > 0 ? 100.0 * static_cast<double>(k.var_logs) /
                                   static_cast<double>(k.total)
-                            : 0.0);
+                            : 0.0,
+                packed,
+                packed > 0 ? static_cast<double>(k.total) / static_cast<double>(packed) : 0.0);
   }
 }
 

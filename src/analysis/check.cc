@@ -91,14 +91,14 @@ class PairedSegmentCursor {
       return Fail(kKarSeg003, FrameLoc("advice", advice_rec),
                   SequencingMessage(advice_rec.epoch), diags);
     }
-    auto window = DecodeTraceSegmentPayload(trace_rec.payload);
+    auto window = DecodeTraceSegmentPayload(trace_rec.payload, trace_rec.flags);
     if (!window) {
       return Fail(kKarSeg002, FrameLoc("trace", trace_rec),
                   "trace segment payload for epoch " + std::to_string(trace_rec.epoch) +
                       " is malformed",
                   diags);
     }
-    auto advice_payload = DecodeAdviceSegmentPayload(advice_rec.payload);
+    auto advice_payload = DecodeAdviceSegmentPayload(advice_rec.payload, advice_rec.flags);
     if (!advice_payload) {
       return Fail(kKarSeg002, FrameLoc("advice", advice_rec),
                   "advice segment payload for epoch " + std::to_string(advice_rec.epoch) +

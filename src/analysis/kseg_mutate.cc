@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/kcodec.h"
 #include "src/common/segment.h"
 #include "src/server/rollover.h"
 
@@ -351,7 +352,8 @@ void BuildFrameMutations(const char* stream, const std::vector<uint8_t>& honest_
   }
   {
     std::vector<uint8_t> b = honest_bytes;
-    b[4] += 1;  // Unsupported format version.
+    b[4] ^= 0x80;  // Unsupported format version (v2 exists now, so +1 on a v1
+                   // stream would be a *valid* upgrade, not damage).
     emit(std::string("frame:") + stream + ":bad-version", std::move(b));
   }
 
@@ -437,6 +439,95 @@ void BuildFrameMutations(const char* stream, const std::vector<uint8_t>& honest_
   }
 }
 
+// --- Codec family: damage to storage-class compressed (v2) frames ------------
+
+// Parses every frame of a container into records (empty on malformed input).
+std::vector<SegmentRecord> ParseFrames(const std::vector<uint8_t>& bytes) {
+  std::vector<SegmentRecord> records;
+  std::string error;
+  auto reader = SegmentReader::FromBytes(bytes.data(), bytes.size(), &error);
+  if (reader == nullptr) {
+    return records;
+  }
+  SegmentRecord rec;
+  while (reader->Next(&rec)) {
+    records.push_back(rec);
+  }
+  return records;
+}
+
+// Re-frames records through a v2 writer, recomputing lengths and CRCs — the
+// container structure stays honest, so the mutation lands on the codec layer
+// (the payload decoder), not the framing layer.
+std::vector<uint8_t> RebuildStream(const std::vector<SegmentRecord>& records) {
+  SegmentWriter writer(kSegmentFormatVersionV2);
+  for (const SegmentRecord& r : records) {
+    writer.Append(r.kind, r.epoch, r.flags, r.payload);
+  }
+  return writer.Take();
+}
+
+void BuildCodecMutations(const char* stream, const std::vector<uint8_t>& honest_bytes,
+                         const std::vector<uint8_t>& other_bytes, bool mutate_trace,
+                         std::vector<KsegMutation>* out) {
+  auto emit = [&](std::string name, std::vector<uint8_t> mutated) {
+    KsegMutation m;
+    m.name = std::move(name);
+    if (mutate_trace) {
+      m.trace_bytes = std::move(mutated);
+      m.advice_bytes = other_bytes;
+    } else {
+      m.trace_bytes = other_bytes;
+      m.advice_bytes = std::move(mutated);
+    }
+    out->push_back(std::move(m));
+  };
+  auto tag = [&](size_t frame, const char* what) {
+    return std::string("codec:") + stream + "[" + std::to_string(frame) + "]:" + what;
+  };
+  const std::vector<SegmentRecord> records = ParseFrames(honest_bytes);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SegmentRecord& f = records[i];
+    // The flags byte sits right after the kind byte and is NOT covered by the
+    // CRC (which seals the stored payload), so flag tampering is a pure
+    // byte-level patch — exactly the attack surface the reader must close.
+    const size_t flags_at = static_cast<size_t>(f.offset) + 1;
+    {
+      // An unknown flag bit: the reader must refuse the whole frame rather
+      // than decode the stages it does recognize.
+      std::vector<uint8_t> b = honest_bytes;
+      b[flags_at] |= static_cast<uint8_t>(kFrameFlagsKnownMask + 1);
+      emit(tag(i, "flag-unknown-bit"), std::move(b));
+    }
+    if (f.flags != 0) {
+      // Strip the flags: compact/blocked bytes reach the raw grammar decoder.
+      std::vector<uint8_t> b = honest_bytes;
+      b[flags_at] = 0;
+      emit(tag(i, "flag-clear"), std::move(b));
+    }
+    if ((f.flags & kFrameFlagBlock) != 0) {
+      // Drop only the block bit: LZ4-style sequences reach the lane decoder.
+      std::vector<uint8_t> b = honest_bytes;
+      b[flags_at] = f.flags & static_cast<uint8_t>(~kFrameFlagBlock);
+      emit(tag(i, "flag-drop-block"), std::move(b));
+    }
+    if (!f.payload.empty()) {
+      // Truncate the stored payload with the length varint and CRC fixed up:
+      // only the codec's own structural checks can catch it.
+      std::vector<SegmentRecord> mutated = records;
+      mutated[i].payload.pop_back();
+      emit(tag(i, "truncate-stored"), RebuildStream(mutated));
+    }
+    if ((f.flags & kFrameFlagBlock) != 0 && !f.payload.empty()) {
+      // Bump the declared decoded size leading a blocked payload (CRC fixed
+      // up): the decompressor's exact-size contract is the only defense.
+      std::vector<SegmentRecord> mutated = records;
+      mutated[i].payload[0] = static_cast<uint8_t>(mutated[i].payload[0] + 1);
+      emit(tag(i, "block-size-bump"), RebuildStream(mutated));
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<KsegMutation> BuildMutationCorpus(const Trace& trace, const Advice& advice,
@@ -449,6 +540,11 @@ std::vector<KsegMutation> BuildMutationCorpus(const Trace& trace, const Advice& 
   std::vector<uint8_t> advice_bytes = EncodeAdviceSegments(honest);
   BuildFrameMutations("trace", trace_bytes, advice_bytes, /*mutate_trace=*/true, &corpus);
   BuildFrameMutations("advice", advice_bytes, trace_bytes, /*mutate_trace=*/false, &corpus);
+  const KsegCompression all = KsegCompression::All();
+  std::vector<uint8_t> packed_trace = EncodeTraceSegments(honest, all);
+  std::vector<uint8_t> packed_advice = EncodeAdviceSegments(honest, all);
+  BuildCodecMutations("trace", packed_trace, packed_advice, /*mutate_trace=*/true, &corpus);
+  BuildCodecMutations("advice", packed_advice, packed_trace, /*mutate_trace=*/false, &corpus);
   return corpus;
 }
 

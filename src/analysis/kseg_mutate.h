@@ -11,7 +11,12 @@
 //     fabricated continuity imports): the KAR-SEG rule family's home turf;
 //   * frame — byte-level container damage (payload/CRC/kind/epoch bytes,
 //     dropped/duplicated/swapped/truncated frames, header corruption) against
-//     every frame of both encoded streams.
+//     every frame of both encoded streams;
+//   * codec — damage to storage-class compressed (v2) streams: unknown or
+//     stripped flag bits (the flags byte is outside the CRC), a dropped block
+//     stage, stored-payload truncation with the length and CRC fixed up, and
+//     declared-decoded-size tampering on blocked frames. The container framing
+//     stays honest, so only the codec layer can reject these.
 //
 // Every mutation is semantic: an audit must reject it (statically or
 // dynamically), and neither the checker nor the audit may crash on it.

@@ -1,0 +1,184 @@
+// Storage-class codecs for KSEG frame payloads.
+//
+// Advice bytes are the audit's dominant cost at production traffic (the paper
+// reports advice size as a headline metric), and most of those bytes are
+// high-entropy 64-bit digests and repeated keys. Three composable stages, each
+// behind its own frame flag in the v2 segment container:
+//
+//   * kFrameFlagLanes — columnar delta+varint coding for the monotone and
+//     near-monotone integer lanes (request ids, opnums, opcounts, tx indices):
+//     first value + zigzag deltas instead of absolute varints/fixed64s.
+//   * kFrameFlagDict  — per-segment dictionaries: every distinct 64-bit id
+//     digest (handler/var/tx/function/event/tag) and every distinct string
+//     (app keys, value strings, map keys) is written once, occurrences become
+//     small varint refs. The symbol-table idiom; LabelStore already makes
+//     these enumerable on the record side.
+//   * kFrameFlagBlock — an LZ4-style block compressor (self-contained greedy
+//     LZ77 with hash-chain matching, no external deps) applied to the whole
+//     frame payload last, undone first on decode.
+//
+// The grammar-aware transcoder that applies lanes/dict to advice and trace
+// payloads lives in src/server/kseg_codec.h; this header owns the primitives
+// and the block codec. Every decoder here returns nullopt on malformed input
+// — a corrupt compressed frame is indistinguishable from server misbehavior
+// and must reject cleanly, never crash or over-allocate.
+#ifndef SRC_COMMON_KCODEC_H_
+#define SRC_COMMON_KCODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/serde.h"
+
+namespace karousos {
+
+// Frame-flag bits (v2 segment container, one flags byte per frame). Readers
+// reject any bit outside kFrameFlagsKnownMask; old (v1-only) readers reject
+// the whole container through the existing format-version path.
+inline constexpr uint8_t kFrameFlagLanes = 0x01;
+inline constexpr uint8_t kFrameFlagDict = 0x02;
+inline constexpr uint8_t kFrameFlagBlock = 0x04;
+inline constexpr uint8_t kFrameFlagsKnownMask =
+    kFrameFlagLanes | kFrameFlagDict | kFrameFlagBlock;
+
+// Which stages a writer applies / a reader must undo. The block stage is
+// advisory on encode: a frame whose payload does not shrink is stored raw
+// with the flag dropped, so decode cost is only ever paid where it won.
+struct KsegCompression {
+  bool lanes = false;
+  bool dict = false;
+  bool block = false;
+
+  bool any() const { return lanes || dict || block; }
+  uint8_t Flags() const {
+    return static_cast<uint8_t>((lanes ? kFrameFlagLanes : 0) | (dict ? kFrameFlagDict : 0) |
+                                (block ? kFrameFlagBlock : 0));
+  }
+  static KsegCompression FromFlags(uint8_t flags) {
+    KsegCompression c;
+    c.lanes = (flags & kFrameFlagLanes) != 0;
+    c.dict = (flags & kFrameFlagDict) != 0;
+    c.block = (flags & kFrameFlagBlock) != 0;
+    return c;
+  }
+  static KsegCompression All() { return KsegCompression{true, true, true}; }
+};
+
+// --- Zigzag + delta lanes ----------------------------------------------------
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t z) {
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+// One value of a delta lane: v relative to *prev as a zigzag varint; *prev
+// advances to v. Monotone lanes encode as a run of tiny positive deltas;
+// occasional regressions stay cheap instead of breaking the lane.
+inline void WriteDelta(ByteWriter* out, uint64_t v, uint64_t* prev) {
+  out->WriteVarint(ZigzagEncode(static_cast<int64_t>(v - *prev)));
+  *prev = v;
+}
+inline std::optional<uint64_t> ReadDelta(ByteReader* in, uint64_t* prev) {
+  auto z = in->ReadVarint();
+  if (!z) {
+    return std::nullopt;
+  }
+  uint64_t v = *prev + static_cast<uint64_t>(ZigzagDecode(*z));
+  *prev = v;
+  return v;
+}
+
+// --- Per-segment dictionaries ------------------------------------------------
+
+// Interns 64-bit id digests in first-use order. The transcoder writes the
+// body against refs first, then serializes the table ahead of it.
+class U64DictBuilder {
+ public:
+  uint64_t Ref(uint64_t v) {
+    auto [it, inserted] = index_.emplace(v, order_.size());
+    if (inserted) {
+      order_.push_back(v);
+    }
+    return it->second;
+  }
+  void Serialize(ByteWriter* out) const {
+    out->WriteVarint(order_.size());
+    for (uint64_t v : order_) {
+      out->WriteFixed64(v);
+    }
+  }
+  size_t size() const { return order_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> index_;
+  std::vector<uint64_t> order_;
+};
+
+class StringDictBuilder {
+ public:
+  uint64_t Ref(std::string_view s) {
+    auto it = index_.find(std::string(s));
+    if (it != index_.end()) {
+      return it->second;
+    }
+    uint64_t id = order_.size();
+    order_.emplace_back(s);
+    index_.emplace(order_.back(), id);
+    return id;
+  }
+  void Serialize(ByteWriter* out) const {
+    out->WriteVarint(order_.size());
+    for (const std::string& s : order_) {
+      out->WriteString(s);
+    }
+  }
+  size_t size() const { return order_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint64_t> index_;
+  std::vector<std::string> order_;
+};
+
+// Dictionary tables, decode side. Both guard the declared count against the
+// bytes actually remaining, so a truncated dictionary (or a forged huge
+// count) rejects before any allocation is sized from attacker input.
+std::optional<std::vector<uint64_t>> ReadU64Dict(ByteReader* in);
+std::optional<std::vector<std::string>> ReadStringDict(ByteReader* in);
+
+// --- LZ4-style block codec ---------------------------------------------------
+
+// Appends the compressed form of [data, data+size) to *out. Sequence format
+// (LZ4 block idiom): token byte with literal length in the high nibble and
+// (match length - 4) in the low nibble, 15 meaning "extended by 255-run
+// bytes"; literal bytes; 2-byte little-endian match offset (1..65535). The
+// final sequence is literals-only (match nibble 0, no offset). Greedy matcher
+// over a hash-chain table, bounded chain depth — compression is one pass.
+void BlockCompress(const uint8_t* data, size_t size, std::vector<uint8_t>* out);
+
+// Decompresses exactly `decoded_size` bytes or returns nullopt. Every read
+// and match copy is bounds-checked; overlapping matches copy byte-by-byte.
+std::optional<std::vector<uint8_t>> BlockDecompress(const uint8_t* data, size_t size,
+                                                    size_t decoded_size);
+
+// Frame-level wrapper: [varint decoded size | sequences]. Encode returns the
+// stored bytes; decode validates the declared size against a structural
+// expansion bound before allocating and requires the decoded length to match
+// the declaration exactly (a mismatch is a rejection, not a truncation).
+std::vector<uint8_t> BlockFrameEncode(const uint8_t* data, size_t size);
+inline std::vector<uint8_t> BlockFrameEncode(const std::vector<uint8_t>& payload) {
+  return BlockFrameEncode(payload.data(), payload.size());
+}
+std::optional<std::vector<uint8_t>> BlockFrameDecode(const uint8_t* data, size_t size);
+inline std::optional<std::vector<uint8_t>> BlockFrameDecode(const std::vector<uint8_t>& stored) {
+  return BlockFrameDecode(stored.data(), stored.size());
+}
+
+}  // namespace karousos
+
+#endif  // SRC_COMMON_KCODEC_H_

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/common/kcodec.h"
 #include "src/common/serde.h"
 
 namespace karousos {
@@ -30,12 +31,16 @@ const char* SegmentKindName(SegmentKind kind) {
   return "unknown";
 }
 
-SegmentWriter::SegmentWriter() {
+SegmentWriter::SegmentWriter(uint8_t format_version) : version_(format_version) {
   buf_.insert(buf_.end(), kSegmentMagic, kSegmentMagic + 4);
-  buf_.push_back(kSegmentFormatVersion);
+  buf_.push_back(version_);
+  if (version_ != kSegmentFormatVersion && version_ != kSegmentFormatVersionV2) {
+    error_ = "unsupported segment format version " + std::to_string(version_);
+  }
 }
 
-SegmentWriter::SegmentWriter(const std::string& path) : SegmentWriter() {
+SegmentWriter::SegmentWriter(const std::string& path, uint8_t format_version)
+    : SegmentWriter(format_version) {
   to_file_ = true;
   file_.open(path, std::ios::binary | std::ios::trunc);
   if (!file_) {
@@ -49,11 +54,23 @@ SegmentWriter::SegmentWriter(const std::string& path) : SegmentWriter() {
 }
 
 void SegmentWriter::Append(SegmentKind kind, uint64_t epoch, const std::vector<uint8_t>& payload) {
+  Append(kind, epoch, /*flags=*/0, payload);
+}
+
+void SegmentWriter::Append(SegmentKind kind, uint64_t epoch, uint8_t flags,
+                           const std::vector<uint8_t>& payload) {
   if (!ok()) {
+    return;
+  }
+  if (flags != 0 && version_ < kSegmentFormatVersionV2) {
+    error_ = "frame flags require segment format version 2";
     return;
   }
   std::vector<uint8_t> frame;
   frame.push_back(static_cast<uint8_t>(kind));
+  if (version_ >= kSegmentFormatVersionV2) {
+    frame.push_back(flags);
+  }
   AppendVarint(&frame, epoch);
   AppendVarint(&frame, payload.size());
   uint32_t crc = Crc32(payload);
@@ -147,11 +164,13 @@ bool SegmentReader::ReadHeader(std::string* error) {
     *error = "not a segment file (bad magic)";
     return false;
   }
-  if (header[4] != kSegmentFormatVersion) {
+  if (header[4] != kSegmentFormatVersion && header[4] != kSegmentFormatVersionV2) {
     *error = "unsupported segment format version " + std::to_string(header[4]) + " (expected " +
-             std::to_string(kSegmentFormatVersion) + ")";
+             std::to_string(kSegmentFormatVersion) + " or " +
+             std::to_string(kSegmentFormatVersionV2) + ")";
     return false;
   }
+  version_ = header[4];
   return true;
 }
 
@@ -170,6 +189,18 @@ bool SegmentReader::Next(SegmentRecord* out) {
     Fail("segment frame at offset " + std::to_string(frame_offset) + ": unknown kind " +
          std::to_string(kind_byte));
     return false;
+  }
+  uint8_t flags = 0;
+  if (version_ >= kSegmentFormatVersionV2) {
+    if (!PullByte(&flags)) {
+      Fail("segment frame at offset " + std::to_string(frame_offset) + ": truncated flags");
+      return false;
+    }
+    if ((flags & ~kFrameFlagsKnownMask) != 0) {
+      Fail("segment frame at offset " + std::to_string(frame_offset) +
+           ": unknown frame flags 0x" + std::to_string(flags & ~kFrameFlagsKnownMask));
+      return false;
+    }
   }
   uint64_t epoch = 0;
   uint64_t length = 0;
@@ -222,6 +253,7 @@ bool SegmentReader::Next(SegmentRecord* out) {
     return false;
   }
   out->kind = static_cast<SegmentKind>(kind_byte);
+  out->flags = flags;
   out->epoch = epoch;
   out->crc = stored_crc;
   out->offset = frame_offset;

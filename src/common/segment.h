@@ -6,9 +6,16 @@
 //
 // File layout:
 //   magic "KSEG" (4 bytes) | format version (1 byte) | frame*
-// Frame layout:
+// Frame layout (v1):
 //   kind (1 byte) | epoch (varint) | payload length (varint)
 //   | payload CRC-32 (fixed32, little-endian) | payload bytes
+// Frame layout (v2): identical except a flags byte follows the kind byte:
+//   kind (1 byte) | flags (1 byte) | epoch (varint) | ...
+// The flags byte names the storage-class codec stages applied to the payload
+// (src/common/kcodec.h); the CRC covers the stored (post-codec) bytes. A
+// reader that understands only v1 rejects every v2 container through the
+// format-version check, so flagged frames can never be misread as raw; a v2
+// reader rejects any flag bit it does not know.
 //
 // Every decode failure is a diagnostic string, never a crash: a corrupted or
 // truncated segment file is indistinguishable from server misbehavior and the
@@ -26,6 +33,9 @@ namespace karousos {
 
 inline constexpr char kSegmentMagic[4] = {'K', 'S', 'E', 'G'};
 inline constexpr uint8_t kSegmentFormatVersion = 1;
+// v2 adds the per-frame flags byte. Raw (uncompressed) streams stay v1 so
+// their bytes — pinned by the record-golden fixtures — are untouched.
+inline constexpr uint8_t kSegmentFormatVersionV2 = 2;
 
 enum class SegmentKind : uint8_t {
   kTrace = 1,       // One epoch's slice of the request/response trace.
@@ -37,6 +47,7 @@ const char* SegmentKindName(SegmentKind kind);
 
 struct SegmentRecord {
   SegmentKind kind = SegmentKind::kTrace;
+  uint8_t flags = 0;           // Codec stages applied to payload (v2; 0 in v1).
   uint64_t epoch = 0;
   uint32_t crc = 0;            // Stored CRC (always matches payload on success).
   uint64_t offset = 0;         // Byte offset of the frame header in the file.
@@ -48,12 +59,16 @@ struct SegmentRecord {
 // more than the current epoch in memory).
 class SegmentWriter {
  public:
-  // In-memory only.
-  SegmentWriter();
+  // In-memory only; `format_version` selects v1 (no frame flags) or v2.
+  explicit SegmentWriter(uint8_t format_version = kSegmentFormatVersion);
   // Streams to `path`; check ok() after construction.
-  explicit SegmentWriter(const std::string& path);
+  explicit SegmentWriter(const std::string& path,
+                         uint8_t format_version = kSegmentFormatVersion);
 
   void Append(SegmentKind kind, uint64_t epoch, const std::vector<uint8_t>& payload);
+  // v2 form: nonzero flags require a v2 writer (error otherwise).
+  void Append(SegmentKind kind, uint64_t epoch, uint8_t flags,
+              const std::vector<uint8_t>& payload);
 
   bool ok() const { return error_.empty(); }
   const std::string& error() const { return error_; }
@@ -68,6 +83,7 @@ class SegmentWriter {
   std::vector<uint8_t> buf_;
   std::ofstream file_;
   bool to_file_ = false;
+  uint8_t version_ = kSegmentFormatVersion;
   std::string error_;
 };
 
@@ -88,6 +104,7 @@ class SegmentReader {
 
   bool ok() const { return error_.empty(); }
   const std::string& error() const { return error_; }
+  uint8_t format_version() const { return version_; }
 
  private:
   SegmentReader() = default;
@@ -102,6 +119,7 @@ class SegmentReader {
   const uint8_t* mem_ = nullptr;
   size_t mem_size_ = 0;
   size_t pos_ = 0;  // Bytes consumed so far (both modes).
+  uint8_t version_ = kSegmentFormatVersion;
   std::string error_;
 };
 

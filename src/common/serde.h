@@ -28,6 +28,9 @@ class ByteWriter {
   void WriteString(std::string_view s);
   void WriteValue(const Value& v);
   void WriteBool(bool b) { WriteByte(b ? 1 : 0); }
+  // Raw append, no length prefix — used to splice a pre-encoded body (e.g. a
+  // compact KSEG payload assembled after its dictionaries).
+  void WriteBytes(const uint8_t* data, size_t size) { buf_.insert(buf_.end(), data, data + size); }
 
   // Pre-sizes the backing buffer so a burst of writes (one advice component,
   // one epoch payload) appends without reallocating.

@@ -1,0 +1,52 @@
+// Grammar-aware compact transcoder for KSEG frame payloads.
+//
+// The raw advice wire format (src/server/advice.cc) spends most of its bytes
+// on absolute 64-bit digests (handler/var/tx/function/event ids, tags) and on
+// repeated app keys. This transcoder re-encodes the same structures under the
+// storage-class stages of src/common/kcodec.h:
+//
+//   * lanes (kFrameFlagLanes) — the monotone/near-monotone integer lanes
+//     (request ids, per-log opnums, tx indices) become first-value + zigzag
+//     deltas; cross-reference rids (a var-log prec, a GET's dictating PUT)
+//     are coded relative to the referencing coordinate, where they cluster.
+//   * dict (kFrameFlagDict) — per-segment dictionaries: every distinct id
+//     digest is stored once (fixed64) and referenced by small varints; every
+//     distinct string (tx keys, value strings, map keys) likewise. The tables
+//     precede the body, both in first-use order.
+//
+// The block stage is payload-agnostic and applied by the caller (rollover) on
+// the finished frame. Decoding is the exact inverse: the decoded structures
+// are identical to what the raw decoder would have produced, so re-encoding
+// them with the raw serializer reproduces the original bytes — the
+// decode(encode(x)) == x property the golden round-trip tests pin.
+//
+// Malformed input (truncated dictionary, out-of-range ref, corrupt delta
+// lane, trailing bytes) decodes to nullopt, never a crash: the audit treats
+// it as server misbehavior, exactly like a malformed raw payload.
+#ifndef SRC_SERVER_KSEG_CODEC_H_
+#define SRC_SERVER_KSEG_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/kcodec.h"
+#include "src/server/rollover.h"
+
+namespace karousos {
+
+// Trace window payload (one kTrace frame). `c.block` is ignored here.
+void EncodeCompactTracePayload(const std::vector<TraceEvent>& events, const KsegCompression& c,
+                               ByteWriter* out);
+std::optional<std::vector<TraceEvent>> DecodeCompactTracePayload(const uint8_t* data, size_t size,
+                                                                 const KsegCompression& c);
+
+// Advice slice + continuity imports payload (one kAdvice frame).
+void EncodeCompactAdvicePayload(const Advice& advice, const ContinuityImports& imports,
+                                const KsegCompression& c, ByteWriter* out);
+std::optional<AdviceSegmentPayload> DecodeCompactAdvicePayload(const uint8_t* data, size_t size,
+                                                               const KsegCompression& c);
+
+}  // namespace karousos
+
+#endif  // SRC_SERVER_KSEG_CODEC_H_

@@ -4,6 +4,8 @@
 #include <map>
 #include <utility>
 
+#include "src/server/kseg_codec.h"
+
 namespace karousos {
 
 uint64_t EpochOfRid(RequestId rid, uint64_t epoch_requests) {
@@ -337,6 +339,66 @@ std::vector<uint8_t> EncodeAdviceSegments(const EpochSlices& slices) {
   return writer.Take();
 }
 
+namespace {
+
+// Appends one frame under the storage-class stages: compact transcode when
+// lanes/dict are on, then a per-frame block attempt that keeps whichever form
+// is smaller (dropping the block flag when it loses, so flags always describe
+// the stored bytes).
+template <typename EncodeBody>
+void AppendCompressedFrame(SegmentWriter* writer, SegmentKind kind, uint64_t epoch,
+                           const KsegCompression& c, ByteWriter* payload,
+                           EncodeBody&& encode_body) {
+  payload->Clear();
+  encode_body(payload);
+  uint8_t flags = static_cast<uint8_t>(c.Flags() & ~kFrameFlagBlock);
+  if (c.block) {
+    std::vector<uint8_t> blocked = BlockFrameEncode(payload->bytes());
+    if (blocked.size() < payload->size()) {
+      writer->Append(kind, epoch, static_cast<uint8_t>(flags | kFrameFlagBlock), blocked);
+      return;
+    }
+  }
+  writer->Append(kind, epoch, flags, payload->bytes());
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeTraceSegments(const EpochSlices& slices, const KsegCompression& c) {
+  if (!c.any()) return EncodeTraceSegments(slices);
+  SegmentWriter writer(kSegmentFormatVersionV2);
+  ByteWriter payload;
+  for (const EpochSegment& seg : slices.segments) {
+    AppendCompressedFrame(&writer, SegmentKind::kTrace, seg.epoch, c, &payload,
+                          [&](ByteWriter* out) {
+                            if (c.lanes || c.dict) {
+                              EncodeCompactTracePayload(seg.window, c, out);
+                            } else {
+                              SerializeTraceEvents(seg.window, out);
+                            }
+                          });
+  }
+  return writer.Take();
+}
+
+std::vector<uint8_t> EncodeAdviceSegments(const EpochSlices& slices, const KsegCompression& c) {
+  if (!c.any()) return EncodeAdviceSegments(slices);
+  SegmentWriter writer(kSegmentFormatVersionV2);
+  ByteWriter payload;
+  for (const EpochSegment& seg : slices.segments) {
+    AppendCompressedFrame(&writer, SegmentKind::kAdvice, seg.epoch, c, &payload,
+                          [&](ByteWriter* out) {
+                            if (c.lanes || c.dict) {
+                              EncodeCompactAdvicePayload(seg.advice, seg.imports, c, out);
+                            } else {
+                              seg.advice.Serialize(out);
+                              seg.imports.Serialize(out);
+                            }
+                          });
+  }
+  return writer.Take();
+}
+
 std::optional<std::vector<TraceEvent>> DecodeTraceSegmentPayload(
     const std::vector<uint8_t>& payload) {
   ByteReader reader(payload);
@@ -356,6 +418,42 @@ std::optional<AdviceSegmentPayload> DecodeAdviceSegmentPayload(
   out.advice = std::move(*advice);
   out.imports = std::move(*imports);
   return out;
+}
+
+std::optional<std::vector<TraceEvent>> DecodeTraceSegmentPayload(
+    const std::vector<uint8_t>& payload, uint8_t flags) {
+  if ((flags & ~kFrameFlagsKnownMask) != 0) return std::nullopt;
+  if (flags == 0) return DecodeTraceSegmentPayload(payload);
+  const KsegCompression c = KsegCompression::FromFlags(flags);
+  const std::vector<uint8_t>* body = &payload;
+  std::optional<std::vector<uint8_t>> unblocked;
+  if (c.block) {
+    unblocked = BlockFrameDecode(payload);
+    if (!unblocked) return std::nullopt;
+    body = &*unblocked;
+  }
+  if (!c.lanes && !c.dict) {
+    return DecodeTraceSegmentPayload(*body);
+  }
+  return DecodeCompactTracePayload(body->data(), body->size(), c);
+}
+
+std::optional<AdviceSegmentPayload> DecodeAdviceSegmentPayload(
+    const std::vector<uint8_t>& payload, uint8_t flags) {
+  if ((flags & ~kFrameFlagsKnownMask) != 0) return std::nullopt;
+  if (flags == 0) return DecodeAdviceSegmentPayload(payload);
+  const KsegCompression c = KsegCompression::FromFlags(flags);
+  const std::vector<uint8_t>* body = &payload;
+  std::optional<std::vector<uint8_t>> unblocked;
+  if (c.block) {
+    unblocked = BlockFrameDecode(payload);
+    if (!unblocked) return std::nullopt;
+    body = &*unblocked;
+  }
+  if (!c.lanes && !c.dict) {
+    return DecodeAdviceSegmentPayload(*body);
+  }
+  return DecodeCompactAdvicePayload(body->data(), body->size(), c);
 }
 
 }  // namespace karousos

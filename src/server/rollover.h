@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/kcodec.h"
 #include "src/common/segment.h"
 #include "src/server/advice.h"
 #include "src/trace/trace.h"
@@ -109,6 +110,14 @@ Advice MergeSlices(EpochSlices&& slices);
 std::vector<uint8_t> EncodeTraceSegments(const EpochSlices& slices);
 std::vector<uint8_t> EncodeAdviceSegments(const EpochSlices& slices);
 
+// Storage-class variants: apply the requested codec stages per frame and
+// record them in the v2 frame flags. With no stages requested these forward
+// to the raw (v1, byte-identical) encoders above. The block stage is dropped
+// per-frame when it does not shrink the payload, so a frame's flags always
+// name exactly the transforms its bytes carry.
+std::vector<uint8_t> EncodeTraceSegments(const EpochSlices& slices, const KsegCompression& c);
+std::vector<uint8_t> EncodeAdviceSegments(const EpochSlices& slices, const KsegCompression& c);
+
 // Decodes one frame payload. Returns nullopt on malformed payloads (the
 // caller turns that into a clean rejection).
 std::optional<std::vector<TraceEvent>> DecodeTraceSegmentPayload(const std::vector<uint8_t>& payload);
@@ -117,6 +126,15 @@ struct AdviceSegmentPayload {
   ContinuityImports imports;
 };
 std::optional<AdviceSegmentPayload> DecodeAdviceSegmentPayload(const std::vector<uint8_t>& payload);
+
+// Flag-aware variants: undo the stages named in the frame's flags byte
+// (block first, then the grammar-aware lanes/dict transcoder). flags == 0 is
+// exactly the raw decode. Unknown flag bits reject (the segment reader
+// already screens them, but the payload decoders never trust their input).
+std::optional<std::vector<TraceEvent>> DecodeTraceSegmentPayload(
+    const std::vector<uint8_t>& payload, uint8_t flags);
+std::optional<AdviceSegmentPayload> DecodeAdviceSegmentPayload(
+    const std::vector<uint8_t>& payload, uint8_t flags);
 
 }  // namespace karousos
 

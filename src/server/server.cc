@@ -666,8 +666,8 @@ ServerRunResult Server::Run(const std::vector<Value>& request_inputs) {
     // the merge hands the identical monolithic advice back.
     EpochSlices slices =
         SliceRunOwned(result.trace, std::move(result.advice), config_.epoch_requests);
-    result.trace_segments = EncodeTraceSegments(slices);
-    result.advice_segments = EncodeAdviceSegments(slices);
+    result.trace_segments = EncodeTraceSegments(slices, config_.segment_compression);
+    result.advice_segments = EncodeAdviceSegments(slices, config_.segment_compression);
     result.advice = MergeSlices(std::move(slices));
   }
   trace_ = Trace{};

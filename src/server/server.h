@@ -40,6 +40,7 @@
 #include "src/common/arena.h"
 #include "src/common/digest.h"
 #include "src/common/flat_map.h"
+#include "src/common/kcodec.h"
 #include "src/common/rng.h"
 #include "src/kem/label.h"
 #include "src/kem/program.h"
@@ -82,6 +83,10 @@ struct ServerConfig {
   // versioned segment streams (ServerRunResult::{trace,advice}_segments) in
   // addition to the monolithic structures. 0 = rollover off.
   uint64_t epoch_requests = 0;
+  // Storage-class codec stages for the emitted segment streams (lanes / dict
+  // / block, src/common/kcodec.h). Only meaningful with epoch_requests > 0.
+  // All-off emits the v1 raw container, byte-identical to before.
+  KsegCompression segment_compression;
   // Per-request latency capture (Figure 6 latency columns): when set, each
   // request's arrival-to-response-drain time is appended (in completion
   // order) to ServerRunResult::request_latencies.

@@ -78,12 +78,49 @@ TEST(SegmentFormatTest, FutureFormatVersionIsRejected) {
   SegmentWriter writer;
   writer.Append(SegmentKind::kTrace, 0, Bytes("payload"));
   std::vector<uint8_t> bytes = writer.Take();
-  bytes[4] = kSegmentFormatVersion + 1;
+  bytes[4] = kSegmentFormatVersionV2 + 1;
 
   std::string error;
   auto reader = SegmentReader::FromBytes(bytes.data(), bytes.size(), &error);
   EXPECT_EQ(reader, nullptr);
   EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(SegmentFormatTest, V2FlagsRoundtripAndUnknownBitsReject) {
+  SegmentWriter writer(kSegmentFormatVersionV2);
+  writer.Append(SegmentKind::kTrace, 0, kFrameFlagLanes | kFrameFlagDict, Bytes("compact"));
+  writer.Append(SegmentKind::kAdvice, 0, /*flags=*/0, Bytes("raw-in-v2"));
+  ASSERT_TRUE(writer.ok()) << writer.error();
+  std::vector<uint8_t> bytes = writer.Take();
+
+  std::string error;
+  auto reader = SegmentReader::FromBytes(bytes.data(), bytes.size(), &error);
+  ASSERT_NE(reader, nullptr) << error;
+  EXPECT_EQ(reader->format_version(), kSegmentFormatVersionV2);
+  SegmentRecord rec;
+  ASSERT_TRUE(reader->Next(&rec));
+  EXPECT_EQ(rec.flags, kFrameFlagLanes | kFrameFlagDict);
+  EXPECT_EQ(rec.payload, Bytes("compact"));
+  ASSERT_TRUE(reader->Next(&rec));
+  EXPECT_EQ(rec.flags, 0u);
+  EXPECT_FALSE(reader->Next(&rec));
+  EXPECT_TRUE(reader->ok()) << reader->error();
+
+  // The flags byte is the 6th byte of the first frame (header is 5 bytes);
+  // setting a bit outside the known mask must reject.
+  bytes[6] |= 0x80;
+  auto reject = SegmentReader::FromBytes(bytes.data(), bytes.size(), &error);
+  ASSERT_NE(reject, nullptr) << error;
+  EXPECT_FALSE(reject->Next(&rec));
+  EXPECT_FALSE(reject->ok());
+  EXPECT_NE(reject->error().find("unknown frame flags"), std::string::npos) << reject->error();
+}
+
+TEST(SegmentFormatTest, V1WriterRefusesFlags) {
+  SegmentWriter writer;  // v1
+  writer.Append(SegmentKind::kTrace, 0, kFrameFlagBlock, Bytes("x"));
+  EXPECT_FALSE(writer.ok());
+  EXPECT_NE(writer.error().find("version 2"), std::string::npos) << writer.error();
 }
 
 TEST(SegmentFormatTest, WrongMagicIsRejected) {

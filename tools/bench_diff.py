@@ -52,6 +52,29 @@ MEASURE_FIELDS = (
     "serve_off_seconds",
     "serve_karousos_seconds",
     "record_overhead_ratio",
+    # advice_size storage-class codec fields: stored bytes per stage, the
+    # compression ratios, and the codec's clock cost.
+    "raw_advice_bytes",
+    "lanes_advice_bytes",
+    "lanes_dict_advice_bytes",
+    "packed_advice_bytes",
+    "advice_ratio",
+    "raw_trace_bytes",
+    "packed_trace_bytes",
+    "trace_ratio",
+    "raw_advice_bytes_per_request",
+    "packed_advice_bytes_per_request",
+    "tags_bytes",
+    "handler_logs_bytes",
+    "var_logs_bytes",
+    "tx_logs_bytes",
+    "write_order_bytes",
+    "other_bytes",
+    "imports_bytes",
+    "record_seconds",
+    "encode_seconds",
+    "decode_seconds",
+    "codec_overhead_pct",
 )
 
 # Of the measured fields, the ones where bigger is worse. off_seconds is the
@@ -71,6 +94,18 @@ TIME_FIELDS = (
     # auction_contention: gate the instrumented serve time (audit_seconds
     # above already covers its audit column).
     "serve_karousos_seconds",
+    # advice_size: gate the codec's clock cost (sizes are deterministic, so
+    # byte fields are covered by the ratio gate below instead).
+    "encode_seconds",
+    "decode_seconds",
+)
+
+# Measured fields where bigger is BETTER: a shrink beyond the threshold is the
+# regression. Used for the advice_size compression ratios — a codec change
+# that quietly stops compressing must fail the gate even though no time grew.
+RATIO_FIELDS = (
+    "advice_ratio",
+    "trace_ratio",
 )
 
 
@@ -130,6 +165,16 @@ def main():
             pct = (after - before) / before * 100.0
             deltas.append(f"{field} {before:.4f}->{after:.4f} ({pct:+.1f}%)")
             if pct > args.threshold:
+                regressed = True
+        for field in RATIO_FIELDS:
+            if field not in old_row or field not in new_row:
+                continue
+            before, after = old_row[field], new_row[field]
+            if not before:
+                continue
+            pct = (after - before) / before * 100.0
+            deltas.append(f"{field} {before:.2f}x->{after:.2f}x ({pct:+.1f}%)")
+            if pct < -args.threshold:
                 regressed = True
         line = f"{fmt_key(key)}: " + ("; ".join(deltas) if deltas else "no timed fields")
         if regressed:

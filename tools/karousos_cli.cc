@@ -40,9 +40,12 @@ int Usage() {
                "  karousos serve  --app <motd|stacks|wiki|auction|mixed> [--workload <reads|writes|mixed>]\n"
                "                  [--requests N] [--concurrency C] [--seed S] [--mode karousos|orochi]\n"
                "                  [--isolation ser|rc|ru] --out-trace FILE --out-advice FILE\n"
-               "                  [--out-segments DIR --epoch-size N]\n"
+               "                  [--out-segments DIR --epoch-size N] [--compress STAGES]\n"
                "      --out-segments: also (or instead) write the epoch-segmented KSEG\n"
                "      containers DIR/trace.kseg and DIR/advice.kseg\n"
+               "      --compress: storage-class codec stages for the KSEG containers —\n"
+               "      'all' or a comma list of lanes,dict,block (emits format v2 frames;\n"
+               "      'none' = raw v1, the default)\n"
                "  karousos audit  --app <motd|stacks|wiki|auction|mixed> --trace FILE --advice FILE\n"
                "                  [--segments DIR] [--no-prescreen]\n"
                "                  [--isolation ser|rc|ru] [--threads N] [--profile]\n"
@@ -110,6 +113,7 @@ struct Args {
   std::string resume_path;
   std::string segments_dir;
   std::string out_segments_dir;
+  std::string compress;  // "", "none", "all", or comma list of lanes,dict,block.
   size_t requests = 200;
   int concurrency = 8;
   uint64_t seed = 1;
@@ -189,6 +193,8 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.segments_dir = value;
     } else if (flag == "--out-segments") {
       args.out_segments_dir = value;
+    } else if (flag == "--compress") {
+      args.compress = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -215,6 +221,37 @@ AppSpec MakeApp(const std::string& name) {
   }
   std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
   std::exit(2);
+}
+
+KsegCompression ParseCompression(const std::string& s) {
+  KsegCompression c;
+  if (s.empty() || s == "none") {
+    return c;
+  }
+  if (s == "all") {
+    return KsegCompression::All();
+  }
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    std::string stage = s.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (stage == "lanes") {
+      c.lanes = true;
+    } else if (stage == "dict") {
+      c.dict = true;
+    } else if (stage == "block") {
+      c.block = true;
+    } else {
+      std::fprintf(stderr, "unknown --compress stage '%s' (want all, none, or a comma list "
+                           "of lanes,dict,block)\n", stage.c_str());
+      std::exit(2);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return c;
 }
 
 IsolationLevel ParseIsolation(const std::string& s) {
@@ -312,11 +349,12 @@ int CmdServe(const Args& args) {
   if (!args.out_segments_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(args.out_segments_dir, ec);
+    const KsegCompression comp = ParseCompression(args.compress);
     EpochSlices slices = SliceRun(run.trace, run.advice, args.epoch_size);
     std::string trace_out = args.out_segments_dir + "/trace.kseg";
     std::string advice_out = args.out_segments_dir + "/advice.kseg";
-    std::vector<uint8_t> trace_seg = EncodeTraceSegments(slices);
-    std::vector<uint8_t> advice_seg = EncodeAdviceSegments(slices);
+    std::vector<uint8_t> trace_seg = EncodeTraceSegments(slices, comp);
+    std::vector<uint8_t> advice_seg = EncodeAdviceSegments(slices, comp);
     if (!WriteFile(trace_out, trace_seg) || !WriteFile(advice_out, advice_seg)) {
       std::fprintf(stderr, "failed to write segment containers in %s\n",
                    args.out_segments_dir.c_str());
@@ -325,6 +363,15 @@ int CmdServe(const Args& args) {
     std::printf("segments: %zu epochs (epoch size %llu) -> %s (%zu B), %s (%zu B)\n",
                 slices.segments.size(), static_cast<unsigned long long>(args.epoch_size),
                 trace_out.c_str(), trace_seg.size(), advice_out.c_str(), advice_seg.size());
+    if (comp.any()) {
+      const size_t raw_advice = EncodeAdviceSegments(slices).size();
+      const size_t raw_trace = EncodeTraceSegments(slices).size();
+      std::printf("compressed (%s): advice %zu -> %zu B (%.2fx), trace %zu -> %zu B (%.2fx)\n",
+                  args.compress.c_str(), raw_advice, advice_seg.size(),
+                  advice_seg.empty() ? 0.0 : static_cast<double>(raw_advice) / advice_seg.size(),
+                  raw_trace, trace_seg.size(),
+                  trace_seg.empty() ? 0.0 : static_cast<double>(raw_trace) / trace_seg.size());
+    }
   }
   return 0;
 }
@@ -482,8 +529,23 @@ int CmdTamper(const Args& args) {
   return 0;
 }
 
+// Renders a frame's flags byte as stage letters: L(anes) D(ict) B(lock).
+std::string FlagsString(uint8_t flags) {
+  if (flags == 0) {
+    return "---";
+  }
+  std::string s;
+  s.push_back((flags & kFrameFlagLanes) ? 'L' : '-');
+  s.push_back((flags & kFrameFlagDict) ? 'D' : '-');
+  s.push_back((flags & kFrameFlagBlock) ? 'B' : '-');
+  return s;
+}
+
 // Walks a segment container and prints one line per frame: offset, kind,
-// epoch, payload size, CRC, and (for decodable kinds) the payload's counts.
+// epoch, codec flags, stored payload size, CRC, and (for decodable kinds)
+// the payload's counts. For advice containers it accumulates the decoded
+// per-component SizeBreakdown and reports stored vs raw-equivalent bytes —
+// the per-file compression ratio.
 int InspectSegments(const std::string& path, const std::vector<uint8_t>& bytes) {
   std::string error;
   auto reader = SegmentReader::FromBytes(bytes.data(), bytes.size(), &error);
@@ -492,26 +554,49 @@ int InspectSegments(const std::string& path, const std::vector<uint8_t>& bytes) 
     return 1;
   }
   std::printf("%s: segment container, format v%u, %zu B\n", path.c_str(),
-              kSegmentFormatVersion, bytes.size());
+              reader->format_version(), bytes.size());
   SegmentRecord record;
   size_t frames = 0;
+  size_t stored_advice = 0;
+  size_t raw_advice = 0;
+  size_t stored_trace = 0;
+  size_t raw_trace = 0;
+  size_t imports_bytes = 0;
+  Advice::SizeBreakdown breakdown;
   while (reader->Next(&record)) {
     ++frames;
-    std::printf("  @%-8llu %-10s epoch %-4llu payload %8zu B  crc 0x%08x",
+    std::printf("  @%-8llu %-10s epoch %-4llu flags %s  payload %8zu B  crc 0x%08x",
                 static_cast<unsigned long long>(record.offset),
                 SegmentKindName(record.kind),
-                static_cast<unsigned long long>(record.epoch), record.payload.size(),
-                record.crc);
+                static_cast<unsigned long long>(record.epoch), FlagsString(record.flags).c_str(),
+                record.payload.size(), record.crc);
     if (record.kind == SegmentKind::kTrace) {
-      auto window = DecodeTraceSegmentPayload(record.payload);
+      auto window = DecodeTraceSegmentPayload(record.payload, record.flags);
       if (window) {
+        ByteWriter raw;
+        SerializeTraceEvents(*window, &raw);
+        stored_trace += record.payload.size();
+        raw_trace += raw.size();
         std::printf("  (%zu events)", window->size());
       } else {
         std::printf("  (undecodable payload)");
       }
     } else if (record.kind == SegmentKind::kAdvice) {
-      auto payload = DecodeAdviceSegmentPayload(record.payload);
+      auto payload = DecodeAdviceSegmentPayload(record.payload, record.flags);
       if (payload) {
+        Advice::SizeBreakdown b = payload->advice.MeasureSize();
+        breakdown.total += b.total;
+        breakdown.tags += b.tags;
+        breakdown.handler_logs += b.handler_logs;
+        breakdown.var_logs += b.var_logs;
+        breakdown.tx_logs += b.tx_logs;
+        breakdown.write_order += b.write_order;
+        breakdown.other += b.other;
+        ByteWriter imports_raw;
+        payload->imports.Serialize(&imports_raw);
+        imports_bytes += imports_raw.size();
+        stored_advice += record.payload.size();
+        raw_advice += b.total + imports_raw.size();
         std::printf("  (%zu requests, %zu var-log entries, %zu txns, %zu imports)",
                     payload->advice.tags.size(), payload->advice.var_log_entry_count(),
                     payload->advice.tx_logs.size(),
@@ -527,6 +612,23 @@ int InspectSegments(const std::string& path, const std::vector<uint8_t>& bytes) 
     return 1;
   }
   std::printf("%zu frame(s)\n", frames);
+  if (raw_advice > 0) {
+    std::printf("advice payloads: %zu B stored, %zu B raw-equivalent (%.2fx)\n", stored_advice,
+                raw_advice,
+                stored_advice ? static_cast<double>(raw_advice) / stored_advice : 0.0);
+    std::printf("  raw-equivalent composition:\n");
+    std::printf("    tags:           %8zu B\n", breakdown.tags);
+    std::printf("    handler logs:   %8zu B\n", breakdown.handler_logs);
+    std::printf("    variable logs:  %8zu B\n", breakdown.var_logs);
+    std::printf("    tx logs:        %8zu B\n", breakdown.tx_logs);
+    std::printf("    write order:    %8zu B\n", breakdown.write_order);
+    std::printf("    other:          %8zu B\n", breakdown.other);
+    std::printf("    imports:        %8zu B\n", imports_bytes);
+  }
+  if (raw_trace > 0) {
+    std::printf("trace payloads: %zu B stored, %zu B raw-equivalent (%.2fx)\n", stored_trace,
+                raw_trace, stored_trace ? static_cast<double>(raw_trace) / stored_trace : 0.0);
+  }
   return 0;
 }
 

@@ -5,8 +5,10 @@
 //
 // Corpus: src/analysis/kseg_mutate.h over one honest run per seed family —
 // the nine adversarial seeds from tests/epoch_audit_test.cc, cross-epoch
-// slice defects, and byte-level frame damage against every frame of both
-// streams. Two families:
+// slice defects, byte-level frame damage against every frame of both streams,
+// and codec damage (flag tampering, fixed-up truncation, declared-size lies)
+// against the storage-class compressed encoding of the same run. Two workload
+// families:
 //
 //   * stacks  — the original handler-tree/KV workload;
 //   * auction — hot-key contention: aborted transactions, retries, and
@@ -14,9 +16,13 @@
 //               advice a different shape, so frame- and slice-level damage
 //               lands on different structures.
 //
-// Prints one summary line per family plus a JSON blob with per-family and
-// total static-catch fractions (consumed by bench/check_overhead.cc's fuzz
-// row). Exits nonzero with a "BUG:" line on any violated invariant.
+// Prints one summary line per family (with a per-mutation-kind breakdown)
+// plus a JSON blob with per-family, per-kind, and total static-catch
+// fractions (consumed by bench/check_overhead.cc's fuzz row). Exits nonzero
+// with a "BUG:" line on any violated invariant. Both the raw and the
+// fully-compressed encodings of each honest run must be accepted — the
+// compressed control guards the codec family's rejections from being "the
+// decoder is just broken".
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -48,12 +54,38 @@ constexpr Family kFamilies[] = {
     {"auction", WorkloadKind::kAuctionMix, 72, 12, 8, 200, 0.90},
 };
 
+struct MutationKindStats {
+  size_t mutations = 0;
+  size_t caught_static = 0;
+
+  double fraction() const {
+    return mutations == 0 ? 0.0
+                          : static_cast<double>(caught_static) / static_cast<double>(mutations);
+  }
+};
+
 struct FamilyStats {
   std::string name;
   size_t mutations = 0;
   size_t caught_static = 0;
   size_t rule_matched = 0;
   size_t bugs = 0;
+  // Keyed by the mutation-name prefix (component/slice/frame/codec), in
+  // first-seen order so the JSON is deterministic.
+  std::vector<std::pair<std::string, MutationKindStats>> by_kind;
+
+  MutationKindStats* Kind(const std::string& mutation_name) {
+    const size_t colon = mutation_name.find(':');
+    const std::string prefix =
+        colon == std::string::npos ? mutation_name : mutation_name.substr(0, colon);
+    for (auto& [kind_name, kind_stats] : by_kind) {
+      if (kind_name == prefix) {
+        return &kind_stats;
+      }
+    }
+    by_kind.emplace_back(prefix, MutationKindStats{});
+    return &by_kind.back().second;
+  }
 
   double fraction() const {
     return mutations == 0 ? 0.0
@@ -105,6 +137,26 @@ FamilyStats RunFamily(const Family& family) {
     ++stats.bugs;
     return stats;
   }
+  // Second control, for the codec mutation family: the same run compressed
+  // with every storage-class stage must still check clean and audit-accept.
+  std::vector<uint8_t> packed_trace = EncodeTraceSegments(honest, KsegCompression::All());
+  std::vector<uint8_t> packed_advice = EncodeAdviceSegments(honest, KsegCompression::All());
+  CheckResult packed_check =
+      CheckSegmentStreams(packed_trace, packed_advice, family.epoch_size);
+  if (!packed_check.ok) {
+    std::printf("BUG: [%s] compressed honest stream fails the model check: %s\n", family.name,
+                packed_check.reason.c_str());
+    ++stats.bugs;
+    return stats;
+  }
+  StreamAuditResult packed_audit =
+      AuditSegments(app, packed_trace, packed_advice, audit_config, family.epoch_size);
+  if (!packed_audit.audit.accepted) {
+    std::printf("BUG: [%s] compressed honest stream rejected by the audit: %s\n", family.name,
+                packed_audit.audit.reason.c_str());
+    ++stats.bugs;
+    return stats;
+  }
 
   std::vector<KsegMutation> corpus =
       BuildMutationCorpus(run.trace, run.advice, family.epoch_size);
@@ -117,6 +169,8 @@ FamilyStats RunFamily(const Family& family) {
   stats.mutations = corpus.size();
 
   for (const KsegMutation& m : corpus) {
+    MutationKindStats* kind = stats.Kind(m.name);
+    ++kind->mutations;
     CheckResult check;
     try {
       check = CheckSegmentStreams(m.trace_bytes, m.advice_bytes, family.epoch_size);
@@ -143,6 +197,7 @@ FamilyStats RunFamily(const Family& family) {
     }
     if (!check.ok) {
       ++stats.caught_static;
+      ++kind->caught_static;
       // The fast-reject contract: where both sides name a rule, the static
       // verdict is the one the audit reports — the pre-screen fired before
       // any replay could.
@@ -167,6 +222,10 @@ FamilyStats RunFamily(const Family& family) {
               "%zu rule-matched, %zu bugs\n",
               family.name, stats.mutations, stats.caught_static, 100.0 * stats.fraction(),
               stats.rule_matched, stats.bugs);
+  for (const auto& [kind, ks] : stats.by_kind) {
+    std::printf("  %-10s %4zu mutations, %4zu static (%.1f%%)\n", kind.c_str(), ks.mutations,
+                ks.caught_static, 100.0 * ks.fraction());
+  }
   return stats;
 }
 
@@ -190,9 +249,17 @@ int Run() {
               total_mutations, total_caught, fraction);
   for (size_t i = 0; i < all.size(); ++i) {
     std::printf("%s\"%s\": {\"mutations_total\": %zu, \"mutations_caught_static\": %zu, "
-                "\"static_catch_fraction\": %.4f}",
+                "\"static_catch_fraction\": %.4f, \"by_kind\": {",
                 i == 0 ? "" : ", ", all[i].name.c_str(), all[i].mutations,
                 all[i].caught_static, all[i].fraction());
+    for (size_t k = 0; k < all[i].by_kind.size(); ++k) {
+      const auto& [kind, ks] = all[i].by_kind[k];
+      std::printf("%s\"%s\": {\"mutations_total\": %zu, \"mutations_caught_static\": %zu, "
+                  "\"static_catch_fraction\": %.4f}",
+                  k == 0 ? "" : ", ", kind.c_str(), ks.mutations, ks.caught_static,
+                  ks.fraction());
+    }
+    std::printf("}}");
   }
   std::printf("}}\n");
   return total_bugs == 0 ? 0 : 1;
