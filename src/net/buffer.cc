@@ -1,0 +1,68 @@
+#include "src/net/buffer.h"
+
+#include <cstring>
+
+namespace karousos {
+
+void WatermarkBuffer::SetWatermarks(size_t high, size_t low) {
+  high_ = high;
+  low_ = high == 0 ? 0 : (low < high ? low : high / 2);
+  // Re-evaluate against the new marks (a buffer can be re-limited live).
+  if (overflowed_) {
+    CheckLow();
+  } else {
+    CheckHigh();
+  }
+}
+
+void WatermarkBuffer::SetCallbacks(std::function<void()> above_high,
+                                   std::function<void()> below_low) {
+  above_high_ = std::move(above_high);
+  below_low_ = std::move(below_low);
+}
+
+void WatermarkBuffer::Append(const uint8_t* data, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  // Compact before growing once the dead prefix dominates, so long-lived
+  // connections don't accrete drained bytes.
+  if (head_ > 0 && head_ >= size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(head_));
+    head_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+  if (size() > peak_) {
+    peak_ = size();
+  }
+  CheckHigh();
+}
+
+void WatermarkBuffer::Drain(size_t n) {
+  head_ += n;
+  if (head_ == buf_.size()) {
+    buf_.clear();
+    head_ = 0;
+  }
+  CheckLow();
+}
+
+void WatermarkBuffer::CheckHigh() {
+  if (high_ > 0 && !overflowed_ && size() > high_) {
+    overflowed_ = true;
+    if (above_high_) {
+      above_high_();
+    }
+  }
+}
+
+void WatermarkBuffer::CheckLow() {
+  if (overflowed_ && size() <= low_) {
+    overflowed_ = false;
+    if (below_low_) {
+      below_low_();
+    }
+  }
+}
+
+}  // namespace karousos

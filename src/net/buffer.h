@@ -1,0 +1,64 @@
+// Watermark-bounded byte buffer for per-connection flow control (model:
+// Envoy's WatermarkBuffer). A connection owns one of these per direction;
+// when either buffer rises above its high watermark the connection stops
+// reading from its socket, so a slow or malicious peer cannot balloon the
+// server's resident memory — unread request bytes stay in the kernel socket
+// buffer and TCP backpressure pushes back to the client.
+//
+// Crossing semantics match Envoy's: the above-high callback fires when size
+// first exceeds `high`, the below-low callback when size first falls back to
+// `low` or less — each exactly once per crossing (hysteresis, so a producer
+// oscillating around the high mark does not flap).
+#ifndef SRC_NET_BUFFER_H_
+#define SRC_NET_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace karousos {
+
+class WatermarkBuffer {
+ public:
+  WatermarkBuffer() = default;
+
+  // high == 0 disables watermarking entirely (never overflows). Otherwise
+  // `low` must be < high; callers normally use high/2.
+  void SetWatermarks(size_t high, size_t low);
+  void SetCallbacks(std::function<void()> above_high, std::function<void()> below_low);
+
+  void Append(const uint8_t* data, size_t n);
+  // Consumes n bytes from the front (n <= size()).
+  void Drain(size_t n);
+
+  // Contiguous view of the unconsumed bytes.
+  const uint8_t* data() const { return buf_.data() + head_; }
+  size_t size() const { return buf_.size() - head_; }
+  bool empty() const { return size() == 0; }
+
+  // Hysteresis state: set when size exceeded `high`, cleared when size fell
+  // back to `low` or less. This is what a connection consults to decide
+  // whether to keep reading.
+  bool overflowed() const { return overflowed_; }
+  size_t high_watermark() const { return high_; }
+  // Largest size() ever observed (bench/test accounting).
+  size_t peak_size() const { return peak_; }
+
+ private:
+  void CheckHigh();
+  void CheckLow();
+
+  std::vector<uint8_t> buf_;
+  size_t head_ = 0;
+  size_t high_ = 0;
+  size_t low_ = 0;
+  bool overflowed_ = false;
+  size_t peak_ = 0;
+  std::function<void()> above_high_;
+  std::function<void()> below_low_;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_NET_BUFFER_H_

@@ -1,0 +1,140 @@
+#include "src/net/client.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/net/listener.h"
+
+namespace karousos {
+
+WireConn::WireConn(int fd) : fd_(fd), decoder_(kDefaultMaxFrameBytes, /*expect_preface=*/false) {}
+
+WireConn::~WireConn() {
+  if (fd_ >= 0) {
+    close(fd_);
+  }
+}
+
+std::unique_ptr<WireConn> WireConn::Connect(const std::string& address, std::string* error) {
+  int fd = ConnectToAddress(address, error);
+  if (fd < 0) {
+    return nullptr;
+  }
+  std::unique_ptr<WireConn> conn(new WireConn(fd));
+  conn->scratch_.Clear();
+  AppendWirePreface(&conn->scratch_);
+  if (!conn->SendAll(conn->scratch_.bytes().data(), conn->scratch_.size(), error)) {
+    return nullptr;
+  }
+  return conn;
+}
+
+bool WireConn::SendAll(const uint8_t* data, size_t size, std::string* error) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = std::string("send: ") + strerror(errno);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WireConn::SendRequest(uint64_t seq, const Value& input, std::string* error) {
+  scratch_.Clear();
+  EncodeRequestFrame(seq, input, &scratch_);
+  return SendAll(scratch_.bytes().data(), scratch_.size(), error);
+}
+
+bool WireConn::SendShutdown(uint64_t expected_connections, std::string* error) {
+  scratch_.Clear();
+  EncodeShutdownFrame(expected_connections, &scratch_);
+  return SendAll(scratch_.bytes().data(), scratch_.size(), error);
+}
+
+bool WireConn::FinishWrites(std::string* error) {
+  if (shutdown(fd_, SHUT_WR) != 0) {
+    *error = std::string("shutdown: ") + strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool WireConn::ReadFrame(WireFrame* out, int timeout_ms, std::string* error) {
+  for (;;) {
+    DecodeStatus status = decoder_.Next(&read_buf_, out);
+    if (status == DecodeStatus::kFrame) {
+      return true;
+    }
+    if (status == DecodeStatus::kError) {
+      *error = "protocol error: " + decoder_.error();
+      return false;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = poll(&pfd, 1, timeout_ms);
+    if (rc == 0) {
+      *error = "timed out waiting for server frame";
+      return false;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = std::string("poll: ") + strerror(errno);
+      return false;
+    }
+    uint8_t chunk[16 * 1024];
+    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_buf_.Append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      *error = "server closed the connection";
+      return false;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      continue;
+    }
+    *error = std::string("recv: ") + strerror(errno);
+    return false;
+  }
+}
+
+bool WireConn::ReadResponse(uint64_t* seq, Value* output, int timeout_ms, std::string* error) {
+  WireFrame frame;
+  if (!ReadFrame(&frame, timeout_ms, error)) {
+    return false;
+  }
+  if (frame.type == FrameType::kError) {
+    std::string message;
+    if (!DecodeErrorPayload(frame.payload, &message)) {
+      message = "(malformed error payload)";
+    }
+    *error = "server error: " + message;
+    return false;
+  }
+  if (frame.type != FrameType::kResponse) {
+    *error = "unexpected frame type " + std::to_string(static_cast<int>(frame.type)) +
+             " from server";
+    return false;
+  }
+  if (!DecodeSeqValuePayload(frame.payload, seq, output)) {
+    *error = "malformed response payload";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace karousos

@@ -1,0 +1,61 @@
+// Blocking client side of the wire protocol: one WireConn per socket. Used
+// by the open-loop load driver (src/workload/wire_load), the CLI `load`
+// subcommand, and the wire tests. Writes go out eagerly; reads poll with a
+// deadline and decode through the same torn-frame-safe FrameDecoder the
+// server uses.
+#ifndef SRC_NET_CLIENT_H_
+#define SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/value.h"
+#include "src/net/buffer.h"
+#include "src/net/frame.h"
+
+namespace karousos {
+
+class WireConn {
+ public:
+  // Connects and sends the client preface. Returns null with *error set on
+  // failure. Address syntax matches the listener: unix:/path or host:port.
+  static std::unique_ptr<WireConn> Connect(const std::string& address, std::string* error);
+
+  ~WireConn();
+
+  bool SendRequest(uint64_t seq, const Value& input, std::string* error);
+  bool SendShutdown(uint64_t expected_connections, std::string* error);
+  // Half-close: no more frames will be sent (batch mode's end-of-requests
+  // signal). The read side stays open for responses.
+  bool FinishWrites(std::string* error);
+
+  // Blocks (up to timeout_ms) for the next server frame. Returns false on
+  // timeout, EOF, socket error, or protocol error, with *error set.
+  bool ReadFrame(WireFrame* out, int timeout_ms, std::string* error);
+  // ReadFrame specialized to a response frame; error frames surface their
+  // message in *error.
+  bool ReadResponse(uint64_t* seq, Value* output, int timeout_ms, std::string* error);
+
+  // True when a complete frame is already decoded-ready in the userspace
+  // read buffer. A poll() on fd() sees only kernel-buffered bytes; callers
+  // multiplexing several connections must drain buffered frames first or a
+  // burst of responses read in one recv() would strand frames behind an
+  // idle socket.
+  bool HasBufferedFrame() const { return decoder_.FrameReady(read_buf_); }
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit WireConn(int fd);
+  bool SendAll(const uint8_t* data, size_t size, std::string* error);
+
+  int fd_;
+  WatermarkBuffer read_buf_;
+  FrameDecoder decoder_;
+  ByteWriter scratch_;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_NET_CLIENT_H_

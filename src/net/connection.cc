@@ -1,0 +1,223 @@
+#include "src/net/connection.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace karousos {
+
+namespace {
+constexpr size_t kReadChunk = 16 * 1024;
+}  // namespace
+
+Connection::Connection(Dispatcher* dispatcher, int fd, uint64_t id, size_t high_watermark,
+                       size_t max_frame_bytes, Callbacks cbs)
+    : dispatcher_(dispatcher),
+      fd_(fd),
+      id_(id),
+      cbs_(std::move(cbs)),
+      decoder_(max_frame_bytes, /*expect_preface=*/true) {
+  read_buf_.SetWatermarks(high_watermark, high_watermark / 2);
+  write_buf_.SetWatermarks(high_watermark, high_watermark / 2);
+  auto recheck = [this] { UpdateRegistration(); };
+  read_buf_.SetCallbacks(recheck, recheck);
+  write_buf_.SetCallbacks(recheck, recheck);
+  dispatcher_->WatchFd(fd_, EPOLLIN, [this](uint32_t events) { OnSocketEvent(events); });
+}
+
+Connection::~Connection() { Close(); }
+
+void Connection::Close() {
+  if (fd_ < 0) {
+    return;
+  }
+  dispatcher_->UnwatchFd(fd_);
+  close(fd_);
+  fd_ = -1;
+}
+
+size_t Connection::peak_buffered_bytes() const {
+  return read_buf_.peak_size() > write_buf_.peak_size() ? read_buf_.peak_size()
+                                                        : write_buf_.peak_size();
+}
+
+void Connection::OnSocketEvent(uint32_t events) {
+  if (fd_ < 0) {
+    return;
+  }
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    // EPOLLHUP with readable bytes still pending delivers EPOLLIN too; a
+    // bare hangup/error means the peer is gone.
+    if (!(events & EPOLLIN)) {
+      Close();
+      if (cbs_.on_closed) {
+        cbs_.on_closed();
+      }
+      return;
+    }
+  }
+  if (events & EPOLLOUT) {
+    FlushWrites();
+    if (fd_ < 0) {
+      return;
+    }
+  }
+  if (events & EPOLLIN) {
+    OnReadable();
+  }
+}
+
+void Connection::OnReadable() {
+  bool activity = false;
+  uint8_t chunk[kReadChunk];
+  while (fd_ >= 0 && read_enabled_) {
+    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_buf_.Append(chunk, static_cast<size_t>(n));
+      activity = true;
+      // Reject bytes that can never form a valid frame the moment they
+      // arrive — don't wait for admission to pull them.
+      std::string err;
+      if (!decoder_.HeadValid(read_buf_, &err)) {
+        FailProtocol(err);
+        return;
+      }
+      if (read_buf_.overflowed()) {
+        break;  // UpdateRegistration already dropped EPOLLIN.
+      }
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      activity = true;
+      UpdateRegistration();
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    Close();
+    if (cbs_.on_closed) {
+      cbs_.on_closed();
+    }
+    return;
+  }
+  if (activity && cbs_.on_activity) {
+    cbs_.on_activity();
+  }
+}
+
+bool Connection::NextFrame(WireFrame* out) {
+  if (closed_decoder()) {
+    return false;
+  }
+  DecodeStatus status = decoder_.Next(&read_buf_, out);
+  if (status == DecodeStatus::kFrame) {
+    return true;
+  }
+  if (status == DecodeStatus::kError) {
+    FailProtocol(decoder_.error());
+  }
+  return false;
+}
+
+void Connection::SendResponse(uint64_t seq, const Value& output) {
+  if (fd_ < 0) {
+    return;
+  }
+  scratch_.Clear();
+  EncodeResponseFrame(seq, output, &scratch_);
+  write_buf_.Append(scratch_.bytes().data(), scratch_.size());
+  FlushWrites();
+}
+
+void Connection::SendErrorAndClose(const std::string& message) {
+  if (fd_ < 0) {
+    return;
+  }
+  scratch_.Clear();
+  EncodeErrorFrame(message, &scratch_);
+  write_buf_.Append(scratch_.bytes().data(), scratch_.size());
+  close_after_flush_ = true;
+  if (FlushWrites()) {
+    Close();
+    if (cbs_.on_closed) {
+      cbs_.on_closed();
+    }
+  }
+}
+
+bool Connection::FlushWrites() {
+  while (fd_ >= 0 && !write_buf_.empty()) {
+    ssize_t n = send(fd_, write_buf_.data(), write_buf_.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      write_buf_.Drain(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!want_write_) {
+        want_write_ = true;
+        UpdateRegistration();
+      }
+      return false;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    Close();
+    if (cbs_.on_closed) {
+      cbs_.on_closed();
+    }
+    return false;
+  }
+  if (fd_ < 0) {
+    return false;
+  }
+  if (want_write_) {
+    want_write_ = false;
+    UpdateRegistration();
+  }
+  if (close_after_flush_) {
+    Close();
+    if (cbs_.on_closed) {
+      cbs_.on_closed();
+    }
+    return false;
+  }
+  return true;
+}
+
+void Connection::UpdateRegistration() {
+  if (fd_ < 0) {
+    return;
+  }
+  bool want_read = !eof_ && !read_buf_.overflowed() && !write_buf_.overflowed();
+  if (want_read != read_enabled_ && !want_read && !eof_) {
+    ++read_disables_;  // Watermark-driven only: EOF is not backpressure.
+  }
+  read_enabled_ = want_read;
+  uint32_t events = 0;
+  if (want_read) {
+    events |= EPOLLIN;
+  }
+  if (want_write_) {
+    events |= EPOLLOUT;
+  }
+  dispatcher_->ModifyFd(fd_, events);
+}
+
+void Connection::FailProtocol(const std::string& message) {
+  if (!proto_error_.empty()) {
+    return;
+  }
+  proto_error_ = message;
+  SendErrorAndClose(message);
+}
+
+}  // namespace karousos

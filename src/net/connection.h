@@ -1,0 +1,101 @@
+// One accepted socket on a worker's event loop. A Connection owns the fd,
+// a watermark-bounded buffer per direction, and a FrameDecoder; the worker
+// pulls decoded request frames from it at admission time and pushes response
+// frames back through it.
+//
+// Flow control: decoded-but-unadmitted request frames stay in the read
+// buffer, so the read buffer's size is exactly the connection's resident
+// backlog. Reads stay enabled only while neither buffer is overflowed and
+// the peer has not half-closed — a client that floods requests faster than
+// the scheduler admits them, or that never drains its responses, gets its
+// EPOLLIN dropped and the kernel socket buffer pushes back (the slow-client
+// bounded-memory property the bench asserts).
+//
+// Connection derives DeferredDeletable because it routinely closes itself
+// from inside its own read callback (protocol error, EOF); the owner moves
+// it to Dispatcher::DeferDelete rather than destroying it mid-callback.
+#ifndef SRC_NET_CONNECTION_H_
+#define SRC_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/net/buffer.h"
+#include "src/net/dispatcher.h"
+#include "src/net/frame.h"
+
+namespace karousos {
+
+class Connection : public DeferredDeletable {
+ public:
+  struct Callbacks {
+    // A read completed and frames may be ready (or EOF/error state changed).
+    std::function<void()> on_activity;
+    // The connection transitioned to closed (protocol error or peer reset).
+    // The owner should Unregister + DeferDelete it.
+    std::function<void()> on_closed;
+  };
+
+  // Takes ownership of fd (nonblocking). `id` is the owner's handle.
+  Connection(Dispatcher* dispatcher, int fd, uint64_t id, size_t high_watermark,
+             size_t max_frame_bytes, Callbacks cbs);
+  ~Connection() override;
+
+  uint64_t id() const { return id_; }
+  bool closed() const { return fd_ < 0; }
+  // Peer sent SHUT_WR / EOF: no further requests will arrive, but buffered
+  // frames remain servable and responses can still be written.
+  bool read_eof() const { return eof_; }
+  const std::string& error() const { return proto_error_; }
+
+  // True when a complete request frame is buffered and decodable.
+  bool FrameReady() const { return !closed_decoder() && decoder_.FrameReady(read_buf_); }
+  // Pulls the next complete frame. Returns false if none ready or the
+  // decoder hit a protocol error (which closes the connection).
+  bool NextFrame(WireFrame* out);
+
+  // Queues a response frame (preface-free server->client direction) and
+  // flushes as much as the socket accepts.
+  void SendResponse(uint64_t seq, const Value& output);
+  // Queues an error frame, flushes, then closes once drained (or now if the
+  // write buffer cannot drain).
+  void SendErrorAndClose(const std::string& message);
+  // Flushes pending writes; returns true when the write buffer is empty.
+  bool FlushWrites();
+  bool write_drained() const { return write_buf_.empty(); }
+
+  void Close();
+
+  // Accounting for the report/bench.
+  size_t read_buffered_bytes() const { return read_buf_.size(); }
+  size_t peak_buffered_bytes() const;
+  size_t frames_decoded() const { return decoder_.frames_decoded(); }
+  uint64_t read_disable_count() const { return read_disables_; }
+
+ private:
+  bool closed_decoder() const { return !proto_error_.empty(); }
+  void OnSocketEvent(uint32_t events);
+  void OnReadable();
+  void UpdateRegistration();
+  void FailProtocol(const std::string& message);
+
+  Dispatcher* dispatcher_;
+  int fd_;
+  uint64_t id_;
+  Callbacks cbs_;
+  WatermarkBuffer read_buf_;
+  WatermarkBuffer write_buf_;
+  FrameDecoder decoder_;
+  bool eof_ = false;
+  bool close_after_flush_ = false;
+  bool want_write_ = false;
+  bool read_enabled_ = true;
+  uint64_t read_disables_ = 0;
+  std::string proto_error_;
+  ByteWriter scratch_;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_NET_CONNECTION_H_

@@ -1,0 +1,212 @@
+#include "src/net/dispatcher.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace karousos {
+
+namespace {
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wakeup_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ >= 0 && wakeup_fd_ >= 0) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = wakeup_fd_;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
+  }
+  wheel_last_advance_ms_ = NowMs();
+}
+
+Dispatcher::~Dispatcher() {
+  if (wakeup_fd_ >= 0) {
+    close(wakeup_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+}
+
+bool Dispatcher::WatchFd(int fd, uint32_t events, FdEventCb cb) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return false;
+  }
+  fd_cbs_[fd] = std::move(cb);
+  return true;
+}
+
+bool Dispatcher::ModifyFd(int fd, uint32_t events) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  return epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void Dispatcher::UnwatchFd(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fd_cbs_.erase(fd);
+}
+
+Dispatcher::TimerId Dispatcher::AddTimer(uint64_t delay_ms, std::function<void()> cb) {
+  // Advance first so the delay is measured from "now", not from the last
+  // time the loop happened to service the wheel.
+  AdvanceWheel();
+  uint64_t ticks = (delay_ms + kTickMs - 1) / kTickMs;
+  if (ticks == 0) {
+    ticks = 1;
+  }
+  Timer t;
+  t.id = next_timer_id_++;
+  // The slot is first visited after `ticks mod kWheelSlots` ticks (a full
+  // revolution when that is zero), so a timer of exactly one revolution
+  // needs zero extra rounds.
+  t.rounds = (ticks - 1) / kWheelSlots;
+  t.cb = std::move(cb);
+  size_t slot = (wheel_pos_ + ticks) % kWheelSlots;
+  wheel_[slot].push_back(std::move(t));
+  ++armed_timers_;
+  return wheel_[slot].back().id;
+}
+
+void Dispatcher::CancelTimer(TimerId id) { cancelled_.insert(id); }
+
+void Dispatcher::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  uint64_t one = 1;
+  ssize_t rc = write(wakeup_fd_, &one, sizeof(one));
+  (void)rc;
+}
+
+void Dispatcher::DeferDelete(std::unique_ptr<DeferredDeletable> obj) {
+  deferred_.push_back(std::move(obj));
+}
+
+void Dispatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stop_requested_ = true;
+  }
+  uint64_t one = 1;
+  ssize_t rc = write(wakeup_fd_, &one, sizeof(one));
+  (void)rc;
+}
+
+void Dispatcher::DrainWakeup() {
+  uint64_t value = 0;
+  while (read(wakeup_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+void Dispatcher::AdvanceWheel() {
+  uint64_t now = NowMs();
+  uint64_t elapsed_ticks = (now - wheel_last_advance_ms_) / kTickMs;
+  if (elapsed_ticks == 0) {
+    return;
+  }
+  wheel_last_advance_ms_ += elapsed_ticks * kTickMs;
+  // Fired callbacks run after the sweep so a callback re-arming a timer
+  // cannot have it fire within the same sweep.
+  std::vector<std::function<void()>> due;
+  for (uint64_t i = 0; i < elapsed_ticks; ++i) {
+    wheel_pos_ = (wheel_pos_ + 1) % kWheelSlots;
+    auto& slot = wheel_[wheel_pos_];
+    size_t keep = 0;
+    for (size_t j = 0; j < slot.size(); ++j) {
+      Timer& t = slot[j];
+      if (cancelled_.erase(t.id) > 0) {
+        --armed_timers_;
+        continue;
+      }
+      if (t.rounds > 0) {
+        --t.rounds;
+        slot[keep++] = std::move(t);
+        continue;
+      }
+      due.push_back(std::move(t.cb));
+      --armed_timers_;
+    }
+    slot.resize(keep);
+  }
+  for (auto& cb : due) {
+    cb();
+  }
+}
+
+int Dispatcher::TimerWaitMs() const {
+  if (armed_timers_ == 0) {
+    return -1;
+  }
+  return static_cast<int>(kTickMs);
+}
+
+void Dispatcher::Run() {
+  running_ = true;
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  for (;;) {
+    // Take posted work (and the stop flag) under the lock, run it outside.
+    std::vector<std::function<void()>> run_now;
+    bool stop;
+    {
+      std::lock_guard<std::mutex> lock(post_mutex_);
+      run_now.swap(posted_);
+      stop = stop_requested_;
+    }
+    for (auto& fn : run_now) {
+      fn();
+    }
+    if (stop) {
+      break;
+    }
+    AdvanceWheel();
+
+    int timeout = TimerWaitMs();
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        DrainWakeup();
+        continue;
+      }
+      auto it = fd_cbs_.find(fd);
+      if (it == fd_cbs_.end()) {
+        continue;  // Unwatched by an earlier callback this iteration.
+      }
+      // Copy: the callback may UnwatchFd(fd) and invalidate `it`.
+      FdEventCb cb = it->second;
+      cb(events[i].events);
+    }
+    deferred_.clear();
+  }
+  deferred_.clear();
+  running_ = false;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stop_requested_ = false;  // Allow Run() again after a Stop().
+  }
+}
+
+}  // namespace karousos

@@ -1,0 +1,107 @@
+// Single-threaded epoll event loop (model: Envoy's DispatcherImpl). One
+// Dispatcher runs per network thread — the listener thread and each worker —
+// and everything a thread owns (fds, timers, connections) is touched only
+// from its loop, so the network edge needs no locks around connection or
+// server state.
+//
+//   * Level-triggered epoll: callbacks run while the condition holds; a
+//     read-disabled connection simply drops EPOLLIN from its registration
+//     and the kernel socket buffer applies backpressure.
+//   * Timer wheel: one-shot timers on a fixed-tick wheel (5ms x 256 slots,
+//     longer delays ride the wheel multiple rounds). Used for flush/drain
+//     deadlines; precision is one tick, which is all the edge needs.
+//   * Post(): thread-safe handoff into the loop (eventfd wakeup) — how the
+//     listener thread assigns accepted sockets to workers and how Stop
+//     reaches a sleeping loop.
+//   * Deferred delete: objects whose callbacks may be on the stack (a
+//     connection closing itself from its own read callback) are handed to
+//     DeferDelete and destroyed at the end of the loop iteration, never
+//     mid-callback.
+#ifndef SRC_NET_DISPATCHER_H_
+#define SRC_NET_DISPATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace karousos {
+
+// Base for anything whose destruction must wait for the end of the current
+// loop iteration.
+struct DeferredDeletable {
+  virtual ~DeferredDeletable() = default;
+};
+
+class Dispatcher {
+ public:
+  using FdEventCb = std::function<void(uint32_t epoll_events)>;
+  using TimerId = uint64_t;
+
+  Dispatcher();
+  ~Dispatcher();
+
+  bool ok() const { return epoll_fd_ >= 0 && wakeup_fd_ >= 0; }
+
+  // Fd registration (loop thread only). `events` is an EPOLLIN/EPOLLOUT mask.
+  bool WatchFd(int fd, uint32_t events, FdEventCb cb);
+  bool ModifyFd(int fd, uint32_t events);
+  void UnwatchFd(int fd);
+
+  // One-shot timer after `delay_ms` (loop thread only; rounds up to a tick).
+  TimerId AddTimer(uint64_t delay_ms, std::function<void()> cb);
+  void CancelTimer(TimerId id);
+
+  // Thread-safe: enqueues fn to run on the loop thread and wakes the loop.
+  void Post(std::function<void()> fn);
+
+  // Destroys obj at the end of the current loop iteration (loop thread only).
+  void DeferDelete(std::unique_ptr<DeferredDeletable> obj);
+
+  // Runs until Stop(). Stop is thread-safe and idempotent.
+  void Run();
+  void Stop();
+
+  static constexpr uint64_t kTickMs = 5;
+  static constexpr size_t kWheelSlots = 256;
+
+ private:
+  void DrainWakeup();
+  // Fires every due timer; advances the wheel by the wall-clock ticks that
+  // elapsed since the last call.
+  void AdvanceWheel();
+  // Milliseconds until the next armed tick boundary (-1 when no timers).
+  int TimerWaitMs() const;
+
+  struct Timer {
+    TimerId id = 0;
+    uint64_t rounds = 0;  // Full wheel revolutions left before firing.
+    std::function<void()> cb;
+  };
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+  std::map<int, FdEventCb> fd_cbs_;
+
+  std::vector<Timer> wheel_[kWheelSlots];
+  size_t wheel_pos_ = 0;
+  uint64_t wheel_last_advance_ms_ = 0;
+  size_t armed_timers_ = 0;
+  TimerId next_timer_id_ = 1;
+  std::unordered_set<TimerId> cancelled_;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_requested_ = false;  // Guarded by post_mutex_.
+
+  std::vector<std::unique_ptr<DeferredDeletable>> deferred_;
+  bool running_ = false;
+};
+
+}  // namespace karousos
+
+#endif  // SRC_NET_DISPATCHER_H_

@@ -1,0 +1,218 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+namespace karousos {
+
+void AppendWirePreface(ByteWriter* out) {
+  out->WriteBytes(reinterpret_cast<const uint8_t*>(kWirePreface), kWirePrefaceBytes);
+}
+
+void EncodeFrame(FrameType type, const uint8_t* payload, size_t size, ByteWriter* out) {
+  out->Reserve(kWireFrameHeaderBytes + size);
+  out->WriteByte(static_cast<uint8_t>(type));
+  uint32_t len = static_cast<uint32_t>(size);
+  out->WriteByte(static_cast<uint8_t>(len));
+  out->WriteByte(static_cast<uint8_t>(len >> 8));
+  out->WriteByte(static_cast<uint8_t>(len >> 16));
+  out->WriteByte(static_cast<uint8_t>(len >> 24));
+  out->WriteBytes(payload, size);
+}
+
+namespace {
+
+void EncodeSeqValueFrame(FrameType type, uint64_t seq, const Value& value, ByteWriter* out) {
+  ByteWriter payload;
+  payload.WriteVarint(seq);
+  payload.WriteValue(value);
+  EncodeFrame(type, payload.bytes().data(), payload.size(), out);
+}
+
+}  // namespace
+
+void EncodeRequestFrame(uint64_t seq, const Value& input, ByteWriter* out) {
+  EncodeSeqValueFrame(FrameType::kRequest, seq, input, out);
+}
+
+void EncodeResponseFrame(uint64_t seq, const Value& output, ByteWriter* out) {
+  EncodeSeqValueFrame(FrameType::kResponse, seq, output, out);
+}
+
+void EncodeShutdownFrame(ByteWriter* out) {
+  EncodeFrame(FrameType::kShutdown, nullptr, 0, out);
+}
+
+void EncodeShutdownFrame(uint64_t expected_connections, ByteWriter* out) {
+  if (expected_connections == 0) {
+    EncodeShutdownFrame(out);
+    return;
+  }
+  ByteWriter payload;
+  payload.WriteVarint(expected_connections);
+  EncodeFrame(FrameType::kShutdown, payload.bytes().data(), payload.size(), out);
+}
+
+void EncodeErrorFrame(std::string_view message, ByteWriter* out) {
+  ByteWriter payload;
+  payload.WriteString(message);
+  EncodeFrame(FrameType::kError, payload.bytes().data(), payload.size(), out);
+}
+
+FrameDecoder::FrameDecoder(size_t max_frame_bytes, bool expect_preface)
+    : max_frame_bytes_(max_frame_bytes), need_preface_(expect_preface) {}
+
+DecodeStatus FrameDecoder::Fail(std::string message) {
+  dead_ = true;
+  error_ = std::move(message);
+  return DecodeStatus::kError;
+}
+
+DecodeStatus FrameDecoder::Next(WatermarkBuffer* in, WireFrame* out) {
+  if (dead_) {
+    return DecodeStatus::kError;
+  }
+  if (need_preface_) {
+    if (in->size() < kWirePrefaceBytes) {
+      // Whatever prefix has arrived must still match: reject garbage before
+      // buffering a malformed connection's bytes any further.
+      if (std::memcmp(in->data(), kWirePreface, in->size()) != 0) {
+        return Fail("bad connection preface");
+      }
+      return DecodeStatus::kNeedMore;
+    }
+    if (std::memcmp(in->data(), kWirePreface, kWirePrefaceBytes) != 0) {
+      return Fail("bad connection preface");
+    }
+    in->Drain(kWirePrefaceBytes);
+    need_preface_ = false;
+  }
+  if (in->size() < kWireFrameHeaderBytes) {
+    return DecodeStatus::kNeedMore;
+  }
+  const uint8_t* head = in->data();
+  uint8_t type = head[0];
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    return Fail("unknown frame type " + std::to_string(type));
+  }
+  uint32_t length = static_cast<uint32_t>(head[1]) | (static_cast<uint32_t>(head[2]) << 8) |
+                    (static_cast<uint32_t>(head[3]) << 16) |
+                    (static_cast<uint32_t>(head[4]) << 24);
+  if (length > max_frame_bytes_) {
+    return Fail("frame length " + std::to_string(length) + " exceeds limit " +
+                std::to_string(max_frame_bytes_));
+  }
+  if (in->size() < kWireFrameHeaderBytes + length) {
+    return DecodeStatus::kNeedMore;
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(head + kWireFrameHeaderBytes, head + kWireFrameHeaderBytes + length);
+  in->Drain(kWireFrameHeaderBytes + length);
+  ++frames_;
+  return DecodeStatus::kFrame;
+}
+
+bool FrameDecoder::FrameReady(const WatermarkBuffer& in) const {
+  if (dead_) {
+    return false;
+  }
+  size_t offset = 0;
+  if (need_preface_) {
+    if (in.size() < kWirePrefaceBytes) {
+      return false;
+    }
+    offset = kWirePrefaceBytes;
+  }
+  if (in.size() < offset + kWireFrameHeaderBytes) {
+    return false;
+  }
+  const uint8_t* head = in.data() + offset;
+  uint32_t length = static_cast<uint32_t>(head[1]) | (static_cast<uint32_t>(head[2]) << 8) |
+                    (static_cast<uint32_t>(head[3]) << 16) |
+                    (static_cast<uint32_t>(head[4]) << 24);
+  // A frame that can never complete (oversized) still counts as "ready":
+  // Next() must run to latch the protocol error.
+  if (length > max_frame_bytes_) {
+    return true;
+  }
+  return in.size() >= offset + kWireFrameHeaderBytes + length;
+}
+
+bool FrameDecoder::HeadValid(const WatermarkBuffer& in, std::string* error) const {
+  if (dead_) {
+    *error = error_;
+    return false;
+  }
+  size_t offset = 0;
+  if (need_preface_) {
+    size_t check = in.size() < kWirePrefaceBytes ? in.size() : kWirePrefaceBytes;
+    if (std::memcmp(in.data(), kWirePreface, check) != 0) {
+      *error = "bad connection preface";
+      return false;
+    }
+    if (in.size() < kWirePrefaceBytes) {
+      return true;  // Prefix matches so far; need more bytes to judge.
+    }
+    offset = kWirePrefaceBytes;
+  }
+  if (in.size() < offset + kWireFrameHeaderBytes) {
+    return true;
+  }
+  const uint8_t* head = in.data() + offset;
+  uint8_t type = head[0];
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    *error = "unknown frame type " + std::to_string(type);
+    return false;
+  }
+  uint32_t length = static_cast<uint32_t>(head[1]) | (static_cast<uint32_t>(head[2]) << 8) |
+                    (static_cast<uint32_t>(head[3]) << 16) |
+                    (static_cast<uint32_t>(head[4]) << 24);
+  if (length > max_frame_bytes_) {
+    *error = "frame length " + std::to_string(length) + " exceeds limit " +
+             std::to_string(max_frame_bytes_);
+    return false;
+  }
+  return true;
+}
+
+bool DecodeSeqValuePayload(const std::vector<uint8_t>& payload, uint64_t* seq, Value* value) {
+  ByteReader reader(payload);
+  auto s = reader.ReadVarint();
+  if (!s) {
+    return false;
+  }
+  auto v = reader.ReadValue();
+  if (!v || !reader.AtEnd()) {
+    return false;
+  }
+  *seq = *s;
+  *value = std::move(*v);
+  return true;
+}
+
+bool DecodeErrorPayload(const std::vector<uint8_t>& payload, std::string* message) {
+  ByteReader reader(payload);
+  auto s = reader.ReadString();
+  if (!s || !reader.AtEnd()) {
+    return false;
+  }
+  *message = std::move(*s);
+  return true;
+}
+
+bool DecodeShutdownPayload(const std::vector<uint8_t>& payload, uint64_t* expected_connections) {
+  if (payload.empty()) {
+    *expected_connections = 0;
+    return true;
+  }
+  ByteReader reader(payload);
+  auto n = reader.ReadVarint();
+  if (!n || !reader.AtEnd()) {
+    return false;
+  }
+  *expected_connections = *n;
+  return true;
+}
+
+}  // namespace karousos

@@ -1,0 +1,122 @@
+// The length-framed binary wire protocol of the network edge.
+//
+// A connection opens with an 8-byte client preface ("KWIRE/1\n"), then both
+// directions carry frames:
+//
+//   frame   := type:u8  length:u32le  payload[length]
+//   request := seq:varint  input:Value     (client -> server, type 1)
+//   response:= seq:varint  output:Value    (server -> client, type 2)
+//   shutdown:= (empty)                     (client -> server, type 3)
+//   error   := message:string              (server -> client, type 4)
+//
+// `seq` is the client's schedule position for the request; responses echo it
+// so an open-loop client can pipeline requests and match completions out of
+// order. Values reuse the advice wire encoding (ByteWriter/ByteReader), so
+// the network edge adds no second serialization scheme.
+//
+// FrameDecoder is torn-frame-safe: it consumes from the connection's read
+// buffer only when a complete frame is available, so bytes may arrive in any
+// split (one syscall per byte included) and decode identically. Oversized
+// length prefixes, unknown frame types, and a bad preface latch a permanent
+// error — the connection replies with an error frame and closes; nothing is
+// ever partially consumed or guessed at.
+#ifndef SRC_NET_FRAME_H_
+#define SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/value.h"
+#include "src/net/buffer.h"
+
+namespace karousos {
+
+inline constexpr char kWirePreface[] = "KWIRE/1\n";
+inline constexpr size_t kWirePrefaceBytes = 8;
+inline constexpr size_t kWireFrameHeaderBytes = 5;  // type u8 + length u32le.
+inline constexpr size_t kDefaultMaxFrameBytes = 8u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kShutdown = 3,
+  kError = 4,
+};
+
+struct WireFrame {
+  FrameType type = FrameType::kRequest;
+  std::vector<uint8_t> payload;
+};
+
+// --- Encoding ------------------------------------------------------------
+
+void AppendWirePreface(ByteWriter* out);
+void EncodeFrame(FrameType type, const uint8_t* payload, size_t size, ByteWriter* out);
+void EncodeRequestFrame(uint64_t seq, const Value& input, ByteWriter* out);
+void EncodeResponseFrame(uint64_t seq, const Value& output, ByteWriter* out);
+// expected_connections > 0 tells the server how many connections the client
+// opened in total, so drain waits for any still in the accept backlog; 0
+// drains immediately.
+void EncodeShutdownFrame(ByteWriter* out);
+void EncodeShutdownFrame(uint64_t expected_connections, ByteWriter* out);
+void EncodeErrorFrame(std::string_view message, ByteWriter* out);
+
+// --- Decoding ------------------------------------------------------------
+
+enum class DecodeStatus : uint8_t {
+  kNeedMore,  // No complete frame buffered yet.
+  kFrame,     // One frame decoded into *out (and drained from the buffer).
+  kError,     // Protocol violation; the decoder is dead (error() says why).
+};
+
+class FrameDecoder {
+ public:
+  // expect_preface: server side demands the client preface before frame one.
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                        bool expect_preface = false);
+
+  // Tries to decode the next frame from the front of `in`. Consumes bytes
+  // from `in` only for a complete preface or frame; a torn frame leaves the
+  // buffer untouched and returns kNeedMore. After kError every further call
+  // returns kError.
+  DecodeStatus Next(WatermarkBuffer* in, WireFrame* out);
+
+  // Peeks whether a complete frame is buffered without consuming it.
+  bool FrameReady(const WatermarkBuffer& in) const;
+
+  // Checks, without consuming, that the buffered head can still become a
+  // valid frame. Returns false (with *error set) on a head that can never
+  // complete: a mismatched preface prefix, an unknown frame type, or an
+  // oversized length. Connections run this after every read so garbage is
+  // rejected the moment it arrives, even while well-formed request frames
+  // sit buffered awaiting admission.
+  bool HeadValid(const WatermarkBuffer& in, std::string* error) const;
+
+  const std::string& error() const { return error_; }
+  size_t frames_decoded() const { return frames_; }
+
+ private:
+  DecodeStatus Fail(std::string message);
+
+  size_t max_frame_bytes_;
+  bool need_preface_;
+  bool dead_ = false;
+  std::string error_;
+  size_t frames_ = 0;
+};
+
+// Request/response payload codec (both are seq + value).
+bool DecodeSeqValuePayload(const std::vector<uint8_t>& payload, uint64_t* seq, Value* value);
+
+// Error payload codec.
+bool DecodeErrorPayload(const std::vector<uint8_t>& payload, std::string* message);
+
+// Shutdown payload codec: empty payload decodes as 0 (drain immediately).
+bool DecodeShutdownPayload(const std::vector<uint8_t>& payload, uint64_t* expected_connections);
+
+}  // namespace karousos
+
+#endif  // SRC_NET_FRAME_H_

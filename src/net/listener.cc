@@ -1,0 +1,197 @@
+#include "src/net/listener.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+namespace karousos {
+
+namespace {
+
+constexpr char kUnixPrefix[] = "unix:";
+constexpr size_t kUnixPrefixLen = 5;
+
+// Splits "host:port" at the last colon (IPv4 / hostname only — the edge's
+// test and bench traffic is loopback).
+bool SplitHostPort(const std::string& address, std::string* host, uint16_t* port,
+                   std::string* error) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    *error = "address must be unix:/path or host:port, got '" + address + "'";
+    return false;
+  }
+  *host = address.substr(0, colon);
+  if (host->empty()) {
+    *host = "127.0.0.1";
+  }
+  const std::string port_str = address.substr(colon + 1);
+  char* end = nullptr;
+  long p = strtol(port_str.c_str(), &end, 10);
+  if (port_str.empty() || *end != '\0' || p < 0 || p > 65535) {
+    *error = "bad port in address '" + address + "'";
+    return false;
+  }
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+bool MakeSockaddr(const std::string& address, struct sockaddr_storage* storage, socklen_t* len,
+                  bool* is_unix, std::string* unix_path, std::string* error) {
+  memset(storage, 0, sizeof(*storage));
+  if (address.compare(0, kUnixPrefixLen, kUnixPrefix) == 0) {
+    std::string path = address.substr(kUnixPrefixLen);
+    auto* sun = reinterpret_cast<struct sockaddr_un*>(storage);
+    if (path.empty() || path.size() >= sizeof(sun->sun_path)) {
+      *error = "bad unix socket path '" + path + "'";
+      return false;
+    }
+    sun->sun_family = AF_UNIX;
+    memcpy(sun->sun_path, path.c_str(), path.size() + 1);
+    *len = static_cast<socklen_t>(offsetof(struct sockaddr_un, sun_path) + path.size() + 1);
+    *is_unix = true;
+    *unix_path = std::move(path);
+    return true;
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!SplitHostPort(address, &host, &port, error)) {
+    return false;
+  }
+  auto* sin = reinterpret_cast<struct sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(port);
+  if (host == "localhost") {
+    host = "127.0.0.1";
+  }
+  if (inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+    *error = "bad IPv4 host '" + host + "' (only numeric IPv4 or localhost supported)";
+    return false;
+  }
+  *len = sizeof(struct sockaddr_in);
+  *is_unix = false;
+  return true;
+}
+
+}  // namespace
+
+Listener::~Listener() { Stop(); }
+
+bool Listener::Start(Dispatcher* dispatcher, const std::string& address, AcceptCb on_accept,
+                     std::string* error) {
+  struct sockaddr_storage storage;
+  socklen_t len = 0;
+  if (!MakeSockaddr(address, &storage, &len, &is_unix_, &unix_path_, error)) {
+    return false;
+  }
+  if (is_unix_) {
+    unlink(unix_path_.c_str());  // Stale socket from a crashed server.
+  }
+  fd_ = socket(is_unix_ ? AF_UNIX : AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  if (!is_unix_) {
+    int one = 1;
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (bind(fd_, reinterpret_cast<struct sockaddr*>(&storage), len) != 0) {
+    *error = "bind " + address + ": " + strerror(errno);
+    Stop();
+    return false;
+  }
+  if (listen(fd_, 128) != 0) {
+    *error = "listen " + address + ": " + strerror(errno);
+    Stop();
+    return false;
+  }
+  if (is_unix_) {
+    bound_address_ = address;
+  } else {
+    struct sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound), &bound_len);
+    char host[INET_ADDRSTRLEN] = {0};
+    inet_ntop(AF_INET, &bound.sin_addr, host, sizeof(host));
+    bound_address_ = std::string(host) + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  dispatcher_ = dispatcher;
+  on_accept_ = std::move(on_accept);
+  if (!dispatcher_->WatchFd(fd_, EPOLLIN, [this](uint32_t) { OnAcceptable(); })) {
+    *error = "failed to register listener fd";
+    Stop();
+    return false;
+  }
+  return true;
+}
+
+void Listener::Stop() {
+  if (fd_ < 0) {
+    return;
+  }
+  if (dispatcher_ != nullptr) {
+    dispatcher_->UnwatchFd(fd_);
+  }
+  close(fd_);
+  fd_ = -1;
+  if (is_unix_ && !unix_path_.empty()) {
+    unlink(unix_path_.c_str());
+  }
+}
+
+void Listener::OnAcceptable() {
+  for (;;) {
+    int fd = accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        return;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    if (!is_unix_) {
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    on_accept_(fd);
+  }
+}
+
+int ConnectToAddress(const std::string& address, std::string* error) {
+  struct sockaddr_storage storage;
+  socklen_t len = 0;
+  bool is_unix = false;
+  std::string unix_path;
+  if (!MakeSockaddr(address, &storage, &len, &is_unix, &unix_path, error)) {
+    return -1;
+  }
+  int fd = socket(is_unix ? AF_UNIX : AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + strerror(errno);
+    return -1;
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&storage), len) != 0) {
+    *error = "connect " + address + ": " + strerror(errno);
+    close(fd);
+    return -1;
+  }
+  if (!is_unix) {
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+}  // namespace karousos

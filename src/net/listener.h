@@ -1,0 +1,55 @@
+// Accepting socket for the wire server. Understands two address forms:
+//
+//   unix:/path/to.sock   Unix-domain stream socket (stale path unlinked)
+//   host:port            TCP (port 0 binds ephemeral; bound_address() then
+//                        reports the kernel-chosen port)
+//
+// The listener registers with a Dispatcher and accept()s in a nonblocking
+// loop, handing each new fd (already nonblocking, TCP_NODELAY where it
+// applies) to the on_accept callback — which for the wire server assigns it
+// round-robin to a worker loop via Post.
+#ifndef SRC_NET_LISTENER_H_
+#define SRC_NET_LISTENER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/net/dispatcher.h"
+
+namespace karousos {
+
+class Listener {
+ public:
+  using AcceptCb = std::function<void(int fd)>;
+
+  Listener() = default;
+  ~Listener();
+
+  // Binds + listens on `address` and registers with the dispatcher.
+  // Returns false with *error set on failure.
+  bool Start(Dispatcher* dispatcher, const std::string& address, AcceptCb on_accept,
+             std::string* error);
+  void Stop();
+
+  // The resolved listen address (ephemeral TCP ports filled in).
+  const std::string& bound_address() const { return bound_address_; }
+  bool is_unix() const { return is_unix_; }
+
+ private:
+  void OnAcceptable();
+
+  Dispatcher* dispatcher_ = nullptr;
+  int fd_ = -1;
+  bool is_unix_ = false;
+  std::string unix_path_;
+  std::string bound_address_;
+  AcceptCb on_accept_;
+};
+
+// Connects a blocking client socket to an address in the same syntax.
+// Returns -1 with *error set on failure.
+int ConnectToAddress(const std::string& address, std::string* error);
+
+}  // namespace karousos
+
+#endif  // SRC_NET_LISTENER_H_

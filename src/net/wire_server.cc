@@ -1,0 +1,519 @@
+#include "src/net/wire_server.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace karousos {
+
+namespace {
+// Live-mode pump: at most this many dispatch-loop steps per loop iteration,
+// so a deep handler backlog cannot starve epoll service.
+constexpr int kMaxStepsPerPump = 64;
+// Final-flush polling cadence and give-up budget (a peer that never drains
+// its responses is force-closed after this many polls).
+constexpr uint64_t kFlushPollMs = 10;
+constexpr int kFlushPollBudget = 500;
+}  // namespace
+
+// One worker event loop owning one record shard (a full Server instance).
+// All members are touched only on the worker thread; cross-thread entry is
+// via dispatcher_.Post.
+class WireWorker {
+ public:
+  WireWorker(WireServer* owner, size_t index)
+      : owner_(owner), index_(index), config_(owner->config_) {
+    ServerConfig shard = config_.server;
+    shard.seed = config_.server.seed + index;
+    server_ = std::make_unique<Server>(owner->program_, shard);
+    result_.worker = index;
+  }
+
+  void Start() {
+    thread_ = std::thread([this] { ThreadMain(); });
+  }
+
+  // Any thread. Ownership of fd passes to the worker loop.
+  void AddConnection(int fd) {
+    dispatcher_.Post([this, fd] { OnNewConnection(fd); });
+  }
+
+  // Any thread.
+  void RequestDrain() {
+    dispatcher_.Post([this] {
+      drain_ = true;
+      if (!config_.batch) {
+        SchedulePump();
+      }
+      MaybeFinish();
+    });
+  }
+
+  void Join() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  WireShardResult TakeShard() { return std::move(result_); }
+  size_t responses() const { return stats_responses_; }
+  size_t frames() const { return stats_frames_; }
+  size_t protocol_errors() const { return stats_protocol_errors_; }
+  uint64_t read_disables() const { return stats_read_disables_; }
+  size_t peak_buffered() const { return stats_peak_buffered_; }
+
+ private:
+  struct BatchEntry {
+    uint64_t seq = 0;
+    Value input;
+    uint64_t conn_id = 0;
+  };
+
+  void ThreadMain() {
+    server_->set_capture_responses(true);
+    if (!config_.batch) {
+      // Live mode runs one long incremental run; batch defers BeginRun to
+      // serve time so its shard state is exactly a fresh Run's.
+      server_->BeginRun();
+      began_ = true;
+    }
+    dispatcher_.Run();
+  }
+
+  void OnNewConnection(int fd) {
+    uint64_t id = next_conn_id_++;
+    Connection::Callbacks cbs;
+    cbs.on_activity = [this, id] { OnActivity(id); };
+    cbs.on_closed = [this, id] { OnClosed(id); };
+    conns_[id] = std::make_unique<Connection>(&dispatcher_, fd, id, config_.high_watermark,
+                                              config_.max_frame_bytes, std::move(cbs));
+    ++result_.connections;
+  }
+
+  void OnActivity(uint64_t id) {
+    if (config_.batch) {
+      PullBatchFrames(id);
+      MaybeFinish();
+    } else {
+      SchedulePump();
+    }
+  }
+
+  void OnClosed(uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      return;
+    }
+    if (!it->second->error().empty()) {
+      ++stats_protocol_errors_;
+    }
+    AbsorbStats(*it->second);
+    // The close may originate inside the connection's own callbacks; defer
+    // destruction to the end of the loop iteration.
+    dispatcher_.DeferDelete(std::move(it->second));
+    conns_.erase(it);
+    MaybeFinish();
+  }
+
+  void AbsorbStats(const Connection& conn) {
+    stats_frames_ += conn.frames_decoded();
+    stats_read_disables_ += conn.read_disable_count();
+    stats_peak_buffered_ = std::max(stats_peak_buffered_, conn.peak_buffered_bytes());
+  }
+
+  // --- Frame handling -----------------------------------------------------
+
+  // Handles one decoded frame. Returns true for an admitted request (live)
+  // or recorded request (batch); control frames return false.
+  bool HandleFrame(uint64_t conn_id, WireFrame&& frame) {
+    Connection* conn = FindConn(conn_id);
+    switch (frame.type) {
+      case FrameType::kRequest: {
+        if (finished_run_) {
+          if (conn != nullptr) {
+            conn->SendErrorAndClose("server draining");
+          }
+          return false;
+        }
+        uint64_t seq = 0;
+        Value input;
+        if (!DecodeSeqValuePayload(frame.payload, &seq, &input)) {
+          if (conn != nullptr) {
+            conn->SendErrorAndClose("malformed request payload");
+          }
+          return false;
+        }
+        if (config_.batch) {
+          batch_.push_back(BatchEntry{seq, std::move(input), conn_id});
+        } else {
+          RequestId rid = server_->InjectRequest(input);
+          rid_routes_[rid] = {conn_id, seq};
+        }
+        ++result_.requests;
+        return true;
+      }
+      case FrameType::kShutdown: {
+        uint64_t expected = 0;
+        if (!DecodeShutdownPayload(frame.payload, &expected)) {
+          if (conn != nullptr) {
+            conn->SendErrorAndClose("malformed shutdown payload");
+          }
+          return false;
+        }
+        owner_->OnShutdownFrame(expected);
+        return false;
+      }
+      default:
+        if (conn != nullptr) {
+          conn->SendErrorAndClose("unexpected frame type from client");
+        }
+        return false;
+    }
+  }
+
+  Connection* FindConn(uint64_t id) {
+    auto it = conns_.find(id);
+    return it == conns_.end() ? nullptr : it->second.get();
+  }
+
+  // --- Batch mode ---------------------------------------------------------
+
+  void PullBatchFrames(uint64_t id) {
+    // Batch frames never wait for admission: pull them out of the read
+    // buffer immediately (backpressure is a live-mode concern).
+    for (;;) {
+      Connection* conn = FindConn(id);
+      if (conn == nullptr || !conn->FrameReady()) {
+        return;
+      }
+      WireFrame frame;
+      if (!conn->NextFrame(&frame)) {
+        return;  // Decoder error: FailProtocol already closed the conn.
+      }
+      HandleFrame(id, std::move(frame));
+    }
+  }
+
+  bool AllConnsQuiet() const {
+    for (const auto& [id, conn] : conns_) {
+      if (!conn->read_eof() && !conn->closed()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void ServeBatch() {
+    began_ = true;
+    // Client sequence order is the canonical schedule: the shard serves
+    // exactly the inputs an in-process Server(seed + index).Run(shard)
+    // would, regardless of interleaved arrival across connections.
+    std::stable_sort(batch_.begin(), batch_.end(),
+                     [](const BatchEntry& a, const BatchEntry& b) { return a.seq < b.seq; });
+    server_->BeginRun(batch_.size());
+    size_t next = 0;
+    const size_t window = static_cast<size_t>(config_.server.concurrency);
+    while (next < batch_.size() || server_->in_flight_count() > 0) {
+      while (server_->in_flight_count() < window && next < batch_.size()) {
+        server_->InjectRequest(batch_[next].input);
+        ++next;
+      }
+      if (!server_->StepOne()) {
+        break;
+      }
+    }
+    for (const CompletedRequest& done : server_->TakeCompleted()) {
+      // rid r was the r-th admission, i.e. batch_[r - 1] after the sort.
+      const BatchEntry& entry = batch_[done.rid - 1];
+      if (Connection* conn = FindConn(entry.conn_id)) {
+        conn->SendResponse(entry.seq, done.response);
+        ++stats_responses_;
+      }
+    }
+    result_.run = server_->FinishRun();
+    finished_run_ = true;
+  }
+
+  // --- Live mode ----------------------------------------------------------
+
+  void SchedulePump() {
+    if (pump_scheduled_ || finished_run_) {
+      return;
+    }
+    pump_scheduled_ = true;
+    dispatcher_.Post([this] { PumpLive(); });
+  }
+
+  bool AdmitOneLive() {
+    if (conns_.empty()) {
+      return false;
+    }
+    // Round-robin across connections for admission fairness.
+    std::vector<uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) {
+      ids.push_back(id);
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      uint64_t id = ids[(admit_cursor_ + i) % ids.size()];
+      Connection* conn = FindConn(id);
+      if (conn == nullptr || !conn->FrameReady()) {
+        continue;
+      }
+      WireFrame frame;
+      if (!conn->NextFrame(&frame)) {
+        continue;
+      }
+      bool admitted = HandleFrame(id, std::move(frame));
+      if (admitted) {
+        admit_cursor_ = (admit_cursor_ + i + 1) % ids.size();
+        return true;
+      }
+      // Control frame: keep scanning from the same cursor.
+    }
+    return false;
+  }
+
+  bool HasReadyFrame() {
+    for (const auto& [id, conn] : conns_) {
+      if (conn->FrameReady()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void DeliverCompleted() {
+    for (const CompletedRequest& done : server_->TakeCompleted()) {
+      auto it = rid_routes_.find(done.rid);
+      if (it == rid_routes_.end()) {
+        continue;
+      }
+      if (Connection* conn = FindConn(it->second.first)) {
+        conn->SendResponse(it->second.second, done.response);
+        ++stats_responses_;
+      }
+      rid_routes_.erase(it);
+    }
+  }
+
+  void PumpLive() {
+    pump_scheduled_ = false;
+    if (finished_run_) {
+      return;
+    }
+    const size_t window = static_cast<size_t>(config_.server.concurrency);
+    int steps = 0;
+    bool progress = true;
+    while (progress && steps < kMaxStepsPerPump) {
+      progress = false;
+      while (server_->in_flight_count() < window && AdmitOneLive()) {
+        progress = true;
+      }
+      if (server_->has_runnable() && server_->StepOne()) {
+        ++steps;
+        progress = true;
+      }
+      DeliverCompleted();
+    }
+    if (server_->has_runnable() || (server_->in_flight_count() < window && HasReadyFrame())) {
+      SchedulePump();  // More work: yield to epoll, then continue.
+      return;
+    }
+    MaybeFinish();
+  }
+
+  // --- Drain / finish -----------------------------------------------------
+
+  void MaybeFinish() {
+    if (!drain_ || finished_run_ || finishing_) {
+      return;
+    }
+    if (config_.batch) {
+      if (!AllConnsQuiet()) {
+        return;
+      }
+      ServeBatch();
+    } else {
+      if (server_->has_runnable() || server_->in_flight_count() > 0 || HasReadyFrame()) {
+        return;
+      }
+      if (!began_) {
+        server_->BeginRun();
+        began_ = true;
+      }
+      result_.run = server_->FinishRun();
+      finished_run_ = true;
+    }
+    finishing_ = true;
+    flush_polls_left_ = kFlushPollBudget;
+    PollFlush();
+  }
+
+  void PollFlush() {
+    // Id-indexed loop: FlushWrites may close a connection and erase it from
+    // conns_ via on_closed, so map iterators cannot be held across it.
+    std::vector<uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) {
+      ids.push_back(id);
+    }
+    bool all_drained = true;
+    for (uint64_t id : ids) {
+      Connection* conn = FindConn(id);
+      if (conn == nullptr || conn->closed()) {
+        continue;
+      }
+      if (!conn->FlushWrites()) {
+        Connection* again = FindConn(id);
+        if (again != nullptr && !again->closed() && !again->write_drained()) {
+          all_drained = false;
+        }
+      }
+    }
+    if (all_drained || --flush_polls_left_ <= 0) {
+      Shutdown();
+      return;
+    }
+    dispatcher_.AddTimer(kFlushPollMs, [this] { PollFlush(); });
+  }
+
+  void Shutdown() {
+    for (auto& [id, conn] : conns_) {
+      AbsorbStats(*conn);
+      conn->Close();
+    }
+    conns_.clear();
+    dispatcher_.Stop();
+  }
+
+  WireServer* owner_;
+  size_t index_;
+  const WireServerConfig& config_;
+  Dispatcher dispatcher_;
+  std::thread thread_;
+  std::unique_ptr<Server> server_;
+
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  size_t admit_cursor_ = 0;
+
+  std::vector<BatchEntry> batch_;
+  std::unordered_map<RequestId, std::pair<uint64_t, uint64_t>> rid_routes_;
+
+  bool began_ = false;
+  bool drain_ = false;
+  bool pump_scheduled_ = false;
+  bool finished_run_ = false;
+  bool finishing_ = false;
+  int flush_polls_left_ = 0;
+
+  WireShardResult result_;
+  size_t stats_responses_ = 0;
+  size_t stats_frames_ = 0;
+  size_t stats_protocol_errors_ = 0;
+  uint64_t stats_read_disables_ = 0;
+  size_t stats_peak_buffered_ = 0;
+};
+
+WireServer::WireServer(const Program& program, WireServerConfig config)
+    : program_(program), config_(std::move(config)) {
+  if (config_.workers == 0) {
+    config_.workers = 1;
+  }
+}
+
+WireServer::~WireServer() {
+  if (started_ && !waited_) {
+    Stop();
+    Wait();
+  }
+}
+
+bool WireServer::Start(std::string* error) {
+  for (size_t w = 0; w < config_.workers; ++w) {
+    workers_.push_back(std::make_unique<WireWorker>(this, w));
+  }
+  if (!listener_.Start(&listener_dispatcher_, config_.listen, [this](int fd) { OnAccept(fd); },
+                       error)) {
+    workers_.clear();
+    return false;
+  }
+  bound_address_ = listener_.bound_address();
+  for (auto& worker : workers_) {
+    worker->Start();
+  }
+  listener_thread_ = std::thread([this] { listener_dispatcher_.Run(); });
+  started_ = true;
+  return true;
+}
+
+void WireServer::OnAccept(int fd) {
+  uint64_t n = accepted_.fetch_add(1);
+  workers_[n % workers_.size()]->AddConnection(fd);
+  MaybeInitiateDrain();
+}
+
+void WireServer::OnShutdownFrame(uint64_t expected_connections) {
+  if (expected_connections == 0) {
+    InitiateDrain();
+    return;
+  }
+  expected_connections_.store(expected_connections);
+  MaybeInitiateDrain();
+}
+
+void WireServer::MaybeInitiateDrain() {
+  uint64_t expected = expected_connections_.load();
+  if (expected > 0 && accepted_.load() >= expected) {
+    InitiateDrain();
+  }
+}
+
+void WireServer::InitiateDrain() {
+  if (drain_started_.exchange(true)) {
+    return;
+  }
+  listener_dispatcher_.Post([this] {
+    listener_.Stop();
+    listener_dispatcher_.Stop();
+  });
+  for (auto& worker : workers_) {
+    worker->RequestDrain();
+  }
+}
+
+void WireServer::Stop() { InitiateDrain(); }
+
+WireServerReport WireServer::Wait() {
+  WireServerReport report;
+  if (!started_) {
+    report.error = "server was never started";
+    return report;
+  }
+  if (listener_thread_.joinable()) {
+    listener_thread_.join();
+  }
+  for (auto& worker : workers_) {
+    worker->Join();
+  }
+  waited_ = true;
+  for (auto& worker : workers_) {
+    WireShardResult shard = worker->TakeShard();
+    report.connections += shard.connections;
+    report.requests += shard.requests;
+    report.responses += worker->responses();
+    report.frames += worker->frames();
+    report.protocol_errors += worker->protocol_errors();
+    report.read_disables += worker->read_disables();
+    report.peak_connection_buffered_bytes =
+        std::max(report.peak_connection_buffered_bytes, worker->peak_buffered());
+    report.serve_seconds = std::max(report.serve_seconds, shard.run.serve_seconds);
+    report.shards.push_back(std::move(shard));
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace karousos

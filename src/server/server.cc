@@ -434,6 +434,9 @@ class ServerCtx : public Ctx {
     req.responded = true;
     server_.trace_.events.push_back(
         TraceEvent{TraceEvent::Kind::kResponse, rid_, body.CollapsedValue()});
+    if (server_.capture_responses_) {
+      req.response = body.CollapsedValue();
+    }
     if (instrumented()) {
       server_.builder_.AddResponse(rid_, hid_, ops_issued_);
     }
@@ -565,87 +568,128 @@ uint64_t Server::NameDigest(std::string_view name) {
 }
 
 ServerRunResult Server::Run(const std::vector<Value>& request_inputs) {
-  ServerRunResult result;
-  current_result_ = &result;
+  BeginRun(request_inputs.size());
+  size_t next = 0;
+  while (next < request_inputs.size() || !in_flight_.empty()) {
+    while (in_flight_.size() < static_cast<size_t>(config_.concurrency) &&
+           next < request_inputs.size()) {
+      InjectRequest(request_inputs[next]);
+      ++next;
+    }
+    if (!StepOne()) {
+      break;  // Every in-flight request is drained; if any is unresponded the
+              // trace will be unbalanced, which audits surface loudly.
+    }
+  }
+  return FinishRun();
+}
+
+void Server::BeginRun(size_t expected_requests) {
+  run_ = std::make_unique<ServerRunResult>();
+  current_result_ = run_.get();
   requests_.clear();
-  requests_.resize(request_inputs.size() + 1);  // Slot 0 unused; rids 1..N.
+  requests_.reserve(expected_requests + 1);
+  requests_.resize(1);  // Slot 0 unused; rids run 1..N.
+  in_flight_.clear();
+  completed_.clear();
+  responses_delivered_ = 0;
+  warm_ = config_.warmup_requests == 0;
 
   // Initialization: runs as pseudo-handler I. Its registrations become the
   // global handlers; its variable writes seed the tracked variables.
   {
-    ServerCtx init_ctx(this, kInitRequestId, kInitHandlerId, LabelStore::kEmpty, Value(), &result);
+    ServerCtx init_ctx(this, kInitRequestId, kInitHandlerId, LabelStore::kEmpty, Value(),
+                       run_.get());
     if (program_.init()) {
       program_.init()(init_ctx);
     }
   }
+  serve_start_ = std::chrono::steady_clock::now();
+}
 
-  const uint64_t request_event = EventId(kRequestEventName);
-  size_t next = 0;
-  std::vector<RequestId> in_flight;
-  size_t responses_delivered = 0;
-  auto serve_start = std::chrono::steady_clock::now();
-  bool warm = config_.warmup_requests == 0;
-  while (next < request_inputs.size() || !in_flight.empty()) {
-    while (in_flight.size() < static_cast<size_t>(config_.concurrency) &&
-           next < request_inputs.size()) {
-      RequestId rid = static_cast<RequestId>(next) + 1;
-      ++next;
-      trace_.events.push_back(TraceEvent{TraceEvent::Kind::kRequest, rid, request_inputs[rid - 1]});
-      RequestState& req = requests_[rid];
-      req.input = request_inputs[rid - 1];
-      if (config_.measure_request_latencies) {
-        req.arrival = std::chrono::steady_clock::now();
-      }
-      PendingEvent arrival;
-      arrival.event = request_event;
-      arrival.payload = req.input;
-      arrival.activator_hid = kNoHandler;
-      arrival.activator_opnum = 0;
-      req.pending.push_back(std::move(arrival));
-      in_flight.push_back(rid);
-    }
-    // Candidates: in-flight requests with pending events, in rid order for
-    // determinism; the scheduler picks one uniformly.
-    std::vector<size_t> candidates;
-    for (size_t i = 0; i < in_flight.size(); ++i) {
-      if (!requests_[in_flight[i]].pending.empty()) {
-        candidates.push_back(i);
-      }
-    }
-    if (candidates.empty()) {
-      break;  // Every in-flight request is drained; if any is unresponded the
-              // trace will be unbalanced, which audits surface loudly.
-    }
-    size_t pick = candidates[sched_rng_->Below(candidates.size())];
-    RequestId rid = in_flight[pick];
-    RequestState& req = requests_[rid];
-    // KEM's dispatch loop selects non-deterministically from the *set* of
-    // pending events (§3). Under load, I/O completions (child-handler
-    // events) finish out of order; we model that by widening the selection
-    // window with the number of in-flight requests. With one request in
-    // flight the loop is FIFO — no reordering without concurrency, matching
-    // the paper's observation that reordering grows with concurrency.
-    size_t window = std::min(req.pending.size(), in_flight.size());
-    size_t slot = window > 1 ? sched_rng_->Below(window) : 0;
-    PendingEvent event = std::move(req.pending[slot]);
-    req.pending.erase(req.pending.begin() + static_cast<long>(slot));
-    DispatchEvent(rid, event, &result);
-    if (req.pending.empty() && req.responded) {
-      in_flight.erase(in_flight.begin() + static_cast<long>(pick));
-      ++responses_delivered;
-      if (config_.measure_request_latencies) {
-        result.request_latencies.push_back(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - req.arrival)
-                .count());
-      }
-      if (!warm && responses_delivered >= config_.warmup_requests) {
-        warm = true;
-        serve_start = std::chrono::steady_clock::now();
-      }
+RequestId Server::InjectRequest(const Value& input) {
+  RequestId rid = static_cast<RequestId>(requests_.size());
+  trace_.events.push_back(TraceEvent{TraceEvent::Kind::kRequest, rid, input});
+  requests_.emplace_back();
+  RequestState& req = requests_[rid];
+  req.input = input;
+  if (config_.measure_request_latencies) {
+    req.arrival = std::chrono::steady_clock::now();
+  }
+  PendingEvent arrival;
+  arrival.event = EventId(kRequestEventName);
+  arrival.payload = req.input;
+  arrival.activator_hid = kNoHandler;
+  arrival.activator_opnum = 0;
+  req.pending.push_back(std::move(arrival));
+  in_flight_.push_back(rid);
+  return rid;
+}
+
+bool Server::has_runnable() const {
+  for (RequestId rid : in_flight_) {
+    if (!requests_[rid].pending.empty()) {
+      return true;
     }
   }
+  return false;
+}
+
+bool Server::StepOne() {
+  // Candidates: in-flight requests with pending events, in rid order for
+  // determinism; the scheduler picks one uniformly.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < in_flight_.size(); ++i) {
+    if (!requests_[in_flight_[i]].pending.empty()) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  size_t pick = candidates[sched_rng_->Below(candidates.size())];
+  RequestId rid = in_flight_[pick];
+  RequestState& req = requests_[rid];
+  // KEM's dispatch loop selects non-deterministically from the *set* of
+  // pending events (§3). Under load, I/O completions (child-handler
+  // events) finish out of order; we model that by widening the selection
+  // window with the number of in-flight requests. With one request in
+  // flight the loop is FIFO — no reordering without concurrency, matching
+  // the paper's observation that reordering grows with concurrency.
+  size_t window = std::min(req.pending.size(), in_flight_.size());
+  size_t slot = window > 1 ? sched_rng_->Below(window) : 0;
+  PendingEvent event = std::move(req.pending[slot]);
+  req.pending.erase(req.pending.begin() + static_cast<long>(slot));
+  DispatchEvent(rid, event, run_.get());
+  if (req.pending.empty() && req.responded) {
+    in_flight_.erase(in_flight_.begin() + static_cast<long>(pick));
+    ++responses_delivered_;
+    if (config_.measure_request_latencies) {
+      run_->request_latencies.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - req.arrival)
+              .count());
+    }
+    if (capture_responses_) {
+      completed_.push_back(CompletedRequest{rid, std::move(req.response)});
+    }
+    if (!warm_ && responses_delivered_ >= config_.warmup_requests) {
+      warm_ = true;
+      serve_start_ = std::chrono::steady_clock::now();
+    }
+  }
+  return true;
+}
+
+std::vector<CompletedRequest> Server::TakeCompleted() {
+  std::vector<CompletedRequest> out = std::move(completed_);
+  completed_.clear();
+  return out;
+}
+
+ServerRunResult Server::FinishRun() {
+  ServerRunResult& result = *run_;
   result.serve_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - serve_start).count();
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - serve_start_).count();
 
   if (instrumented()) {
     for (RequestId rid = 1; rid < requests_.size(); ++rid) {
@@ -672,9 +716,12 @@ ServerRunResult Server::Run(const std::vector<Value>& request_inputs) {
   }
   trace_ = Trace{};
   requests_.clear();
+  in_flight_.clear();
   arena_.Reset();
   current_result_ = nullptr;
-  return result;
+  ServerRunResult out = std::move(*run_);
+  run_.reset();
+  return out;
 }
 
 void Server::DispatchEvent(RequestId rid, const PendingEvent& event, ServerRunResult* result) {

@@ -126,6 +126,15 @@ struct ServerRunResult {
 
 class ServerCtx;
 
+// One request the incremental core has finished (drained pending events and
+// responded). `response` is only populated when capture_responses is on —
+// the network edge needs the payload to write back to the client; the
+// in-process driver reads responses from the trace instead.
+struct CompletedRequest {
+  RequestId rid = 0;
+  Value response;
+};
+
 class Server {
  public:
   Server(const Program& program, const ServerConfig& config);
@@ -136,6 +145,42 @@ class Server {
   // (program, config, inputs) triple across all instrumentation modes, so
   // that mode comparisons see identical schedules.
   ServerRunResult Run(const std::vector<Value>& request_inputs);
+
+  // --- Incremental per-request core -------------------------------------
+  //
+  // The same engine Run drives, exposed one step at a time so a caller that
+  // does not hold the whole schedule up front (the network edge, src/net)
+  // can interleave admission with I/O. Run(inputs) is exactly
+  //   BeginRun(); { admit while capacity; StepOne(); } FinishRun();
+  // so both drivers share one dispatch loop and produce identical bytes for
+  // identical admission/step interleavings.
+
+  // Resets per-run state and executes the initialization pseudo-handler.
+  void BeginRun(size_t expected_requests = 0);
+
+  // Admits one request: assigns the next rid (1, 2, ...), records the trace
+  // arrival, and queues the request event. Caller enforces any concurrency
+  // window (Run admits while in_flight_count() < config.concurrency).
+  RequestId InjectRequest(const Value& input);
+
+  // Dispatches one scheduler-selected event among the in-flight requests.
+  // Returns false when no in-flight request has a pending event (idle).
+  bool StepOne();
+
+  // Finalizes tags/write-order/advice (and epoch slicing when configured)
+  // and returns the run result. Terminates the run started by BeginRun.
+  ServerRunResult FinishRun();
+
+  size_t in_flight_count() const { return in_flight_.size(); }
+  // True iff StepOne has an event to dispatch.
+  bool has_runnable() const;
+
+  // When on, each completed request's response payload is retained for
+  // TakeCompleted (the network edge replies from these; the in-process
+  // driver leaves this off and pays nothing).
+  void set_capture_responses(bool on) { capture_responses_ = on; }
+  // Requests completed since the last call, in completion order.
+  std::vector<CompletedRequest> TakeCompleted();
 
   const TxKvStore& store() const { return store_; }
 
@@ -170,6 +215,8 @@ class Server {
     size_t handler_count = 0;
     // Arrival timestamp (measure_request_latencies only).
     std::chrono::steady_clock::time_point arrival;
+    // Response payload (capture_responses_ only).
+    Value response;
   };
 
   struct TrackedVar {
@@ -235,6 +282,14 @@ class Server {
   NameDigestCache name_cache_;  // Event and function name digests.
   // Scratch for DispatchEvent's matched-handler list (never nested).
   std::vector<FunctionId> matched_scratch_;
+  // Incremental-run state (valid between BeginRun and FinishRun).
+  std::unique_ptr<ServerRunResult> run_;
+  std::vector<RequestId> in_flight_;
+  size_t responses_delivered_ = 0;
+  bool warm_ = true;
+  std::chrono::steady_clock::time_point serve_start_;
+  bool capture_responses_ = false;
+  std::vector<CompletedRequest> completed_;
   // Advice spool: logged entries are serialized as they are produced, the
   // way a deployed server streams advice out (§2.1 requires keeping the
   // verifier fed without buffering the whole run). Its cost is part of the

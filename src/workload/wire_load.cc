@@ -1,0 +1,186 @@
+#include "src/workload/wire_load.h"
+
+#include <poll.h>
+
+#include <chrono>
+#include <memory>
+
+#include "src/net/client.h"
+
+namespace karousos {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+WireLoadReport Fail(WireLoadReport report, std::string error) {
+  report.ok = false;
+  report.error = std::move(error);
+  return report;
+}
+
+}  // namespace
+
+WireLoadReport RunWireLoad(const std::string& address, const OpenLoopWorkload& workload,
+                           const WireLoadOptions& options) {
+  WireLoadReport report;
+  const size_t n = workload.inputs.size();
+  const size_t n_conns = options.connections == 0 ? 1 : options.connections;
+  report.responses.assign(n, Value());
+  report.latency_seconds.assign(n, 0.0);
+
+  std::vector<std::unique_ptr<WireConn>> conns;
+  std::string error;
+  for (size_t c = 0; c < n_conns; ++c) {
+    auto conn = WireConn::Connect(address, &error);
+    if (conn == nullptr) {
+      return Fail(std::move(report), "connection " + std::to_string(c) + ": " + error);
+    }
+    conns.push_back(std::move(conn));
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::vector<Clock::time_point> send_time(n);
+  // Responses remaining per connection (request i rides connection i % C).
+  std::vector<size_t> conn_outstanding(n_conns, 0);
+
+  auto record_response = [&](uint64_t seq, Value&& value, Clock::time_point at) -> bool {
+    if (seq >= n || report.latency_seconds[seq] != 0.0) {
+      return false;
+    }
+    report.responses[seq] = std::move(value);
+    report.latency_seconds[seq] = Seconds(send_time[seq], at);
+    ++report.received;
+    --conn_outstanding[seq % n_conns];
+    return true;
+  };
+
+  if (options.batch) {
+    for (size_t i = 0; i < n; ++i) {
+      send_time[i] = Clock::now();
+      if (!conns[i % n_conns]->SendRequest(i, workload.inputs[i], &error)) {
+        return Fail(std::move(report), "send " + std::to_string(i) + ": " + error);
+      }
+      ++report.sent;
+      ++conn_outstanding[i % n_conns];
+    }
+    if (options.send_shutdown && !conns[0]->SendShutdown(n_conns, &error)) {
+      return Fail(std::move(report), "shutdown frame: " + error);
+    }
+    for (auto& conn : conns) {
+      if (!conn->FinishWrites(&error)) {
+        return Fail(std::move(report), "half-close: " + error);
+      }
+    }
+    // Per-connection sequential collection: each connection's worker sends
+    // all its responses once its shard is served.
+    for (size_t c = 0; c < n_conns; ++c) {
+      while (conn_outstanding[c] > 0) {
+        uint64_t seq = 0;
+        Value value;
+        if (!conns[c]->ReadResponse(&seq, &value, options.timeout_ms, &error)) {
+          return Fail(std::move(report), "connection " + std::to_string(c) + ": " + error);
+        }
+        if (!record_response(seq, std::move(value), Clock::now())) {
+          return Fail(std::move(report),
+                      "connection " + std::to_string(c) + ": duplicate or out-of-range seq " +
+                          std::to_string(seq));
+        }
+      }
+    }
+    report.wall_seconds = Seconds(start, Clock::now());
+    report.ok = true;
+    return report;
+  }
+
+  // Live discipline: issue at arrival timestamps (back-to-back when the
+  // schedule is closed-loop), reading whichever connections turn readable
+  // in between.
+  const bool paced = !workload.arrival_seconds.empty();
+  size_t next_send = 0;
+  while (report.received < n) {
+    const double elapsed = Seconds(start, Clock::now());
+    while (next_send < n &&
+           (!paced || workload.arrival_seconds[next_send] <= elapsed)) {
+      send_time[next_send] = Clock::now();
+      if (!conns[next_send % n_conns]->SendRequest(next_send, workload.inputs[next_send],
+                                                   &error)) {
+        return Fail(std::move(report), "send " + std::to_string(next_send) + ": " + error);
+      }
+      ++conn_outstanding[next_send % n_conns];
+      ++report.sent;
+      ++next_send;
+    }
+
+    // Drain frames already decoded-ready in userspace buffers first: a
+    // single recv() can pull several responses, and poll() below only sees
+    // kernel-buffered bytes — blocking there would strand them.
+    bool drained_buffered = false;
+    for (size_t c = 0; c < n_conns; ++c) {
+      while (conns[c]->HasBufferedFrame()) {
+        uint64_t seq = 0;
+        Value value;
+        if (!conns[c]->ReadResponse(&seq, &value, /*timeout_ms=*/0, &error)) {
+          return Fail(std::move(report), "connection " + std::to_string(c) + ": " + error);
+        }
+        if (!record_response(seq, std::move(value), Clock::now())) {
+          return Fail(std::move(report),
+                      "connection " + std::to_string(c) + ": duplicate or out-of-range seq " +
+                          std::to_string(seq));
+        }
+        drained_buffered = true;
+      }
+    }
+    if (drained_buffered) {
+      continue;  // Re-evaluate sends and completion before blocking.
+    }
+
+    // Wait for the earlier of "next scheduled send" and "a response".
+    int wait_ms = options.timeout_ms;
+    if (next_send < n && paced) {
+      double until = workload.arrival_seconds[next_send] - Seconds(start, Clock::now());
+      wait_ms = until <= 0 ? 0 : static_cast<int>(until * 1000) + 1;
+    } else if (next_send < n) {
+      wait_ms = 0;
+    }
+
+    std::vector<struct pollfd> pfds(n_conns);
+    for (size_t c = 0; c < n_conns; ++c) {
+      pfds[c].fd = conns[c]->fd();
+      pfds[c].events = conn_outstanding[c] > 0 ? POLLIN : 0;
+      pfds[c].revents = 0;
+    }
+    int rc = poll(pfds.data(), pfds.size(), wait_ms);
+    if (rc == 0 && next_send >= n) {
+      return Fail(std::move(report), "timed out with " + std::to_string(n - report.received) +
+                                         " responses outstanding");
+    }
+    for (size_t c = 0; c < n_conns && rc > 0; ++c) {
+      if (!(pfds[c].revents & (POLLIN | POLLHUP | POLLERR))) {
+        continue;
+      }
+      uint64_t seq = 0;
+      Value value;
+      if (!conns[c]->ReadResponse(&seq, &value, options.timeout_ms, &error)) {
+        return Fail(std::move(report), "connection " + std::to_string(c) + ": " + error);
+      }
+      if (!record_response(seq, std::move(value), Clock::now())) {
+        return Fail(std::move(report),
+                    "connection " + std::to_string(c) + ": duplicate or out-of-range seq " +
+                        std::to_string(seq));
+      }
+    }
+  }
+  report.wall_seconds = Seconds(start, Clock::now());
+  if (options.send_shutdown && !conns[0]->SendShutdown(n_conns, &error)) {
+    return Fail(std::move(report), "shutdown frame: " + error);
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace karousos

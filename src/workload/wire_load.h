@@ -1,0 +1,54 @@
+// Open-loop socket load driver: replays a GenerateOpenLoop schedule against
+// a running wire server over C connections (request i rides connection
+// i mod C, so with C equal to the server's worker count each worker's shard
+// is the strided subsequence inputs[w::N]). Two issue disciplines:
+//
+//   * Batch: write every request up front (pacing ignored), send the
+//     shutdown frame carrying the connection count, half-close all
+//     connections, then collect responses. Pairs with the server's batch
+//     mode for byte-deterministic shards.
+//   * Live: issue each request at its arrival timestamp (or back-to-back
+//     for closed-loop schedules), reading responses as they become
+//     readable; per-request latency is measured from scheduled send to
+//     response receipt. The shutdown frame goes out after the last response
+//     so drain never races outstanding work.
+#ifndef SRC_WORKLOAD_WIRE_LOAD_H_
+#define SRC_WORKLOAD_WIRE_LOAD_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+
+struct WireLoadOptions {
+  size_t connections = 1;
+  // Batch discipline (see file comment). Live when false.
+  bool batch = false;
+  // Send the drain-the-server shutdown frame when done.
+  bool send_shutdown = true;
+  // Per-read timeout; the whole run fails if any response takes longer.
+  int timeout_ms = 30000;
+};
+
+struct WireLoadReport {
+  bool ok = false;
+  std::string error;
+  size_t sent = 0;
+  size_t received = 0;
+  double wall_seconds = 0;
+  // Response payloads and send-to-receive latencies, indexed by schedule
+  // position (seq).
+  std::vector<Value> responses;
+  std::vector<double> latency_seconds;
+};
+
+WireLoadReport RunWireLoad(const std::string& address, const OpenLoopWorkload& workload,
+                           const WireLoadOptions& options);
+
+}  // namespace karousos
+
+#endif  // SRC_WORKLOAD_WIRE_LOAD_H_

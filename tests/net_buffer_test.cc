@@ -1,0 +1,138 @@
+// Watermark buffer semantics: the hysteresis pair fires exactly once per
+// crossing, overflow state tracks the documented thresholds (above when
+// size > high, back below when size <= low), and a zero high watermark
+// disables limiting entirely.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/buffer.h"
+
+namespace karousos {
+namespace {
+
+std::vector<uint8_t> Bytes(size_t n) { return std::vector<uint8_t>(n, 0xAB); }
+
+TEST(WatermarkBufferTest, AppendDrainRoundTrip) {
+  WatermarkBuffer buf;
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  buf.Append(data.data(), data.size());
+  ASSERT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.data()[0], 1);
+  buf.Drain(2);
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.data()[0], 3);
+  buf.Drain(3);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(WatermarkBufferTest, HighFiresExactlyOncePerCrossing) {
+  WatermarkBuffer buf;
+  int above = 0;
+  int below = 0;
+  buf.SetWatermarks(100, 50);
+  buf.SetCallbacks([&] { ++above; }, [&] { ++below; });
+
+  auto chunk = Bytes(30);
+  buf.Append(chunk.data(), chunk.size());  // 30
+  buf.Append(chunk.data(), chunk.size());  // 60
+  buf.Append(chunk.data(), chunk.size());  // 90
+  EXPECT_EQ(above, 0);
+  EXPECT_FALSE(buf.overflowed());
+
+  auto ten = Bytes(10);
+  buf.Append(ten.data(), ten.size());  // 100: not yet (> high required).
+  EXPECT_EQ(above, 0);
+  buf.Append(ten.data(), ten.size());  // 110: crossed.
+  EXPECT_EQ(above, 1);
+  EXPECT_TRUE(buf.overflowed());
+
+  // Further growth above high must not re-fire.
+  buf.Append(chunk.data(), chunk.size());  // 140
+  EXPECT_EQ(above, 1);
+
+  // Draining to (low, high] keeps the overflowed state: no flapping.
+  buf.Drain(60);  // 80
+  EXPECT_EQ(below, 0);
+  EXPECT_TRUE(buf.overflowed());
+
+  buf.Drain(30);  // 50 == low: below-low fires.
+  EXPECT_EQ(below, 1);
+  EXPECT_FALSE(buf.overflowed());
+
+  // Draining further must not re-fire.
+  buf.Drain(50);
+  EXPECT_EQ(below, 1);
+
+  // A second full cycle fires each callback exactly once more.
+  auto big = Bytes(200);
+  buf.Append(big.data(), big.size());
+  EXPECT_EQ(above, 2);
+  buf.Drain(200);
+  EXPECT_EQ(below, 2);
+}
+
+TEST(WatermarkBufferTest, OscillationAroundHighDoesNotFlap) {
+  WatermarkBuffer buf;
+  int above = 0;
+  int below = 0;
+  buf.SetWatermarks(100, 50);
+  buf.SetCallbacks([&] { ++above; }, [&] { ++below; });
+
+  auto chunk = Bytes(101);
+  buf.Append(chunk.data(), chunk.size());  // 101: above.
+  // Oscillate between 81 and 101 — inside the hysteresis band.
+  for (int i = 0; i < 10; ++i) {
+    buf.Drain(20);
+    auto refill = Bytes(20);
+    buf.Append(refill.data(), refill.size());
+  }
+  EXPECT_EQ(above, 1);
+  EXPECT_EQ(below, 0);
+}
+
+TEST(WatermarkBufferTest, ZeroHighDisablesLimiting) {
+  WatermarkBuffer buf;
+  int above = 0;
+  buf.SetWatermarks(0, 0);
+  buf.SetCallbacks([&] { ++above; }, [] {});
+  auto big = Bytes(1 << 20);
+  buf.Append(big.data(), big.size());
+  EXPECT_EQ(above, 0);
+  EXPECT_FALSE(buf.overflowed());
+}
+
+TEST(WatermarkBufferTest, PeakTracksLargestResidentSize) {
+  WatermarkBuffer buf;
+  auto chunk = Bytes(70);
+  buf.Append(chunk.data(), chunk.size());
+  buf.Drain(50);
+  auto more = Bytes(10);
+  buf.Append(more.data(), more.size());  // Resident 30; peak stays 70.
+  EXPECT_EQ(buf.peak_size(), 70u);
+  auto big = Bytes(200);
+  buf.Append(big.data(), big.size());
+  EXPECT_EQ(buf.peak_size(), 230u);
+}
+
+TEST(WatermarkBufferTest, CompactionPreservesContents) {
+  WatermarkBuffer buf;
+  // Interleave appends and full drains so the head pointer repeatedly
+  // reaches the end and compaction triggers; contents must stay coherent.
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint8_t> data(64);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(round + i);
+    }
+    buf.Append(data.data(), data.size());
+    buf.Drain(32);
+    ASSERT_EQ(buf.size(), 32u);
+    EXPECT_EQ(buf.data()[0], static_cast<uint8_t>(round + 32));
+    buf.Drain(32);
+    EXPECT_TRUE(buf.empty());
+  }
+}
+
+}  // namespace
+}  // namespace karousos

@@ -75,6 +75,14 @@ MEASURE_FIELDS = (
     "encode_seconds",
     "decode_seconds",
     "codec_overhead_pct",
+    # net_wire front-end fields: throughput, client-observed wire latency,
+    # server-side serve time, and the slow-client bounded-memory counters.
+    "wire_rps",
+    "wire_p50_ms",
+    "wire_p99_ms",
+    "serve_seconds",
+    "peak_buffered_bytes",
+    "read_disables",
 )
 
 # Of the measured fields, the ones where bigger is worse. off_seconds is the
@@ -98,6 +106,9 @@ TIME_FIELDS = (
     # byte fields are covered by the ratio gate below instead).
     "encode_seconds",
     "decode_seconds",
+    # net_wire: gate the median client-observed wire latency; p99 and the
+    # wall-clock serve time are too noisy on shared runners.
+    "wire_p50_ms",
 )
 
 # Measured fields where bigger is BETTER: a shrink beyond the threshold is the
@@ -106,6 +117,8 @@ TIME_FIELDS = (
 RATIO_FIELDS = (
     "advice_ratio",
     "trace_ratio",
+    # net_wire throughput: a shrink beyond the threshold is the regression.
+    "wire_rps",
 )
 
 

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "src/analysis/check.h"
 #include "src/analysis/lint.h"
 #include "src/analysis/race.h"
@@ -28,7 +30,9 @@
 #include "src/audit/stream.h"
 #include "src/common/json.h"
 #include "src/common/segment.h"
+#include "src/net/wire_server.h"
 #include "src/server/rollover.h"
+#include "src/workload/wire_load.h"
 #include "src/workload/workload.h"
 
 namespace karousos {
@@ -39,13 +43,42 @@ int Usage() {
                "usage:\n"
                "  karousos serve  --app <motd|stacks|wiki|auction|mixed> [--workload <reads|writes|mixed>]\n"
                "                  [--requests N] [--concurrency C] [--seed S] [--mode karousos|orochi]\n"
-               "                  [--isolation ser|rc|ru] --out-trace FILE --out-advice FILE\n"
+               "                  [--isolation ser|rc|ru] [--inputs FILE]\n"
+               "                  --out-trace FILE --out-advice FILE\n"
                "                  [--out-segments DIR --epoch-size N] [--compress STAGES]\n"
+               "      --workload: request mix — reads (90/10), writes (10/90), or mixed\n"
+               "      (50/50; wiki/auction/mixed apps use their native mixes)\n"
+               "      --requests/--concurrency/--seed: workload size, in-flight window,\n"
+               "      and the shared workload+scheduler seed\n"
+               "      --mode: advice collection — karousos (default) or the orochi\n"
+               "      baseline; --isolation: store isolation level\n"
+               "      --inputs: serve a JSON-lines request stream instead of --workload\n"
                "      --out-segments: also (or instead) write the epoch-segmented KSEG\n"
                "      containers DIR/trace.kseg and DIR/advice.kseg\n"
                "      --compress: storage-class codec stages for the KSEG containers —\n"
                "      'all' or a comma list of lanes,dict,block (emits format v2 frames;\n"
                "      'none' = raw v1, the default)\n"
+               "  karousos serve  --app <...> --listen <unix:/path|host:port>\n"
+               "                  [--net-workers N] [--net-batch] [--out-shards DIR]\n"
+               "                  [--concurrency C] [--seed S] [--mode ...] [--isolation ...]\n"
+               "      network front-end: accept framed requests over TCP or a unix\n"
+               "      socket instead of generating a workload in-process; runs until a\n"
+               "      client shutdown frame arrives (e.g. from `karousos load`)\n"
+               "      --net-workers: worker event loops; worker w is its own record\n"
+               "      shard, served with seed S+w (connections round-robin by accept)\n"
+               "      --net-batch: collect requests until clients half-close, then serve\n"
+               "      each shard in client-sequence order (byte-deterministic shards)\n"
+               "      --out-shards: write DIR/shard<w>.trace and DIR/shard<w>.advice,\n"
+               "      each auditable with `karousos audit --seed S+w`\n"
+               "  karousos load   --connect <unix:/path|host:port> --app <...> [--workload ...]\n"
+               "                  [--requests N] [--connections C] [--seed S] [--net-batch]\n"
+               "                  [--arrival closed|uniform|bursty|diurnal] [--rate R]\n"
+               "      open-loop socket client: replays the generated workload against a\n"
+               "      `serve --listen` server (request i rides connection i mod C) and\n"
+               "      sends the drain frame when done; prints throughput and latency\n"
+               "      --arrival/--rate: open-loop pacing (closed = back-to-back)\n"
+               "      --net-batch: write everything up front + half-close (pairs with a\n"
+               "      `serve --net-batch` server)\n"
                "  karousos audit  --app <motd|stacks|wiki|auction|mixed> --trace FILE --advice FILE\n"
                "                  [--segments DIR] [--no-prescreen]\n"
                "                  [--isolation ser|rc|ru] [--threads N] [--profile]\n"
@@ -123,6 +156,15 @@ struct Args {
   bool races = false;
   bool profile = false;
   bool no_prescreen = false;
+  // Network front-end (serve --listen / load --connect).
+  std::string listen;
+  std::string connect;
+  std::string out_shards_dir;
+  size_t net_workers = 1;
+  bool net_batch = false;
+  size_t connections = 1;
+  std::string arrival = "closed";
+  double rate = 2000.0;
 };
 
 std::optional<Args> Parse(int argc, char** argv) {
@@ -145,6 +187,11 @@ std::optional<Args> Parse(int argc, char** argv) {
     }
     if (flag == "--no-prescreen") {
       args.no_prescreen = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--net-batch") {
+      args.net_batch = true;
       ++i;
       continue;
     }
@@ -195,6 +242,20 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.out_segments_dir = value;
     } else if (flag == "--compress") {
       args.compress = value;
+    } else if (flag == "--listen") {
+      args.listen = value;
+    } else if (flag == "--connect") {
+      args.connect = value;
+    } else if (flag == "--out-shards") {
+      args.out_shards_dir = value;
+    } else if (flag == "--net-workers") {
+      args.net_workers = static_cast<size_t>(std::stoul(value));
+    } else if (flag == "--connections") {
+      args.connections = static_cast<size_t>(std::stoul(value));
+    } else if (flag == "--arrival") {
+      args.arrival = value;
+    } else if (flag == "--rate") {
+      args.rate = std::stod(value);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -268,7 +329,142 @@ IsolationLevel ParseIsolation(const std::string& s) {
   std::exit(2);
 }
 
+// Shared serve/load/analyze plumbing: one place maps CLI args to the
+// workload and server configs and runs an in-process serve.
+
+WorkloadConfig MakeWorkloadConfig(const Args& args) {
+  WorkloadConfig wl;
+  wl.app = args.app;
+  wl.kind = args.workload == "reads"    ? WorkloadKind::kReadHeavy
+            : args.workload == "writes" ? WorkloadKind::kWriteHeavy
+            : args.app == "wiki"        ? WorkloadKind::kWikiMix
+            : args.app == "auction"     ? WorkloadKind::kAuctionMix
+            : args.app == "mixed"       ? WorkloadKind::kMixedApps
+                                        : WorkloadKind::kMixed;
+  wl.requests = args.requests;
+  wl.seed = args.seed;
+  wl.connections = args.concurrency;
+  return wl;
+}
+
+ServerConfig MakeServerConfig(const Args& args) {
+  ServerConfig config;
+  config.mode = args.mode == "orochi" ? CollectMode::kOrochi : CollectMode::kKarousos;
+  config.isolation = ParseIsolation(args.isolation);
+  config.concurrency = args.concurrency;
+  config.seed = args.seed;
+  return config;
+}
+
+ServerRunResult RunServe(const Args& args, const AppSpec& app,
+                         const std::vector<Value>& inputs) {
+  Server server(*app.program, MakeServerConfig(args));
+  return server.Run(inputs);
+}
+
+// serve --listen: the event-loop network front-end. Runs until a client
+// shutdown frame drains the server, then reports per-shard results and
+// optionally writes each shard's trace/advice for independent auditing.
+int CmdServeWire(const Args& args) {
+  AppSpec app = MakeApp(args.app);
+  WireServerConfig wc;
+  wc.listen = args.listen;
+  wc.workers = args.net_workers;
+  wc.batch = args.net_batch;
+  wc.server = MakeServerConfig(args);
+  WireServer server(*app.program, wc);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "serve --listen: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("listening on %s (%zu worker%s, %s mode, concurrency %d, seed %llu)\n",
+              server.bound_address().c_str(), wc.workers, wc.workers == 1 ? "" : "s",
+              wc.batch ? "batch" : "live", wc.server.concurrency,
+              static_cast<unsigned long long>(wc.server.seed));
+  std::fflush(stdout);
+  WireServerReport report = server.Wait();
+  if (!report.ok) {
+    std::fprintf(stderr, "serve --listen: %s\n", report.error.c_str());
+    return 1;
+  }
+  std::printf("drained: %zu connections, %zu requests, %zu responses, "
+              "%zu protocol errors, %llu read-disables, peak buffered %zu B\n",
+              report.connections, report.requests, report.responses, report.protocol_errors,
+              static_cast<unsigned long long>(report.read_disables),
+              report.peak_connection_buffered_bytes);
+  for (const WireShardResult& shard : report.shards) {
+    std::printf("shard %zu (seed %llu): %zu connections, %zu requests, "
+                "%zu var-log entries, %zu txns\n",
+                shard.worker, static_cast<unsigned long long>(wc.server.seed + shard.worker),
+                shard.connections, shard.requests, shard.run.advice.var_log_entry_count(),
+                shard.run.advice.tx_logs.size());
+  }
+  if (!args.out_shards_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.out_shards_dir, ec);
+    for (const WireShardResult& shard : report.shards) {
+      ByteWriter trace_bytes;
+      shard.run.trace.Serialize(&trace_bytes);
+      ByteWriter advice_bytes;
+      shard.run.advice.Serialize(&advice_bytes);
+      const std::string base = args.out_shards_dir + "/shard" + std::to_string(shard.worker);
+      if (!WriteFile(base + ".trace", trace_bytes.bytes()) ||
+          !WriteFile(base + ".advice", advice_bytes.bytes())) {
+        std::fprintf(stderr, "failed to write %s.{trace,advice}\n", base.c_str());
+        return 1;
+      }
+      std::printf("shard %zu -> %s.trace (%zu B), %s.advice (%zu B)\n", shard.worker,
+                  base.c_str(), trace_bytes.size(), base.c_str(), advice_bytes.size());
+    }
+  }
+  return 0;
+}
+
+// load --connect: open-loop socket client for a serve --listen server.
+int CmdLoad(const Args& args) {
+  if (args.connect.empty()) {
+    return Usage();
+  }
+  WorkloadConfig wl = MakeWorkloadConfig(args);
+  wl.arrival = args.arrival == "uniform"   ? ArrivalPattern::kUniform
+               : args.arrival == "bursty"  ? ArrivalPattern::kBursty
+               : args.arrival == "diurnal" ? ArrivalPattern::kDiurnal
+                                           : ArrivalPattern::kClosed;
+  wl.mean_rate = args.rate;
+  OpenLoopWorkload workload = GenerateOpenLoop(wl);
+
+  WireLoadOptions options;
+  options.connections = args.connections;
+  options.batch = args.net_batch;
+  WireLoadReport report = RunWireLoad(args.connect, workload, options);
+  if (!report.ok) {
+    std::fprintf(stderr, "load: %s\n", report.error.c_str());
+    return 1;
+  }
+  std::vector<double> sorted = report.latency_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  auto percentile = [&sorted](double p) {
+    if (sorted.empty()) {
+      return 0.0;
+    }
+    size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  };
+  std::printf("load: %zu requests over %zu connection%s in %.3fs (%.0f req/s)\n",
+              report.received, args.connections, args.connections == 1 ? "" : "s",
+              report.wall_seconds,
+              report.wall_seconds > 0 ? static_cast<double>(report.received) / report.wall_seconds
+                                      : 0.0);
+  std::printf("latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms\n", percentile(0.50) * 1e3,
+              percentile(0.99) * 1e3, sorted.empty() ? 0.0 : sorted.back() * 1e3);
+  return 0;
+}
+
 int CmdServe(const Args& args) {
+  if (!args.listen.empty()) {
+    return CmdServeWire(args);
+  }
   const bool want_monolith = !args.trace_path.empty() || !args.advice_path.empty();
   if (want_monolith && (args.trace_path.empty() || args.advice_path.empty())) {
     return Usage();
@@ -305,31 +501,15 @@ int CmdServe(const Args& args) {
       inputs.push_back(std::move(*value));
     }
   } else {
-    WorkloadConfig wl;
-    wl.app = args.app;
-    wl.kind = args.workload == "reads"    ? WorkloadKind::kReadHeavy
-              : args.workload == "writes" ? WorkloadKind::kWriteHeavy
-              : args.app == "wiki"        ? WorkloadKind::kWikiMix
-              : args.app == "auction"     ? WorkloadKind::kAuctionMix
-              : args.app == "mixed"       ? WorkloadKind::kMixedApps
-                                          : WorkloadKind::kMixed;
-    wl.requests = args.requests;
-    wl.seed = args.seed;
-    wl.connections = args.concurrency;
-    inputs = GenerateWorkload(wl);
+    inputs = GenerateWorkload(MakeWorkloadConfig(args));
   }
 
   AppSpec app = MakeApp(args.app);
-  ServerConfig config;
-  config.mode = args.mode == "orochi" ? CollectMode::kOrochi : CollectMode::kKarousos;
-  config.isolation = ParseIsolation(args.isolation);
-  config.concurrency = args.concurrency;
-  config.seed = args.seed;
-  Server server(*app.program, config);
-  ServerRunResult run = server.Run(inputs);
+  ServerRunResult run = RunServe(args, app, inputs);
 
   std::printf("served %zu requests (%s, concurrency %d) in %.3fs\n", inputs.size(),
-              CollectModeName(config.mode), args.concurrency, run.serve_seconds);
+              CollectModeName(MakeServerConfig(args).mode), args.concurrency,
+              run.serve_seconds);
   if (want_monolith) {
     ByteWriter trace_bytes;
     run.trace.Serialize(&trace_bytes);
@@ -808,27 +988,9 @@ int CmdAnalyzeLint(const Args& args) {
 // Serves the app in-process with untracked-access recording on and runs the
 // §5 happens-before race detector over the access log. Exits 1 iff races.
 int CmdAnalyzeRaces(const Args& args) {
-  WorkloadConfig wl;
-  wl.app = args.app;
-  wl.kind = args.workload == "reads"    ? WorkloadKind::kReadHeavy
-            : args.workload == "writes" ? WorkloadKind::kWriteHeavy
-            : args.app == "wiki"        ? WorkloadKind::kWikiMix
-            : args.app == "auction"     ? WorkloadKind::kAuctionMix
-            : args.app == "mixed"       ? WorkloadKind::kMixedApps
-                                        : WorkloadKind::kMixed;
-  wl.requests = args.requests;
-  wl.seed = args.seed;
-  wl.connections = args.concurrency;
-  std::vector<Value> inputs = GenerateWorkload(wl);
-
+  std::vector<Value> inputs = GenerateWorkload(MakeWorkloadConfig(args));
   AppSpec app = MakeApp(args.app);
-  ServerConfig config;
-  config.mode = args.mode == "orochi" ? CollectMode::kOrochi : CollectMode::kKarousos;
-  config.isolation = ParseIsolation(args.isolation);
-  config.concurrency = args.concurrency;
-  config.seed = args.seed;
-  Server server(*app.program, config);
-  ServerRunResult run = server.Run(inputs);
+  ServerRunResult run = RunServe(args, app, inputs);
 
   std::vector<RaceFinding> findings = DetectUntrackedRaces(run.untracked_accesses);
   for (const RaceFinding& f : findings) {
@@ -854,6 +1016,9 @@ int Main(int argc, char** argv) {
   }
   if (args->command == "serve") {
     return CmdServe(*args);
+  }
+  if (args->command == "load") {
+    return CmdLoad(*args);
   }
   if (args->command == "audit") {
     return CmdAudit(*args);
