@@ -39,6 +39,11 @@ struct Row {
   double wire_p50_ms = 0;
   double wire_p99_ms = 0;
   double serve_seconds = 0;
+  // The same workload through the same socket path with advice collection
+  // off: the wire-level record overhead is what karousos costs end-to-end
+  // when the transport, framing, and scheduling are all held constant.
+  double wire_off_rps = 0;
+  double wire_record_overhead = 0;  // wire_off_rps / wire_rps (1.0 = free).
 };
 
 AppSpec MakeApp(const std::string& name) {
@@ -68,6 +73,69 @@ std::string UniqueSocketPath(const char* tag) {
          std::to_string(counter++) + ".sock";
 }
 
+struct OneRun {
+  bool ok = false;
+  double rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double serve_seconds = 0;
+};
+
+// One server + one load run over a fresh unix socket. In karousos mode every
+// wire shard must still audit clean; in off mode there is no advice to audit
+// — that run is the transport-only baseline.
+OneRun MeasureOnce(const char* name, const OpenLoopWorkload& workload, size_t workers,
+                   size_t connections, size_t requests, CollectMode mode, size_t pipeline) {
+  OneRun out;
+  AppSpec app = MakeApp(name);
+  WireServerConfig wc;
+  wc.listen = UniqueSocketPath(name);
+  wc.workers = workers;
+  wc.batch = false;
+  wc.server.concurrency = 4;
+  wc.server.seed = 21;
+  wc.server.mode = mode;
+  WireServer server(*app.program, wc);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "start failed (%s): %s\n", name, error.c_str());
+    return out;
+  }
+  WireLoadOptions lo;
+  lo.connections = connections;
+  lo.batch = false;
+  lo.pipeline = pipeline;
+  WireLoadReport load = RunWireLoad(server.bound_address(), workload, lo);
+  if (!load.ok) {
+    std::fprintf(stderr, "load failed (%s): %s\n", name, load.error.c_str());
+    return out;
+  }
+  WireServerReport report = server.Wait();
+  if (!report.ok) {
+    std::fprintf(stderr, "serve failed (%s): %s\n", name, report.error.c_str());
+    return out;
+  }
+  // Every shard served over the wire must still audit clean: the wire path
+  // may reorder admissions but never the recorded facts.
+  if (mode == CollectMode::kKarousos) {
+    for (const WireShardResult& shard : report.shards) {
+      AuditResult audit =
+          AuditOnly(app, shard.run.trace, shard.run.advice, IsolationLevel::kSerializable);
+      if (!audit.accepted) {
+        std::fprintf(stderr, "BUG: wire shard %zu (%s, %zu workers) rejected: %s\n",
+                     shard.worker, name, workers, audit.reason.c_str());
+        return out;
+      }
+    }
+  }
+  out.rps = static_cast<double>(requests) / load.wall_seconds;
+  out.p50_ms = PercentileMs(load.latency_seconds, 0.50);
+  out.p99_ms = PercentileMs(load.latency_seconds, 0.99);
+  out.serve_seconds = report.serve_seconds;
+  out.ok = true;
+  return out;
+}
+
 int Main(int argc, char** argv) {
   std::string out_path = "BENCH_net_wire.json";
   bool quick = false;
@@ -94,8 +162,8 @@ int Main(int argc, char** argv) {
 
   std::printf("=== Wire front-end: throughput and latency over unix socket ===\n");
   std::printf("(%zu requests, %zu connections, live mode)\n", kRequests, kConnections);
-  std::printf("%-8s %8s %12s %10s %10s %12s\n", "app", "workers", "req/s", "p50 (ms)",
-              "p99 (ms)", "serve (s)");
+  std::printf("%-8s %8s %12s %10s %10s %12s %10s %9s\n", "app", "workers", "req/s", "p50 (ms)",
+              "p99 (ms)", "serve (s)", "off req/s", "overhead");
 
   std::vector<Row> rows;
   for (const BenchApp& bench_app : kApps) {
@@ -109,51 +177,23 @@ int Main(int argc, char** argv) {
       wl.arrival = ArrivalPattern::kClosed;
       OpenLoopWorkload workload = GenerateOpenLoop(wl);
 
-      std::vector<double> rps, p50, p99, serve;
+      std::vector<double> rps, p50, p99, serve, off_rps;
       for (int rep = 0; rep < kReps; ++rep) {
-        AppSpec app = MakeApp(bench_app.name);
-        WireServerConfig wc;
-        wc.listen = UniqueSocketPath(bench_app.name);
-        wc.workers = workers;
-        wc.batch = false;
-        wc.server.concurrency = 4;
-        wc.server.seed = 21;
-        WireServer server(*app.program, wc);
-        std::string error;
-        if (!server.Start(&error)) {
-          std::fprintf(stderr, "start failed (%s): %s\n", bench_app.name, error.c_str());
+        OneRun on = MeasureOnce(bench_app.name, workload, workers, kConnections, kRequests,
+                                CollectMode::kKarousos, /*pipeline=*/0);
+        if (!on.ok) {
           return 1;
         }
-
-        WireLoadOptions lo;
-        lo.connections = kConnections;
-        lo.batch = false;
-        WireLoadReport load = RunWireLoad(server.bound_address(), workload, lo);
-        if (!load.ok) {
-          std::fprintf(stderr, "load failed (%s): %s\n", bench_app.name, load.error.c_str());
+        OneRun off = MeasureOnce(bench_app.name, workload, workers, kConnections, kRequests,
+                                 CollectMode::kOff, /*pipeline=*/0);
+        if (!off.ok) {
           return 1;
         }
-        WireServerReport report = server.Wait();
-        if (!report.ok) {
-          std::fprintf(stderr, "serve failed (%s): %s\n", bench_app.name,
-                       report.error.c_str());
-          return 1;
-        }
-        // Every shard served over the wire must still audit clean: the wire
-        // path may reorder admissions but never the recorded facts.
-        for (const WireShardResult& shard : report.shards) {
-          AuditResult audit =
-              AuditOnly(app, shard.run.trace, shard.run.advice, IsolationLevel::kSerializable);
-          if (!audit.accepted) {
-            std::fprintf(stderr, "BUG: wire shard %zu (%s, %zu workers) rejected: %s\n",
-                         shard.worker, bench_app.name, workers, audit.reason.c_str());
-            return 1;
-          }
-        }
-        rps.push_back(static_cast<double>(kRequests) / load.wall_seconds);
-        p50.push_back(PercentileMs(load.latency_seconds, 0.50));
-        p99.push_back(PercentileMs(load.latency_seconds, 0.99));
-        serve.push_back(report.serve_seconds);
+        rps.push_back(on.rps);
+        p50.push_back(on.p50_ms);
+        p99.push_back(on.p99_ms);
+        serve.push_back(on.serve_seconds);
+        off_rps.push_back(off.rps);
       }
 
       Row row;
@@ -162,13 +202,60 @@ int Main(int argc, char** argv) {
       row.requests = kRequests;
       row.connections = kConnections;
       row.wire_rps = MedianOf(rps);
-      row.wire_p50_ms = MedianOf(p50) ;
+      row.wire_p50_ms = MedianOf(p50);
       row.wire_p99_ms = MedianOf(p99);
       row.serve_seconds = MedianOf(serve);
+      row.wire_off_rps = MedianOf(off_rps);
+      row.wire_record_overhead = row.wire_rps > 0 ? row.wire_off_rps / row.wire_rps : 0.0;
       rows.push_back(row);
-      std::printf("%-8s %8zu %12.0f %10.3f %10.3f %12.4f\n", row.app.c_str(), row.workers,
-                  row.wire_rps, row.wire_p50_ms, row.wire_p99_ms, row.serve_seconds);
+      std::printf("%-8s %8zu %12.0f %10.3f %10.3f %12.4f %10.0f %8.2fx\n", row.app.c_str(),
+                  row.workers, row.wire_rps, row.wire_p50_ms, row.wire_p99_ms,
+                  row.serve_seconds, row.wire_off_rps, row.wire_record_overhead);
     }
+  }
+
+  // Pipeline window sweep: the same closed-loop motd workload through 4
+  // workers at per-connection windows 1 (strict RPC), 8 (pipelined), and 0
+  // (unbounded — the default discipline above). The delta between 1 and 8 is
+  // what request pipelining buys once per-request wire round-trips stop
+  // serializing the schedule.
+  struct PipeRow {
+    size_t pipeline = 0;
+    double wire_rps = 0;
+    double wire_p50_ms = 0;
+  };
+  std::vector<PipeRow> pipe_rows;
+  {
+    WorkloadConfig wl;
+    wl.app = "motd";
+    wl.kind = WorkloadKind::kMixed;
+    wl.requests = kRequests;
+    wl.seed = 7;
+    wl.connections = static_cast<int>(kConnections);
+    wl.arrival = ArrivalPattern::kClosed;
+    OpenLoopWorkload workload = GenerateOpenLoop(wl);
+    for (size_t pipeline : {size_t{1}, size_t{8}, size_t{0}}) {
+      std::vector<double> rps, p50;
+      for (int rep = 0; rep < kReps; ++rep) {
+        OneRun run = MeasureOnce("motd", workload, 4, kConnections, kRequests,
+                                 CollectMode::kKarousos, pipeline);
+        if (!run.ok) {
+          return 1;
+        }
+        rps.push_back(run.rps);
+        p50.push_back(run.p50_ms);
+      }
+      PipeRow row;
+      row.pipeline = pipeline;
+      row.wire_rps = MedianOf(rps);
+      row.wire_p50_ms = MedianOf(p50);
+      pipe_rows.push_back(row);
+    }
+    std::printf("pipeline (motd, 4 workers): window 1 %.0f req/s, window 8 %.0f req/s "
+                "(%.2fx), unbounded %.0f req/s\n",
+                pipe_rows[0].wire_rps, pipe_rows[1].wire_rps,
+                pipe_rows[0].wire_rps > 0 ? pipe_rows[1].wire_rps / pipe_rows[0].wire_rps : 0.0,
+                pipe_rows[2].wire_rps);
   }
 
   // Slow-client scenario: flood ~8KB set-requests without reading a single
@@ -257,9 +344,16 @@ int Main(int argc, char** argv) {
   for (const Row& r : rows) {
     std::fprintf(out,
                  "    {\"app\": \"%s\", \"workers\": %zu, \"wire_rps\": %.0f, "
-                 "\"wire_p50_ms\": %.4f, \"wire_p99_ms\": %.4f, \"serve_seconds\": %.6f},\n",
+                 "\"wire_p50_ms\": %.4f, \"wire_p99_ms\": %.4f, \"serve_seconds\": %.6f, "
+                 "\"wire_off_rps\": %.0f, \"wire_record_overhead\": %.4f},\n",
                  r.app.c_str(), r.workers, r.wire_rps, r.wire_p50_ms, r.wire_p99_ms,
-                 r.serve_seconds);
+                 r.serve_seconds, r.wire_off_rps, r.wire_record_overhead);
+  }
+  for (const PipeRow& r : pipe_rows) {
+    std::fprintf(out,
+                 "    {\"scenario\": \"pipeline\", \"app\": \"motd\", \"workers\": 4, "
+                 "\"pipeline\": %zu, \"wire_rps\": %.0f, \"wire_p50_ms\": %.4f},\n",
+                 r.pipeline, r.wire_rps, r.wire_p50_ms);
   }
   std::fprintf(out,
                "    {\"scenario\": \"slow_client\", \"high_watermark_bytes\": %zu, "

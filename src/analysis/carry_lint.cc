@@ -102,7 +102,16 @@ void CarryLint::CheckEpoch(const EpochSegment& segment, const std::set<RequestId
       place(op.rid, [&op] { return "nondet[" + op.ToString() + "]"; });
     }
   }
-  CheckImports(segment, out);              // 008
+  CheckImports(segment, trace_rids, out);  // 008
+}
+
+bool CarryLint::ForeignTarget(RequestId rid, const std::set<RequestId>& trace_rids) const {
+  // The init pseudo-request is replicated into every shard, and rids outside
+  // the trace have no owning shard a local audit could defer to — both stay
+  // on the unsharded path. Only real requests owned elsewhere defer to the
+  // merge.
+  return shard_filter_ != nullptr && rid != 0 && shard_filter_->count(rid) == 0 &&
+         trace_rids.count(rid) != 0;
 }
 
 // KAR-SEG-004: an operation executes in exactly one epoch, so coordinates
@@ -182,10 +191,11 @@ void CarryLint::CheckWriteOrderRecurrence(const EpochSegment& segment,
 // confirmation of earlier allegations whose target epoch just arrived. The
 // comparison semantics mirror the session's StreamConfirmImports exactly,
 // with the carry replaced by the live slice.
-void CarryLint::CheckImports(const EpochSegment& segment, std::vector<LintDiagnostic>* out) {
+void CarryLint::CheckImports(const EpochSegment& segment, const std::set<RequestId>& trace_rids,
+                             std::vector<LintDiagnostic>* out) {
   for (const auto& imp : segment.imports.tx_ops) {
     uint64_t target = EpochOfRid(imp.ref.rid, epoch_requests_);
-    if (target <= epochs_) {
+    if (target <= epochs_ && !ForeignTarget(imp.ref.rid, trace_rids)) {
       Emit(kKarSeg008, TxImportLoc(imp.ref),
            "continuity import does not point forward (registered in epoch " +
                std::to_string(epochs_) + ", target epoch " + std::to_string(target) + ")",
@@ -194,7 +204,7 @@ void CarryLint::CheckImports(const EpochSegment& segment, std::vector<LintDiagno
   }
   for (const auto& imp : segment.imports.var_entries) {
     uint64_t target = EpochOfRid(imp.op.rid, epoch_requests_);
-    if (target <= epochs_) {
+    if (target <= epochs_ && !ForeignTarget(imp.op.rid, trace_rids)) {
       Emit(kKarSeg008, VarImportLoc(imp.vid, imp.op),
            "continuity import does not point forward (registered in epoch " +
                std::to_string(epochs_) + ", target epoch " + std::to_string(target) + ")",
@@ -206,7 +216,8 @@ void CarryLint::CheckImports(const EpochSegment& segment, std::vector<LintDiagno
   for (auto it = pending_tx_imports_.begin(); it != pending_tx_imports_.end();) {
     const TxOpRef& ref = it->first;
     if (it->second.registered_epoch >= epochs_ ||
-        EpochOfRid(ref.rid, epoch_requests_) != epochs_) {
+        EpochOfRid(ref.rid, epoch_requests_) != epochs_ ||
+        ForeignTarget(ref.rid, trace_rids)) {
       ++it;
       continue;
     }
@@ -243,7 +254,8 @@ void CarryLint::CheckImports(const EpochSegment& segment, std::vector<LintDiagno
   for (auto it = pending_var_imports_.begin(); it != pending_var_imports_.end();) {
     const auto& [vid, op] = it->first;
     if (it->second.registered_epoch >= epochs_ ||
-        EpochOfRid(op.rid, epoch_requests_) != epochs_) {
+        EpochOfRid(op.rid, epoch_requests_) != epochs_ ||
+        ForeignTarget(op.rid, trace_rids)) {
       ++it;
       continue;
     }

@@ -57,6 +57,14 @@ inline constexpr const char* kKarSeg007 = "KAR-SEG-007";
 inline constexpr const char* kKarSeg008 = "KAR-SEG-008";
 inline constexpr const char* kKarSeg009 = "KAR-SEG-009";
 inline constexpr const char* kKarSeg010 = "KAR-SEG-010";
+// Shard-axis rules (PR 10). 011 fires in the shard-file loader, 012..015 at
+// audit-merge; like 004..009 they can only fire on genuinely cross-shard
+// phenomena, so a single-shard run (K == 1) reproduces the unsharded verdict.
+inline constexpr const char* kKarSeg011 = "KAR-SEG-011";  // boundary segment malformed
+inline constexpr const char* kKarSeg012 = "KAR-SEG-012";  // rid coverage broken (overlap, gap, split group)
+inline constexpr const char* kKarSeg013 = "KAR-SEG-013";  // write-order stitch broken / totals mismatch
+inline constexpr const char* kKarSeg014 = "KAR-SEG-014";  // cross-shard state contradiction
+inline constexpr const char* kKarSeg015 = "KAR-SEG-015";  // artifact set inconsistent
 
 // Incremental cross-epoch checker. Drive it like the session drives its own
 // carries: RegisterImports + CheckEpoch as each epoch arrives (after the
@@ -77,6 +85,15 @@ class CarryLint {
   // that (in standalone mode) the lint hooks can resolve through them —
   // mirroring the session, which registers imports before LintAdviceEpoch.
   void RegisterImports(const EpochSegment& segment);
+
+  // Shard-axis scope (src/server/shard.h): `owned` is the set of trace rids
+  // this shard's audit owns, kept alive by the caller. With a filter set,
+  // continuity imports whose target is an in-trace rid owned by another shard
+  // are exempt from the forward-direction rule (cross-shard imports may point
+  // backward) and from local arrival-confirmation (the target's content never
+  // arrives here; the merge confirms them against the owning shard's
+  // artifact). nullptr — the default — is the unsharded behavior.
+  void SetShardFilter(const std::set<RequestId>* owned) { shard_filter_ = owned; }
 
   // The per-epoch KAR-SEG pass (rules 004..008). `trace_rids` is the stream's
   // accumulated request-id universe (rids outside it are KAR-ADV-001's to
@@ -131,7 +148,11 @@ class CarryLint {
   void CheckOpcountEpochs(const EpochSegment& segment, std::vector<LintDiagnostic>* out);
   void CheckWriteOrderRecurrence(const EpochSegment& segment, std::vector<LintDiagnostic>* out);
   void CheckContentOwnership(const EpochSegment& segment, std::vector<LintDiagnostic>* out);
-  void CheckImports(const EpochSegment& segment, std::vector<LintDiagnostic>* out);
+  void CheckImports(const EpochSegment& segment, const std::set<RequestId>& trace_rids,
+                    std::vector<LintDiagnostic>* out);
+  // True when a shard filter is set and `rid` is an in-trace request owned by
+  // another shard (imports targeting it are confirmed at merge, not here).
+  bool ForeignTarget(RequestId rid, const std::set<RequestId>& trace_rids) const;
   void FinishEarlyContent(std::vector<LintDiagnostic>* out);
   void FinishImports(std::vector<LintDiagnostic>* out);
   void FinishPrecChains(std::vector<LintDiagnostic>* out);
@@ -139,6 +160,8 @@ class CarryLint {
   uint64_t epoch_requests_ = 0;
   bool standalone_ = false;
   uint64_t epochs_ = 0;  // Epochs folded so far == index of the current epoch.
+  // Not owned, not checkpointed: the shard audit re-installs it per process.
+  const std::set<RequestId>* shard_filter_ = nullptr;
 
   // Cross-epoch bookkeeping (both modes). Values are the first epoch that
   // owned the key; probes against the current epoch detect recurrence.

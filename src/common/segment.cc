@@ -27,6 +27,10 @@ const char* SegmentKindName(SegmentKind kind) {
       return "advice";
     case SegmentKind::kCheckpoint:
       return "checkpoint";
+    case SegmentKind::kShardBoundary:
+      return "shard-boundary";
+    case SegmentKind::kShardArtifact:
+      return "shard-artifact";
   }
   return "unknown";
 }
@@ -183,9 +187,8 @@ bool SegmentReader::Next(SegmentRecord* out) {
   if (!PullByte(&kind_byte)) {
     return false;  // Clean end of stream.
   }
-  if (kind_byte != static_cast<uint8_t>(SegmentKind::kTrace) &&
-      kind_byte != static_cast<uint8_t>(SegmentKind::kAdvice) &&
-      kind_byte != static_cast<uint8_t>(SegmentKind::kCheckpoint)) {
+  if (kind_byte < static_cast<uint8_t>(SegmentKind::kTrace) ||
+      kind_byte > static_cast<uint8_t>(SegmentKind::kShardArtifact)) {
     Fail("segment frame at offset " + std::to_string(frame_offset) + ": unknown kind " +
          std::to_string(kind_byte));
     return false;

@@ -38,9 +38,11 @@ inline constexpr uint8_t kSegmentFormatVersion = 1;
 inline constexpr uint8_t kSegmentFormatVersionV2 = 2;
 
 enum class SegmentKind : uint8_t {
-  kTrace = 1,       // One epoch's slice of the request/response trace.
-  kAdvice = 2,      // One epoch's advice slice + continuity imports.
-  kCheckpoint = 3,  // A serialized AuditSession CarryState.
+  kTrace = 1,          // One epoch's slice of the request/response trace.
+  kAdvice = 2,         // One epoch's advice slice + continuity imports.
+  kCheckpoint = 3,     // A serialized AuditSession CarryState.
+  kShardBoundary = 4,  // Cross-shard boundary manifest (src/server/shard.h).
+  kShardArtifact = 5,  // A shard's exported verdict state (src/verifier/shard_audit.h).
 };
 
 const char* SegmentKindName(SegmentKind kind);

@@ -84,8 +84,6 @@ std::optional<ContinuityImports> ContinuityImports::Deserialize(ByteReader* in) 
   return imports;
 }
 
-namespace {
-
 // Looks up what the full advice alleges at a cross-epoch transaction-log
 // coordinate. Mirrors defects faithfully (absent txn, out-of-range index,
 // wrong op type) so sliced validation rejects exactly where one-shot does.
@@ -119,8 +117,6 @@ ContinuityImports::VarImport DescribeVarEntry(const Advice& advice, VarId vid, c
   imp.value = eit->second.value;
   return imp;
 }
-
-}  // namespace
 
 EpochSlices SliceRun(const Trace& trace, const Advice& advice, uint64_t epoch_requests) {
   // One up-front copy, then the owned slicer: a single slicing implementation

@@ -72,6 +72,14 @@ struct ContinuityImports {
   static std::optional<ContinuityImports> Deserialize(ByteReader* in);
 };
 
+// Looks up what the full advice alleges at an out-of-slice transaction-log /
+// var-log coordinate. Allegations mirror defects faithfully (absent txn,
+// out-of-range index, missing entry) so sliced validation reaches the same
+// verdict as one-shot validation. Shared by the epoch slicer below and the
+// shard slicer (src/server/shard.h).
+ContinuityImports::TxOpImport DescribeTxOp(const Advice& advice, const TxOpRef& ref);
+ContinuityImports::VarImport DescribeVarEntry(const Advice& advice, VarId vid, const OpRef& op);
+
 // One epoch's audit input: the trace window, the advice slice, and the
 // continuity imports for the slice's forward references.
 struct EpochSegment {

@@ -1,0 +1,1047 @@
+#include "src/verifier/shard_audit.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/carry_lint.h"
+#include "src/common/segment.h"
+#include "src/common/serde.h"
+#include "src/server/advice.h"
+
+namespace karousos {
+
+namespace {
+
+constexpr uint8_t kShardArtifactFormatVersion = 1;
+
+void SerializeTxOpImport(const ContinuityImports::TxOpImport& imp, ByteWriter* out) {
+  SerializeTxOpRef(imp.ref, out);
+  out->WriteBool(imp.txn_present);
+  out->WriteBool(imp.op_present);
+  out->WriteByte(imp.type);
+  out->WriteString(imp.key);
+  out->WriteValue(imp.value);
+  out->WriteVarint(imp.hid);
+  out->WriteVarint(imp.opnum);
+}
+
+std::optional<ContinuityImports::TxOpImport> DeserializeTxOpImport(ByteReader* in) {
+  ContinuityImports::TxOpImport imp;
+  auto ref = DeserializeTxOpRef(in);
+  if (!ref) return std::nullopt;
+  imp.ref = *ref;
+  auto txn_present = in->ReadBool();
+  auto op_present = in->ReadBool();
+  auto type = in->ReadByte();
+  auto key = in->ReadString();
+  auto value = in->ReadValue();
+  auto hid = in->ReadVarint();
+  auto opnum = in->ReadVarint();
+  if (!txn_present || !op_present || !type || !key || !value || !hid || !opnum) {
+    return std::nullopt;
+  }
+  imp.txn_present = *txn_present;
+  imp.op_present = *op_present;
+  imp.type = *type;
+  imp.key = std::move(*key);
+  imp.value = std::move(*value);
+  imp.hid = *hid;
+  imp.opnum = static_cast<OpNum>(*opnum);
+  return imp;
+}
+
+void SerializeVarImport(const ContinuityImports::VarImport& imp, ByteWriter* out) {
+  out->WriteFixed64(imp.vid);
+  SerializeOpRef(imp.op, out);
+  out->WriteBool(imp.present);
+  out->WriteByte(imp.kind);
+  out->WriteValue(imp.value);
+}
+
+std::optional<ContinuityImports::VarImport> DeserializeVarImport(ByteReader* in) {
+  ContinuityImports::VarImport imp;
+  auto vid = in->ReadFixed64();
+  if (!vid) return std::nullopt;
+  imp.vid = *vid;
+  auto op = DeserializeOpRef(in);
+  if (!op) return std::nullopt;
+  imp.op = *op;
+  auto present = in->ReadBool();
+  auto kind = in->ReadByte();
+  auto value = in->ReadValue();
+  if (!present || !kind || !value) return std::nullopt;
+  imp.present = *present;
+  imp.kind = *kind;
+  imp.value = std::move(*value);
+  return imp;
+}
+
+// Count guard: every collection element costs at least one encoded byte, so a
+// declared count beyond the remaining bytes is malformed (and must reject
+// before any allocation is sized from it).
+bool BoundedCount(ByteReader* in, uint64_t count) { return count <= in->remaining(); }
+
+}  // namespace
+
+void ShardArtifact::Serialize(ByteWriter* out) const {
+  out->WriteByte(kShardArtifactFormatVersion);
+  out->WriteVarint(shard);
+  out->WriteVarint(count);
+  out->WriteByte(static_cast<uint8_t>(mode));
+  out->WriteVarint(epoch_requests);
+  out->WriteVarint(epochs);
+  out->WriteByte(static_cast<uint8_t>(isolation));
+  out->WriteBool(prescreen);
+
+  out->WriteVarint(rids.size());
+  for (RequestId rid : rids) {
+    out->WriteVarint(rid);
+  }
+  out->WriteFixed64(rid_digest);
+  out->WriteFixed64(trace_digest);
+  out->WriteFixed64(balance_digest);
+  out->WriteFixed64(trace_rid_digest);
+  out->WriteVarint(trace_rid_count);
+
+  out->WriteBool(accepted);
+  out->WriteString(reason);
+  out->WriteString(rule);
+  out->WriteVarint(decided_epoch);
+  out->WriteVarint(diagnostics.size());
+  for (const LintDiagnostic& d : diagnostics) {
+    out->WriteString(d.rule);
+    out->WriteByte(static_cast<uint8_t>(d.severity));
+    out->WriteString(d.location);
+    out->WriteString(d.message);
+  }
+  out->WriteVarint(peak_resident);
+
+  out->WriteVarint(tags.size());
+  for (const auto& [rid, tag] : tags) {
+    out->WriteVarint(rid);
+    out->WriteFixed64(tag);
+  }
+
+  out->WriteVarint(write_order.size());
+  for (const TxOpRef& ref : write_order) {
+    SerializeTxOpRef(ref, out);
+  }
+  out->WriteVarint(write_order_positions.size());
+  for (uint64_t pos : write_order_positions) {
+    out->WriteVarint(pos);
+  }
+  out->WriteVarint(write_order_total);
+
+  out->WriteVarint(committed.size());
+  for (const TxnKey& txn : committed) {
+    out->WriteVarint(txn.rid);
+    out->WriteVarint(txn.tid);
+  }
+  out->WriteVarint(read_map.size());
+  for (const auto& [write, readers] : read_map) {
+    SerializeTxOpRef(write, out);
+    out->WriteVarint(readers.size());
+    for (const TxOpRef& r : readers) {
+      SerializeTxOpRef(r, out);
+    }
+  }
+  out->WriteVarint(last_modification.size());
+  for (const auto& [key, index] : last_modification) {
+    out->WriteVarint(std::get<0>(key));
+    out->WriteVarint(std::get<1>(key));
+    out->WriteString(std::get<2>(key));
+    out->WriteVarint(index);
+  }
+
+  out->WriteVarint(put_summaries.size());
+  for (const auto& [ref, put] : put_summaries) {
+    SerializeTxOpRef(ref, out);
+    out->WriteString(put.key);
+    out->WriteVarint(put.hid);
+    out->WriteVarint(put.opnum);
+  }
+  out->WriteVarint(txn_sizes.size());
+  for (const auto& [txn, size] : txn_sizes) {
+    out->WriteVarint(txn.rid);
+    out->WriteVarint(txn.tid);
+    out->WriteVarint(size);
+  }
+
+  out->WriteVarint(pending_tx_imports.size());
+  for (const auto& [ref, imp] : pending_tx_imports) {
+    SerializeTxOpImport(imp, out);
+  }
+  out->WriteVarint(pending_var_imports.size());
+  for (const auto& [key, imp] : pending_var_imports) {
+    SerializeVarImport(imp, out);
+  }
+  out->WriteVarint(tx_exports.size());
+  for (const auto& [ref, imp] : tx_exports) {
+    SerializeTxOpImport(imp, out);
+  }
+  out->WriteVarint(var_exports.size());
+  for (const auto& [key, imp] : var_exports) {
+    SerializeVarImport(imp, out);
+  }
+
+  out->WriteVarint(var_links.size());
+  for (const auto& [vid, links] : var_links) {
+    out->WriteFixed64(vid);
+    out->WriteBool(links.has_initializer);
+    if (links.has_initializer) {
+      SerializeOpRef(links.initializer, out);
+    }
+    out->WriteVarint(links.links.size());
+    for (const auto& [prec, cur] : links.links) {
+      SerializeOpRef(prec, out);
+      SerializeOpRef(cur, out);
+    }
+  }
+}
+
+std::optional<ShardArtifact> ShardArtifact::Deserialize(ByteReader* in) {
+  auto version = in->ReadByte();
+  if (!version || *version != kShardArtifactFormatVersion) return std::nullopt;
+  ShardArtifact a;
+
+  auto shard = in->ReadVarint();
+  auto count = in->ReadVarint();
+  auto mode = in->ReadByte();
+  auto epoch_requests = in->ReadVarint();
+  auto epochs = in->ReadVarint();
+  auto isolation = in->ReadByte();
+  auto prescreen = in->ReadBool();
+  if (!shard || !count || !mode || *mode > 1 || !epoch_requests || !epochs || !isolation ||
+      *isolation > static_cast<uint8_t>(IsolationLevel::kReadUncommitted) || !prescreen) {
+    return std::nullopt;
+  }
+  a.shard = static_cast<uint32_t>(*shard);
+  a.count = static_cast<uint32_t>(*count);
+  a.mode = static_cast<ShardMode>(*mode);
+  a.epoch_requests = *epoch_requests;
+  a.epochs = *epochs;
+  a.isolation = static_cast<IsolationLevel>(*isolation);
+  a.prescreen = *prescreen;
+
+  auto rid_count = in->ReadVarint();
+  if (!rid_count || !BoundedCount(in, *rid_count)) return std::nullopt;
+  a.rids.reserve(*rid_count);
+  for (uint64_t i = 0; i < *rid_count; ++i) {
+    auto rid = in->ReadVarint();
+    if (!rid) return std::nullopt;
+    a.rids.push_back(*rid);
+  }
+  auto rid_digest = in->ReadFixed64();
+  auto trace_digest = in->ReadFixed64();
+  auto balance_digest = in->ReadFixed64();
+  auto trace_rid_digest = in->ReadFixed64();
+  auto trace_rid_count = in->ReadVarint();
+  if (!rid_digest || !trace_digest || !balance_digest || !trace_rid_digest || !trace_rid_count) {
+    return std::nullopt;
+  }
+  a.rid_digest = *rid_digest;
+  a.trace_digest = *trace_digest;
+  a.balance_digest = *balance_digest;
+  a.trace_rid_digest = *trace_rid_digest;
+  a.trace_rid_count = *trace_rid_count;
+
+  auto accepted = in->ReadBool();
+  auto reason = in->ReadString();
+  auto rule = in->ReadString();
+  auto decided_epoch = in->ReadVarint();
+  if (!accepted || !reason || !rule || !decided_epoch) return std::nullopt;
+  a.accepted = *accepted;
+  a.reason = std::move(*reason);
+  a.rule = std::move(*rule);
+  a.decided_epoch = *decided_epoch;
+  auto diag_count = in->ReadVarint();
+  if (!diag_count || !BoundedCount(in, *diag_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *diag_count; ++i) {
+    auto drule = in->ReadString();
+    auto severity = in->ReadByte();
+    auto location = in->ReadString();
+    auto message = in->ReadString();
+    if (!drule || !severity || *severity > 1 || !location || !message) return std::nullopt;
+    a.diagnostics.push_back(LintDiagnostic{std::move(*drule),
+                                           static_cast<LintSeverity>(*severity),
+                                           std::move(*location), std::move(*message)});
+  }
+  auto peak_resident = in->ReadVarint();
+  if (!peak_resident) return std::nullopt;
+  a.peak_resident = *peak_resident;
+
+  auto tag_count = in->ReadVarint();
+  if (!tag_count || !BoundedCount(in, *tag_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *tag_count; ++i) {
+    auto rid = in->ReadVarint();
+    auto tag = in->ReadFixed64();
+    if (!rid || !tag) return std::nullopt;
+    a.tags[*rid] = *tag;
+  }
+
+  auto wo_count = in->ReadVarint();
+  if (!wo_count || !BoundedCount(in, *wo_count)) return std::nullopt;
+  a.write_order.reserve(*wo_count);
+  for (uint64_t i = 0; i < *wo_count; ++i) {
+    auto ref = DeserializeTxOpRef(in);
+    if (!ref) return std::nullopt;
+    a.write_order.push_back(*ref);
+  }
+  auto pos_count = in->ReadVarint();
+  if (!pos_count || !BoundedCount(in, *pos_count)) return std::nullopt;
+  a.write_order_positions.reserve(*pos_count);
+  for (uint64_t i = 0; i < *pos_count; ++i) {
+    auto pos = in->ReadVarint();
+    if (!pos) return std::nullopt;
+    a.write_order_positions.push_back(*pos);
+  }
+  auto wo_total = in->ReadVarint();
+  if (!wo_total) return std::nullopt;
+  a.write_order_total = *wo_total;
+
+  auto committed_count = in->ReadVarint();
+  if (!committed_count || !BoundedCount(in, *committed_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *committed_count; ++i) {
+    auto rid = in->ReadVarint();
+    auto tid = in->ReadVarint();
+    if (!rid || !tid) return std::nullopt;
+    a.committed.insert(TxnKey{*rid, *tid});
+  }
+  auto rm_count = in->ReadVarint();
+  if (!rm_count || !BoundedCount(in, *rm_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *rm_count; ++i) {
+    auto write = DeserializeTxOpRef(in);
+    if (!write) return std::nullopt;
+    auto reader_count = in->ReadVarint();
+    if (!reader_count || !BoundedCount(in, *reader_count)) return std::nullopt;
+    std::vector<TxOpRef> readers;
+    readers.reserve(*reader_count);
+    for (uint64_t j = 0; j < *reader_count; ++j) {
+      auto r = DeserializeTxOpRef(in);
+      if (!r) return std::nullopt;
+      readers.push_back(*r);
+    }
+    a.read_map[*write] = std::move(readers);
+  }
+  auto lm_count = in->ReadVarint();
+  if (!lm_count || !BoundedCount(in, *lm_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *lm_count; ++i) {
+    auto rid = in->ReadVarint();
+    auto tid = in->ReadVarint();
+    auto key = in->ReadString();
+    auto index = in->ReadVarint();
+    if (!rid || !tid || !key || !index) return std::nullopt;
+    a.last_modification[std::make_tuple(*rid, *tid, std::move(*key))] =
+        static_cast<uint32_t>(*index);
+  }
+
+  auto put_count = in->ReadVarint();
+  if (!put_count || !BoundedCount(in, *put_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *put_count; ++i) {
+    auto ref = DeserializeTxOpRef(in);
+    if (!ref) return std::nullopt;
+    auto key = in->ReadString();
+    auto hid = in->ReadVarint();
+    auto opnum = in->ReadVarint();
+    if (!key || !hid || !opnum) return std::nullopt;
+    a.put_summaries[*ref] =
+        PutSummary{std::move(*key), *hid, static_cast<OpNum>(*opnum)};
+  }
+  auto ts_count = in->ReadVarint();
+  if (!ts_count || !BoundedCount(in, *ts_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *ts_count; ++i) {
+    auto rid = in->ReadVarint();
+    auto tid = in->ReadVarint();
+    auto size = in->ReadVarint();
+    if (!rid || !tid || !size) return std::nullopt;
+    a.txn_sizes[TxnKey{*rid, *tid}] = static_cast<uint32_t>(*size);
+  }
+
+  auto pti_count = in->ReadVarint();
+  if (!pti_count || !BoundedCount(in, *pti_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *pti_count; ++i) {
+    auto imp = DeserializeTxOpImport(in);
+    if (!imp) return std::nullopt;
+    a.pending_tx_imports[imp->ref] = std::move(*imp);
+  }
+  auto pvi_count = in->ReadVarint();
+  if (!pvi_count || !BoundedCount(in, *pvi_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *pvi_count; ++i) {
+    auto imp = DeserializeVarImport(in);
+    if (!imp) return std::nullopt;
+    a.pending_var_imports[std::make_pair(imp->vid, imp->op)] = std::move(*imp);
+  }
+  auto te_count = in->ReadVarint();
+  if (!te_count || !BoundedCount(in, *te_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *te_count; ++i) {
+    auto imp = DeserializeTxOpImport(in);
+    if (!imp) return std::nullopt;
+    a.tx_exports[imp->ref] = std::move(*imp);
+  }
+  auto ve_count = in->ReadVarint();
+  if (!ve_count || !BoundedCount(in, *ve_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *ve_count; ++i) {
+    auto imp = DeserializeVarImport(in);
+    if (!imp) return std::nullopt;
+    a.var_exports[std::make_pair(imp->vid, imp->op)] = std::move(*imp);
+  }
+
+  auto vl_count = in->ReadVarint();
+  if (!vl_count || !BoundedCount(in, *vl_count)) return std::nullopt;
+  for (uint64_t i = 0; i < *vl_count; ++i) {
+    auto vid = in->ReadFixed64();
+    auto has_initializer = in->ReadBool();
+    if (!vid || !has_initializer) return std::nullopt;
+    VarLinks links;
+    links.has_initializer = *has_initializer;
+    if (links.has_initializer) {
+      auto init = DeserializeOpRef(in);
+      if (!init) return std::nullopt;
+      links.initializer = *init;
+    }
+    auto link_count = in->ReadVarint();
+    if (!link_count || !BoundedCount(in, *link_count)) return std::nullopt;
+    links.links.reserve(*link_count);
+    for (uint64_t j = 0; j < *link_count; ++j) {
+      auto prec = DeserializeOpRef(in);
+      auto cur = DeserializeOpRef(in);
+      if (!prec || !cur) return std::nullopt;
+      links.links.emplace_back(*prec, *cur);
+    }
+    a.var_links[*vid] = std::move(links);
+  }
+  return a;
+}
+
+// --- Shard audit -------------------------------------------------------------
+
+// Friend shim over Verifier's streaming internals (verifier.h forward-declares
+// and befriends this class): drives the scoped streaming audit and harvests
+// the carried state the merge needs after StreamFinish.
+class ShardAudit {
+ public:
+  static ShardArtifact Run(const Program& program, const ShardFile& file,
+                           const VerifierConfig& config) {
+    const ShardBoundary& b = file.boundary;
+    ShardArtifact a;
+    a.shard = b.shard;
+    a.count = b.count;
+    a.mode = b.mode;
+    a.epoch_requests = b.epoch_requests;
+    a.epochs = b.epochs;
+    a.isolation = config.isolation;
+    a.prescreen = config.prescreen;
+    a.rids = b.rids;
+    a.rid_digest = b.rid_digest;
+    a.trace_digest = b.trace_digest;
+    a.balance_digest = b.balance_digest;
+    a.write_order_positions = b.write_order_positions;
+    a.write_order_total = b.write_order_total;
+
+    // Must outlive the verifier: the scope pointer is held, not copied.
+    std::set<RequestId> owned(b.rids.begin(), b.rids.end());
+
+    Verifier v(program, config);
+    v.SetShardScope(&owned);
+    v.StreamBegin(file.slices.epoch_requests);
+    for (const EpochSegment& seg : file.slices.segments) {
+      v.StreamEpoch(seg);
+    }
+    AuditResult r = v.StreamFinish();
+
+    a.accepted = r.accepted;
+    a.reason = r.reason;
+    a.rule = r.rule;
+    a.diagnostics = r.diagnostics;
+    // Finish-time rejections never set decided_ (StreamFinish catches into the
+    // result directly), so they order after every mid-stream rejection.
+    a.decided_epoch = v.decided_ ? v.decided_epoch_ : b.epochs;
+    a.peak_resident = v.peak_resident_;
+    a.trace_rid_count = v.trace_rids_.size();
+    a.trace_rid_digest =
+        DigestRids(std::vector<RequestId>(v.trace_rids_.begin(), v.trace_rids_.end()));
+    if (!r.accepted) {
+      return a;  // Exports are meaningless past the first fault.
+    }
+
+    for (const EpochSegment& seg : file.slices.segments) {
+      for (const auto& [rid, tag] : seg.advice.tags) {
+        a.tags[rid] = tag;
+      }
+    }
+    a.write_order = v.stream_write_order_;
+    a.committed = v.history_.committed;
+    a.read_map = v.history_.read_map;
+    a.last_modification = v.history_.last_modification;
+    for (const auto& [ref, put] : v.put_carry_) {
+      a.put_summaries[ref] = ShardArtifact::PutSummary{put.key, put.hid, put.opnum};
+    }
+    a.txn_sizes = v.txn_size_carry_;
+
+    // Unconfirmable (foreign-owned) continuity allegations, for the merge.
+    for (const auto& [ref, imp] : v.pending_tx_imports_) {
+      if (v.ForeignRid(ref.rid)) {
+        a.pending_tx_imports[ref] = imp;
+      }
+    }
+    for (const auto& [key, imp] : v.pending_var_imports_) {
+      if (v.ForeignRid(key.second.rid)) {
+        a.pending_var_imports[key] = imp;
+      }
+    }
+    // Descriptions of this shard's real content at its export obligations —
+    // what the importing shards' allegations must match (same semantics as
+    // StreamConfirmImports' carry lookup).
+    for (const TxOpRef& ref : b.export_tx_refs) {
+      ContinuityImports::TxOpImport e;
+      e.ref = ref;
+      auto size_it = v.txn_size_carry_.find(TxnKey{ref.rid, ref.tid});
+      if (size_it != v.txn_size_carry_.end()) {
+        e.txn_present = true;
+        if (ref.index >= 1 && ref.index <= size_it->second) {
+          e.op_present = true;
+          auto put_it = v.put_carry_.find(ref);
+          if (put_it != v.put_carry_.end()) {
+            e.type = static_cast<uint8_t>(TxOpType::kPut);
+            e.key = put_it->second.key;
+            e.value = put_it->second.value;
+            e.hid = put_it->second.hid;
+            e.opnum = put_it->second.opnum;
+          } else {
+            // Only PUT-ness matters to any confirmation consumer.
+            e.type = static_cast<uint8_t>(TxOpType::kGet);
+          }
+        }
+      }
+      a.tx_exports[ref] = std::move(e);
+    }
+    for (const auto& [vid, op] : b.export_var_refs) {
+      ContinuityImports::VarImport e;
+      e.vid = vid;
+      e.op = op;
+      auto carry_it = v.var_carry_.find(std::make_pair(vid, op));
+      if (carry_it != v.var_carry_.end()) {
+        e.present = true;
+        e.kind = static_cast<uint8_t>(carry_it->second.is_write ? VarLogEntry::Kind::kWrite
+                                                                : VarLogEntry::Kind::kRead);
+        if (carry_it->second.is_write) {
+          e.value = carry_it->second.value;
+        }
+      }
+      a.var_exports[std::make_pair(vid, op)] = std::move(e);
+    }
+
+    // Write-chain fragments from this shard's re-execution. vars_ iterates in
+    // hash order; the artifact's std::map restores the canonical order.
+    for (const auto& [vid, var] : v.vars_) {
+      ShardArtifact::VarLinks links;
+      links.has_initializer = !var.initializer.IsNil();
+      if (links.has_initializer) {
+        links.initializer = var.initializer;
+      }
+      for (const auto& [prec, cur] : var.write_observer) {
+        links.links.emplace_back(prec, cur);
+      }
+      if (!links.has_initializer && links.links.empty()) {
+        continue;
+      }
+      std::sort(links.links.begin(), links.links.end());
+      a.var_links[vid] = std::move(links);
+    }
+    return a;
+  }
+};
+
+ShardArtifact RunShardAudit(const Program& program, const ShardFile& file,
+                            const VerifierConfig& config) {
+  return ShardAudit::Run(program, file, config);
+}
+
+// --- Merge -------------------------------------------------------------------
+
+AuditResult MergeShardArtifacts(const std::vector<ShardArtifact>& artifacts) {
+  AuditResult result;
+
+  // Diagnostics accumulate in shard order (each shard's audit preserved its
+  // own order), with any merge finding appended last.
+  auto concat_diags = [](const std::vector<const ShardArtifact*>& ordered) {
+    std::vector<LintDiagnostic> out;
+    for (const ShardArtifact* a : ordered) {
+      out.insert(out.end(), a->diagnostics.begin(), a->diagnostics.end());
+    }
+    return out;
+  };
+
+  std::vector<const ShardArtifact*> ordered;
+  // KAR-SEG failure before the artifact set is even indexable.
+  auto fail_flat = [&](const char* rule, std::string location, std::string message) {
+    LintDiagnostic d{rule, LintSeverity::kError, std::move(location), std::move(message)};
+    result.accepted = false;
+    result.rule = rule;
+    result.reason = "shard merge: " + d.Format();
+    result.diagnostics = concat_diags(ordered);
+    result.diagnostics.push_back(std::move(d));
+    return result;
+  };
+  // Dynamic-style failure: the same raw reason string (and empty rule) the
+  // unsharded audit's Reject() produces for the corresponding global check.
+  auto fail_dynamic = [&](std::string reason) {
+    result.accepted = false;
+    result.rule.clear();
+    result.reason = std::move(reason);
+    result.diagnostics = concat_diags(ordered);
+    return result;
+  };
+
+  // --- Artifact set shape (KAR-SEG-015): exactly shards 0..K-1, once each,
+  // all agreeing on the run's identity and configuration.
+  if (artifacts.empty()) {
+    return fail_flat(kKarSeg015, "merge", "no shard artifacts to merge");
+  }
+  uint32_t k = artifacts.front().count;
+  std::map<uint32_t, const ShardArtifact*> by_shard;
+  for (const ShardArtifact& a : artifacts) {
+    if (a.shard >= k) {
+      return fail_flat(kKarSeg015, "merge[shard " + std::to_string(a.shard) + "]",
+                       "shard index " + std::to_string(a.shard) +
+                           " is out of range for shard count " + std::to_string(k));
+    }
+    if (!by_shard.emplace(a.shard, &a).second) {
+      return fail_flat(kKarSeg015, "merge[shard " + std::to_string(a.shard) + "]",
+                       "duplicate artifact for shard " + std::to_string(a.shard));
+    }
+  }
+  if (by_shard.size() != k) {
+    for (uint32_t s = 0; s < k; ++s) {
+      if (by_shard.count(s) == 0) {
+        return fail_flat(kKarSeg015, "merge",
+                         "missing artifact for shard " + std::to_string(s) + " of " +
+                             std::to_string(k));
+      }
+    }
+  }
+  for (const auto& [s, a] : by_shard) {
+    ordered.push_back(a);
+  }
+  const ShardArtifact& head = *ordered.front();
+  for (const ShardArtifact* a : ordered) {
+    std::string loc = "merge[shard " + std::to_string(a->shard) + "]";
+    if (a->count != k) {
+      return fail_flat(kKarSeg015, loc, "shard count disagrees across artifacts");
+    }
+    if (a->mode != head.mode || a->epoch_requests != head.epoch_requests ||
+        a->epochs != head.epochs) {
+      return fail_flat(kKarSeg015, loc, "shard partitioning disagrees across artifacts");
+    }
+    if (a->isolation != head.isolation || a->prescreen != head.prescreen) {
+      return fail_flat(kKarSeg015, loc, "audit configuration disagrees across artifacts");
+    }
+    if (a->trace_digest != head.trace_digest || a->balance_digest != head.balance_digest) {
+      return fail_flat(kKarSeg015, loc,
+                       "replicated-trace digests disagree: artifacts were cut from "
+                       "different runs");
+    }
+    if (a->write_order_total != head.write_order_total) {
+      return fail_flat(kKarSeg015, loc, "alleged write-order totals disagree across artifacts");
+    }
+    if (a->rid_digest != DigestRids(a->rids)) {
+      return fail_flat(kKarSeg015, loc, "artifact rid digest does not match its rid set");
+    }
+  }
+
+  // --- Any shard's own rejection wins, in the unsharded audit's fault order:
+  // earliest deciding epoch first, lowest shard index on ties. A fault in the
+  // replicated trace rejects every shard identically (shard 0 reports); a
+  // fault in one shard's advice rejects there with the unsharded rule.
+  const ShardArtifact* rejected = nullptr;
+  for (const ShardArtifact* a : ordered) {
+    if (a->accepted) {
+      continue;
+    }
+    if (rejected == nullptr || a->decided_epoch < rejected->decided_epoch) {
+      rejected = a;
+    }
+  }
+  if (rejected != nullptr) {
+    result.accepted = false;
+    result.reason = rejected->reason;
+    result.rule = rejected->rule;
+    result.diagnostics = rejected->diagnostics;
+    return result;
+  }
+
+  // Full-trace identity (meaningful only now: a shard that rejected mid-stream
+  // stops ingesting windows, so its trace-universe digest is partial).
+  for (const ShardArtifact* a : ordered) {
+    if (a->trace_rid_digest != head.trace_rid_digest ||
+        a->trace_rid_count != head.trace_rid_count) {
+      return fail_flat(kKarSeg015, "merge[shard " + std::to_string(a->shard) + "]",
+                       "trace request universes disagree across artifacts");
+    }
+  }
+
+  // --- Rid coverage (KAR-SEG-012): the K rid sets must partition the trace
+  // exactly, and no re-execution tag group may span shards.
+  std::map<RequestId, uint32_t> owner;
+  for (const ShardArtifact* a : ordered) {
+    for (RequestId rid : a->rids) {
+      auto [it, inserted] = owner.emplace(rid, a->shard);
+      if (!inserted) {
+        return fail_flat(kKarSeg012, "merge[shard " + std::to_string(a->shard) + "]",
+                         "request " + std::to_string(rid) + " is claimed by shard " +
+                             std::to_string(it->second) + " and shard " +
+                             std::to_string(a->shard));
+      }
+    }
+  }
+  {
+    std::vector<RequestId> all_rids;
+    all_rids.reserve(owner.size());
+    for (const auto& [rid, s] : owner) {
+      all_rids.push_back(rid);
+    }
+    if (all_rids.size() != head.trace_rid_count ||
+        DigestRids(all_rids) != head.trace_rid_digest) {
+      return fail_flat(kKarSeg012, "merge",
+                       "shard rid sets do not cover the trace exactly (" +
+                           std::to_string(all_rids.size()) + " covered, " +
+                           std::to_string(head.trace_rid_count) + " in the trace)");
+    }
+  }
+  {
+    std::map<uint64_t, uint32_t> tag_shard;
+    for (const ShardArtifact* a : ordered) {
+      for (const auto& [rid, tag] : a->tags) {
+        auto [it, inserted] = tag_shard.emplace(tag, a->shard);
+        if (!inserted && it->second != a->shard) {
+          return fail_flat(kKarSeg012, "merge[shard " + std::to_string(a->shard) + "]",
+                           "re-execution group with tag " + std::to_string(tag) +
+                               " is split between shard " + std::to_string(it->second) +
+                               " and shard " + std::to_string(a->shard));
+        }
+      }
+    }
+  }
+
+  // --- Write-order stitch (KAR-SEG-013): the per-shard chunks, placed at
+  // their alleged global positions, must tile 0..total-1 exactly once, and
+  // every entry must sit in the shard that owns its request.
+  const uint64_t total = head.write_order_total;
+  {
+    // An exact tiling needs exactly `total` entries across the chunks, so a
+    // count mismatch rejects up front — before the alleged total (untrusted)
+    // sizes any allocation.
+    uint64_t entries = 0;
+    for (const ShardArtifact* a : ordered) {
+      entries += a->write_order.size();
+    }
+    if (entries != total) {
+      return fail_flat(kKarSeg013, "merge",
+                       "shards carry " + std::to_string(entries) +
+                           " write-order entries against an alleged total of " +
+                           std::to_string(total));
+    }
+  }
+  WriteOrder stitched(total);
+  std::vector<uint32_t> placed_by(total, k);  // k == unplaced sentinel.
+  uint64_t placed = 0;
+  for (const ShardArtifact* a : ordered) {
+    std::string loc = "merge[shard " + std::to_string(a->shard) + "]";
+    if (a->write_order.size() != a->write_order_positions.size()) {
+      return fail_flat(kKarSeg013, loc,
+                       "write-order chunk and position list sizes disagree");
+    }
+    for (size_t i = 0; i < a->write_order.size(); ++i) {
+      const TxOpRef& ref = a->write_order[i];
+      uint64_t pos = a->write_order_positions[i];
+      if (pos >= total) {
+        return fail_flat(kKarSeg013, loc,
+                         "write-order position " + std::to_string(pos) +
+                             " is beyond the alleged total " + std::to_string(total));
+      }
+      if (placed_by[pos] != k) {
+        return fail_flat(kKarSeg013, loc,
+                         "write-order position " + std::to_string(pos) +
+                             " is claimed by shard " + std::to_string(placed_by[pos]) +
+                             " and shard " + std::to_string(a->shard));
+      }
+      auto own = owner.find(ref.rid);
+      if (own != owner.end() && own->second != a->shard) {
+        return fail_flat(kKarSeg013, loc,
+                         "write-order entry " + ref.ToString() + " belongs to shard " +
+                             std::to_string(own->second) + " but was placed by shard " +
+                             std::to_string(a->shard));
+      }
+      stitched[pos] = ref;
+      placed_by[pos] = a->shard;
+      ++placed;
+    }
+  }
+  if (placed != total) {
+    return fail_flat(kKarSeg013, "merge",
+                     "stitched write order has gaps: " + std::to_string(placed) +
+                         " of " + std::to_string(total) + " positions placed");
+  }
+
+  // --- Cross-shard continuity confirmation (KAR-SEG-014): every allegation a
+  // shard consumed about another shard's content must match what the owning
+  // shard's audit actually found there — StreamConfirmImports, one level up.
+  for (const ShardArtifact* a : ordered) {
+    std::string loc = "merge[shard " + std::to_string(a->shard) + "]";
+    for (const auto& [ref, imp] : a->pending_tx_imports) {
+      auto own = owner.find(ref.rid);
+      const ShardArtifact* owning = own != owner.end() ? ordered[own->second] : nullptr;
+      const ContinuityImports::TxOpImport* real = nullptr;
+      if (owning != nullptr) {
+        auto it = owning->tx_exports.find(ref);
+        if (it != owning->tx_exports.end()) {
+          real = &it->second;
+        }
+      }
+      if (real == nullptr) {
+        return fail_flat(kKarSeg014, loc,
+                         "continuity import for " + ref.ToString() +
+                             " has no confirmation from its owning shard");
+      }
+      bool ok = real->txn_present == imp.txn_present && real->op_present == imp.op_present;
+      if (ok && imp.op_present) {
+        bool real_is_put = static_cast<TxOpType>(real->type) == TxOpType::kPut;
+        bool imp_is_put = static_cast<TxOpType>(imp.type) == TxOpType::kPut;
+        ok = real_is_put == imp_is_put;
+        if (ok && imp_is_put) {
+          ok = real->key == imp.key && real->value == imp.value && real->hid == imp.hid &&
+               real->opnum == imp.opnum;
+        }
+      }
+      if (!ok) {
+        return fail_flat(kKarSeg014, loc,
+                         "continuity import for " + ref.ToString() +
+                             " does not match the owning shard's content");
+      }
+    }
+    for (const auto& [key, imp] : a->pending_var_imports) {
+      auto own = owner.find(key.second.rid);
+      const ShardArtifact* owning = own != owner.end() ? ordered[own->second] : nullptr;
+      const ContinuityImports::VarImport* real = nullptr;
+      if (owning != nullptr) {
+        auto it = owning->var_exports.find(key);
+        if (it != owning->var_exports.end()) {
+          real = &it->second;
+        }
+      }
+      if (real == nullptr) {
+        return fail_flat(kKarSeg014, loc,
+                         "continuity import for variable log entry " + key.second.ToString() +
+                             " has no confirmation from its owning shard");
+      }
+      bool ok = real->present == imp.present;
+      if (ok && imp.present) {
+        bool real_is_write = static_cast<VarLogEntry::Kind>(real->kind) ==
+                             VarLogEntry::Kind::kWrite;
+        bool imp_is_write = static_cast<VarLogEntry::Kind>(imp.kind) ==
+                            VarLogEntry::Kind::kWrite;
+        ok = real_is_write == imp_is_write &&
+             (!real_is_write || real->value == imp.value);
+      }
+      if (!ok) {
+        return fail_flat(kKarSeg014, loc,
+                         "continuity import for variable log entry " + key.second.ToString() +
+                             " does not match the owning shard's content");
+      }
+    }
+  }
+
+  // --- Write-chain stitch: union the per-shard fragments and re-run the
+  // chain conflict checks (the merge-time analogs of MergeGroup's claim
+  // replay) and the acyclicity walk (AddInternalStateEdges' analog). The
+  // init-run runs replicated in every shard, so identical initializer /
+  // link claims across shards dedupe silently; only contradictions reject.
+  std::map<VarId, OpRef> initializer;
+  std::map<VarId, std::map<OpRef, OpRef>> successors;
+  for (const ShardArtifact* a : ordered) {
+    for (const auto& [vid, links] : a->var_links) {
+      if (links.has_initializer) {
+        auto [it, inserted] = initializer.emplace(vid, links.initializer);
+        if (!inserted && it->second != links.initializer) {
+          return fail_dynamic("variable has two initializing writes");
+        }
+      }
+      auto& succ = successors[vid];
+      for (const auto& [prec, cur] : links.links) {
+        auto [it, inserted] = succ.emplace(prec, cur);
+        if (!inserted && it->second != cur) {
+          return fail_dynamic("two writes overwrite the same value");
+        }
+      }
+    }
+  }
+
+  // --- Global isolation over the stitched order and the merged history: the
+  // same checker, with the same inputs, the unsharded StreamFinish runs.
+  HistoryAnalysis analysis;
+  std::map<TxnKey, uint32_t> txn_sizes;
+  std::map<TxOpRef, ShardArtifact::PutSummary> puts;
+  for (const ShardArtifact* a : ordered) {
+    analysis.committed.insert(a->committed.begin(), a->committed.end());
+    for (const auto& [write, readers] : a->read_map) {
+      auto& merged = analysis.read_map[write];
+      merged.insert(merged.end(), readers.begin(), readers.end());
+    }
+    analysis.last_modification.insert(a->last_modification.begin(),
+                                      a->last_modification.end());
+    txn_sizes.insert(a->txn_sizes.begin(), a->txn_sizes.end());
+    puts.insert(a->put_summaries.begin(), a->put_summaries.end());
+  }
+  // Epochs ascend rid ranges and transactions sort by (rid, tid, index), so a
+  // plain sort restores the global reader order the one-shot analysis built.
+  for (auto& [write, readers] : analysis.read_map) {
+    std::sort(readers.begin(), readers.end());
+  }
+  auto resolve = [&txn_sizes, &puts](const TxOpRef& ref) {
+    ResolvedTxOp r;
+    auto size_it = txn_sizes.find(TxnKey{ref.rid, ref.tid});
+    if (size_it != txn_sizes.end()) {
+      r.txn_present = true;
+      if (ref.index >= 1 && ref.index <= size_it->second) {
+        r.op_present = true;
+        auto put_it = puts.find(ref);
+        if (put_it != puts.end()) {
+          r.is_put = true;
+          r.key = put_it->second.key;
+          r.hid = put_it->second.hid;
+          r.opnum = put_it->second.opnum;
+          // No consumer dereferences PUT values; summaries are value-free.
+          r.put_value = nullptr;
+        }
+      }
+    }
+    return r;
+  };
+  IsolationCheckResult iso =
+      CheckIsolationIndexed(head.isolation, resolve, stitched, analysis);
+  result.stats.isolation_dg_nodes = iso.dg_nodes;
+  result.stats.isolation_dg_edges = iso.dg_edges;
+  if (!iso.ok) {
+    return fail_dynamic("isolation verification failed: " + iso.reason);
+  }
+
+  // --- Chain acyclicity (the Postprocess-stage analog): each write has at
+  // most one successor, so the union is a functional graph; a full-coverage
+  // 0/1/2-colored walk finds any cycle, including one threaded entirely
+  // through cross-shard links that no single shard's walk could close.
+  for (const auto& [vid, succ] : successors) {
+    std::map<OpRef, uint8_t> color;
+    for (const auto& [start, unused] : succ) {
+      if (color.count(start) != 0) {
+        continue;
+      }
+      std::vector<OpRef> path;
+      OpRef cur = start;
+      while (true) {
+        auto c = color.find(cur);
+        if (c != color.end()) {
+          if (c->second == 1) {
+            return fail_dynamic("variable write chain is cyclic");
+          }
+          break;  // Merges into an already-finished chain.
+        }
+        color[cur] = 1;
+        path.push_back(cur);
+        auto next = succ.find(cur);
+        if (next == succ.end()) {
+          break;
+        }
+        cur = next->second;
+      }
+      for (const OpRef& n : path) {
+        color[n] = 2;
+      }
+    }
+  }
+
+  result.accepted = true;
+  result.diagnostics = concat_diags(ordered);
+  return result;
+}
+
+// --- Artifact container ------------------------------------------------------
+
+std::vector<uint8_t> EncodeShardArtifact(const ShardArtifact& artifact) {
+  SegmentWriter writer;
+  ByteWriter payload;
+  artifact.Serialize(&payload);
+  writer.Append(SegmentKind::kShardArtifact, artifact.shard, payload.bytes());
+  return writer.Take();
+}
+
+namespace {
+
+ShardArtifactLoadResult LoadShardArtifact(std::unique_ptr<SegmentReader> reader,
+                                          const std::string& open_error) {
+  ShardArtifactLoadResult out;
+  auto fail = [&out](const char* rule, std::string message) -> ShardArtifactLoadResult& {
+    out.ok = false;
+    out.rule = rule;
+    LintDiagnostic d{rule, LintSeverity::kError, "artifact", std::move(message)};
+    out.reason = "segment stream: " + d.Format();
+    return out;
+  };
+  if (reader == nullptr) {
+    return fail(kKarSeg001, "unreadable segment container: " + open_error);
+  }
+  SegmentRecord rec;
+  if (!reader->Next(&rec)) {
+    if (!reader->ok()) {
+      return fail(kKarSeg001, "unreadable segment container: " + reader->error());
+    }
+    return fail(kKarSeg015, "artifact file has no shard-artifact frame");
+  }
+  if (rec.kind != SegmentKind::kShardArtifact) {
+    return fail(kKarSeg015, std::string("artifact file must hold a shard-artifact frame, found ") +
+                                SegmentKindName(rec.kind));
+  }
+  if (rec.flags != 0) {
+    return fail(kKarSeg015, "shard-artifact frame must be raw (flags 0)");
+  }
+  {
+    ByteReader in(rec.payload);
+    auto artifact = ShardArtifact::Deserialize(&in);
+    if (!artifact || !in.AtEnd()) {
+      return fail(kKarSeg015, "shard-artifact payload is malformed");
+    }
+    out.artifact = std::move(*artifact);
+  }
+  if (rec.epoch != out.artifact.shard) {
+    return fail(kKarSeg015, "artifact frame's shard index disagrees with its payload");
+  }
+  if (reader->Next(&rec)) {
+    return fail(kKarSeg015, "artifact file holds more than one frame");
+  }
+  if (!reader->ok()) {
+    return fail(kKarSeg001, "unreadable segment container: " + reader->error());
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+ShardArtifactLoadResult LoadShardArtifactFile(const std::string& path) {
+  std::string error;
+  auto reader = SegmentReader::OpenFile(path, &error);
+  return LoadShardArtifact(std::move(reader), error);
+}
+
+ShardArtifactLoadResult LoadShardArtifactBytes(const std::vector<uint8_t>& bytes) {
+  std::string error;
+  auto reader = SegmentReader::FromBytes(bytes.data(), bytes.size(), &error);
+  return LoadShardArtifact(std::move(reader), error);
+}
+
+}  // namespace karousos

@@ -559,6 +559,7 @@ void Verifier::StreamBegin(uint64_t epoch_requests) {
   epoch_requests_ = epoch_requests;
   if (config_.prescreen) {
     carry_lint_.Begin(epoch_requests, /*standalone=*/false);
+    carry_lint_.SetShardFilter(shard_rids_);  // Begin resets the lint's state.
   }
 }
 
@@ -646,6 +647,15 @@ void Verifier::StreamEpoch(const EpochSegment& segment) {
           Reject("trace is not balanced: request " + std::to_string(rid) + " has no response");
         }
       }
+      // Shard scope: the completeness check above covers the full replicated
+      // trace (every shard judges trace defects identically); everything from
+      // here on — lint epoch context, boundary edges, re-execution groups,
+      // response matching — narrows to the requests this shard owns.
+      if (shard_rids_ != nullptr) {
+        for (auto it = epoch_rids_.begin(); it != epoch_rids_.end();) {
+          it = shard_rids_->count(*it) != 0 ? std::next(it) : epoch_rids_.erase(it);
+        }
+      }
       advice_ = &segment.advice;
       for (const auto& imp : segment.imports.tx_ops) {
         pending_tx_imports_.emplace(imp.ref, imp);
@@ -706,9 +716,11 @@ void Verifier::StreamEpoch(const EpochSegment& segment) {
     decided_ = true;
     decided_reason_ = e.reason;
     decided_rule_ = e.rule;
+    decided_epoch_ = epochs_fed_;
   } catch (const std::exception& e) {
     decided_ = true;
     decided_reason_ = std::string("re-execution fault: ") + e.what();
+    decided_epoch_ = epochs_fed_;
   }
   StreamEndEpoch(segment);
   ++epochs_fed_;
@@ -810,6 +822,9 @@ void Verifier::StreamConfirmImports() {
   // slice carried once its epoch arrived. Wrong continuity data can only
   // cause rejection (§2.1's advice property, applied to the slicer).
   for (const auto& [ref, imp] : pending_tx_imports_) {
+    if (ForeignRid(ref.rid)) {
+      continue;  // Owned elsewhere: the merge confirms it against that shard.
+    }
     bool real_txn = false;
     bool real_op = false;
     const PutCarry* real_put = nullptr;
@@ -840,6 +855,9 @@ void Verifier::StreamConfirmImports() {
     }
   }
   for (const auto& [key, imp] : pending_var_imports_) {
+    if (ForeignRid(key.second.rid)) {
+      continue;
+    }
     auto carry_it = var_carry_.find(key);
     bool ok;
     if (carry_it == var_carry_.end()) {
@@ -901,13 +919,20 @@ AuditResult Verifier::StreamFinish() {
         }
       }
       StreamConfirmImports();
-      IsolationCheckResult iso = CheckIsolationIndexed(
-          config_.isolation, [this](const TxOpRef& ref) { return ResolveTxOp(ref); },
-          stream_write_order_, history_);
-      stats_.isolation_dg_nodes = iso.dg_nodes;
-      stats_.isolation_dg_edges = iso.dg_edges;
-      if (!iso.ok) {
-        Reject("isolation verification failed: " + iso.reason);
+      // Isolation is a property of the global transaction order; under a
+      // shard scope the local write order and history are one shard's
+      // projection, so the check runs once at audit-merge over the stitched
+      // order and merged history instead (same checker, same inputs as the
+      // unsharded audit — see src/verifier/shard_audit.cc).
+      if (shard_rids_ == nullptr) {
+        IsolationCheckResult iso = CheckIsolationIndexed(
+            config_.isolation, [this](const TxOpRef& ref) { return ResolveTxOp(ref); },
+            stream_write_order_, history_);
+        stats_.isolation_dg_nodes = iso.dg_nodes;
+        stats_.isolation_dg_edges = iso.dg_edges;
+        if (!iso.ok) {
+          Reject("isolation verification failed: " + iso.reason);
+        }
       }
       Postprocess();
       result.accepted = true;

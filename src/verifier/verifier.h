@@ -98,6 +98,7 @@ struct RejectError {
 
 class ReplayCtx;
 class AuditSession;
+class ShardAudit;
 
 class Verifier {
  public:
@@ -120,6 +121,7 @@ class Verifier {
  private:
   friend class ReplayCtx;
   friend class AuditSession;
+  friend class ShardAudit;
 
   // Location of an operation in the advice logs (Figure 14's OpMap).
   struct OpLocation {
@@ -269,6 +271,21 @@ class Verifier {
   ResolvedTxOp ResolveTxOp(const TxOpRef& ref) const;
   ResolvedVarEntry ResolveVarEntry(VarId vid, const OpRef& op) const;
 
+  // Shard-axis scope (src/verifier/shard_audit.h): restricts this audit to
+  // the requests a shard owns. Must be set before StreamBegin. The trace-level
+  // checks (balance, epoch completeness, time precedence) still cover the full
+  // replicated trace; only advice-facing work — re-execution, boundary edges,
+  // response matching — narrows to the owned rids, and continuity imports
+  // targeting foreign-owned requests are exported for the merge to confirm
+  // instead of being confirmed (impossibly) against local carries.
+  void SetShardScope(const std::set<RequestId>* owned) { shard_rids_ = owned; }
+  // True when a shard scope is set and `rid` is an in-trace request owned by
+  // another shard. Mirrors CarryLint::ForeignTarget.
+  bool ForeignRid(RequestId rid) const {
+    return shard_rids_ != nullptr && rid != kInitRequestId && shard_rids_->count(rid) == 0 &&
+           trace_rids_.count(rid) != 0;
+  }
+
   void StreamBegin(uint64_t epoch_requests);
   void StreamEpoch(const EpochSegment& segment);
   AuditResult StreamFinish();
@@ -356,6 +373,9 @@ class Verifier {
   bool decided_ = false;
   std::string decided_reason_;
   std::string decided_rule_;
+  uint64_t decided_epoch_ = 0;  // Epoch being fed when the rejection surfaced.
+  // Shard scope (not owned; outlives the audit). nullptr == unsharded.
+  const std::set<RequestId>* shard_rids_ = nullptr;
   // Requests belonging to the epoch currently being fed.
   std::set<RequestId> epoch_rids_;
   // Request lifecycle over the whole stream: 1 arrived, 2 responded.

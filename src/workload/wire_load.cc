@@ -48,14 +48,18 @@ WireLoadReport RunWireLoad(const std::string& address, const OpenLoopWorkload& w
   // Responses remaining per connection (request i rides connection i % C).
   std::vector<size_t> conn_outstanding(n_conns, 0);
 
-  auto record_response = [&](uint64_t seq, Value&& value, Clock::time_point at) -> bool {
-    if (seq >= n || report.latency_seconds[seq] != 0.0) {
+  // A response only counts if its seq is in range, not yet answered, and
+  // arrived on the connection that sent it — a server crossing responses
+  // between connections must fail the run, not corrupt the accounting.
+  auto record_response = [&](size_t c, uint64_t seq, Value&& value,
+                             Clock::time_point at) -> bool {
+    if (seq >= n || seq % n_conns != c || report.latency_seconds[seq] != 0.0) {
       return false;
     }
     report.responses[seq] = std::move(value);
     report.latency_seconds[seq] = Seconds(send_time[seq], at);
     ++report.received;
-    --conn_outstanding[seq % n_conns];
+    --conn_outstanding[c];
     return true;
   };
 
@@ -85,10 +89,10 @@ WireLoadReport RunWireLoad(const std::string& address, const OpenLoopWorkload& w
         if (!conns[c]->ReadResponse(&seq, &value, options.timeout_ms, &error)) {
           return Fail(std::move(report), "connection " + std::to_string(c) + ": " + error);
         }
-        if (!record_response(seq, std::move(value), Clock::now())) {
+        if (!record_response(c, seq, std::move(value), Clock::now())) {
           return Fail(std::move(report),
-                      "connection " + std::to_string(c) + ": duplicate or out-of-range seq " +
-                          std::to_string(seq));
+                      "connection " + std::to_string(c) +
+                          ": mismatched, duplicate, or out-of-range seq " + std::to_string(seq));
         }
       }
     }
@@ -101,11 +105,13 @@ WireLoadReport RunWireLoad(const std::string& address, const OpenLoopWorkload& w
   // schedule is closed-loop), reading whichever connections turn readable
   // in between.
   const bool paced = !workload.arrival_seconds.empty();
+  const size_t window = options.pipeline;  // 0 = unbounded.
   size_t next_send = 0;
   while (report.received < n) {
     const double elapsed = Seconds(start, Clock::now());
     while (next_send < n &&
-           (!paced || workload.arrival_seconds[next_send] <= elapsed)) {
+           (!paced || workload.arrival_seconds[next_send] <= elapsed) &&
+           (window == 0 || conn_outstanding[next_send % n_conns] < window)) {
       send_time[next_send] = Clock::now();
       if (!conns[next_send % n_conns]->SendRequest(next_send, workload.inputs[next_send],
                                                    &error)) {
@@ -127,10 +133,10 @@ WireLoadReport RunWireLoad(const std::string& address, const OpenLoopWorkload& w
         if (!conns[c]->ReadResponse(&seq, &value, /*timeout_ms=*/0, &error)) {
           return Fail(std::move(report), "connection " + std::to_string(c) + ": " + error);
         }
-        if (!record_response(seq, std::move(value), Clock::now())) {
+        if (!record_response(c, seq, std::move(value), Clock::now())) {
           return Fail(std::move(report),
-                      "connection " + std::to_string(c) + ": duplicate or out-of-range seq " +
-                          std::to_string(seq));
+                      "connection " + std::to_string(c) +
+                          ": mismatched, duplicate, or out-of-range seq " + std::to_string(seq));
         }
         drained_buffered = true;
       }
@@ -139,13 +145,19 @@ WireLoadReport RunWireLoad(const std::string& address, const OpenLoopWorkload& w
       continue;  // Re-evaluate sends and completion before blocking.
     }
 
-    // Wait for the earlier of "next scheduled send" and "a response".
+    // Wait for the earlier of "next scheduled send" and "a response". When
+    // the pipeline window is full, only a response can unblock the next
+    // send, so the arrival clock does not shorten the wait.
+    const bool window_blocked =
+        next_send < n && window != 0 && conn_outstanding[next_send % n_conns] >= window;
     int wait_ms = options.timeout_ms;
-    if (next_send < n && paced) {
-      double until = workload.arrival_seconds[next_send] - Seconds(start, Clock::now());
-      wait_ms = until <= 0 ? 0 : static_cast<int>(until * 1000) + 1;
-    } else if (next_send < n) {
-      wait_ms = 0;
+    if (next_send < n && !window_blocked) {
+      if (paced) {
+        double until = workload.arrival_seconds[next_send] - Seconds(start, Clock::now());
+        wait_ms = until <= 0 ? 0 : static_cast<int>(until * 1000) + 1;
+      } else {
+        wait_ms = 0;
+      }
     }
 
     std::vector<struct pollfd> pfds(n_conns);
@@ -155,7 +167,7 @@ WireLoadReport RunWireLoad(const std::string& address, const OpenLoopWorkload& w
       pfds[c].revents = 0;
     }
     int rc = poll(pfds.data(), pfds.size(), wait_ms);
-    if (rc == 0 && next_send >= n) {
+    if (rc == 0 && (next_send >= n || window_blocked)) {
       return Fail(std::move(report), "timed out with " + std::to_string(n - report.received) +
                                          " responses outstanding");
     }
@@ -168,10 +180,10 @@ WireLoadReport RunWireLoad(const std::string& address, const OpenLoopWorkload& w
       if (!conns[c]->ReadResponse(&seq, &value, options.timeout_ms, &error)) {
         return Fail(std::move(report), "connection " + std::to_string(c) + ": " + error);
       }
-      if (!record_response(seq, std::move(value), Clock::now())) {
+      if (!record_response(c, seq, std::move(value), Clock::now())) {
         return Fail(std::move(report),
-                    "connection " + std::to_string(c) + ": duplicate or out-of-range seq " +
-                        std::to_string(seq));
+                    "connection " + std::to_string(c) +
+                        ": mismatched, duplicate, or out-of-range seq " + std::to_string(seq));
       }
     }
   }

@@ -28,6 +28,12 @@ struct WireLoadOptions {
   size_t connections = 1;
   // Batch discipline (see file comment). Live when false.
   bool batch = false;
+  // Live-only: maximum in-flight (sent, not yet answered) requests per
+  // connection — the pipeline window. 0 = unbounded (issue at schedule
+  // time no matter how many responses are outstanding), 1 = strict
+  // request/response RPC, N = classic pipelining. Ignored in batch mode,
+  // which is by definition an unbounded window.
+  size_t pipeline = 0;
   // Send the drain-the-server shutdown frame when done.
   bool send_shutdown = true;
   // Per-read timeout; the whole run fails if any response takes longer.

@@ -1,0 +1,421 @@
+// Shard-axis equivalence: for the same complete (trace, advice) pair, the
+// sharded pipeline — ShardRun → per-shard RunShardAudit → MergeShardArtifacts
+// — must reach the one-shot verifier's verdict, reason, rule, and diagnostics
+// at every shard count, epoch size, and thread count, with both the shard
+// files and the verdict artifacts round-tripped through their containers.
+// Adversarial coverage splits by where the fault is visible: content
+// mutations (mutate the monolithic run, then shard it) must reject under the
+// unsharded rule; merge-only adversaries (tamper the artifacts after every
+// shard passed individually) must be caught by the merge's global checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/analysis/carry_lint.h"
+#include "src/audit/audit.h"
+#include "src/kem/varid.h"
+#include "src/server/shard.h"
+#include "src/verifier/shard_audit.h"
+#include "src/workload/workload.h"
+
+namespace karousos {
+namespace {
+
+struct HonestRun {
+  AppSpec app;
+  ServerRunResult server;
+};
+
+HonestRun RunApp(const std::string& name, size_t requests, int concurrency = 8) {
+  HonestRun run{name == "motd"     ? MakeMotdApp()
+                : name == "stacks" ? MakeStacksApp()
+                                   : MakeWikiApp(),
+                {}};
+  WorkloadConfig wl;
+  wl.app = name;
+  wl.kind = name == "wiki" ? WorkloadKind::kWikiMix : WorkloadKind::kMixed;
+  wl.requests = requests;
+  ServerConfig config;
+  config.concurrency = concurrency;
+  Server server(*run.app.program, config);
+  run.server = server.Run(GenerateWorkload(wl));
+  return run;
+}
+
+void ExpectSameOutcome(const AuditResult& expected, const AuditResult& actual,
+                       const std::string& context) {
+  EXPECT_EQ(expected.accepted, actual.accepted) << context << ": " << actual.reason;
+  EXPECT_EQ(expected.reason, actual.reason) << context;
+  EXPECT_EQ(expected.rule, actual.rule) << context;
+  ASSERT_EQ(expected.diagnostics.size(), actual.diagnostics.size()) << context;
+  for (size_t i = 0; i < expected.diagnostics.size(); ++i) {
+    EXPECT_EQ(expected.diagnostics[i].Format(), actual.diagnostics[i].Format())
+        << context << " diagnostic " << i;
+  }
+}
+
+// The full production pipeline, serde included: shard the run, encode each
+// shard file and reload it, audit each shard in isolation, round-trip every
+// verdict artifact through its container, merge.
+AuditResult ShardedVerdict(const HonestRun& run, uint32_t k, uint64_t epoch_size,
+                           unsigned threads, ShardMode mode = ShardMode::kHash) {
+  ShardSpec spec{k, mode};
+  std::vector<ShardFile> shards =
+      ShardRun(run.server.trace, run.server.advice, epoch_size, spec);
+  EXPECT_EQ(shards.size(), k);
+  std::vector<ShardArtifact> artifacts;
+  for (const ShardFile& shard : shards) {
+    ShardLoadResult loaded = LoadShardBytes(EncodeShardFile(shard));
+    EXPECT_TRUE(loaded.ok) << loaded.reason;
+    if (!loaded.ok) {
+      AuditResult r;
+      r.accepted = false;
+      r.reason = loaded.reason;
+      r.rule = loaded.rule;
+      r.diagnostics = loaded.diagnostics;
+      return r;
+    }
+    ShardArtifact artifact = RunShardAudit(
+        *run.app.program, loaded.file, VerifierConfig{IsolationLevel::kSerializable, threads});
+    ShardArtifactLoadResult round_trip =
+        LoadShardArtifactBytes(EncodeShardArtifact(artifact));
+    EXPECT_TRUE(round_trip.ok) << round_trip.reason;
+    artifacts.push_back(round_trip.ok ? round_trip.artifact : artifact);
+  }
+  return MergeShardArtifacts(artifacts);
+}
+
+// Per-shard audits over in-memory shard files, asserted individually
+// accepted — the starting point for every merge-only adversary.
+std::vector<ShardArtifact> HonestArtifacts(const HonestRun& run, uint32_t k,
+                                           uint64_t epoch_size) {
+  std::vector<ShardFile> shards =
+      ShardRun(run.server.trace, run.server.advice, epoch_size, ShardSpec{k, ShardMode::kHash});
+  std::vector<ShardArtifact> artifacts;
+  for (const ShardFile& shard : shards) {
+    ShardArtifact artifact = RunShardAudit(*run.app.program, shard,
+                                           VerifierConfig{IsolationLevel::kSerializable, 1});
+    EXPECT_TRUE(artifact.accepted) << artifact.reason;
+    artifacts.push_back(std::move(artifact));
+  }
+  return artifacts;
+}
+
+// The equivalence sweep: one-shot oracle vs shard counts {1, 2, 4, 8} at
+// epoch sizes {1, 50, 0=∞} and threads {1, 4}.
+void ExpectShardMatchesOneShot(const HonestRun& run) {
+  AuditResult oneshot = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                  VerifierConfig{IsolationLevel::kSerializable, 1});
+  for (uint32_t k : {1u, 2u, 4u, 8u}) {
+    for (uint64_t epoch_size : {uint64_t{1}, uint64_t{50}, uint64_t{0}}) {
+      for (unsigned threads : {1u, 4u}) {
+        AuditResult merged = ShardedVerdict(run, k, epoch_size, threads);
+        ExpectSameOutcome(oneshot, merged,
+                          "K=" + std::to_string(k) +
+                              " epoch_size=" + std::to_string(epoch_size) +
+                              " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, HonestMotd) { ExpectShardMatchesOneShot(RunApp("motd", 60)); }
+
+TEST(ShardEquivalenceTest, HonestStacks) { ExpectShardMatchesOneShot(RunApp("stacks", 60)); }
+
+TEST(ShardEquivalenceTest, HonestWiki) { ExpectShardMatchesOneShot(RunApp("wiki", 60)); }
+
+TEST(ShardEquivalenceTest, HonestRangeMode) {
+  HonestRun run = RunApp("stacks", 60);
+  AuditResult oneshot = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                  VerifierConfig{IsolationLevel::kSerializable, 1});
+  ExpectSameOutcome(oneshot, ShardedVerdict(run, 4, 50, 1, ShardMode::kRange), "range K=4");
+}
+
+TEST(ShardEquivalenceTest, MergeIsArtifactOrderIndependent) {
+  HonestRun run = RunApp("wiki", 60);
+  std::vector<ShardArtifact> artifacts = HonestArtifacts(run, 4, 50);
+  AuditResult in_order = MergeShardArtifacts(artifacts);
+  std::reverse(artifacts.begin(), artifacts.end());
+  AuditResult reversed = MergeShardArtifacts(artifacts);
+  ExpectSameOutcome(in_order, reversed, "reversed artifact order");
+}
+
+TEST(ShardEquivalenceTest, ShardAuditIsDeterministic) {
+  // The resume story: re-running one crashed shard's audit must reproduce
+  // its artifact byte-for-byte, so a restarted worker slots into the same
+  // merge.
+  HonestRun run = RunApp("stacks", 60);
+  std::vector<ShardFile> shards =
+      ShardRun(run.server.trace, run.server.advice, 50, ShardSpec{2, ShardMode::kHash});
+  ASSERT_EQ(shards.size(), 2u);
+  VerifierConfig config{IsolationLevel::kSerializable, 1};
+  std::vector<uint8_t> first =
+      EncodeShardArtifact(RunShardAudit(*run.app.program, shards[1], config));
+  std::vector<uint8_t> second =
+      EncodeShardArtifact(RunShardAudit(*run.app.program, shards[1], config));
+  EXPECT_EQ(first, second);
+}
+
+// --- Content adversaries: mutate the monolithic run, shard it, and demand --
+// --- the unsharded rejection out of the merge. -----------------------------
+
+void ExpectShardRejectsLikeOracle(const HonestRun& run, bool require_same_reason = true) {
+  AuditResult oneshot = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                  VerifierConfig{IsolationLevel::kSerializable, 1});
+  ASSERT_FALSE(oneshot.accepted);
+  for (uint32_t k : {2u, 4u}) {
+    AuditResult merged = ShardedVerdict(run, k, 50, 1);
+    std::string context = "K=" + std::to_string(k);
+    EXPECT_FALSE(merged.accepted) << context;
+    EXPECT_EQ(oneshot.rule, merged.rule) << context << ": " << merged.reason;
+    if (require_same_reason) {
+      EXPECT_EQ(oneshot.reason, merged.reason) << context;
+    }
+  }
+}
+
+TEST(ShardAdversarialTest, ForgedResponse) {
+  HonestRun run = RunApp("motd", 40);
+  for (TraceEvent& ev : run.server.trace.events) {
+    if (ev.kind == TraceEvent::Kind::kResponse) {
+      ev.payload = MakeMap({{"msg", "forged"}});
+      break;
+    }
+  }
+  ExpectShardRejectsLikeOracle(run);
+}
+
+TEST(ShardAdversarialTest, TamperedVarLogWriteValue) {
+  HonestRun run = RunApp("motd", 40);
+  bool mutated = false;
+  for (auto& [vid, log] : run.server.advice.var_logs) {
+    for (auto& [op, entry] : log) {
+      if (entry.kind == VarLogEntry::Kind::kWrite) {
+        entry.value = Value("poisoned");
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) {
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  ExpectShardRejectsLikeOracle(run);
+}
+
+TEST(ShardAdversarialTest, GhostVarLogEntry) {
+  HonestRun run = RunApp("motd", 40);
+  VarId vid = ResolveVarId("motd", VarScope::kGlobal, 0);
+  VarLogEntry ghost;
+  ghost.kind = VarLogEntry::Kind::kWrite;
+  ghost.value = Value("ghost");
+  ghost.prec = kNilOp;
+  run.server.advice.var_logs[vid].emplace(OpRef{1, 0x1234, 77}, ghost);
+  ExpectShardRejectsLikeOracle(run);
+}
+
+TEST(ShardAdversarialTest, DroppedHandlerLogEntry) {
+  HonestRun run = RunApp("stacks", 60);
+  bool mutated = false;
+  for (auto& [rid, log] : run.server.advice.handler_logs) {
+    if (!log.empty()) {
+      log.pop_back();
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  ExpectShardRejectsLikeOracle(run);
+}
+
+TEST(ShardAdversarialTest, InflatedOpcount) {
+  HonestRun run = RunApp("motd", 40);
+  ASSERT_FALSE(run.server.advice.opcounts.empty());
+  run.server.advice.opcounts.begin()->second += 1;
+  ExpectShardRejectsLikeOracle(run);
+}
+
+TEST(ShardAdversarialTest, MissingResponseEmittedBy) {
+  HonestRun run = RunApp("motd", 40);
+  ASSERT_FALSE(run.server.advice.response_emitted_by.empty());
+  run.server.advice.response_emitted_by.erase(run.server.advice.response_emitted_by.begin());
+  ExpectShardRejectsLikeOracle(run);
+}
+
+TEST(ShardAdversarialTest, SwappedWriteOrder) {
+  HonestRun run = RunApp("stacks", 60);
+  ASSERT_GE(run.server.advice.write_order.size(), 2u);
+  std::swap(run.server.advice.write_order.front(), run.server.advice.write_order.back());
+  // A swap perturbs two entries that may land in different shards, so the
+  // first-rejecting shard can describe the other end of the swap than the
+  // one-shot scan reaches first: rule identity is the contract here.
+  ExpectShardRejectsLikeOracle(run, /*require_same_reason=*/false);
+}
+
+TEST(ShardAdversarialTest, GetClaimedNotFound) {
+  HonestRun run = RunApp("stacks", 60);
+  bool mutated = false;
+  for (auto& [txn, log] : run.server.advice.tx_logs) {
+    for (TxOperation& op : log) {
+      if (op.type == TxOpType::kGet && op.get_found) {
+        op.get_found = false;
+        op.get_from = kNilTxOp;
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) {
+      break;
+    }
+  }
+  if (!mutated) {
+    GTEST_SKIP() << "no found GET in this schedule";
+  }
+  // This mutation diverts control flow, so which check fires depends on the
+  // re-execution group's composition (see epoch_audit_test). Sharding is
+  // group-atomic, but the shard's scan order over groups differs from the
+  // global one, so only rejection itself is the contract.
+  AuditResult oneshot = AuditOnly(run.app, run.server.trace, run.server.advice,
+                                  VerifierConfig{IsolationLevel::kSerializable, 1});
+  ASSERT_FALSE(oneshot.accepted);
+  for (uint32_t k : {2u, 4u}) {
+    AuditResult merged = ShardedVerdict(run, k, 50, 1);
+    EXPECT_FALSE(merged.accepted) << "K=" << k;
+  }
+}
+
+TEST(ShardAdversarialTest, UnbalancedTraceMissingResponse) {
+  HonestRun run = RunApp("motd", 40);
+  for (auto it = run.server.trace.events.rbegin(); it != run.server.trace.events.rend();
+       ++it) {
+    if (it->kind == TraceEvent::Kind::kResponse) {
+      run.server.trace.events.erase(std::next(it).base());
+      break;
+    }
+  }
+  ExpectShardRejectsLikeOracle(run);
+}
+
+// --- Merge-only adversaries: every shard passes individually; the fault ----
+// --- exists only in the cross-shard view the merge reconstructs. -----------
+
+TEST(ShardMergeAdversaryTest, DuplicatedRidAcrossBoundaries) {
+  HonestRun run = RunApp("wiki", 60);
+  std::vector<ShardArtifact> artifacts = HonestArtifacts(run, 2, 50);
+  ASSERT_EQ(artifacts.size(), 2u);
+  // Claim one of shard 1's requests for shard 0 too, keeping shard 0's
+  // self-digest consistent so only the cross-shard partition check can see it.
+  RequestId stolen = 0;
+  for (RequestId rid : artifacts[1].rids) {
+    if (rid != 0) {
+      stolen = rid;
+      break;
+    }
+  }
+  ASSERT_NE(stolen, 0u);
+  artifacts[0].rids.insert(
+      std::lower_bound(artifacts[0].rids.begin(), artifacts[0].rids.end(), stolen), stolen);
+  artifacts[0].rid_digest = DigestRids(artifacts[0].rids);
+  AuditResult merged = MergeShardArtifacts(artifacts);
+  EXPECT_FALSE(merged.accepted);
+  EXPECT_EQ(merged.rule, kKarSeg012) << merged.reason;
+}
+
+TEST(ShardMergeAdversaryTest, BrokenWriteOrderStitch) {
+  HonestRun run = RunApp("stacks", 60);
+  std::vector<ShardArtifact> artifacts = HonestArtifacts(run, 2, 50);
+  ASSERT_EQ(artifacts.size(), 2u);
+  // Duplicate a global position inside one shard's stitch claim: every
+  // per-shard check still passes, but the total order no longer tiles.
+  ShardArtifact* victim = nullptr;
+  for (ShardArtifact& a : artifacts) {
+    if (a.write_order_positions.size() >= 2) {
+      victim = &a;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr) << "schedule produced no shard with two write-order entries";
+  victim->write_order_positions[1] = victim->write_order_positions[0];
+  AuditResult merged = MergeShardArtifacts(artifacts);
+  EXPECT_FALSE(merged.accepted);
+  EXPECT_EQ(merged.rule, kKarSeg013) << merged.reason;
+}
+
+TEST(ShardMergeAdversaryTest, MissingShardArtifact) {
+  HonestRun run = RunApp("wiki", 60);
+  std::vector<ShardArtifact> artifacts = HonestArtifacts(run, 2, 50);
+  ASSERT_EQ(artifacts.size(), 2u);
+  AuditResult merged = MergeShardArtifacts({artifacts[0]});
+  EXPECT_FALSE(merged.accepted);
+  EXPECT_EQ(merged.rule, kKarSeg015) << merged.reason;
+
+  AuditResult empty = MergeShardArtifacts({});
+  EXPECT_FALSE(empty.accepted);
+  EXPECT_EQ(empty.rule, kKarSeg015) << empty.reason;
+}
+
+TEST(ShardMergeAdversaryTest, WriteOrderTotalsMismatch) {
+  HonestRun run = RunApp("stacks", 60);
+  std::vector<ShardArtifact> artifacts = HonestArtifacts(run, 2, 50);
+  ASSERT_EQ(artifacts.size(), 2u);
+
+  // One shard alleging a different total than the others is an inconsistent
+  // artifact set (KAR-SEG-015)...
+  std::vector<ShardArtifact> lone = artifacts;
+  lone[1].write_order_total += 1;
+  AuditResult merged = MergeShardArtifacts(lone);
+  EXPECT_FALSE(merged.accepted);
+  EXPECT_EQ(merged.rule, kKarSeg015) << merged.reason;
+
+  // ...while a consistently inflated total leaves the stitch short
+  // (KAR-SEG-013) — and must be caught before anything allocates `total`.
+  std::vector<ShardArtifact> inflated = artifacts;
+  for (ShardArtifact& a : inflated) {
+    a.write_order_total += 1;
+  }
+  merged = MergeShardArtifacts(inflated);
+  EXPECT_FALSE(merged.accepted);
+  EXPECT_EQ(merged.rule, kKarSeg013) << merged.reason;
+}
+
+TEST(ShardMergeAdversaryTest, TruncatedBoundarySegment) {
+  HonestRun run = RunApp("motd", 40);
+  std::vector<ShardFile> shards =
+      ShardRun(run.server.trace, run.server.advice, 50, ShardSpec{2, ShardMode::kHash});
+  ASSERT_EQ(shards.size(), 2u);
+  std::vector<uint8_t> bytes = EncodeShardFile(shards[0]);
+
+  // Any truncation of the shard file is refused before audit.
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 1);
+  ShardLoadResult result = LoadShardBytes(truncated);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.rule.empty()) << result.reason;
+
+  // Corrupting a byte inside the boundary frame trips the container CRC.
+  std::vector<uint8_t> corrupted = bytes;
+  ASSERT_GT(corrupted.size(), 24u);
+  corrupted[24] ^= 0xFF;
+  result = LoadShardBytes(corrupted);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.rule.empty()) << result.reason;
+}
+
+TEST(ShardMergeAdversaryTest, TruncatedArtifactRefused) {
+  HonestRun run = RunApp("motd", 40);
+  std::vector<ShardArtifact> artifacts = HonestArtifacts(run, 2, 50);
+  ASSERT_EQ(artifacts.size(), 2u);
+  std::vector<uint8_t> bytes = EncodeShardArtifact(artifacts[0]);
+  for (size_t cut : {size_t{1}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    ShardArtifactLoadResult result = LoadShardArtifactBytes(truncated);
+    EXPECT_FALSE(result.ok) << "cut=" << cut;
+    EXPECT_FALSE(result.rule.empty()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace karousos

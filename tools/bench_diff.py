@@ -76,13 +76,24 @@ MEASURE_FIELDS = (
     "decode_seconds",
     "codec_overhead_pct",
     # net_wire front-end fields: throughput, client-observed wire latency,
-    # server-side serve time, and the slow-client bounded-memory counters.
+    # server-side serve time, the karousos-off transport baseline and its
+    # record-overhead ratio, and the slow-client bounded-memory counters.
     "wire_rps",
     "wire_p50_ms",
     "wire_p99_ms",
     "serve_seconds",
+    "wire_off_rps",
+    "wire_record_overhead",
     "peak_buffered_bytes",
     "read_disables",
+    # shard_audit scale-out fields: wall-clock is recorded but informational
+    # (K real processes on a shared runner are too noisy to gate); the
+    # per-process peak RSS is the gated number — sharding exists to shrink it.
+    "shard_seconds",
+    "audit_parallel_seconds",
+    "merge_seconds",
+    "shard_peak_rss_mb",
+    "merge_peak_rss_mb",
 )
 
 # Of the measured fields, the ones where bigger is worse. off_seconds is the
@@ -109,6 +120,10 @@ TIME_FIELDS = (
     # net_wire: gate the median client-observed wire latency; p99 and the
     # wall-clock serve time are too noisy on shared runners.
     "wire_p50_ms",
+    # shard_audit: gate the per-process peak RSS (smaller is the whole point
+    # of sharding; it is also deterministic enough to gate). The three
+    # wall-clock columns stay informational.
+    "shard_peak_rss_mb",
 )
 
 # Measured fields where bigger is BETTER: a shrink beyond the threshold is the

@@ -32,6 +32,8 @@
 #include "src/common/segment.h"
 #include "src/net/wire_server.h"
 #include "src/server/rollover.h"
+#include "src/server/shard.h"
+#include "src/verifier/shard_audit.h"
 #include "src/workload/wire_load.h"
 #include "src/workload/workload.h"
 
@@ -73,10 +75,14 @@ int Usage() {
                "  karousos load   --connect <unix:/path|host:port> --app <...> [--workload ...]\n"
                "                  [--requests N] [--connections C] [--seed S] [--net-batch]\n"
                "                  [--arrival closed|uniform|bursty|diurnal] [--rate R]\n"
+               "                  [--pipeline N]\n"
                "      open-loop socket client: replays the generated workload against a\n"
                "      `serve --listen` server (request i rides connection i mod C) and\n"
                "      sends the drain frame when done; prints throughput and latency\n"
                "      --arrival/--rate: open-loop pacing (closed = back-to-back)\n"
+               "      --pipeline: in-flight window per connection (1 = strict RPC,\n"
+               "      N = pipelined; default 0 = unbounded); every response must come\n"
+               "      back on the connection that sent its request\n"
                "      --net-batch: write everything up front + half-close (pairs with a\n"
                "      `serve --net-batch` server)\n"
                "  karousos audit  --app <motd|stacks|wiki|auction|mixed> --trace FILE --advice FILE\n"
@@ -95,6 +101,21 @@ int Usage() {
                "      --checkpoint: save the carry state to FILE after every epoch\n"
                "      --resume: restore the carry state from FILE and continue from the\n"
                "      first unaudited epoch\n"
+               "  karousos shard  --trace FILE --advice FILE --shards K --out-dir DIR\n"
+               "                  [--epoch-size N] [--shard-mode hash|range] [--compress STAGES]\n"
+               "      partition one run into K self-contained shard files DIR/shard<i>.kseg\n"
+               "      (group-atomic by request hash, or contiguous rid ranges); each shard\n"
+               "      carries the replicated trace, its advice slice, and a cross-shard\n"
+               "      boundary manifest, and audits independently with `audit-shard`\n"
+               "  karousos audit-shard --app <...> --shard-file FILE [--out ARTIFACT]\n"
+               "                  [--isolation ser|rc|ru] [--threads N] [--no-prescreen]\n"
+               "      audit one shard in isolation (full verifier; epochs and threads\n"
+               "      compose) and write its verdict artifact for `audit-merge`\n"
+               "  karousos audit-merge --in-dir DIR | --artifact FILE [--artifact FILE ...]\n"
+               "      deterministically merge K shard-verdict artifacts into the run's\n"
+               "      verdict: cross-shard rid coverage, write-order stitching, continuity\n"
+               "      confirmation, write-chain stitching, and the global isolation check\n"
+               "      (--in-dir merges every *.artifact in DIR)\n"
                "  karousos tamper --trace FILE --out FILE\n"
                "  karousos inspect --advice FILE | --trace FILE\n"
                "      advice/trace files print composition; segment containers print\n"
@@ -165,6 +186,14 @@ struct Args {
   size_t connections = 1;
   std::string arrival = "closed";
   double rate = 2000.0;
+  size_t pipeline = 0;  // load: in-flight window per connection (0 = unbounded).
+  // Shard-axis audit (shard / audit-shard / audit-merge).
+  uint32_t shards = 1;
+  std::string shard_mode = "hash";
+  std::string out_dir;
+  std::string shard_file;
+  std::string in_dir;
+  std::vector<std::string> artifact_paths;
 };
 
 std::optional<Args> Parse(int argc, char** argv) {
@@ -256,6 +285,20 @@ std::optional<Args> Parse(int argc, char** argv) {
       args.arrival = value;
     } else if (flag == "--rate") {
       args.rate = std::stod(value);
+    } else if (flag == "--pipeline") {
+      args.pipeline = static_cast<size_t>(std::stoul(value));
+    } else if (flag == "--shards") {
+      args.shards = static_cast<uint32_t>(std::stoul(value));
+    } else if (flag == "--shard-mode") {
+      args.shard_mode = value;
+    } else if (flag == "--out-dir") {
+      args.out_dir = value;
+    } else if (flag == "--shard-file") {
+      args.shard_file = value;
+    } else if (flag == "--in-dir") {
+      args.in_dir = value;
+    } else if (flag == "--artifact") {
+      args.artifact_paths.push_back(value);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return std::nullopt;
@@ -437,6 +480,7 @@ int CmdLoad(const Args& args) {
   WireLoadOptions options;
   options.connections = args.connections;
   options.batch = args.net_batch;
+  options.pipeline = args.pipeline;
   WireLoadReport report = RunWireLoad(args.connect, workload, options);
   if (!report.ok) {
     std::fprintf(stderr, "load: %s\n", report.error.c_str());
@@ -451,9 +495,11 @@ int CmdLoad(const Args& args) {
     size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
     return sorted[idx];
   };
-  std::printf("load: %zu requests over %zu connection%s in %.3fs (%.0f req/s)\n",
+  std::string window = args.pipeline == 0 ? std::string("unbounded")
+                                          : "window " + std::to_string(args.pipeline);
+  std::printf("load: %zu requests over %zu connection%s (%s) in %.3fs (%.0f req/s)\n",
               report.received, args.connections, args.connections == 1 ? "" : "s",
-              report.wall_seconds,
+              window.c_str(), report.wall_seconds,
               report.wall_seconds > 0 ? static_cast<double>(report.received) / report.wall_seconds
                                       : 0.0);
   std::printf("latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms\n", percentile(0.50) * 1e3,
@@ -677,6 +723,150 @@ int CmdAudit(const Args& args) {
   return 1;
 }
 
+// karousos shard: partition a monolithic (trace, advice) run into K
+// self-contained shard files, each independently auditable.
+int CmdShard(const Args& args) {
+  if (args.trace_path.empty() || args.advice_path.empty() || args.out_dir.empty() ||
+      args.shards == 0) {
+    return Usage();
+  }
+  auto mode = ParseShardMode(args.shard_mode);
+  if (!mode) {
+    std::fprintf(stderr, "unknown --shard-mode '%s' (want hash or range)\n",
+                 args.shard_mode.c_str());
+    return 2;
+  }
+  auto trace_bytes = ReadFile(args.trace_path);
+  auto advice_bytes = ReadFile(args.advice_path);
+  if (!trace_bytes || !advice_bytes) {
+    std::fprintf(stderr, "failed to read inputs\n");
+    return 1;
+  }
+  ByteReader trace_reader(*trace_bytes);
+  auto trace = Trace::Deserialize(&trace_reader);
+  if (!trace) {
+    std::fprintf(stderr, "malformed trace file\n");
+    return 1;
+  }
+  ByteReader advice_reader(*advice_bytes);
+  auto advice = Advice::Deserialize(&advice_reader);
+  if (!advice) {
+    std::fprintf(stderr, "malformed advice file\n");
+    return 1;
+  }
+  const KsegCompression comp = ParseCompression(args.compress);
+  ShardSpec spec{args.shards, *mode};
+  std::vector<ShardFile> shards = ShardRun(*trace, *advice, args.epoch_size, spec);
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  for (const ShardFile& shard : shards) {
+    std::vector<uint8_t> bytes =
+        comp.any() ? EncodeShardFile(shard, comp) : EncodeShardFile(shard);
+    const std::string path =
+        args.out_dir + "/shard" + std::to_string(shard.boundary.shard) + ".kseg";
+    if (!WriteFile(path, bytes)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("shard %u/%u -> %s (%zu B): %zu rids, %llu epochs, "
+                "%zu write-order entries of %llu, %zu chains, %zu+%zu export obligations\n",
+                shard.boundary.shard, shard.boundary.count, path.c_str(), bytes.size(),
+                shard.boundary.rids.size(),
+                static_cast<unsigned long long>(shard.boundary.epochs),
+                shard.boundary.write_order_positions.size(),
+                static_cast<unsigned long long>(shard.boundary.write_order_total),
+                shard.boundary.chains.size(), shard.boundary.export_tx_refs.size(),
+                shard.boundary.export_var_refs.size());
+  }
+  std::printf("sharded into %zu files (%s mode, epoch size %llu) in %s\n", shards.size(),
+              ShardModeName(*mode), static_cast<unsigned long long>(args.epoch_size),
+              args.out_dir.c_str());
+  return 0;
+}
+
+// karousos audit-shard: verify one shard file in isolation and emit its
+// signed-verdict artifact for audit-merge.
+int CmdAuditShard(const Args& args) {
+  if (args.shard_file.empty()) {
+    return Usage();
+  }
+  ShardLoadResult loaded = LoadShardFile(args.shard_file);
+  if (!loaded.ok) {
+    // No artifact: an unloadable shard never produces a mergeable verdict.
+    std::printf("REJECTED: %s\n", loaded.reason.c_str());
+    return 1;
+  }
+  AppSpec app = MakeApp(args.app);
+  VerifierConfig config{ParseIsolation(args.isolation), args.threads};
+  config.prescreen = !args.no_prescreen;
+  ShardArtifact artifact = RunShardAudit(*app.program, loaded.file, config);
+  if (!args.out_path.empty()) {
+    if (!WriteFile(args.out_path, EncodeShardArtifact(artifact))) {
+      std::fprintf(stderr, "failed to write %s\n", args.out_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("shard %u/%u: %llu epochs, %zu rids, peak resident advice %llu B\n",
+              artifact.shard, artifact.count,
+              static_cast<unsigned long long>(artifact.epochs), artifact.rids.size(),
+              static_cast<unsigned long long>(artifact.peak_resident));
+  if (artifact.accepted) {
+    std::printf("SHARD ACCEPTED: %zu write-order entries, %zu txns, "
+                "%zu pending imports, %zu exports\n",
+                artifact.write_order.size(), artifact.txn_sizes.size(),
+                artifact.pending_tx_imports.size() + artifact.pending_var_imports.size(),
+                artifact.tx_exports.size() + artifact.var_exports.size());
+    return 0;
+  }
+  std::printf("SHARD REJECTED: %s\n", artifact.reason.c_str());
+  return 1;
+}
+
+// karousos audit-merge: combine K shard-verdict artifacts into the run's
+// verdict — exactly the cross-shard checks, no re-execution.
+int CmdAuditMerge(const Args& args) {
+  std::vector<std::string> paths = args.artifact_paths;
+  if (!args.in_dir.empty()) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(args.in_dir, ec)) {
+      if (entry.path().extension() == ".artifact") {
+        paths.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "failed to scan %s: %s\n", args.in_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    std::sort(paths.begin(), paths.end());
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+  std::vector<ShardArtifact> artifacts;
+  artifacts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    ShardArtifactLoadResult loaded = LoadShardArtifactFile(path);
+    if (!loaded.ok) {
+      std::printf("REJECTED: %s: %s\n", path.c_str(), loaded.reason.c_str());
+      return 1;
+    }
+    artifacts.push_back(std::move(loaded.artifact));
+  }
+  AuditResult merged = MergeShardArtifacts(artifacts);
+  for (const LintDiagnostic& d : merged.diagnostics) {
+    std::printf("%s\n", d.Format().c_str());
+  }
+  if (merged.accepted) {
+    std::printf("ACCEPTED: %zu shards merged, isolation DG %zu nodes / %zu edges\n",
+                artifacts.size(), merged.stats.isolation_dg_nodes,
+                merged.stats.isolation_dg_edges);
+    return 0;
+  }
+  std::printf("REJECTED: %s\n", merged.reason.c_str());
+  return 1;
+}
+
 int CmdTamper(const Args& args) {
   if (args.trace_path.empty() || args.out_path.empty()) {
     return Usage();
@@ -781,6 +971,38 @@ int InspectSegments(const std::string& path, const std::vector<uint8_t>& bytes) 
                     payload->advice.tags.size(), payload->advice.var_log_entry_count(),
                     payload->advice.tx_logs.size(),
                     payload->imports.tx_ops.size() + payload->imports.var_entries.size());
+      } else {
+        std::printf("  (undecodable payload)");
+      }
+    } else if (record.kind == SegmentKind::kShardBoundary) {
+      ByteReader in(record.payload);
+      auto boundary = ShardBoundary::Deserialize(&in);
+      if (boundary && in.AtEnd()) {
+        std::printf("  (shard %u/%u, %s mode, %llu epochs of %llu requests, %zu rids, "
+                    "%zu/%llu write-order entries, %zu chains, %zu+%zu export obligations)",
+                    boundary->shard, boundary->count, ShardModeName(boundary->mode),
+                    static_cast<unsigned long long>(boundary->epochs),
+                    static_cast<unsigned long long>(boundary->epoch_requests),
+                    boundary->rids.size(), boundary->write_order_positions.size(),
+                    static_cast<unsigned long long>(boundary->write_order_total),
+                    boundary->chains.size(), boundary->export_tx_refs.size(),
+                    boundary->export_var_refs.size());
+      } else {
+        std::printf("  (undecodable payload)");
+      }
+    } else if (record.kind == SegmentKind::kShardArtifact) {
+      ByteReader in(record.payload);
+      auto artifact = ShardArtifact::Deserialize(&in);
+      if (artifact && in.AtEnd()) {
+        std::printf("  (shard %u/%u, %s", artifact->shard, artifact->count,
+                    artifact->accepted ? "ACCEPTED" : "REJECTED");
+        if (!artifact->accepted) {
+          std::printf(" [%s]", artifact->rule.empty() ? "dynamic" : artifact->rule.c_str());
+        }
+        std::printf(", %zu rids, %zu write-order entries, %zu pending imports, %zu exports)",
+                    artifact->rids.size(), artifact->write_order.size(),
+                    artifact->pending_tx_imports.size() + artifact->pending_var_imports.size(),
+                    artifact->tx_exports.size() + artifact->var_exports.size());
       } else {
         std::printf("  (undecodable payload)");
       }
@@ -1022,6 +1244,15 @@ int Main(int argc, char** argv) {
   }
   if (args->command == "audit") {
     return CmdAudit(*args);
+  }
+  if (args->command == "shard") {
+    return CmdShard(*args);
+  }
+  if (args->command == "audit-shard") {
+    return CmdAuditShard(*args);
+  }
+  if (args->command == "audit-merge") {
+    return CmdAuditMerge(*args);
   }
   if (args->command == "tamper") {
     return CmdTamper(*args);

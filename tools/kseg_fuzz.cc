@@ -16,6 +16,11 @@
 //               advice a different shape, so frame- and slice-level damage
 //               lands on different structures.
 //
+// A third family ("shard", src/analysis/shard_mutate.h) attacks the shard
+// axis: byte and boundary-manifest damage against encoded shard files, and
+// merge-only artifact tampering where every shard passes individually — the
+// whole load → audit-shard → audit-merge pipeline must reject each one.
+//
 // Prints one summary line per family (with a per-mutation-kind breakdown)
 // plus a JSON blob with per-family, per-kind, and total static-catch
 // fractions (consumed by bench/check_overhead.cc's fuzz row). Exits nonzero
@@ -30,6 +35,7 @@
 
 #include "src/analysis/check.h"
 #include "src/analysis/kseg_mutate.h"
+#include "src/analysis/shard_mutate.h"
 #include "src/apps/app.h"
 #include "src/audit/stream.h"
 #include "src/server/server.h"
@@ -229,6 +235,79 @@ FamilyStats RunFamily(const Family& family) {
   return stats;
 }
 
+// The shard-axis family: the corpus of src/analysis/shard_mutate.h over a
+// stacks run sharded two ways. "Static" here means the rejection carries a
+// KAR-SEG rule — the load/merge structural layer caught it without (or
+// before) any re-execution deciding.
+FamilyStats RunShardFamily() {
+  FamilyStats stats;
+  stats.name = "shard";
+
+  AppSpec app = MakeStacksApp();
+  WorkloadConfig wl;
+  wl.app = "stacks";
+  wl.kind = WorkloadKind::kMixed;
+  wl.requests = 63;
+  wl.seed = 7;
+  wl.connections = 6;
+  ServerConfig server_config;
+  server_config.concurrency = 6;
+  server_config.seed = 7;
+  Server server(*app.program, server_config);
+  ServerRunResult run = server.Run(GenerateWorkload(wl));
+
+  std::vector<ShardMutationOutcome> outcomes = RunShardMutationCorpus(
+      *app.program, run.trace, run.advice, 7, ShardSpec{2, ShardMode::kHash});
+  for (const ShardMutationOutcome& o : outcomes) {
+    if (o.name.rfind("control:", 0) == 0) {
+      if (o.crashed || o.rejected) {
+        std::printf("BUG: [shard] %s: honest control %s: %s\n", o.name.c_str(),
+                    o.crashed ? "crashed" : "rejected", o.reason.c_str());
+        ++stats.bugs;
+      }
+      continue;
+    }
+    MutationKindStats* kind = stats.Kind(o.name);
+    ++stats.mutations;
+    ++kind->mutations;
+    if (o.crashed) {
+      std::printf("BUG: [shard] %s: pipeline crashed: %s\n", o.name.c_str(), o.reason.c_str());
+      ++stats.bugs;
+      continue;
+    }
+    if (!o.rejected) {
+      std::printf("BUG: [shard] %s: pipeline ACCEPTED a mutated input\n", o.name.c_str());
+      ++stats.bugs;
+      continue;
+    }
+    if (!o.rule.empty()) {
+      ++stats.caught_static;
+      ++kind->caught_static;
+    }
+  }
+
+  constexpr size_t kMinMutations = 60;
+  if (stats.mutations < kMinMutations) {
+    std::printf("BUG: [shard] corpus holds only %zu mutations (need >= %zu)\n", stats.mutations,
+                kMinMutations);
+    ++stats.bugs;
+  }
+  constexpr double kMinStaticFraction = 0.90;
+  if (stats.fraction() < kMinStaticFraction) {
+    std::printf("BUG: [shard] static catch %.1f%% below the %.0f%% floor\n",
+                100.0 * stats.fraction(), 100.0 * kMinStaticFraction);
+    ++stats.bugs;
+  }
+  std::printf("kseg_fuzz[shard]: %zu mutations, %zu rejected with a KAR-SEG rule (%.1f%%), "
+              "%zu bugs\n",
+              stats.mutations, stats.caught_static, 100.0 * stats.fraction(), stats.bugs);
+  for (const auto& [kind, ks] : stats.by_kind) {
+    std::printf("  %-10s %4zu mutations, %4zu static (%.1f%%)\n", kind.c_str(), ks.mutations,
+                ks.caught_static, 100.0 * ks.fraction());
+  }
+  return stats;
+}
+
 int Run() {
   std::vector<FamilyStats> all;
   size_t total_mutations = 0;
@@ -240,6 +319,10 @@ int Run() {
     total_caught += all.back().caught_static;
     total_bugs += all.back().bugs;
   }
+  all.push_back(RunShardFamily());
+  total_mutations += all.back().mutations;
+  total_caught += all.back().caught_static;
+  total_bugs += all.back().bugs;
 
   double fraction = total_mutations == 0
                         ? 0.0
